@@ -1,0 +1,58 @@
+// Ablation (beyond the paper's tables): does penalty continuation help the
+// nonlinear legalizer under discrete rules?
+//
+// DESIGN.md calls out the solver's discrete-width continuation (relaxed
+// problem first, nonconvex terms ramped in) as a design choice; this bench
+// compares phases=1 (discrete penalty active from the start) against
+// phases=4 (continuation) on the same feasible topology pool under the
+// complex-discrete rule set.
+#include <cstdio>
+
+#include "benchutil.hpp"
+#include "common/rng.hpp"
+#include "io/csv.hpp"
+#include "legalize/feasible_topology.hpp"
+#include "legalize/solver.hpp"
+
+int main() {
+  using namespace pp;
+  using namespace pp::bench;
+  Scale scale = get_scale();
+  std::printf("=== Ablation: solver penalty continuation (%s scale) ===\n\n",
+              scale.full ? "full" : "quick");
+  CsvWriter csv(results_dir() + "/ablation_solver.csv");
+  csv.row("phases", "topology_size", "trials", "success_rate", "avg_seconds");
+
+  std::printf("%-10s %6s %8s %10s %12s\n", "phases", "size", "trials",
+              "success%", "avg time(s)");
+  for (int phases : {1, 4}) {
+    for (int size : scale.fig9_sizes) {
+      Rng rng(0xAB1A + static_cast<std::uint64_t>(size));
+      int ok = 0;
+      double total_s = 0;
+      for (int trial = 0; trial < scale.fig9_trials; ++trial) {
+        FeasibleTopology ft =
+            make_feasible_topology(size, advance_rules(), rng);
+        SolverConfig cfg;
+        cfg.max_restarts = 20;
+        cfg.max_iterations = 400;
+        cfg.phases = phases;
+        cfg.canvas_width = ft.canvas_width;
+        cfg.canvas_height = ft.canvas_height;
+        NonlinearLegalizer solver(advance_rules(), cfg);
+        SolveResult res = solver.legalize(ft.topology, rng);
+        ok += res.success;
+        total_s += res.seconds;
+      }
+      double rate = 100.0 * ok / scale.fig9_trials;
+      std::printf("%-10d %6d %8d %9.1f%% %12.3f\n", phases, size,
+                  scale.fig9_trials, rate, total_s / scale.fig9_trials);
+      csv.row(phases, size, scale.fig9_trials, rate,
+              total_s / scale.fig9_trials);
+    }
+    std::printf("\n");
+  }
+  std::printf("table written to %s/ablation_solver.csv\n",
+              results_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,179 @@
+// Table II reproduction: per-sample runtime of PatternPaint inpainting,
+// PatternPaint template denoising, and DiffPattern's solver-based
+// legalization.
+//
+// Expected shape (paper: 0.81s / 0.21s / 38.04s): denoising is the
+// cheapest step by far, inpainting is sub-second-scale, and the nonlinear
+// solver under industrial rules is one to two orders of magnitude slower
+// than inpainting because failed restarts burn the whole budget.
+#include <benchmark/benchmark.h>
+
+#include "benchutil.hpp"
+#include "common/timer.hpp"
+#include "core/patternpaint.hpp"
+#include "common/rng.hpp"
+#include "denoise/nlm.hpp"
+#include "denoise/template_denoise.hpp"
+#include "diffusion/convert.hpp"
+#include "legalize/feasible_topology.hpp"
+#include "legalize/solver.hpp"
+#include "select/masks.hpp"
+
+namespace {
+
+using namespace pp;
+using namespace pp::bench;
+
+/// Untrained model with the experiment architecture: runtime is independent
+/// of the weights, so no checkpoint is needed.
+Ddpm& model(const std::string& preset) {
+  static Rng rng(1);
+  static Ddpm sd1(experiment_config("sd1").ddpm, rng);
+  static Ddpm sd2(experiment_config("sd2").ddpm, rng);
+  return preset == "sd2" ? sd2 : sd1;
+}
+
+void BM_Inpainting(benchmark::State& state, const std::string& preset,
+                   int size) {
+  Rng rng(42);
+  Raster starter(size, size);
+  starter.fill_rect(Rect{size / 4, 0, size / 4 + size / 8, size}, 1);
+  nn::Tensor known = raster_to_tensor(starter);
+  Raster m(size, size);
+  m.fill_rect(Rect{0, 0, size / 2, size / 2}, 1);
+  nn::Tensor mask = mask_to_tensor(m);
+  for (auto _ : state) {
+    nn::Tensor out = model(preset).inpaint(known, mask, rng);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void BM_TemplateDenoise(benchmark::State& state) {
+  Rng rng(43);
+  int size = clip_size();
+  Raster tmpl(size, size);
+  tmpl.fill_rect(Rect{6, 0, 9, size}, 1);
+  tmpl.fill_rect(Rect{14, 0, 19, size}, 1);
+  Raster noisy = tmpl;
+  for (int y = 0; y < size; ++y)
+    if (rng.bernoulli(0.3)) noisy(9, y) = 1;  // ragged right edge
+  for (auto _ : state) {
+    Raster out = template_denoise(noisy, tmpl, TemplateDenoiseConfig{}, rng);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+}
+
+void BM_NlmDenoise(benchmark::State& state) {
+  Rng rng(44);
+  int size = clip_size();
+  Raster noisy(size, size);
+  for (auto& v : noisy.data()) v = rng.bernoulli(0.3);
+  for (auto _ : state) {
+    Raster out = nlm_denoise(noisy);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+}
+
+void BM_DiffPatternSolver(benchmark::State& state) {
+  // Solver runtime per generated sample under the industrial rule set; the
+  // topology pool is feasible by construction.
+  Rng rng(45);
+  std::vector<Raster> topologies;
+  for (int i = 0; i < 4; ++i)
+    topologies.push_back(
+        make_feasible_topology(12, advance_rules(), rng).topology);
+  SolverConfig cfg;
+  cfg.max_restarts = 10;
+  cfg.max_iterations = 300;
+  NonlinearLegalizer solver(advance_rules(), cfg);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    SolveResult res = solver.legalize(topologies[i++ % topologies.size()], rng);
+    benchmark::DoNotOptimize(res.success);
+  }
+}
+
+/// Table II's real production quantity: seconds of compute per LEGAL
+/// pattern. Our penalty solver is much faster per attempt than the paper's
+/// scipy at 1e8 iterations, so raw per-attempt time cannot match 38 s; the
+/// collapse shows up as attempts-per-success instead. PatternPaint numbers
+/// use the cached sd1-ft model (trained by bench_fig7/bench_table1).
+void report_cost_per_legal() {
+  using pp::bench::get_scale;
+  std::printf("\n--- cost per LEGAL pattern (quick estimate) ---\n");
+  Rng rng(46);
+  // DiffPattern-style pipeline: solver on generated-scale topologies.
+  {
+    SolverConfig cfg;
+    cfg.max_restarts = 6;
+    cfg.max_iterations = 250;
+    NonlinearLegalizer solver(bench::baseline_rules(), cfg);
+    int attempts = 12, ok = 0;
+    double secs = 0;
+    for (int i = 0; i < attempts; ++i) {
+      FeasibleTopology ft = make_feasible_topology(
+          bench::baseline_topology_size() / 2, advance_rules(), rng);
+      SolveResult res = solver.legalize(ft.topology, rng);
+      ok += res.success;
+      secs += res.seconds;
+    }
+    if (ok > 0)
+      std::printf("solver pipeline  : %.2f s/legal (%d/%d attempts legal)\n",
+                  secs / ok, ok, attempts);
+    else
+      std::printf("solver pipeline  : INF s/legal (0/%d attempts legal, "
+                  "%.2f s burned)\n",
+                  attempts, secs);
+  }
+  // PatternPaint pipeline with the cached finetuned model.
+  try {
+    auto starters = bench::starter_patterns(get_scale().starters);
+    auto model = bench::make_model("sd1", true, starters);
+    auto masks = all_masks(bench::clip_size(), bench::clip_size());
+    Timer t;
+    int attempts = 12, ok = 0;
+    for (int i = 0; i < attempts; ++i) {
+      auto raws = model->inpaint_variations(
+          starters[static_cast<std::size_t>(i) % starters.size()],
+          masks[static_cast<std::size_t>(i) % masks.size()], 1);
+      ok += model->finish_sample(raws[0],
+                                 starters[static_cast<std::size_t>(i) %
+                                          starters.size()])
+                .legal;
+    }
+    double secs = t.seconds();
+    if (ok > 0)
+      std::printf("PatternPaint-ft  : %.2f s/legal (%d/%d attempts legal)\n",
+                  secs / ok, ok, attempts);
+    else
+      std::printf("PatternPaint-ft  : 0/%d legal in this tiny probe\n",
+                  attempts);
+  } catch (const std::exception& e) {
+    std::printf("PatternPaint-ft  : skipped (%s)\n", e.what());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::RegisterBenchmark(
+      "Table2/PatternPaint_Inpainting_32px",
+      [](benchmark::State& s) { BM_Inpainting(s, "sd1", 32); })
+      ->Unit(benchmark::kMillisecond)->Iterations(3);
+  benchmark::RegisterBenchmark(
+      "Table2/PatternPaint_Inpainting_64px",
+      [](benchmark::State& s) { BM_Inpainting(s, "sd1", 64); })
+      ->Unit(benchmark::kMillisecond)->Iterations(2);
+  benchmark::RegisterBenchmark("Table2/PatternPaint_Denoising",
+                               BM_TemplateDenoise)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("Table2/OpenCVStyle_NLM_Denoise", BM_NlmDenoise)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("Table2/DiffPattern_SolverLegalization",
+                               BM_DiffPatternSolver)
+      ->Unit(benchmark::kMillisecond)->Iterations(3);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  report_cost_per_legal();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Technology-node migration: the scenario PatternPaint is built for.
+//
+// At a new node, the design rules change and almost no legal data exists.
+// Rule-based generators must be re-engineered; training-based generators
+// have nothing to train on. PatternPaint only needs a few starter clips
+// drawn under the NEW rules.
+//
+// This example simulates the migration:
+//   * "old node"  — the default academic rule set;
+//   * "new node"  — the advance set (discrete widths + width-dependent
+//                   spacing), i.e. substantially different constraints;
+//   * one pretrained backbone is adapted to each node with 8 starters, and
+//     we measure how many legal patterns each adapted model produces under
+//     its own node's sign-off DRC — plus the cross-check that old-node
+//     output is NOT legal at the new node (rules genuinely moved).
+#include <cstdio>
+
+#include "core/patternpaint.hpp"
+#include "patterngen/track_generator.hpp"
+
+namespace {
+
+using namespace pp;
+
+struct NodeReport {
+  std::size_t generated = 0;
+  std::size_t legal_own = 0;    ///< legal under the node's own rules
+  std::size_t legal_other = 0;  ///< legal under the other node's rules
+};
+
+NodeReport adapt_and_generate(const RuleSet& own, const RuleSet& other,
+                              std::uint64_t seed) {
+  Rng data_rng(seed);
+  TrackPatternGenerator gen(track_config_for_clip(32), own);
+  std::vector<Raster> starters = gen.generate(8, data_rng);
+
+  PatternPaintConfig cfg = sd1_config();
+  cfg.clip_size = 32;
+  cfg.pretrain_corpus = 96;
+  cfg.pretrain_steps = 120;
+  cfg.finetune_steps = 80;
+  cfg.prior_samples = 6;
+  PatternPaint pp(cfg, own, seed);
+  pp.pretrain();
+  pp.finetune(starters);
+  auto records = pp.initial_generation(1);
+
+  NodeReport rep;
+  DrcChecker other_drc(other);
+  for (const auto& r : records) {
+    ++rep.generated;
+    rep.legal_own += r.legal;
+    if (r.legal) rep.legal_other += other_drc.is_clean(r.denoised);
+  }
+  return rep;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pp;
+  RuleSet old_node = scale_rules_down(default_rules(), 2);
+  old_node.name = "old-node(default/2)";
+  RuleSet new_node = scale_rules_down(advance_rules(), 2);
+  new_node.name = "new-node(advance/2)";
+
+  std::printf("adapting one backbone to two rule sets (8 starters each)...\n\n");
+  NodeReport old_rep = adapt_and_generate(old_node, new_node, 101);
+  NodeReport new_rep = adapt_and_generate(new_node, old_node, 202);
+
+  std::printf("%-22s %10s %12s %18s\n", "node", "generated", "legal (own)",
+              "legal (other node)");
+  std::printf("%-22s %10zu %12zu %18zu\n", old_node.name.c_str(),
+              old_rep.generated, old_rep.legal_own, old_rep.legal_other);
+  std::printf("%-22s %10zu %12zu %18zu\n", new_node.name.c_str(),
+              new_rep.generated, new_rep.legal_own, new_rep.legal_other);
+
+  std::printf("\nmigration takeaways:\n");
+  std::printf(" * the same pretrained backbone adapts to either node from 8 "
+              "clips — no generator re-engineering;\n");
+  std::printf(" * old-node patterns rarely satisfy the new node's discrete/"
+              "width-dependent rules (%zu of %zu), confirming the rules "
+              "genuinely changed.\n",
+              old_rep.legal_other, old_rep.legal_own);
+  return 0;
+}

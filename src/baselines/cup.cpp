@@ -1,0 +1,152 @@
+#include "baselines/cup.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pp {
+
+using nn::Tensor;
+using nn::Var;
+
+namespace {
+
+Var conv_weight(int co, int ci, int k, Rng& rng) {
+  float stddev = std::sqrt(2.0f / (static_cast<float>(ci) * k * k));
+  return nn::make_param(Tensor::randn({co, ci, k, k}, rng, stddev));
+}
+
+Var linear_weight(int o, int i, Rng& rng) {
+  float stddev = std::sqrt(2.0f / static_cast<float>(i));
+  return nn::make_param(Tensor::randn({o, i}, rng, stddev));
+}
+
+}  // namespace
+
+CupModel::CupModel(CupConfig cfg, Rng& rng) : cfg_(cfg) {
+  PP_REQUIRE(cfg_.topo_size % 4 == 0 && cfg_.topo_size >= 8);
+  PP_REQUIRE(cfg_.base_channels >= 2 && cfg_.latent_dim >= 2);
+  int C = cfg_.base_channels;
+  int q = cfg_.topo_size / 4;  // spatial size after two stride-2 convs
+  int flat = 2 * C * q * q;
+
+  e1_w_ = conv_weight(C, 1, 3, rng);
+  e1_b_ = nn::make_param(Tensor({C}));
+  e2_w_ = conv_weight(2 * C, C, 3, rng);
+  e2_b_ = nn::make_param(Tensor({2 * C}));
+  ez_w_ = linear_weight(cfg_.latent_dim, flat, rng);
+  ez_b_ = nn::make_param(Tensor({cfg_.latent_dim}));
+
+  dz_w_ = linear_weight(flat, cfg_.latent_dim, rng);
+  dz_b_ = nn::make_param(Tensor({flat}));
+  d1_w_ = conv_weight(C, 2 * C, 3, rng);
+  d1_b_ = nn::make_param(Tensor({C}));
+  d2_w_ = conv_weight(C, C, 3, rng);
+  d2_b_ = nn::make_param(Tensor({C}));
+  head_w_ = conv_weight(1, C, 1, rng);
+  head_b_ = nn::make_param(Tensor({1}));
+
+  params_ = {e1_w_, e1_b_, e2_w_, e2_b_, ez_w_, ez_b_, dz_w_,
+             dz_b_, d1_w_, d1_b_, d2_w_, d2_b_, head_w_, head_b_};
+}
+
+Var CupModel::encode(const Tensor& x) {
+  Var h = nn::make_input(x);
+  h = nn::relu(nn::conv2d(h, e1_w_, e1_b_, 2, 1));
+  h = nn::relu(nn::conv2d(h, e2_w_, e2_b_, 2, 1));
+  int N = x.dim(0);
+  int q = cfg_.topo_size / 4;
+  h = nn::reshape(h, {N, 2 * cfg_.base_channels * q * q});
+  return nn::linear(h, ez_w_, ez_b_);
+}
+
+Var CupModel::decode(const Var& z) {
+  int N = z->value.dim(0);
+  int q = cfg_.topo_size / 4;
+  Var h = nn::relu(nn::linear(z, dz_w_, dz_b_));
+  h = nn::reshape(h, {N, 2 * cfg_.base_channels, q, q});
+  h = nn::relu(nn::conv2d(nn::upsample_nearest2(h), d1_w_, d1_b_, 1, 1));
+  h = nn::relu(nn::conv2d(nn::upsample_nearest2(h), d2_w_, d2_b_, 1, 1));
+  return nn::conv2d(h, head_w_, head_b_, 1, 0);  // logits
+}
+
+Tensor CupModel::batch_tensor(const std::vector<Raster>& topos,
+                              const std::vector<std::size_t>& idx) const {
+  int S = cfg_.topo_size;
+  Tensor x({static_cast<int>(idx.size()), 1, S, S});
+  for (std::size_t n = 0; n < idx.size(); ++n) {
+    const Raster& t = topos[idx[n]];
+    PP_REQUIRE_MSG(t.width() == S && t.height() == S,
+                   "CUP training topology has wrong size");
+    float* p = x.data() + n * static_cast<std::size_t>(S) * S;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(S) * S; ++i)
+      p[i] = t.data()[i] ? 1.0f : 0.0f;
+  }
+  return x;
+}
+
+float CupModel::train(const std::vector<Raster>& topologies, int steps,
+                      int batch_size, float lr, Rng& rng) {
+  PP_REQUIRE_MSG(!topologies.empty(), "CUP: empty training set");
+  PP_REQUIRE(steps >= 1 && batch_size >= 1);
+  nn::Adam opt(params_, lr);
+  float loss_val = 0;
+  for (int s = 0; s < steps; ++s) {
+    std::vector<std::size_t> idx;
+    for (int b = 0; b < batch_size; ++b) idx.push_back(rng.index(topologies.size()));
+    Tensor x = batch_tensor(topologies, idx);
+    opt.zero_grad();
+    Var logits = decode(encode(x));
+    Var loss = nn::bce_with_logits(logits, nn::make_input(x));
+    nn::backward(loss);
+    opt.step();
+    loss_val = loss->value[0];
+  }
+
+  // Fit a diagonal Gaussian over the training latents.
+  std::vector<std::size_t> all(topologies.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  Var z = encode(batch_tensor(topologies, all));
+  int L = cfg_.latent_dim;
+  latent_mean_.assign(static_cast<std::size_t>(L), 0.0f);
+  latent_std_.assign(static_cast<std::size_t>(L), 0.0f);
+  int n = z->value.dim(0);
+  for (int i = 0; i < n; ++i)
+    for (int l = 0; l < L; ++l)
+      latent_mean_[static_cast<std::size_t>(l)] += z->value.at2(i, l);
+  for (auto& m : latent_mean_) m /= static_cast<float>(n);
+  for (int i = 0; i < n; ++i)
+    for (int l = 0; l < L; ++l) {
+      float d = z->value.at2(i, l) - latent_mean_[static_cast<std::size_t>(l)];
+      latent_std_[static_cast<std::size_t>(l)] += d * d;
+    }
+  for (auto& sdev : latent_std_)
+    sdev = std::sqrt(sdev / static_cast<float>(std::max(1, n - 1))) + 1e-4f;
+  trained_ = true;
+  return loss_val;
+}
+
+Raster CupModel::generate_topology(Rng& rng) {
+  PP_REQUIRE_MSG(trained_, "CUP: generate before train");
+  Tensor z({1, cfg_.latent_dim});
+  for (int l = 0; l < cfg_.latent_dim; ++l)
+    z.at2(0, l) = latent_mean_[static_cast<std::size_t>(l)] +
+                  latent_std_[static_cast<std::size_t>(l)] *
+                      static_cast<float>(rng.normal());
+  Var logits = decode(nn::make_input(std::move(z)));
+  Raster out(cfg_.topo_size, cfg_.topo_size);
+  for (std::size_t i = 0; i < out.data().size(); ++i)
+    out.data()[i] = logits->value[i] > 0.0f ? 1 : 0;
+  return out;
+}
+
+Raster CupModel::reconstruct(const Raster& topology) {
+  Tensor x = batch_tensor({topology}, {0});
+  Var logits = decode(encode(x));
+  Raster out(cfg_.topo_size, cfg_.topo_size);
+  for (std::size_t i = 0; i < out.data().size(); ++i)
+    out.data()[i] = logits->value[i] > 0.0f ? 1 : 0;
+  return out;
+}
+
+}  // namespace pp

@@ -1,0 +1,64 @@
+// CUP-style baseline (Zhang et al., ICCAD'20): generative topology model +
+// solver legalization.
+//
+// The original CUP trains a transforming convolutional autoencoder on 10k
+// squish topologies and perturbs latent codes to synthesize new ones. This
+// reproduction keeps the pipeline shape: a convolutional autoencoder over
+// fixed-size binary topologies trained with BCE, a Gaussian fitted to the
+// training latents, and sampling = decode(latent draw). Geometry assignment
+// is delegated to the NonlinearLegalizer, which is exactly where the
+// pipeline collapses under industrial rules (Table I).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/raster.hpp"
+#include "nn/ops.hpp"
+#include "nn/optimizer.hpp"
+
+namespace pp {
+
+struct CupConfig {
+  int topo_size = 16;     ///< model grid (must be divisible by 4)
+  int base_channels = 8;  ///< encoder width
+  int latent_dim = 16;
+};
+
+class CupModel {
+ public:
+  CupModel(CupConfig cfg, Rng& rng);
+
+  const CupConfig& config() const { return cfg_; }
+  std::vector<nn::Var> parameters() const { return params_; }
+
+  /// Trains the autoencoder on padded topologies (all cfg.topo_size square)
+  /// and fits the latent Gaussian. Returns the final reconstruction loss.
+  float train(const std::vector<Raster>& topologies, int steps, int batch_size,
+              float lr, Rng& rng);
+
+  /// Decodes a latent Gaussian draw into a topology. Requires train().
+  Raster generate_topology(Rng& rng);
+
+  /// Encoder/decoder round trip (diagnostics, tests).
+  Raster reconstruct(const Raster& topology);
+
+ private:
+  nn::Var encode(const nn::Tensor& x);                 ///< {N,1,S,S} -> {N,L}
+  nn::Var decode(const nn::Var& z);                    ///< {N,L} -> logits
+  nn::Tensor batch_tensor(const std::vector<Raster>& topos,
+                          const std::vector<std::size_t>& idx) const;
+
+  CupConfig cfg_;
+  // Encoder: conv s2, conv s2, flatten, linear.
+  nn::Var e1_w_, e1_b_, e2_w_, e2_b_, ez_w_, ez_b_;
+  // Decoder: linear, reshape, (up + conv) x2, 1x1 head.
+  nn::Var dz_w_, dz_b_, d1_w_, d1_b_, d2_w_, d2_b_, head_w_, head_b_;
+  std::vector<nn::Var> params_;
+
+  // Latent Gaussian fitted on the training set.
+  std::vector<float> latent_mean_, latent_std_;
+  bool trained_ = false;
+};
+
+}  // namespace pp

@@ -1,0 +1,55 @@
+// DiffPattern-style baseline (Wang et al., DAC'23): discrete diffusion over
+// squish topologies + solver legalization.
+//
+// Forward process: independent bit corruption — at level t each topology
+// cell keeps its value with probability keep_t (1 -> ~0 as t -> T) and is
+// resampled uniformly otherwise. A small UNet is trained to predict the
+// clean topology x0 from (x_t, t) with BCE. Sampling runs the learned
+// reverse chain: predict x0, re-noise to t-1, iterate. Geometry again goes
+// through the NonlinearLegalizer — the stage that breaks under the advance
+// rule set (Tables I/II, Fig. 9).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "diffusion/unet.hpp"
+#include "geometry/raster.hpp"
+#include "nn/optimizer.hpp"
+
+namespace pp {
+
+struct DiffPatternConfig {
+  int topo_size = 16;  ///< must be divisible by 4
+  int T = 40;          ///< discrete corruption levels
+  int base_channels = 8;
+};
+
+class DiffPatternModel {
+ public:
+  DiffPatternModel(DiffPatternConfig cfg, Rng& rng);
+
+  const DiffPatternConfig& config() const { return cfg_; }
+  std::vector<nn::Var> parameters() const { return net_.parameters(); }
+
+  /// Probability a cell RETAINS its clean value at level t (cosine-ish ramp
+  /// from 1 at t=-1 down to 0.5 at t=T-1; 0.5 = fully random bit).
+  float keep_probability(int t) const;
+
+  /// Trains on padded topologies; returns final BCE loss.
+  float train(const std::vector<Raster>& topologies, int steps, int batch_size,
+              float lr, Rng& rng);
+
+  /// Runs the reverse chain from uniform random bits.
+  Raster generate_topology(Rng& rng) const;
+
+ private:
+  nn::Tensor encode_batch(const std::vector<Raster>& topos,
+                          const std::vector<std::size_t>& idx) const;
+
+  DiffPatternConfig cfg_;
+  UNet net_;
+  bool trained_ = false;
+};
+
+}  // namespace pp

@@ -1,0 +1,40 @@
+#include "baselines/topology_data.hpp"
+
+#include "common/error.hpp"
+#include "squish/squish.hpp"
+
+namespace pp {
+
+std::optional<Raster> pad_topology(const Raster& topology, int size) {
+  PP_REQUIRE(size >= 1);
+  if (topology.width() > size || topology.height() > size) return std::nullopt;
+  Raster out(size, size);
+  out.paste(topology, 0, 0);
+  return out;
+}
+
+Raster trim_topology(const Raster& padded) {
+  int w = padded.width(), h = padded.height();
+  int max_x = 0, max_y = 0;
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      if (padded(x, y)) {
+        max_x = std::max(max_x, x + 1);
+        max_y = std::max(max_y, y + 1);
+      }
+  if (max_x == 0) return Raster(1, 1);
+  return padded.crop(Rect{0, 0, max_x, max_y});
+}
+
+std::vector<Raster> corpus_topologies(const std::vector<Raster>& layouts,
+                                      int size) {
+  std::vector<Raster> out;
+  for (const auto& layout : layouts) {
+    SquishPattern p = extract_squish(layout);
+    if (auto padded = pad_topology(p.topology, size))
+      out.push_back(std::move(*padded));
+  }
+  return out;
+}
+
+}  // namespace pp

@@ -1,0 +1,28 @@
+// Topology dataset preparation shared by the squish-based baselines.
+//
+// CUP and DiffPattern are trained on squish TOPOLOGIES (binary matrices),
+// not on pixel layouts; geometry is delegated to the nonlinear solver. The
+// helpers here canonicalize topologies to a fixed model size.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geometry/raster.hpp"
+
+namespace pp {
+
+/// Pads a topology into the top-left of a size x size grid. Returns nullopt
+/// when the topology does not fit.
+std::optional<Raster> pad_topology(const Raster& topology, int size);
+
+/// Crops trailing all-empty rows/columns (inverse of padding; a blank
+/// topology collapses to 1x1).
+Raster trim_topology(const Raster& padded);
+
+/// Extracts, pads and collects the topologies of a layout corpus; clips
+/// whose topology exceeds `size` are skipped.
+std::vector<Raster> corpus_topologies(const std::vector<Raster>& layouts,
+                                      int size);
+
+}  // namespace pp

@@ -1,0 +1,39 @@
+// Error-handling helpers shared across all PatternPaint modules.
+//
+// We follow the Core Guidelines: exceptions for errors that callers may want
+// to handle, PP_REQUIRE for precondition violations (programming errors).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pp {
+
+/// Thrown when an input violates a documented precondition or an internal
+/// invariant is broken. Carries a human-readable description.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw Error(std::string("requirement failed: ") + expr + " at " + file +
+              ":" + std::to_string(line) + (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace pp
+
+/// Precondition check that is always active (cheap checks on public APIs).
+#define PP_REQUIRE(expr)                                                \
+  do {                                                                  \
+    if (!(expr)) ::pp::detail::require_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define PP_REQUIRE_MSG(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::pp::detail::require_failed(#expr, __FILE__, __LINE__, (msg));   \
+  } while (false)

@@ -1,0 +1,146 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pp {
+namespace {
+
+/// A tiny persistent thread pool. Workers wait for a job, execute chunk
+/// callbacks, and signal completion. Created lazily on first use.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  std::size_t size() const { return workers_.size() + 1; }
+
+  void run(std::size_t begin, std::size_t end,
+           const std::function<void(std::size_t, std::size_t)>& fn) {
+    std::size_t n = end - begin;
+    std::size_t nthreads = std::min(size(), n);
+    if (nthreads <= 1) {
+      fn(begin, end);
+      return;
+    }
+    std::unique_lock<std::mutex> guard(job_mutex_);  // one job at a time
+    std::size_t chunk = (n + nthreads - 1) / nthreads;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      job_fn_ = &fn;
+      job_begin_ = begin;
+      job_end_ = end;
+      job_chunk_ = chunk;
+      next_chunk_.store(0, std::memory_order_relaxed);
+      pending_.store(static_cast<int>(nthreads) - 1, std::memory_order_relaxed);
+      first_error_ = nullptr;
+      ++generation_;
+    }
+    cv_.notify_all();
+    // The calling thread participates as worker 0.
+    work_chunks();
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      done_cv_.wait(lk, [&] { return pending_.load() == 0; });
+      job_fn_ = nullptr;
+      if (first_error_) std::rethrow_exception(first_error_);
+    }
+  }
+
+ private:
+  Pool() {
+    unsigned hw = std::thread::hardware_concurrency();
+    std::size_t n = hw == 0 ? 4 : std::min<std::size_t>(hw, 16);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+      {
+        std::unique_lock<std::mutex> lk(m_);
+        cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        fn = job_fn_;
+      }
+      if (fn) work_chunks();
+      bool last = pending_.fetch_sub(1) == 1;
+      if (last) {
+        std::lock_guard<std::mutex> lk(m_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  void work_chunks() {
+    for (;;) {
+      std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      std::size_t lo = job_begin_ + c * job_chunk_;
+      if (lo >= job_end_) break;
+      std::size_t hi = std::min(job_end_, lo + job_chunk_);
+      try {
+        (*job_fn_)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(m_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex m_;
+  std::mutex job_mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t, std::size_t)>* job_fn_ = nullptr;
+  std::size_t job_begin_ = 0, job_end_ = 0, job_chunk_ = 1;
+  std::atomic<std::size_t> next_chunk_{0};
+  std::atomic<int> pending_{0};
+  std::uint64_t generation_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+std::size_t parallel_thread_count() { return Pool::instance().size(); }
+
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  Pool::instance().run(begin, end, fn);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  if (end - begin < 4) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  parallel_for_chunks(begin, end, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+}  // namespace pp

@@ -1,0 +1,25 @@
+// Minimal data-parallel helper used by the NN layers and batch generation.
+//
+// parallel_for splits [begin, end) into contiguous chunks across a shared
+// thread pool. The body must be safe to run concurrently on disjoint indices.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace pp {
+
+/// Number of worker threads the pool uses (hardware_concurrency, capped).
+std::size_t parallel_thread_count();
+
+/// Runs fn(i) for every i in [begin, end), potentially in parallel.
+/// Falls back to a serial loop for small ranges. Exceptions thrown by fn are
+/// rethrown (first one wins) on the calling thread.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Chunked variant: fn(chunk_begin, chunk_end) per worker, lower overhead.
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace pp

@@ -1,0 +1,44 @@
+#include "common/rng.hpp"
+
+#include "common/error.hpp"
+
+namespace pp {
+
+int Rng::uniform_int(int lo, int hi) {
+  PP_REQUIRE(lo <= hi);
+  return std::uniform_int_distribution<int>(lo, hi)(gen_);
+}
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  PP_REQUIRE(lo <= hi);
+  return std::uniform_real_distribution<double>(lo, hi)(gen_);
+}
+
+double Rng::normal() { return std::normal_distribution<double>(0.0, 1.0)(gen_); }
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(gen_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::bernoulli_distribution(p)(gen_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  PP_REQUIRE(n > 0);
+  return std::uniform_int_distribution<std::size_t>(0, n - 1)(gen_);
+}
+
+Rng Rng::fork() {
+  std::uint64_t child_seed = gen_();
+  // Avoid the degenerate all-zero seed.
+  return Rng(child_seed ^ 0xd1b54a32d192ed03ULL);
+}
+
+}  // namespace pp

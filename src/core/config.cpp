@@ -1,0 +1,37 @@
+#include "core/config.hpp"
+
+#include "common/error.hpp"
+
+namespace pp {
+
+PatternPaintConfig sd1_config() {
+  PatternPaintConfig cfg;
+  cfg.name = "sd1";
+  cfg.ddpm.unet.base_channels = 12;
+  cfg.ddpm.unet.time_dim = 24;
+  cfg.ddpm.unet.groups = 4;
+  cfg.ddpm.T = 240;
+  cfg.ddpm.cosine = false;
+  cfg.ddpm.sample_steps = 16;
+  cfg.ddpm.eta = 0.4f;
+  return cfg;
+}
+
+PatternPaintConfig sd2_config() {
+  PatternPaintConfig cfg = sd1_config();
+  cfg.name = "sd2";
+  cfg.ddpm.unet.base_channels = 16;
+  cfg.ddpm.unet.time_dim = 32;
+  cfg.ddpm.T = 320;
+  cfg.ddpm.cosine = true;
+  cfg.ddpm.sample_steps = 18;
+  return cfg;
+}
+
+PatternPaintConfig config_by_name(const std::string& name) {
+  if (name == "sd1") return sd1_config();
+  if (name == "sd2") return sd2_config();
+  throw Error("unknown PatternPaint preset: " + name);
+}
+
+}  // namespace pp

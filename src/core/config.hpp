@@ -1,0 +1,56 @@
+// PatternPaint configuration and the "sd1"/"sd2" model presets.
+//
+// The paper builds on stablediffusion1.5-inpaint and stablediffusion2-
+// inpaint; in this reproduction those map to two DDPM capacity/schedule
+// presets (sd2 = wider UNet, more timesteps, cosine schedule). All counts
+// are scaled down from the paper's A100 experiments to CPU scale; the
+// benchmark harness can scale them further via PP_SCALE.
+#pragma once
+
+#include <string>
+
+#include "denoise/template_denoise.hpp"
+#include "diffusion/ddpm.hpp"
+
+namespace pp {
+
+struct PatternPaintConfig {
+  std::string name = "sd1";
+  int clip_size = 64;  ///< clips are clip_size x clip_size, 1nm pixels
+  DdpmConfig ddpm;
+
+  // Pretraining on the rule-oblivious rectilinear corpus (stands in for the
+  // image-foundation-model pretraining of the paper).
+  int pretrain_corpus = 192;
+  int pretrain_steps = 900;
+  int pretrain_batch = 8;
+  float pretrain_lr = 2e-3f;
+
+  // Few-shot finetuning (DreamBooth-style, Sec. IV-B / Eq. 7).
+  int finetune_steps = 220;
+  int finetune_batch = 8;
+  float finetune_lr = 4e-4f;
+  float lambda_prior = 0.3f;  ///< prior-preservation weight (lambda, Eq. 7)
+  int prior_samples = 12;     ///< class images drawn before finetuning
+
+  // Generation.
+  int variations_per_mask = 2;  ///< v in Sec. IV-C
+  TemplateDenoiseConfig denoise;
+
+  // Iterative generation (Sec. IV-E/F).
+  int representatives = 12;        ///< k layouts per iteration (paper: 100)
+  double max_density = 0.4;        ///< density constraint C
+  int samples_per_iteration = 60;  ///< generated per iteration (paper: 5000)
+};
+
+/// Preset mirroring stablediffusion1.5-inpaint: smaller UNet, linear betas.
+PatternPaintConfig sd1_config();
+
+/// Preset mirroring stablediffusion2-inpaint: wider UNet, more steps,
+/// cosine betas.
+PatternPaintConfig sd2_config();
+
+/// Lookup by name ("sd1" / "sd2"); throws pp::Error otherwise.
+PatternPaintConfig config_by_name(const std::string& name);
+
+}  // namespace pp

@@ -1,0 +1,19 @@
+#include "core/library.hpp"
+
+namespace pp {
+
+bool PatternLibrary::add(const Raster& clip) {
+  if (!hashes_.insert(clip.hash()).second) return false;
+  clips_.push_back(clip);
+  return true;
+}
+
+std::size_t PatternLibrary::add_all(const std::vector<Raster>& clips) {
+  std::size_t added = 0;
+  for (const auto& c : clips) added += add(c);
+  return added;
+}
+
+LibraryStats PatternLibrary::stats() const { return library_stats(clips_); }
+
+}  // namespace pp

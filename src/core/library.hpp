@@ -1,0 +1,42 @@
+// Deduplicated pattern library with incremental statistics.
+//
+// The pattern library accumulates DR-clean clips across generation rounds;
+// uniqueness is exact pixel identity (the paper's "unique patterns"
+// column). Entropy metrics are computed on demand from the stored clips.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "geometry/raster.hpp"
+#include "metrics/entropy.hpp"
+
+namespace pp {
+
+class PatternLibrary {
+ public:
+  PatternLibrary() = default;
+
+  /// Adds a clip; returns true when it was new (not an exact duplicate).
+  bool add(const Raster& clip);
+
+  /// Bulk add; returns the number of new clips.
+  std::size_t add_all(const std::vector<Raster>& clips);
+
+  bool contains(const Raster& clip) const {
+    return hashes_.count(clip.hash()) > 0;
+  }
+
+  std::size_t size() const { return clips_.size(); }
+  bool empty() const { return clips_.empty(); }
+  const std::vector<Raster>& clips() const { return clips_; }
+
+  /// H1/H2/unique summary of the current contents.
+  LibraryStats stats() const;
+
+ private:
+  std::vector<Raster> clips_;
+  std::unordered_set<std::uint64_t> hashes_;
+};
+
+}  // namespace pp

@@ -1,0 +1,71 @@
+#include "core/outpaint.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pp {
+
+namespace {
+
+/// Window origins covering [0, total) with stride `step`, final window
+/// clamped flush to the end.
+std::vector<int> window_origins(int total, int window, int step) {
+  std::vector<int> xs;
+  for (int x = 0; x + window < total; x += step) xs.push_back(x);
+  xs.push_back(total - window);
+  // Clamping can duplicate the last origin.
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  return xs;
+}
+
+}  // namespace
+
+Raster outpaint_grow(PatternPaint& painter, const Raster& seed, int target_w,
+                     int target_h, const OutpaintConfig& cfg) {
+  const int S = painter.config().clip_size;
+  PP_REQUIRE_MSG(seed.width() <= S && seed.height() <= S,
+                 "outpaint seed must fit one clip window");
+  PP_REQUIRE_MSG(target_w >= S && target_h >= S,
+                 "outpaint target smaller than the clip size");
+  PP_REQUIRE(cfg.step_fraction > 0 && cfg.step_fraction <= 1.0);
+
+  Raster canvas(target_w, target_h);
+  Raster committed(target_w, target_h);
+  canvas.paste(seed, 0, 0);
+  committed.fill_rect(Rect{0, 0, seed.width(), seed.height()}, 1);
+
+  int step = std::max(4, static_cast<int>(S * cfg.step_fraction));
+  for (int y0 : window_origins(target_h, S, step)) {
+    for (int x0 : window_origins(target_w, S, step)) {
+      Rect window{x0, y0, x0 + S, y0 + S};
+      Raster known = canvas.crop(window);
+      Raster done = committed.crop(window);
+      // Mask = not-yet-committed pixels of this window.
+      Raster mask(S, S);
+      bool any_masked = false;
+      for (int y = 0; y < S; ++y)
+        for (int x = 0; x < S; ++x)
+          if (!done(x, y)) {
+            mask(x, y) = 1;
+            any_masked = true;
+          }
+      if (!any_masked) continue;
+
+      Raster raw = painter.inpaint_variations(known, mask, 1).front();
+      Raster finished = raw;
+      if (cfg.denoise_windows)
+        finished = painter.finish_sample(raw, known).denoised;
+      // Commit only the masked pixels; committed content is immutable.
+      for (int y = 0; y < S; ++y)
+        for (int x = 0; x < S; ++x)
+          if (mask(x, y)) {
+            canvas(x0 + x, y0 + y) = finished(x, y);
+            committed(x0 + x, y0 + y) = 1;
+          }
+    }
+  }
+  return canvas;
+}
+
+}  // namespace pp

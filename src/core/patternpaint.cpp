@@ -1,0 +1,211 @@
+#include "core/patternpaint.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "denoise/template_denoise.hpp"
+#include "diffusion/convert.hpp"
+#include "patterngen/random_clips.hpp"
+#include "select/representative.hpp"
+
+namespace pp {
+
+PatternPaint::PatternPaint(PatternPaintConfig cfg, RuleSet rules,
+                           std::uint64_t seed)
+    : cfg_(cfg),
+      checker_(std::move(rules)),
+      rng_(seed),
+      model_(cfg.ddpm, rng_),
+      masks_(all_masks(cfg.clip_size, cfg.clip_size)) {
+  PP_REQUIRE(cfg_.clip_size % 4 == 0 && cfg_.clip_size >= 16);
+  PP_REQUIRE(cfg_.variations_per_mask >= 1);
+}
+
+void PatternPaint::pretrain(const std::string& cache_path) {
+  if (!cache_path.empty() && model_.try_load(cache_path)) {
+    pretrained_ = true;
+    return;
+  }
+  // Rule-oblivious rectilinear corpus: the "image foundation" stand-in.
+  std::vector<Raster> corpus = random_rectilinear_corpus(
+      static_cast<std::size_t>(cfg_.pretrain_corpus), cfg_.clip_size,
+      cfg_.clip_size, rng_);
+  nn::Adam opt(model_.parameters(), cfg_.pretrain_lr);
+  for (int step = 0; step < cfg_.pretrain_steps; ++step) {
+    // Random batch with random box masks (25%-ish area) so the model learns
+    // mask-conditioned completion; occasionally a full mask for
+    // unconditional capability.
+    std::vector<Raster> batch;
+    nn::Tensor mask({cfg_.pretrain_batch, 1, cfg_.clip_size, cfg_.clip_size});
+    for (int b = 0; b < cfg_.pretrain_batch; ++b) {
+      batch.push_back(corpus[rng_.index(corpus.size())]);
+      Raster m(cfg_.clip_size, cfg_.clip_size);
+      if (rng_.bernoulli(0.15)) {
+        m.fill_rect(m.bounds(), 1);
+      } else {
+        int mw = cfg_.clip_size / 2, mh = cfg_.clip_size / 2;
+        int x = rng_.uniform_int(0, cfg_.clip_size - mw);
+        int y = rng_.uniform_int(0, cfg_.clip_size - mh);
+        m.fill_rect(Rect{x, y, x + mw, y + mh}, 1);
+      }
+      nn::Tensor mt = mask_to_tensor(m);
+      std::copy_n(mt.data(), mt.numel(),
+                  mask.data() + static_cast<std::size_t>(b) * mt.numel());
+    }
+    model_.train_step(rasters_to_tensor(batch), mask, opt, rng_);
+  }
+  pretrained_ = true;
+  if (!cache_path.empty()) model_.save(cache_path);
+}
+
+void PatternPaint::set_starters(const std::vector<Raster>& starters) {
+  PP_REQUIRE_MSG(!starters.empty(), "PatternPaint needs starter patterns");
+  for (const auto& s : starters)
+    PP_REQUIRE_MSG(s.width() == cfg_.clip_size && s.height() == cfg_.clip_size,
+                   "starter size must match clip_size");
+  starters_ = starters;
+  library_.add_all(starters);
+}
+
+void PatternPaint::finetune(const std::vector<Raster>& starters,
+                            const std::string& cache_path) {
+  set_starters(starters);
+  if (!cache_path.empty() && model_.try_load(cache_path)) return;
+  PP_REQUIRE_MSG(pretrained_, "finetune requires a pretrained model");
+
+  // Prior-preservation set: samples from the PRE-finetuning model (the
+  // "class images" of DreamBooth / Eq. 7).
+  nn::Tensor prior = model_.sample(cfg_.prior_samples, cfg_.clip_size,
+                                   cfg_.clip_size, rng_);
+  nn::Tensor prior_mask = nn::Tensor::full(
+      {cfg_.prior_samples, 1, cfg_.clip_size, cfg_.clip_size}, 1.0f);
+
+  nn::Adam opt(model_.parameters(), cfg_.finetune_lr);
+  for (int step = 0; step < cfg_.finetune_steps; ++step) {
+    std::vector<Raster> batch;
+    nn::Tensor mask({cfg_.finetune_batch, 1, cfg_.clip_size, cfg_.clip_size});
+    for (int b = 0; b < cfg_.finetune_batch; ++b) {
+      batch.push_back(starters_[rng_.index(starters_.size())]);
+      // Mostly the predefined masks; occasionally a full mask so the model
+      // keeps its unconditional capability during adaptation.
+      const Raster& m = masks_[rng_.index(masks_.size())];
+      nn::Tensor mt = rng_.bernoulli(0.2)
+                          ? nn::Tensor::full({1, 1, cfg_.clip_size, cfg_.clip_size}, 1.0f)
+                          : mask_to_tensor(m);
+      std::copy_n(mt.data(), mt.numel(),
+                  mask.data() + static_cast<std::size_t>(b) * mt.numel());
+    }
+    // Prior batch: random subset of the prior set.
+    int pb = std::min(cfg_.finetune_batch, cfg_.prior_samples);
+    nn::Tensor prior_batch({pb, 1, cfg_.clip_size, cfg_.clip_size});
+    nn::Tensor prior_batch_mask({pb, 1, cfg_.clip_size, cfg_.clip_size});
+    std::size_t plane =
+        static_cast<std::size_t>(cfg_.clip_size) * cfg_.clip_size;
+    for (int b = 0; b < pb; ++b) {
+      std::size_t j = rng_.index(static_cast<std::size_t>(cfg_.prior_samples));
+      std::copy_n(prior.data() + j * plane, plane,
+                  prior_batch.data() + static_cast<std::size_t>(b) * plane);
+      std::copy_n(prior_mask.data() + j * plane, plane,
+                  prior_batch_mask.data() + static_cast<std::size_t>(b) * plane);
+    }
+    model_.finetune_step(rasters_to_tensor(batch), mask, prior_batch,
+                         prior_batch_mask, cfg_.lambda_prior, opt, rng_);
+  }
+  if (!cache_path.empty()) model_.save(cache_path);
+}
+
+std::vector<Raster> PatternPaint::inpaint_variations(const Raster& tmpl,
+                                                     const Raster& mask,
+                                                     int count) {
+  PP_REQUIRE(count >= 1);
+  nn::Tensor known = repeat_batch(raster_to_tensor(tmpl), count);
+  nn::Tensor mask_t = repeat_batch(mask_to_tensor(mask), count);
+  nn::Tensor out = model_.inpaint(known, mask_t, rng_);
+  return tensor_to_rasters(out);
+}
+
+GenerationRecord PatternPaint::finish_sample(const Raster& raw,
+                                             const Raster& tmpl) {
+  GenerationRecord rec;
+  rec.raw = raw;
+  rec.tmpl = tmpl;
+  rec.denoised = template_denoise(raw, tmpl, cfg_.denoise, rng_);
+  rec.legal = rec.denoised.count_ones() > 0 && checker_.is_clean(rec.denoised);
+  return rec;
+}
+
+std::vector<GenerationRecord> PatternPaint::generate_for(
+    const std::vector<Raster>& templates, const std::vector<Raster>& masks,
+    int variations) {
+  PP_REQUIRE(templates.size() == masks.size());
+  std::vector<GenerationRecord> records;
+  for (std::size_t i = 0; i < templates.size(); ++i) {
+    std::vector<Raster> raws =
+        inpaint_variations(templates[i], masks[i], variations);
+    for (const Raster& raw : raws) {
+      GenerationRecord rec = finish_sample(raw, templates[i]);
+      ++total_generated_;
+      if (rec.legal) {
+        ++total_legal_;
+        library_.add(rec.denoised);
+      }
+      records.push_back(std::move(rec));
+    }
+  }
+  return records;
+}
+
+std::vector<GenerationRecord> PatternPaint::initial_generation(
+    int variations_per_mask) {
+  PP_REQUIRE_MSG(!starters_.empty(),
+                 "initial_generation requires starters (finetune or "
+                 "set_starters first)");
+  std::vector<Raster> templates, masks;
+  for (const auto& s : starters_)
+    for (const auto& m : masks_) {
+      templates.push_back(s);
+      masks.push_back(m);
+    }
+  return generate_for(templates, masks, variations_per_mask);
+}
+
+std::vector<GenerationRecord> PatternPaint::iteration_round(int samples) {
+  PP_REQUIRE_MSG(!library_.empty(), "iteration_round on an empty library");
+  RepresentativeConfig rc;
+  rc.k = cfg_.representatives;
+  rc.explained_variance = 0.9;
+  rc.max_density = cfg_.max_density;
+  std::vector<std::size_t> sel =
+      select_representatives(library_.clips(), rc, rng_);
+  PP_REQUIRE(!sel.empty());
+
+  int per_pattern =
+      std::max(1, samples / static_cast<int>(sel.size()));
+  std::vector<Raster> templates, masks;
+  for (std::size_t idx : sel) {
+    const Raster& pattern = library_.clips()[idx];
+    // Sequential mask schedule keyed by pattern identity (Sec. IV-E2).
+    std::size_t& cursor = mask_cursor_[pattern.hash()];
+    templates.push_back(pattern);
+    masks.push_back(masks_[cursor % masks_.size()]);
+    ++cursor;
+  }
+  return generate_for(templates, masks, per_pattern);
+}
+
+std::vector<IterationStats> PatternPaint::run(int iterations) {
+  std::vector<IterationStats> trajectory;
+  initial_generation(cfg_.variations_per_mask);
+  LibraryStats s = library_.stats();
+  trajectory.push_back({0, total_generated_, total_legal_, s.unique, s.h1,
+                        s.h2});
+  for (int it = 1; it <= iterations; ++it) {
+    iteration_round(cfg_.samples_per_iteration);
+    s = library_.stats();
+    trajectory.push_back({it, total_generated_, total_legal_, s.unique, s.h1,
+                          s.h2});
+  }
+  return trajectory;
+}
+
+}  // namespace pp

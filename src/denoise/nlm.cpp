@@ -1,0 +1,53 @@
+#include "denoise/nlm.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace pp {
+
+Raster nlm_denoise(const Raster& noisy, const NlmConfig& cfg) {
+  PP_REQUIRE(cfg.patch_radius >= 1 && cfg.search_radius >= cfg.patch_radius);
+  PP_REQUIRE(cfg.h > 0);
+  int W = noisy.width(), H = noisy.height();
+  int pr = cfg.patch_radius, sr = cfg.search_radius;
+  float inv_h2 = 1.0f / (cfg.h * cfg.h *
+                         static_cast<float>((2 * pr + 1) * (2 * pr + 1)));
+
+  std::vector<float> out(static_cast<std::size_t>(W) * H, 0.0f);
+  parallel_for(0, static_cast<std::size_t>(H), [&](std::size_t yy) {
+    int y = static_cast<int>(yy);
+    for (int x = 0; x < W; ++x) {
+      double wsum = 0, vsum = 0;
+      for (int dy = -sr; dy <= sr; ++dy)
+        for (int dx = -sr; dx <= sr; ++dx) {
+          int cx = x + dx, cy = y + dy;
+          if (cx < 0 || cy < 0 || cx >= W || cy >= H) continue;
+          // Patch distance (mirror-free: missing pixels treated as equal
+          // outside-canvas zeros on both sides).
+          float d2 = 0;
+          for (int py = -pr; py <= pr; ++py)
+            for (int px = -pr; px <= pr; ++px) {
+              float a = noisy.at_or_zero(x + px, y + py);
+              float b = noisy.at_or_zero(cx + px, cy + py);
+              float d = a - b;
+              d2 += d * d;
+            }
+          double w = std::exp(-static_cast<double>(d2) * inv_h2);
+          wsum += w;
+          vsum += w * noisy(cx, cy);
+        }
+      out[static_cast<std::size_t>(y) * W + x] =
+          wsum > 0 ? static_cast<float>(vsum / wsum) : noisy(x, y);
+    }
+  });
+
+  Raster res(W, H);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    res.data()[i] = out[i] >= 0.5f ? 1 : 0;
+  return res;
+}
+
+}  // namespace pp

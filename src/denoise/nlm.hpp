@@ -1,0 +1,23 @@
+// Non-local means denoising baseline (the OpenCV filter of Table III),
+// implemented from scratch for binary layout clips.
+//
+// For each pixel, similar patches within a search window are averaged with
+// Gaussian weights on patch distance; the float result is thresholded back
+// to binary. As the paper measures, this generic filter barely helps layout
+// legality compared to template-based denoising.
+#pragma once
+
+#include "geometry/raster.hpp"
+
+namespace pp {
+
+struct NlmConfig {
+  int patch_radius = 1;   ///< patch size = 2r+1 (OpenCV templateWindowSize 3)
+  int search_radius = 5;  ///< search window = 2r+1
+  float h = 0.35f;        ///< filter strength on [0,1]-valued pixels
+};
+
+/// Denoises a binary clip; returns the thresholded binary result.
+Raster nlm_denoise(const Raster& noisy, const NlmConfig& cfg = {});
+
+}  // namespace pp

@@ -1,0 +1,97 @@
+#include "denoise/template_denoise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "squish/squish.hpp"
+
+namespace pp {
+
+std::vector<std::vector<int>> cluster_lines(const std::vector<int>& lines,
+                                            int threshold) {
+  // Diameter-bounded greedy clustering (||L(i) - L(j)|| <= T for every pair
+  // inside a cluster, as Algorithm 1 specifies). Chaining on gaps instead
+  // would let dense noise lines merge across genuine edges.
+  std::vector<std::vector<int>> clusters;
+  for (int l : lines) {
+    if (!clusters.empty() && l - clusters.back().front() <= threshold)
+      clusters.back().push_back(l);
+    else
+      clusters.push_back({l});
+  }
+  return clusters;
+}
+
+namespace {
+
+/// Snaps clusters of noisy lines onto template lines (one axis).
+std::vector<int> resolve_lines(const std::vector<int>& noisy_lines,
+                               const std::vector<int>& template_lines,
+                               int threshold, Rng& rng) {
+  std::vector<int> out;
+  for (const auto& cluster : cluster_lines(noisy_lines, threshold)) {
+    double center = 0;
+    for (int l : cluster) center += l;
+    center /= static_cast<double>(cluster.size());
+    // Nearest template line to the cluster centre.
+    int best = -1;
+    double best_d = 1e18;
+    for (int t : template_lines) {
+      double d = std::fabs(t - center);
+      if (d < best_d) {
+        best_d = d;
+        best = t;
+      }
+    }
+    if (best >= 0 && best_d <= threshold) {
+      out.push_back(best);
+    } else {
+      // No template support: keep one representative of the cluster.
+      out.push_back(cluster[rng.index(cluster.size())]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+Raster template_denoise(const Raster& noisy, const Raster& tmpl,
+                        const TemplateDenoiseConfig& cfg, Rng& rng) {
+  PP_REQUIRE_MSG(noisy.width() == tmpl.width() && noisy.height() == tmpl.height(),
+                 "template_denoise: shape mismatch");
+  PP_REQUIRE(cfg.threshold >= 0);
+
+  std::vector<int> xs = resolve_lines(extract_x_lines(noisy),
+                                      extract_x_lines(tmpl), cfg.threshold, rng);
+  std::vector<int> ys = resolve_lines(extract_y_lines(noisy),
+                                      extract_y_lines(tmpl), cfg.threshold, rng);
+
+  // Cell grid including borders.
+  std::vector<int> gx{0};
+  gx.insert(gx.end(), xs.begin(), xs.end());
+  gx.push_back(noisy.width());
+  std::vector<int> gy{0};
+  gy.insert(gy.end(), ys.begin(), ys.end());
+  gy.push_back(noisy.height());
+
+  // Majority vote of the noisy image inside each cell decides the topology.
+  Raster out(noisy.width(), noisy.height());
+  for (std::size_t j = 0; j + 1 < gy.size(); ++j) {
+    for (std::size_t i = 0; i + 1 < gx.size(); ++i) {
+      long long ones = 0, total = 0;
+      for (int y = gy[j]; y < gy[j + 1]; ++y)
+        for (int x = gx[i]; x < gx[i + 1]; ++x) {
+          ones += noisy(x, y) != 0;
+          ++total;
+        }
+      if (2 * ones > total)
+        out.fill_rect(Rect{gx[i], gy[j], gx[i + 1], gy[j + 1]}, 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace pp

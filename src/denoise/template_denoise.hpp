@@ -1,0 +1,41 @@
+// Template-based denoising (Algorithm 1 of the paper).
+//
+// Diffusion inpainting introduces ragged polygon edges: spurious scan lines
+// one or two pixels away from the intended edge. The fix exploits that only
+// a sub-region changed and that the starter pattern's (template's) scan
+// lines are known:
+//   1. extract scan lines from the noisy generated image;
+//   2. cluster lines lying within `threshold` pixels of each other;
+//   3. for each cluster, snap to the nearest template scan line when one is
+//      within `threshold`; otherwise keep a representative line from the
+//      cluster;
+//   4. rebuild the topology on the surviving lines (majority vote per cell)
+//      and reconstruct the image.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/raster.hpp"
+
+namespace pp {
+
+struct TemplateDenoiseConfig {
+  /// Cluster / snap distance in pixels (the threshold T of Algorithm 1).
+  int threshold = 3;
+};
+
+/// Greedy 1-D clustering used by the denoiser: positions sorted ascending;
+/// a position joins the current cluster while the cluster's DIAMETER stays
+/// within `threshold` (max - min <= T), matching Algorithm 1's pairwise
+/// condition. Exposed for testing.
+std::vector<std::vector<int>> cluster_lines(const std::vector<int>& lines,
+                                            int threshold);
+
+/// Denoises `noisy` against the starter pattern `tmpl` (same shape).
+/// `rng` resolves the "random representative" case of Algorithm 1
+/// deterministically per seed.
+Raster template_denoise(const Raster& noisy, const Raster& tmpl,
+                        const TemplateDenoiseConfig& cfg, Rng& rng);
+
+}  // namespace pp

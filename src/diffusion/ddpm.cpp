@@ -1,0 +1,205 @@
+#include "diffusion/ddpm.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "nn/serialize.hpp"
+
+namespace pp {
+
+using nn::Tensor;
+using nn::Var;
+
+Ddpm::Ddpm(DdpmConfig cfg, Rng& rng)
+    : cfg_(cfg),
+      sched_(cfg.cosine ? DiffusionSchedule::cosine(cfg.T)
+                        : DiffusionSchedule::linear(cfg.T)),
+      net_(cfg.unet, rng) {
+  PP_REQUIRE(cfg_.sample_steps >= 2 && cfg_.sample_steps <= cfg_.T);
+  PP_REQUIRE(cfg_.eta >= 0.0f && cfg_.eta <= 1.0f);
+  PP_REQUIRE_MSG(cfg_.unet.in_channels == 3,
+                 "inpainting DDPM needs 3 input channels (x_t, mask, known)");
+}
+
+Tensor Ddpm::compose_input(const Tensor& x_t, const Tensor& mask,
+                           const Tensor& known) const {
+  PP_REQUIRE(x_t.same_shape(mask) && x_t.same_shape(known));
+  int N = x_t.dim(0), H = x_t.dim(2), W = x_t.dim(3);
+  Tensor in({N, 3, H, W});
+  std::size_t plane = static_cast<std::size_t>(H) * W;
+  for (int n = 0; n < N; ++n) {
+    const float* xs = x_t.data() + static_cast<std::size_t>(n) * plane;
+    const float* ms = mask.data() + static_cast<std::size_t>(n) * plane;
+    const float* ks = known.data() + static_cast<std::size_t>(n) * plane;
+    float* d = in.data() + static_cast<std::size_t>(n) * 3 * plane;
+    for (std::size_t i = 0; i < plane; ++i) {
+      d[i] = xs[i];
+      d[plane + i] = ms[i];
+      d[2 * plane + i] = ks[i] * (1.0f - ms[i]);  // known context only
+    }
+  }
+  return in;
+}
+
+namespace {
+
+/// Shared loss construction for train/finetune: noise, predict, MSE.
+Var diffusion_loss(const Ddpm& model, const UNet& net,
+                   const DiffusionSchedule& sched, const Tensor& x0,
+                   const Tensor& mask, Rng& rng,
+                   const std::function<Tensor(const Tensor&, const Tensor&,
+                                              const Tensor&)>& compose) {
+  (void)model;
+  int N = x0.dim(0);
+  std::vector<float> t_frac(static_cast<std::size_t>(N));
+  Tensor eps = x0.zeros_like();
+  Tensor x_t = x0.zeros_like();
+  std::size_t per = x0.numel() / static_cast<std::size_t>(N);
+  for (int n = 0; n < N; ++n) {
+    int t = rng.uniform_int(0, sched.T - 1);
+    t_frac[static_cast<std::size_t>(n)] =
+        static_cast<float>(t) / static_cast<float>(sched.T - 1);
+    float sa = sched.sqrt_ab[static_cast<std::size_t>(t)];
+    float sb = sched.sqrt_1m_ab[static_cast<std::size_t>(t)];
+    for (std::size_t i = 0; i < per; ++i) {
+      std::size_t k = static_cast<std::size_t>(n) * per + i;
+      float e = static_cast<float>(rng.normal());
+      eps[k] = e;
+      x_t[k] = sa * x0[k] + sb * e;
+    }
+  }
+  Tensor in = compose(x_t, mask, x0);
+  Var pred = net.forward(in, t_frac);
+  return nn::mse_loss(pred, nn::make_input(eps));
+}
+
+}  // namespace
+
+float Ddpm::train_step(const Tensor& x0, const Tensor& mask, nn::Adam& opt,
+                       Rng& rng) const {
+  PP_REQUIRE_MSG(x0.ndim() == 4 && x0.dim(1) == 1, "train_step: x0 {N,1,H,W}");
+  PP_REQUIRE(x0.same_shape(mask));
+  opt.zero_grad();
+  Var loss = diffusion_loss(*this, net_, sched_, x0, mask, rng,
+                            [this](const Tensor& xt, const Tensor& m,
+                                   const Tensor& k) {
+                              return compose_input(xt, m, k);
+                            });
+  nn::backward(loss);
+  opt.step();
+  return loss->value[0];
+}
+
+float Ddpm::finetune_step(const Tensor& x0, const Tensor& mask,
+                          const Tensor& prior_x0, const Tensor& prior_mask,
+                          float lambda_prior, nn::Adam& opt, Rng& rng) const {
+  PP_REQUIRE(lambda_prior >= 0.0f);
+  opt.zero_grad();
+  auto compose = [this](const Tensor& xt, const Tensor& m, const Tensor& k) {
+    return compose_input(xt, m, k);
+  };
+  Var loss = diffusion_loss(*this, net_, sched_, x0, mask, rng, compose);
+  if (lambda_prior > 0.0f) {
+    Var prior =
+        diffusion_loss(*this, net_, sched_, prior_x0, prior_mask, rng, compose);
+    loss = nn::add(loss, nn::mul_scalar(prior, lambda_prior));
+  }
+  nn::backward(loss);
+  opt.step();
+  return loss->value[0];
+}
+
+nn::Tensor Ddpm::inpaint(const Tensor& known, const Tensor& mask,
+                         Rng& rng) const {
+  PP_REQUIRE_MSG(known.ndim() == 4 && known.dim(1) == 1,
+                 "inpaint: known {N,1,H,W}");
+  PP_REQUIRE(known.same_shape(mask));
+  int N = known.dim(0);
+  std::size_t per = known.numel() / static_cast<std::size_t>(N);
+
+  // Strided timestep subsequence T-1 = ts[0] > ts[1] > ... > ts[K-1] = 0.
+  int K = cfg_.sample_steps;
+  std::vector<int> ts(static_cast<std::size_t>(K));
+  for (int i = 0; i < K; ++i)
+    ts[static_cast<std::size_t>(i)] =
+        static_cast<int>(std::lround((1.0 - static_cast<double>(i) / (K - 1)) *
+                                     (sched_.T - 1)));
+
+  // x starts as pure noise.
+  Tensor x = known.zeros_like();
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(rng.normal());
+
+  for (int step = 0; step < K; ++step) {
+    int t = ts[static_cast<std::size_t>(step)];
+    int t_prev = step + 1 < K ? ts[static_cast<std::size_t>(step + 1)] : -1;
+    float ab_t = sched_.alpha_bar_at(t);
+    float ab_prev = sched_.alpha_bar_at(t_prev);
+    float sa_t = std::sqrt(ab_t), sb_t = std::sqrt(1.0f - ab_t);
+
+    // RePaint conditioning: overwrite the known region of x_t with the
+    // forward-noised ground truth at level t.
+    for (int n = 0; n < N; ++n)
+      for (std::size_t i = 0; i < per; ++i) {
+        std::size_t k = static_cast<std::size_t>(n) * per + i;
+        if (mask[k] == 0.0f) {
+          float e = static_cast<float>(rng.normal());
+          x[k] = sa_t * known[k] + sb_t * e;
+        }
+      }
+
+    std::vector<float> t_frac(
+        static_cast<std::size_t>(N),
+        static_cast<float>(t) / static_cast<float>(sched_.T - 1));
+    Tensor in = compose_input(x, mask, known);
+    Var eps_v = net_.forward(in, t_frac);
+    const Tensor& eps = eps_v->value;
+
+    // DDIM update with stochasticity eta.
+    float sigma = 0.0f;
+    if (t_prev >= 0 && cfg_.eta > 0.0f) {
+      float v = (1.0f - ab_prev) / (1.0f - ab_t) * (1.0f - ab_t / ab_prev);
+      sigma = cfg_.eta * std::sqrt(std::max(0.0f, v));
+    }
+    float sa_p = std::sqrt(ab_prev);
+    float dir = std::sqrt(std::max(0.0f, 1.0f - ab_prev - sigma * sigma));
+    for (std::size_t k = 0; k < x.numel(); ++k) {
+      float x0_hat = (x[k] - sb_t * eps[k]) / sa_t;
+      x0_hat = std::clamp(x0_hat, -1.0f, 1.0f);
+      float noise =
+          sigma > 0.0f ? sigma * static_cast<float>(rng.normal()) : 0.0f;
+      x[k] = sa_p * x0_hat + dir * eps[k] + noise;
+    }
+  }
+
+  // Final compositing: keep known pixels exactly.
+  for (std::size_t k = 0; k < x.numel(); ++k)
+    if (mask[k] == 0.0f) x[k] = known[k];
+  return x;
+}
+
+nn::Tensor Ddpm::sample(int n, int height, int width, Rng& rng) const {
+  PP_REQUIRE(n >= 1 && height % 4 == 0 && width % 4 == 0);
+  Tensor known({n, 1, height, width});
+  for (std::size_t i = 0; i < known.numel(); ++i) known[i] = -1.0f;  // empty
+  Tensor mask = Tensor::full({n, 1, height, width}, 1.0f);
+  return inpaint(known, mask, rng);
+}
+
+void Ddpm::save(const std::string& path) const {
+  nn::save_parameters(net_.parameters(), path);
+}
+
+void Ddpm::load(const std::string& path) {
+  nn::load_parameters(net_.parameters(), path);
+}
+
+bool Ddpm::try_load(const std::string& path) {
+  if (!nn::checkpoint_compatible(net_.parameters(), path)) return false;
+  nn::load_parameters(net_.parameters(), path);
+  return true;
+}
+
+}  // namespace pp

@@ -1,0 +1,83 @@
+// Denoising diffusion probabilistic model with inpainting (Sec. II-A and
+// IV-C of the paper).
+//
+// Training: epsilon-prediction MSE (Eq. 6) on images in [-1,1], with the
+// SD-inpaint input convention (noisy image + mask + masked image), so the
+// model is trained as an inpainting model from the start. Masks are supplied
+// by the caller: random boxes during pretraining, the predefined PatternPaint
+// mask sets during generation.
+//
+// Sampling: strided DDIM-style ancestral sampling with RePaint-style known-
+// region clamping (Eq. 8): at every step the known region is replaced by the
+// appropriately-noised ground truth, so generation is conditioned on legal
+// neighbouring layout.
+//
+// Finetuning (Sec. IV-B, Eq. 7): DreamBooth-style few-shot adaptation with a
+// prior-preservation term computed on samples drawn from the pretrained
+// model before finetuning starts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "diffusion/schedule.hpp"
+#include "diffusion/unet.hpp"
+#include "nn/optimizer.hpp"
+
+namespace pp {
+
+struct DdpmConfig {
+  UNetConfig unet;
+  int T = 300;            ///< training timesteps
+  bool cosine = false;    ///< cosine vs linear beta schedule
+  int sample_steps = 18;  ///< strided steps at inference
+  float eta = 0.4f;       ///< DDIM stochasticity (0 = deterministic)
+};
+
+class Ddpm {
+ public:
+  Ddpm(DdpmConfig cfg, Rng& rng);
+
+  const DdpmConfig& config() const { return cfg_; }
+  const DiffusionSchedule& schedule() const { return sched_; }
+  UNet& net() { return net_; }
+  std::vector<nn::Var> parameters() const { return net_.parameters(); }
+
+  /// One optimization step of the epsilon-prediction objective on a batch
+  /// x0 {N,1,H,W} in [-1,1] with conditioning masks {N,1,H,W} in {0,1}
+  /// (1 = region the model must reconstruct). Returns the loss value.
+  float train_step(const nn::Tensor& x0, const nn::Tensor& mask,
+                   nn::Adam& opt, Rng& rng) const;
+
+  /// DreamBooth-style step: loss(starter batch) + lambda * loss(prior
+  /// batch), sharing one optimizer step. Returns the combined loss.
+  float finetune_step(const nn::Tensor& x0, const nn::Tensor& mask,
+                      const nn::Tensor& prior_x0, const nn::Tensor& prior_mask,
+                      float lambda_prior, nn::Adam& opt, Rng& rng) const;
+
+  /// Inpaints: regenerates mask==1 pixels of `known` ({N,1,H,W} in [-1,1],
+  /// mask {N,1,H,W}); returns the completed batch in [-1,1].
+  nn::Tensor inpaint(const nn::Tensor& known, const nn::Tensor& mask,
+                     Rng& rng) const;
+
+  /// Unconditional generation of n images ({n,1,H,W}): inpainting with a
+  /// full mask and a blank known image.
+  nn::Tensor sample(int n, int height, int width, Rng& rng) const;
+
+  /// Checkpointing of the underlying UNet.
+  void save(const std::string& path) const;
+  void load(const std::string& path);
+  bool try_load(const std::string& path);
+
+ private:
+  /// Builds the UNet input batch: concat(x_t, mask, known*(1-mask)).
+  nn::Tensor compose_input(const nn::Tensor& x_t, const nn::Tensor& mask,
+                           const nn::Tensor& known) const;
+
+  DdpmConfig cfg_;
+  DiffusionSchedule sched_;
+  UNet net_;
+};
+
+}  // namespace pp

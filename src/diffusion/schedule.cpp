@@ -1,0 +1,65 @@
+#include "diffusion/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pp {
+
+namespace {
+
+DiffusionSchedule finalize(int T, std::vector<float> beta) {
+  DiffusionSchedule s;
+  s.T = T;
+  s.beta = std::move(beta);
+  s.alpha.resize(static_cast<std::size_t>(T));
+  s.alpha_bar.resize(static_cast<std::size_t>(T));
+  s.sqrt_ab.resize(static_cast<std::size_t>(T));
+  s.sqrt_1m_ab.resize(static_cast<std::size_t>(T));
+  float ab = 1.0f;
+  for (int t = 0; t < T; ++t) {
+    s.alpha[static_cast<std::size_t>(t)] = 1.0f - s.beta[static_cast<std::size_t>(t)];
+    ab *= s.alpha[static_cast<std::size_t>(t)];
+    s.alpha_bar[static_cast<std::size_t>(t)] = ab;
+    s.sqrt_ab[static_cast<std::size_t>(t)] = std::sqrt(ab);
+    s.sqrt_1m_ab[static_cast<std::size_t>(t)] = std::sqrt(1.0f - ab);
+  }
+  return s;
+}
+
+}  // namespace
+
+DiffusionSchedule DiffusionSchedule::linear(int T, float b0, float b1) {
+  PP_REQUIRE(T >= 2);
+  float scale = 1000.0f / static_cast<float>(T);
+  if (b0 == 0.0f) b0 = std::min(0.5f, 1e-4f * scale);
+  if (b1 == 0.0f) b1 = std::min(0.999f, 0.02f * scale);
+  PP_REQUIRE(b0 > 0 && b1 > b0 && b1 < 1);
+  std::vector<float> beta(static_cast<std::size_t>(T));
+  for (int t = 0; t < T; ++t)
+    beta[static_cast<std::size_t>(t)] =
+        b0 + (b1 - b0) * static_cast<float>(t) / static_cast<float>(T - 1);
+  return finalize(T, std::move(beta));
+}
+
+DiffusionSchedule DiffusionSchedule::cosine(int T, float s) {
+  PP_REQUIRE(T >= 2 && s > 0);
+  auto f = [&](double t) {
+    double v = std::cos((t / T + s) / (1.0 + s) * M_PI / 2.0);
+    return v * v;
+  };
+  double f0 = f(0.0);
+  std::vector<float> beta(static_cast<std::size_t>(T));
+  double prev = 1.0;
+  for (int t = 0; t < T; ++t) {
+    double ab = f(t + 1.0) / f0;
+    double b = 1.0 - ab / prev;
+    beta[static_cast<std::size_t>(t)] =
+        static_cast<float>(std::clamp(b, 1e-5, 0.999));
+    prev = ab;
+  }
+  return finalize(T, std::move(beta));
+}
+
+}  // namespace pp

@@ -1,0 +1,31 @@
+// Diffusion noise schedules (Sec. II-A, Eq. 1-6 of the paper).
+//
+// Precomputes beta_t, alpha_t = 1 - beta_t, alpha_bar_t = prod alpha and the
+// derived quantities used by training (q(x_t|x_0)) and sampling.
+#pragma once
+
+#include <vector>
+
+namespace pp {
+
+struct DiffusionSchedule {
+  int T = 0;
+  std::vector<float> beta;          ///< beta_t, t in [0, T)
+  std::vector<float> alpha;         ///< 1 - beta_t
+  std::vector<float> alpha_bar;     ///< cumulative product of alpha
+  std::vector<float> sqrt_ab;       ///< sqrt(alpha_bar_t)
+  std::vector<float> sqrt_1m_ab;    ///< sqrt(1 - alpha_bar_t)
+
+  /// Linear beta ramp (Ho et al.). The canonical (1e-4, 0.02) endpoints
+  /// assume T = 1000; passing 0 for b0/b1 (the default) rescales them by
+  /// 1000/T so alpha_bar_T stays near zero for small step counts.
+  static DiffusionSchedule linear(int T, float b0 = 0.0f, float b1 = 0.0f);
+
+  /// Cosine schedule (Nichol & Dhariwal), clipped betas.
+  static DiffusionSchedule cosine(int T, float s = 0.008f);
+
+  /// alpha_bar with alpha_bar_{-1} := 1 convention.
+  float alpha_bar_at(int t) const { return t < 0 ? 1.0f : alpha_bar[static_cast<std::size_t>(t)]; }
+};
+
+}  // namespace pp

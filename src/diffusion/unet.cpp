@@ -1,0 +1,215 @@
+#include "diffusion/unet.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pp {
+
+using nn::Tensor;
+using nn::Var;
+
+namespace {
+
+Var conv_weight(int co, int ci, int k, Rng& rng) {
+  float stddev = std::sqrt(2.0f / (static_cast<float>(ci) * k * k));
+  return nn::make_param(Tensor::randn({co, ci, k, k}, rng, stddev));
+}
+
+Var zeros_bias(int n) { return nn::make_param(Tensor({n})); }
+
+Var linear_weight(int o, int i, Rng& rng) {
+  float stddev = std::sqrt(2.0f / static_cast<float>(i));
+  return nn::make_param(Tensor::randn({o, i}, rng, stddev));
+}
+
+Var ones_param(int n) { return nn::make_param(Tensor::full({n}, 1.0f)); }
+
+}  // namespace
+
+UNet::ResBlock UNet::make_res_block(int cin, int cout, Rng& rng) {
+  ResBlock rb;
+  rb.cin = cin;
+  rb.cout = cout;
+  rb.gn1_g = ones_param(cin);
+  rb.gn1_b = zeros_bias(cin);
+  rb.conv1_w = conv_weight(cout, cin, 3, rng);
+  rb.conv1_b = zeros_bias(cout);
+  rb.t_w = linear_weight(cout, cfg_.time_dim, rng);
+  rb.t_b = zeros_bias(cout);
+  rb.gn2_g = ones_param(cout);
+  rb.gn2_b = zeros_bias(cout);
+  rb.conv2_w = conv_weight(cout, cout, 3, rng);
+  rb.conv2_b = zeros_bias(cout);
+  if (cin != cout) {
+    rb.skip_w = conv_weight(cout, cin, 1, rng);
+    rb.skip_b = zeros_bias(cout);
+  }
+  return rb;
+}
+
+UNet::AttentionBlock UNet::make_attention(int channels, Rng& rng) {
+  AttentionBlock ab;
+  ab.channels = channels;
+  ab.gn_g = ones_param(channels);
+  ab.gn_b = zeros_bias(channels);
+  ab.q_w = conv_weight(channels, channels, 1, rng);
+  ab.q_b = zeros_bias(channels);
+  ab.k_w = conv_weight(channels, channels, 1, rng);
+  ab.k_b = zeros_bias(channels);
+  ab.v_w = conv_weight(channels, channels, 1, rng);
+  ab.v_b = zeros_bias(channels);
+  // Zero-init projection: the block starts as the identity.
+  ab.proj_w = nn::make_param(Tensor({channels, channels, 1, 1}));
+  ab.proj_b = zeros_bias(channels);
+  return ab;
+}
+
+nn::Var UNet::attn_forward(const AttentionBlock& ab, const Var& x) const {
+  int N = x->value.dim(0), C = x->value.dim(1), H = x->value.dim(2),
+      W = x->value.dim(3);
+  int L = H * W;
+  Var h = nn::group_norm(x, ab.gn_g, ab.gn_b, cfg_.groups);
+  Var q = nn::reshape(nn::conv2d(h, ab.q_w, ab.q_b, 1, 0), {N, C, L});
+  Var k = nn::reshape(nn::conv2d(h, ab.k_w, ab.k_b, 1, 0), {N, C, L});
+  Var v = nn::reshape(nn::conv2d(h, ab.v_w, ab.v_b, 1, 0), {N, C, L});
+  // scores[n, i, j] = <q[:, i], k[:, j]> / sqrt(C)
+  Var scores = nn::mul_scalar(nn::bmm(nn::transpose_last2(q), k),
+                              1.0f / std::sqrt(static_cast<float>(C)));
+  Var attn = nn::softmax_lastdim(scores);            // {N, L, L}, rows sum 1
+  Var out = nn::bmm(v, nn::transpose_last2(attn));   // {N, C, L}
+  out = nn::reshape(out, {N, C, H, W});
+  return nn::add(x, nn::conv2d(out, ab.proj_w, ab.proj_b, 1, 0));
+}
+
+UNet::UNet(UNetConfig cfg, Rng& rng) : cfg_(cfg) {
+  PP_REQUIRE(cfg_.base_channels % cfg_.groups == 0);
+  PP_REQUIRE(cfg_.time_dim % 2 == 0);
+  int C = cfg_.base_channels;
+
+  tmlp1_w_ = linear_weight(cfg_.time_dim, cfg_.time_dim, rng);
+  tmlp1_b_ = zeros_bias(cfg_.time_dim);
+  tmlp2_w_ = linear_weight(cfg_.time_dim, cfg_.time_dim, rng);
+  tmlp2_b_ = zeros_bias(cfg_.time_dim);
+
+  stem_w_ = conv_weight(C, cfg_.in_channels, 3, rng);
+  stem_b_ = zeros_bias(C);
+
+  rb0_ = make_res_block(C, C, rng);
+  down1_w_ = conv_weight(2 * C, C, 3, rng);
+  down1_b_ = zeros_bias(2 * C);
+  rb1_ = make_res_block(2 * C, 2 * C, rng);
+  down2_w_ = conv_weight(4 * C, 2 * C, 3, rng);
+  down2_b_ = zeros_bias(4 * C);
+  rb2_ = make_res_block(4 * C, 4 * C, rng);
+  if (cfg_.attention) attn_ = make_attention(4 * C, rng);
+
+  up1_w_ = conv_weight(2 * C, 4 * C, 3, rng);
+  up1_b_ = zeros_bias(2 * C);
+  rb_up1_ = make_res_block(4 * C, 2 * C, rng);  // after concat with skip1
+  up0_w_ = conv_weight(C, 2 * C, 3, rng);
+  up0_b_ = zeros_bias(C);
+  rb_up0_ = make_res_block(2 * C, C, rng);  // after concat with skip0
+
+  head_gn_g_ = ones_param(C);
+  head_gn_b_ = zeros_bias(C);
+  // Zero-initialized head: the net starts by predicting epsilon = 0, a
+  // stable starting point for DDPM training.
+  head_w_ = nn::make_param(Tensor({cfg_.out_channels, C, 3, 3}));
+  head_b_ = zeros_bias(cfg_.out_channels);
+
+  auto push_rb = [this](const ResBlock& rb) {
+    params_.insert(params_.end(),
+                   {rb.gn1_g, rb.gn1_b, rb.conv1_w, rb.conv1_b, rb.t_w, rb.t_b,
+                    rb.gn2_g, rb.gn2_b, rb.conv2_w, rb.conv2_b});
+    if (rb.skip_w) {
+      params_.push_back(rb.skip_w);
+      params_.push_back(rb.skip_b);
+    }
+  };
+  params_ = {tmlp1_w_, tmlp1_b_, tmlp2_w_, tmlp2_b_, stem_w_, stem_b_};
+  push_rb(rb0_);
+  params_.insert(params_.end(), {down1_w_, down1_b_});
+  push_rb(rb1_);
+  params_.insert(params_.end(), {down2_w_, down2_b_});
+  push_rb(rb2_);
+  if (cfg_.attention)
+    params_.insert(params_.end(),
+                   {attn_.gn_g, attn_.gn_b, attn_.q_w, attn_.q_b, attn_.k_w,
+                    attn_.k_b, attn_.v_w, attn_.v_b, attn_.proj_w,
+                    attn_.proj_b});
+  params_.insert(params_.end(), {up1_w_, up1_b_});
+  push_rb(rb_up1_);
+  params_.insert(params_.end(), {up0_w_, up0_b_});
+  push_rb(rb_up0_);
+  params_.insert(params_.end(), {head_gn_g_, head_gn_b_, head_w_, head_b_});
+}
+
+Var UNet::time_embedding(const std::vector<float>& t_frac) const {
+  int N = static_cast<int>(t_frac.size());
+  int D = cfg_.time_dim;
+  int half = D / 2;
+  Tensor emb({N, D});
+  for (int n = 0; n < N; ++n) {
+    for (int i = 0; i < half; ++i) {
+      // Frequencies geometrically spaced in [1, 1000].
+      double freq = std::pow(1000.0, static_cast<double>(i) / (half - 1));
+      double a = static_cast<double>(t_frac[static_cast<std::size_t>(n)]) * freq;
+      emb.at2(n, i) = static_cast<float>(std::sin(a));
+      emb.at2(n, half + i) = static_cast<float>(std::cos(a));
+    }
+  }
+  Var e = nn::make_input(std::move(emb));
+  e = nn::silu(nn::linear(e, tmlp1_w_, tmlp1_b_));
+  return nn::linear(e, tmlp2_w_, tmlp2_b_);
+}
+
+Var UNet::res_forward(const ResBlock& rb, const Var& x, const Var& temb) const {
+  Var h = nn::group_norm(x, rb.gn1_g, rb.gn1_b, cfg_.groups);
+  h = nn::silu(h);
+  h = nn::conv2d(h, rb.conv1_w, rb.conv1_b, 1, 1);
+  // Per-sample per-channel time shift.
+  Var tproj = nn::linear(temb, rb.t_w, rb.t_b);  // {N, cout}
+  h = nn::add_channel_bias(h, tproj);
+  h = nn::group_norm(h, rb.gn2_g, rb.gn2_b, cfg_.groups);
+  h = nn::silu(h);
+  h = nn::conv2d(h, rb.conv2_w, rb.conv2_b, 1, 1);
+  Var shortcut = x;
+  if (rb.skip_w) shortcut = nn::conv2d(x, rb.skip_w, rb.skip_b, 1, 0);
+  return nn::add(h, shortcut);
+}
+
+Var UNet::forward(const Tensor& x, const std::vector<float>& t_frac) const {
+  PP_REQUIRE_MSG(x.ndim() == 4 && x.dim(1) == cfg_.in_channels,
+                 "UNet::forward: bad input shape " + x.shape_str());
+  PP_REQUIRE_MSG(x.dim(2) % 4 == 0 && x.dim(3) % 4 == 0,
+                 "UNet::forward: H and W must be divisible by 4");
+  PP_REQUIRE_MSG(static_cast<int>(t_frac.size()) == x.dim(0),
+                 "UNet::forward: one timestep per sample required");
+  Var temb = time_embedding(t_frac);
+  Var inp = nn::make_input(x);
+
+  Var h0 = nn::conv2d(inp, stem_w_, stem_b_, 1, 1);
+  h0 = res_forward(rb0_, h0, temb);                       // C   @ H
+  Var h1 = nn::conv2d(h0, down1_w_, down1_b_, 2, 1);      // 2C  @ H/2
+  h1 = res_forward(rb1_, h1, temb);
+  Var h2 = nn::conv2d(h1, down2_w_, down2_b_, 2, 1);      // 4C  @ H/4
+  h2 = res_forward(rb2_, h2, temb);
+  if (cfg_.attention) h2 = attn_forward(attn_, h2);
+
+  Var u1 = nn::upsample_nearest2(h2);
+  u1 = nn::conv2d(u1, up1_w_, up1_b_, 1, 1);              // 2C @ H/2
+  u1 = nn::concat_channels(u1, h1);                       // 4C
+  u1 = res_forward(rb_up1_, u1, temb);                    // 2C
+
+  Var u0 = nn::upsample_nearest2(u1);
+  u0 = nn::conv2d(u0, up0_w_, up0_b_, 1, 1);              // C @ H
+  u0 = nn::concat_channels(u0, h0);                       // 2C
+  u0 = res_forward(rb_up0_, u0, temb);                    // C
+
+  Var out = nn::group_norm(u0, head_gn_g_, head_gn_b_, cfg_.groups);
+  out = nn::silu(out);
+  return nn::conv2d(out, head_w_, head_b_, 1, 1);
+}
+
+}  // namespace pp

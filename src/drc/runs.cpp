@@ -1,0 +1,41 @@
+#include "drc/runs.hpp"
+
+#include "common/error.hpp"
+
+namespace pp {
+
+namespace {
+
+template <typename GetPixel>
+std::vector<Run> scan(int fixed, int n, GetPixel get) {
+  std::vector<Run> runs;
+  int i = 0;
+  while (i < n) {
+    bool v = get(i) != 0;
+    int b = i;
+    while (i < n && (get(i) != 0) == v) ++i;
+    Run run;
+    run.fixed = fixed;
+    run.begin = b;
+    run.end = i;
+    run.value = v;
+    run.bounded_lo = b > 0;    // previous pixel exists and, being a maximal
+    run.bounded_hi = i < n;    // run, necessarily holds the opposite value
+    runs.push_back(run);
+  }
+  return runs;
+}
+
+}  // namespace
+
+std::vector<Run> row_runs(const Raster& r, int y) {
+  PP_REQUIRE(y >= 0 && y < r.height());
+  return scan(y, r.width(), [&](int x) { return r(x, y); });
+}
+
+std::vector<Run> column_runs(const Raster& r, int x) {
+  PP_REQUIRE(x >= 0 && x < r.width());
+  return scan(x, r.height(), [&](int y) { return r(x, y); });
+}
+
+}  // namespace pp

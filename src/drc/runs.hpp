@@ -1,0 +1,33 @@
+// Maximal run extraction along rows / columns of a raster.
+//
+// Shared by the DRC checker (width/spacing measurement) and the legalizer
+// tests. A "run" is a maximal stretch of identical pixel values along one
+// row or column, together with flags telling whether each end is bounded by
+// the opposite value (true) or by the clip border (false).
+#pragma once
+
+#include <vector>
+
+#include "geometry/raster.hpp"
+
+namespace pp {
+
+struct Run {
+  int fixed = 0;        ///< Row index (for row runs) or column index.
+  int begin = 0;        ///< First pixel of the run along the scan direction.
+  int end = 0;          ///< One past the last pixel.
+  bool value = false;   ///< true = metal run, false = space run.
+  bool bounded_lo = false;  ///< Opposite value just before `begin`.
+  bool bounded_hi = false;  ///< Opposite value at `end`.
+
+  int length() const { return end - begin; }
+  bool bounded() const { return bounded_lo && bounded_hi; }
+};
+
+/// All maximal runs along row y.
+std::vector<Run> row_runs(const Raster& r, int y);
+
+/// All maximal runs along column x.
+std::vector<Run> column_runs(const Raster& r, int x);
+
+}  // namespace pp

@@ -1,0 +1,199 @@
+#include "geometry/polygon.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace pp {
+
+ComponentMap label_components(const Raster& r) {
+  ComponentMap out;
+  out.width = r.width();
+  out.height = r.height();
+  out.labels.assign(static_cast<std::size_t>(r.width()) * r.height(), 0);
+  int next = 0;
+  std::vector<Point> stack;
+  for (int y = 0; y < r.height(); ++y) {
+    for (int x = 0; x < r.width(); ++x) {
+      if (!r(x, y) || out.label_at(x, y) != 0) continue;
+      ++next;
+      Component comp;
+      comp.label = next;
+      comp.bbox = Rect{x, y, x + 1, y + 1};
+      stack.push_back({x, y});
+      out.labels[static_cast<std::size_t>(y) * out.width + x] = next;
+      while (!stack.empty()) {
+        Point p = stack.back();
+        stack.pop_back();
+        ++comp.area;
+        comp.bbox = comp.bbox.united(Rect{p.x, p.y, p.x + 1, p.y + 1});
+        constexpr int dx[4] = {1, -1, 0, 0};
+        constexpr int dy[4] = {0, 0, 1, -1};
+        for (int d = 0; d < 4; ++d) {
+          int nx = p.x + dx[d], ny = p.y + dy[d];
+          if (nx < 0 || ny < 0 || nx >= r.width() || ny >= r.height()) continue;
+          if (!r(nx, ny)) continue;
+          std::size_t idx = static_cast<std::size_t>(ny) * out.width + nx;
+          if (out.labels[idx] != 0) continue;
+          out.labels[idx] = next;
+          stack.push_back({nx, ny});
+        }
+      }
+      out.components.push_back(comp);
+    }
+  }
+  return out;
+}
+
+std::vector<Point> trace_boundary(const Raster& r, int sx, int sy) {
+  PP_REQUIRE_MSG(r.at(sx, sy) != 0, "trace_boundary seed must be a set pixel");
+  // Walk the outer contour on the corner grid. Start at the top-left corner
+  // of the topmost-leftmost pixel of the component reachable from the seed.
+  ComponentMap cm = label_components(r);
+  int want = cm.label_at(sx, sy);
+  Point start{-1, -1};
+  for (int y = 0; y < r.height() && start.x < 0; ++y)
+    for (int x = 0; x < r.width(); ++x)
+      if (cm.label_at(x, y) == want) {
+        start = {x, y};
+        break;
+      }
+  auto inside = [&](int x, int y) {
+    if (x < 0 || y < 0 || x >= r.width() || y >= r.height()) return false;
+    return cm.label_at(x, y) == want;
+  };
+  // Directions: 0=+x, 1=+y, 2=-x, 3=-y, moving along pixel corners with the
+  // component kept on the right-hand side (counter-clockwise in y-down
+  // coordinates once reported).
+  // Starting at the top-left corner of the topmost-leftmost pixel heading
+  // +x, the first traversed directed edge is (origin, +x); the walk closes
+  // exactly when it is about to traverse that edge again.
+  std::vector<Point> verts;
+  Point pos{start.x, start.y};  // corner coordinates == pixel top-left
+  int dir = 0;
+  Point origin = pos;
+  bool started = false;
+  int guard = 8 * r.width() * r.height() + 16;
+  for (;;) {
+    PP_REQUIRE_MSG(guard-- > 0, "boundary trace failed to close");
+    // Cells adjacent to the corner `pos` relative to heading `dir`:
+    // left cell and right cell ahead of us decide turn direction.
+    auto ahead_left = [&]() {
+      switch (dir) {
+        case 0: return inside(pos.x, pos.y - 1);
+        case 1: return inside(pos.x, pos.y);
+        case 2: return inside(pos.x - 1, pos.y);
+        default: return inside(pos.x - 1, pos.y - 1);
+      }
+    };
+    auto ahead_right = [&]() {
+      switch (dir) {
+        case 0: return inside(pos.x, pos.y);
+        case 1: return inside(pos.x - 1, pos.y);
+        case 2: return inside(pos.x - 1, pos.y - 1);
+        default: return inside(pos.x, pos.y - 1);
+      }
+    };
+    int new_dir;
+    if (ahead_left())
+      new_dir = (dir + 3) % 4;  // turn left
+    else if (ahead_right())
+      new_dir = dir;  // straight
+    else
+      new_dir = (dir + 1) % 4;  // turn right
+    if (new_dir != dir) {
+      verts.push_back(pos);
+      dir = new_dir;
+    }
+    if (started && pos == origin && dir == 0) break;
+    started = true;
+    switch (dir) {
+      case 0: ++pos.x; break;
+      case 1: ++pos.y; break;
+      case 2: --pos.x; break;
+      default: --pos.y; break;
+    }
+  }
+  return verts;
+}
+
+std::vector<Rect> decompose_rectangles(const Raster& r) {
+  // Greedy: per row build maximal runs, then merge vertically identical runs.
+  struct Run {
+    int x0, x1, y0;
+  };
+  std::vector<Rect> out;
+  std::vector<Run> open;  // runs still being extended
+  for (int y = 0; y <= r.height(); ++y) {
+    std::vector<std::pair<int, int>> runs;
+    if (y < r.height()) {
+      int x = 0;
+      while (x < r.width()) {
+        if (!r(x, y)) {
+          ++x;
+          continue;
+        }
+        int x0 = x;
+        while (x < r.width() && r(x, y)) ++x;
+        runs.push_back({x0, x});
+      }
+    }
+    std::vector<Run> next_open;
+    for (const Run& o : open) {
+      bool extended = false;
+      for (auto& rr : runs)
+        if (rr.first == o.x0 && rr.second == o.x1) {
+          extended = true;
+          rr.first = -1;  // consumed
+          next_open.push_back(o);
+          break;
+        }
+      if (!extended) out.push_back(Rect{o.x0, o.y0, o.x1, y});
+    }
+    for (const auto& rr : runs)
+      if (rr.first >= 0) next_open.push_back(Run{rr.first, rr.second, y});
+    open = std::move(next_open);
+  }
+  std::sort(out.begin(), out.end(), [](const Rect& a, const Rect& b) {
+    return std::tie(a.y0, a.x0) < std::tie(b.y0, b.x0);
+  });
+  return out;
+}
+
+std::vector<Rect> maximal_rectangles(const Raster& r) {
+  std::vector<Rect> out;
+  if (r.empty()) return out;
+  int w = r.width(), h = r.height();
+  std::vector<char> col_ok(static_cast<std::size_t>(w));
+  for (int y0 = 0; y0 < h; ++y0) {
+    std::fill(col_ok.begin(), col_ok.end(), 1);
+    for (int y1 = y0 + 1; y1 <= h; ++y1) {
+      // col_ok[x]: column x fully metal over rows [y0, y1).
+      for (int x = 0; x < w; ++x) col_ok[x] = col_ok[x] && r(x, y1 - 1);
+      // Maximal horizontal runs of ok columns.
+      int x = 0;
+      while (x < w) {
+        if (!col_ok[x]) {
+          ++x;
+          continue;
+        }
+        int x0 = x;
+        while (x < w && col_ok[x]) ++x;
+        int x1 = x;
+        // Maximality in y: cannot extend one row up or down over [x0, x1).
+        auto row_fully_metal = [&](int y) {
+          if (y < 0 || y >= h) return false;
+          for (int c = x0; c < x1; ++c)
+            if (!r(c, y)) return false;
+          return true;
+        };
+        if (!row_fully_metal(y0 - 1) && !row_fully_metal(y1))
+          out.push_back(Rect{x0, y0, x1, y1});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pp

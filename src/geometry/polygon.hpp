@@ -1,0 +1,52 @@
+// Connected-component and rectilinear-polygon analysis of raster layouts.
+//
+// The DRC area/enclosure checks and the metrics module need per-shape
+// statistics; the examples use traced polygon outlines for reporting.
+#pragma once
+
+#include <vector>
+
+#include "geometry/raster.hpp"
+#include "geometry/rect.hpp"
+
+namespace pp {
+
+/// One 4-connected component of metal pixels.
+struct Component {
+  int label = 0;          ///< 1-based label as stored in the label map.
+  long long area = 0;     ///< Number of pixels.
+  Rect bbox;              ///< Tight bounding box.
+};
+
+/// Result of labeling: per-pixel labels (0 = empty) plus component stats.
+struct ComponentMap {
+  std::vector<int> labels;  ///< Row-major, size = width*height.
+  int width = 0;
+  int height = 0;
+  std::vector<Component> components;
+
+  int label_at(int x, int y) const {
+    return labels[static_cast<std::size_t>(y) * width + x];
+  }
+};
+
+/// Labels 4-connected components of set pixels.
+ComponentMap label_components(const Raster& r);
+
+/// Traces the outer boundary of the component containing (x, y) as a closed
+/// rectilinear polygon (counter-clockwise, vertices at pixel corners).
+/// Requires the seed pixel to be set.
+std::vector<Point> trace_boundary(const Raster& r, int x, int y);
+
+/// Decomposes the set pixels into disjoint maximal horizontal slabs
+/// (greedy row-merge rectangle cover). Useful for export and reporting.
+std::vector<Rect> decompose_rectangles(const Raster& r);
+
+/// Enumerates ALL maximal rectangles of metal: rectangles fully contained in
+/// set pixels that cannot be extended in any of the four directions. These
+/// are the "drawn widths" the DRC width rules measure (a polygon's every
+/// local width appears as the min dimension of some maximal rectangle).
+/// O(height^2 * width).
+std::vector<Rect> maximal_rectangles(const Raster& r);
+
+}  // namespace pp

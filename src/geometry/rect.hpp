@@ -1,0 +1,68 @@
+// Axis-aligned integer rectangles on the layout pixel grid.
+//
+// Coordinates are in layout pixels (1 pixel == 1 nm in our synthetic node,
+// matching the paper's fixed-width pixel representation). Rectangles are
+// half-open: [x0, x1) x [y0, y1).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+
+namespace pp {
+
+struct Point {
+  int x = 0;
+  int y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Half-open axis-aligned rectangle [x0,x1) x [y0,y1).
+struct Rect {
+  int x0 = 0;
+  int y0 = 0;
+  int x1 = 0;
+  int y1 = 0;
+
+  int width() const { return x1 - x0; }
+  int height() const { return y1 - y0; }
+  long long area() const {
+    return static_cast<long long>(width()) * height();
+  }
+  bool empty() const { return x1 <= x0 || y1 <= y0; }
+
+  bool contains(int x, int y) const {
+    return x >= x0 && x < x1 && y >= y0 && y < y1;
+  }
+
+  bool intersects(const Rect& o) const {
+    return x0 < o.x1 && o.x0 < x1 && y0 < o.y1 && o.y0 < y1;
+  }
+
+  Rect intersection(const Rect& o) const {
+    Rect r{std::max(x0, o.x0), std::max(y0, o.y0), std::min(x1, o.x1),
+           std::min(y1, o.y1)};
+    if (r.empty()) return Rect{};
+    return r;
+  }
+
+  /// Smallest rectangle containing both (ignores empty operands).
+  Rect united(const Rect& o) const {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    return Rect{std::min(x0, o.x0), std::min(y0, o.y0), std::max(x1, o.x1),
+                std::max(y1, o.y1)};
+  }
+
+  /// Rectangle grown by m pixels on every side (may become empty if m < 0).
+  Rect inflated(int m) const { return Rect{x0 - m, y0 - m, x1 + m, y1 + m}; }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << "[" << r.x0 << "," << r.y0 << " " << r.x1 << "," << r.y1 << ")";
+}
+
+}  // namespace pp

@@ -1,0 +1,31 @@
+#include "io/csv.hpp"
+
+#include "common/error.hpp"
+
+namespace pp {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  PP_REQUIRE_MSG(out_.good(), "cannot open CSV for writing: " + path);
+}
+
+std::string CsvWriter::escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string q = "\"";
+  for (char c : s) {
+    if (c == '"') q += "\"\"";
+    else q += c;
+  }
+  q += "\"";
+  return q;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  PP_REQUIRE_MSG(out_.good(), "CSV write failed");
+}
+
+}  // namespace pp

@@ -1,0 +1,42 @@
+// Small CSV writer for benchmark outputs (EXPERIMENTS.md artifacts).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pp {
+
+/// Appends rows of string cells; quoting is applied when a cell contains a
+/// comma, quote, or newline.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Throws pp::Error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats arithmetic values with operator<<.
+  template <typename... Ts>
+  void row(const Ts&... vals) {
+    std::vector<std::string> cells;
+    (cells.push_back(to_cell(vals)), ...);
+    write_row(cells);
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      return std::to_string(v);
+    }
+  }
+
+  static std::string escape(const std::string& s);
+
+  std::ofstream out_;
+};
+
+}  // namespace pp

@@ -1,0 +1,72 @@
+#include "io/image_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pp {
+
+void write_pgm(const Raster& r, const std::string& path, int scale) {
+  PP_REQUIRE(scale >= 1);
+  std::ofstream out(path, std::ios::binary);
+  PP_REQUIRE_MSG(out.good(), "cannot open for writing: " + path);
+  out << "P5\n" << r.width() * scale << " " << r.height() * scale << "\n255\n";
+  std::string row(static_cast<std::size_t>(r.width()) * scale, '\0');
+  for (int y = 0; y < r.height(); ++y) {
+    for (int x = 0; x < r.width(); ++x) {
+      char v = r(x, y) ? static_cast<char>(255) : 0;
+      for (int s = 0; s < scale; ++s)
+        row[static_cast<std::size_t>(x) * scale + s] = v;
+    }
+    for (int s = 0; s < scale; ++s) out.write(row.data(), row.size());
+  }
+  PP_REQUIRE_MSG(out.good(), "write failed: " + path);
+}
+
+Raster read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PP_REQUIRE_MSG(in.good(), "cannot open for reading: " + path);
+  std::string magic;
+  in >> magic;
+  PP_REQUIRE_MSG(magic == "P5" || magic == "P2", "not a PGM file: " + path);
+  auto next_token = [&in, &path]() {
+    std::string tok;
+    for (;;) {
+      in >> tok;
+      PP_REQUIRE_MSG(in.good(), "truncated PGM header: " + path);
+      if (tok[0] == '#') {
+        std::string rest;
+        std::getline(in, rest);
+        continue;
+      }
+      return tok;
+    }
+  };
+  int w = std::stoi(next_token());
+  int h = std::stoi(next_token());
+  int maxv = std::stoi(next_token());
+  PP_REQUIRE_MSG(w > 0 && h > 0 && maxv > 0 && maxv < 65536,
+                 "bad PGM dimensions: " + path);
+  Raster r(w, h);
+  if (magic == "P5") {
+    in.get();  // single whitespace after maxval
+    std::vector<unsigned char> buf(static_cast<std::size_t>(w) * h);
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+    PP_REQUIRE_MSG(in.gcount() == static_cast<std::streamsize>(buf.size()),
+                   "truncated PGM data: " + path);
+    for (std::size_t i = 0; i < buf.size(); ++i)
+      r.data()[i] = buf[i] * 255 / maxv >= 128 ? 1 : 0;
+  } else {
+    for (int i = 0; i < w * h; ++i) {
+      int v;
+      in >> v;
+      PP_REQUIRE_MSG(in.good() || in.eof(), "truncated PGM data: " + path);
+      r.data()[static_cast<std::size_t>(i)] = v * 255 / maxv >= 128 ? 1 : 0;
+    }
+  }
+  return r;
+}
+
+}  // namespace pp

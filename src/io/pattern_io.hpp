@@ -1,0 +1,25 @@
+// Text serialization of pattern libraries (one file, many clips).
+//
+// Format:
+//   PPLIB v1
+//   count <n>
+//   pattern <index> <width> <height>
+//   <height lines of '.'/'#'>
+// Blank lines between records are allowed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/raster.hpp"
+
+namespace pp {
+
+/// Writes a library of clips to a text file. Throws pp::Error on failure.
+void save_pattern_library(const std::vector<Raster>& patterns,
+                          const std::string& path);
+
+/// Reads a library back; throws pp::Error on parse/I/O problems.
+std::vector<Raster> load_pattern_library(const std::string& path);
+
+}  // namespace pp

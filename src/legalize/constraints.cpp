@@ -1,0 +1,86 @@
+#include "legalize/constraints.hpp"
+
+#include "common/error.hpp"
+#include "drc/runs.hpp"
+#include "geometry/polygon.hpp"
+
+namespace pp {
+
+ConstraintSet extract_constraints(const Raster& topology,
+                                  const RuleSet& rules) {
+  PP_REQUIRE_MSG(!topology.empty(), "empty topology");
+  ConstraintSet cs;
+  cs.nx = topology.width();
+  cs.ny = topology.height();
+
+  // Horizontal runs (rows of the topology).
+  for (int j = 0; j < topology.height(); ++j) {
+    std::vector<Run> runs = row_runs(topology, j);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const Run& run = runs[i];
+      if (!run.bounded()) continue;
+      RunConstraint rc;
+      rc.horizontal = true;
+      rc.lo = run.begin;
+      rc.hi = run.end;
+      if (run.value) {
+        rc.is_space = false;
+        rc.min_sum = rules.min_width_h;
+        rc.max_sum = rules.max_width_h;
+        rc.discrete = rules.width_is_discrete();
+      } else {
+        rc.is_space = true;
+        rc.min_sum = rules.min_space_h;
+        rc.max_sum = rules.max_space_h;
+        if (rules.wd_spacing.enabled()) {
+          rc.wd = true;
+          rc.left_lo = runs[i - 1].begin;
+          rc.left_hi = runs[i - 1].end;
+          rc.right_lo = runs[i + 1].begin;
+          rc.right_hi = runs[i + 1].end;
+        }
+      }
+      cs.runs.push_back(rc);
+    }
+  }
+
+  // Vertical runs (columns).
+  for (int i = 0; i < topology.width(); ++i) {
+    std::vector<Run> runs = column_runs(topology, i);
+    for (const Run& run : runs) {
+      if (!run.bounded()) continue;
+      RunConstraint rc;
+      rc.horizontal = false;
+      rc.lo = run.begin;
+      rc.hi = run.end;
+      if (run.value) {
+        rc.is_space = false;
+        rc.min_sum = rules.min_width_v;
+        rc.max_sum = rules.max_width_v;
+      } else {
+        rc.is_space = true;
+        rc.min_sum = rules.min_space_v;
+        rc.max_sum = rules.max_space_v;
+      }
+      cs.runs.push_back(rc);
+    }
+  }
+
+  // Area constraints per connected component of metal cells.
+  if (rules.min_area > 0) {
+    ComponentMap cm = label_components(topology);
+    std::vector<AreaConstraint> areas(cm.components.size());
+    for (std::size_t c = 0; c < cm.components.size(); ++c)
+      areas[c].min_area = rules.min_area;
+    for (int j = 0; j < topology.height(); ++j)
+      for (int i = 0; i < topology.width(); ++i) {
+        int label = cm.label_at(i, j);
+        if (label > 0)
+          areas[static_cast<std::size_t>(label - 1)].cells.push_back({i, j});
+      }
+    cs.areas = std::move(areas);
+  }
+  return cs;
+}
+
+}  // namespace pp

@@ -1,0 +1,54 @@
+// Constraint extraction: topology matrix -> geometric constraints on the
+// delta vectors (the problem squish-based generators hand to a solver).
+//
+// For a topology of nx x ny cells with unknown interval widths dx (nx) and
+// dy (ny), every bounded run of identical cells along a row/column induces
+// an interval constraint on the SUM of the spanned deltas:
+//   * metal runs  -> width bounds (+ discrete width set, horizontal only);
+//   * space runs  -> spacing bounds (+ width-dependent minimum coupling the
+//                    sums of the two adjacent metal runs);
+//   * each connected component of metal cells -> bilinear area lower bound
+//     sum_{cells (i,j)} dx_i * dy_j >= min_area;
+//   * sum dx = canvas width, sum dy = canvas height, all deltas >= 1.
+// Discrete widths and spacing upper bounds make this a mixed-integer /
+// disjunctive program — the precise structure the paper blames for the
+// baseline's collapse under industrial rules (Sec. VI, Fig. 9).
+#pragma once
+
+#include <vector>
+
+#include "drc/rules.hpp"
+#include "geometry/raster.hpp"
+
+namespace pp {
+
+/// One interval constraint over a contiguous range of deltas.
+struct RunConstraint {
+  bool horizontal = true;  ///< true: range indexes dx; false: dy
+  bool is_space = false;   ///< space run (spacing rule) vs metal run (width)
+  int lo = 0, hi = 0;      ///< delta index range [lo, hi)
+  int min_sum = 0;         ///< 0 = none
+  int max_sum = 0;         ///< 0 = unbounded
+  bool discrete = false;   ///< sum must be in RuleSet::allowed_widths_h
+  /// For width-dependent spacing: delta ranges of the adjacent metal runs
+  /// (valid iff wd == true; horizontal space runs only).
+  bool wd = false;
+  int left_lo = 0, left_hi = 0, right_lo = 0, right_hi = 0;
+};
+
+/// Bilinear area constraint: sum over cells of dx_i*dy_j >= min_area.
+struct AreaConstraint {
+  std::vector<std::pair<int, int>> cells;  ///< (i, j) topology cells
+  long long min_area = 0;
+};
+
+struct ConstraintSet {
+  int nx = 0, ny = 0;
+  std::vector<RunConstraint> runs;
+  std::vector<AreaConstraint> areas;
+};
+
+/// Extracts the full constraint set for `topology` under `rules`.
+ConstraintSet extract_constraints(const Raster& topology, const RuleSet& rules);
+
+}  // namespace pp

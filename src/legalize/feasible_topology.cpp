@@ -1,0 +1,45 @@
+#include "legalize/feasible_topology.hpp"
+
+#include "common/error.hpp"
+#include "patterngen/track_generator.hpp"
+#include "squish/squish.hpp"
+
+namespace pp {
+
+FeasibleTopology make_feasible_topology(int target_size, const RuleSet& rules,
+                                        Rng& rng) {
+  PP_REQUIRE(target_size >= 2);
+  FeasibleTopology best;
+  int best_size = -1;
+
+  // Heuristic canvas: each track contributes ~2 x-lines over a ~20px pitch;
+  // segments contribute y-lines. Grow until the target complexity shows up.
+  for (int grow = 0; grow < 6; ++grow) {
+    int canvas = std::max(48, target_size * (5 + grow));
+    TrackGenConfig cfg;
+    cfg.width = canvas;
+    cfg.height = canvas;
+    cfg.p_segmented = 0.9;  // many segments => many scan lines
+    cfg.p_strap = 0.5;
+    cfg.max_segment = std::max(cfg.min_segment, canvas / 3);
+    TrackPatternGenerator gen(cfg, rules);
+    for (int attempt = 0; attempt < 60; ++attempt) {
+      auto clip = gen.try_generate(rng);
+      if (!clip) continue;
+      SquishPattern p = extract_squish(*clip);
+      int size = std::max(p.topology.width(), p.topology.height());
+      if (size > best_size) {
+        best_size = size;
+        best.topology = p.topology;
+        best.witness = *clip;
+        best.canvas_width = canvas;
+        best.canvas_height = canvas;
+      }
+      if (best_size >= target_size) return best;
+    }
+  }
+  PP_REQUIRE_MSG(best_size > 0, "could not synthesize any feasible topology");
+  return best;
+}
+
+}  // namespace pp

@@ -1,0 +1,31 @@
+// Feasible topology synthesis for solver benchmarks (Fig. 9).
+//
+// The ablation needs topologies of a target size for which a legal
+// realization is KNOWN to exist (so failures measure the solver, not the
+// problem). We build them constructively: generate a DR-clean layout with
+// the rule-based generator on a canvas large enough to carry the requested
+// complexity, extract its squish topology, and hand only the topology to
+// the solver (discarding the geometry that proves feasibility).
+#pragma once
+
+#include "common/rng.hpp"
+#include "drc/rules.hpp"
+#include "geometry/raster.hpp"
+
+namespace pp {
+
+struct FeasibleTopology {
+  Raster topology;      ///< nx x ny binary matrix
+  Raster witness;       ///< a DR-clean realization (proof of feasibility)
+  int canvas_width = 0;
+  int canvas_height = 0;
+};
+
+/// Builds a topology whose max(nx, ny) is at least `target_size` (best
+/// effort: grows the canvas until reached or attempts are exhausted, then
+/// returns the largest found). Throws pp::Error only if nothing at all can
+/// be generated.
+FeasibleTopology make_feasible_topology(int target_size, const RuleSet& rules,
+                                        Rng& rng);
+
+}  // namespace pp

@@ -1,0 +1,230 @@
+#include "legalize/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace pp {
+
+NonlinearLegalizer::NonlinearLegalizer(RuleSet rules, SolverConfig cfg)
+    : checker_(std::move(rules)), cfg_(cfg) {
+  PP_REQUIRE(cfg_.max_iterations >= 1 && cfg_.max_restarts >= 1);
+  PP_REQUIRE(cfg_.step > 0 && cfg_.phases >= 1);
+}
+
+namespace {
+
+double range_sum(const std::vector<double>& v, int lo, int hi) {
+  double s = 0;
+  for (int i = lo; i < hi; ++i) s += v[static_cast<std::size_t>(i)];
+  return s;
+}
+
+void add_range(std::vector<double>& g, int lo, int hi, double val) {
+  for (int i = lo; i < hi; ++i) g[static_cast<std::size_t>(i)] += val;
+}
+
+/// Distance to the nearest allowed discrete value (and that value).
+std::pair<double, int> nearest_allowed(double s, const std::vector<int>& set) {
+  double best_d = 1e18;
+  int best_v = 0;
+  for (int v : set) {
+    double d = std::fabs(s - v);
+    if (d < best_d) {
+      best_d = d;
+      best_v = v;
+    }
+  }
+  return {best_d, best_v};
+}
+
+/// Projects v onto {v >= 1, sum(v) == target} (alternating projections).
+void project(std::vector<double>& v, double target) {
+  for (int pass = 0; pass < 8; ++pass) {
+    double sum = std::accumulate(v.begin(), v.end(), 0.0);
+    double shift = (target - sum) / static_cast<double>(v.size());
+    bool clipped = false;
+    for (auto& x : v) {
+      x += shift;
+      if (x < 1.0) {
+        x = 1.0;
+        clipped = true;
+      }
+    }
+    if (!clipped && std::fabs(shift) < 1e-9) break;
+  }
+}
+
+/// Rounds to integers >= 1 with exact sum: floor everything, then hand out
+/// the remaining pixels to the entries with the largest fractional part.
+std::vector<int> round_with_sum(const std::vector<double>& v, int target) {
+  std::vector<int> out(v.size());
+  std::vector<std::pair<double, std::size_t>> frac;
+  int sum = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    double x = std::max(1.0, v[i]);
+    out[i] = static_cast<int>(std::floor(x));
+    frac.push_back({x - out[i], i});
+    sum += out[i];
+  }
+  std::sort(frac.rbegin(), frac.rend());
+  int rem = target - sum;
+  std::size_t idx = 0;
+  while (rem > 0) {
+    ++out[frac[idx % frac.size()].second];
+    ++idx;
+    --rem;
+  }
+  // Negative remainder: shave from the largest entries (keeping >= 1).
+  while (rem < 0) {
+    std::size_t big = 0;
+    for (std::size_t i = 1; i < out.size(); ++i)
+      if (out[i] > out[big]) big = i;
+    if (out[big] <= 1) break;  // cannot shrink further; sum will mismatch
+    --out[big];
+    ++rem;
+  }
+  return out;
+}
+
+}  // namespace
+
+double NonlinearLegalizer::penalty_and_gradient(
+    const ConstraintSet& cs, const std::vector<double>& dx,
+    const std::vector<double>& dy, std::vector<double>& gx,
+    std::vector<double>& gy, double discrete_weight) const {
+  const RuleSet& rules = checker_.rules();
+  std::fill(gx.begin(), gx.end(), 0.0);
+  std::fill(gy.begin(), gy.end(), 0.0);
+  double total = 0;
+
+  for (const RunConstraint& rc : cs.runs) {
+    const std::vector<double>& v = rc.horizontal ? dx : dy;
+    std::vector<double>& g = rc.horizontal ? gx : gy;
+    double s = range_sum(v, rc.lo, rc.hi);
+
+    double min_needed = rc.min_sum;
+    if (rc.wd) {
+      // Width-dependent spacing: the requirement is a step function of the
+      // neighbour sums; freeze it at the current iterate (subgradient).
+      double wl = range_sum(v, rc.left_lo, rc.left_hi);
+      double wr = range_sum(v, rc.right_lo, rc.right_hi);
+      min_needed = std::max(
+          min_needed,
+          static_cast<double>(rules.wd_spacing.required(
+              static_cast<int>(std::lround(wl)),
+              static_cast<int>(std::lround(wr)))));
+    }
+    if (min_needed > 0 && s < min_needed) {
+      double d = min_needed - s;
+      total += d * d;
+      add_range(g, rc.lo, rc.hi, -2.0 * d);
+    }
+    if (rc.max_sum > 0 && s > rc.max_sum) {
+      double d = s - rc.max_sum;
+      total += d * d;
+      add_range(g, rc.lo, rc.hi, 2.0 * d);
+    }
+    if (rc.discrete && rules.width_is_discrete() && discrete_weight > 0) {
+      auto [d, v_near] = nearest_allowed(s, rules.allowed_widths_h);
+      if (d > 1e-9) {
+        total += discrete_weight * d * d;
+        add_range(g, rc.lo, rc.hi, discrete_weight * 2.0 * (s - v_near));
+      }
+    }
+  }
+
+  for (const AreaConstraint& ac : cs.areas) {
+    double area = 0;
+    for (const auto& [i, j] : ac.cells)
+      area += dx[static_cast<std::size_t>(i)] * dy[static_cast<std::size_t>(j)];
+    if (area < static_cast<double>(ac.min_area)) {
+      double d = static_cast<double>(ac.min_area) - area;
+      total += d * d * 1e-2;  // area units are squared pixels: damp
+      for (const auto& [i, j] : ac.cells) {
+        gx[static_cast<std::size_t>(i)] +=
+            -2e-2 * d * dy[static_cast<std::size_t>(j)];
+        gy[static_cast<std::size_t>(j)] +=
+            -2e-2 * d * dx[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+  return total;
+}
+
+SolveResult NonlinearLegalizer::legalize(const Raster& topology,
+                                         Rng& rng) const {
+  Timer timer;
+  SolveResult res;
+  ConstraintSet cs = extract_constraints(topology, checker_.rules());
+  int W = cfg_.canvas_width > 0 ? cfg_.canvas_width
+                                : std::max(32, 4 * topology.width());
+  int H = cfg_.canvas_height > 0 ? cfg_.canvas_height
+                                 : std::max(32, 4 * topology.height());
+  PP_REQUIRE_MSG(W >= topology.width() && H >= topology.height(),
+                 "canvas smaller than topology");
+
+  std::size_t nx = static_cast<std::size_t>(cs.nx);
+  std::size_t ny = static_cast<std::size_t>(cs.ny);
+  std::vector<double> dx(nx), dy(ny), gx(nx), gy(ny);
+
+  for (int restart = 0; restart < cfg_.max_restarts; ++restart) {
+    res.restarts_used = restart + 1;
+    // Random feasible-ish start on the simplex.
+    for (auto& v : dx)
+      v = 1.0 + rng.uniform(0.0, 2.0 * W / static_cast<double>(nx));
+    for (auto& v : dy)
+      v = 1.0 + rng.uniform(0.0, 2.0 * H / static_cast<double>(ny));
+    project(dx, W);
+    project(dy, H);
+
+    double weight = 1.0;
+    double last_penalty = 0.0;
+    for (int phase = 0; phase < cfg_.phases; ++phase) {
+      // Continuation: solve the relaxed problem first, then ramp in the
+      // nonconvex discrete-width penalty.
+      double dw = cfg_.phases > 1
+                      ? static_cast<double>(phase) / (cfg_.phases - 1)
+                      : 1.0;
+      for (int it = 0; it < cfg_.max_iterations / cfg_.phases; ++it) {
+        last_penalty = penalty_and_gradient(cs, dx, dy, gx, gy, dw);
+        if (last_penalty < 1e-10) break;
+        // Normalized gradient step: robust to penalty scale.
+        double gn = 0;
+        for (double v : gx) gn += v * v;
+        for (double v : gy) gn += v * v;
+        gn = std::sqrt(gn);
+        if (gn < 1e-12) break;
+        double step = cfg_.step * weight;
+        for (std::size_t i = 0; i < nx; ++i) dx[i] -= step * gx[i] / gn * std::sqrt(last_penalty);
+        for (std::size_t i = 0; i < ny; ++i) dy[i] -= step * gy[i] / gn * std::sqrt(last_penalty);
+        project(dx, W);
+        project(dy, H);
+      }
+      weight /= cfg_.penalty_growth;  // anneal the step, not the penalty
+    }
+    res.final_penalty = last_penalty;
+
+    // Round, reconstruct, verify with real DRC.
+    SquishPattern p;
+    p.topology = topology;
+    p.dx = round_with_sum(dx, W);
+    p.dy = round_with_sum(dy, H);
+    if (!is_consistent(p)) continue;
+    Raster candidate = reconstruct_raster(p);
+    if (checker_.is_clean(candidate) && candidate.count_ones() > 0) {
+      res.success = true;
+      res.layout = std::move(candidate);
+      res.dx = p.dx;
+      res.dy = p.dy;
+      break;
+    }
+  }
+  res.seconds = timer.seconds();
+  return res;
+}
+
+}  // namespace pp

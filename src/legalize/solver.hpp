@@ -1,0 +1,71 @@
+// Nonlinear solver-based legalization (the DiffPattern/CUP pipeline stage,
+// reproducing the scipy solver of the paper's experimental setup).
+//
+// Continuous relaxation of the delta-vector program solved by multi-restart
+// projected gradient descent on a quadratic penalty:
+//   * hinge penalties for run min/max bounds;
+//   * distance-to-nearest-allowed-value penalty for discrete widths (the
+//     nonconvex term responsible for the MIP-like behaviour);
+//   * step-function width-dependent spacing handled with a frozen-need
+//     subgradient;
+//   * bilinear penalties for area lower bounds;
+//   * projection keeps deltas >= 1 and sums equal to the canvas size.
+// After convergence the deltas are rounded to integers, the raster is
+// reconstructed, and REAL pixel DRC decides success — exactly how the paper
+// scores its baselines. Restarts continue until success or budget
+// exhaustion, which is what makes the measured runtime blow up as rules get
+// harder (Fig. 9).
+#pragma once
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "drc/checker.hpp"
+#include "legalize/constraints.hpp"
+#include "squish/squish.hpp"
+
+namespace pp {
+
+struct SolverConfig {
+  int canvas_width = 0;    ///< 0: auto (4 pixels per topology cell, min 32)
+  int canvas_height = 0;
+  int max_iterations = 350;  ///< gradient steps per restart
+  int max_restarts = 12;
+  double step = 0.15;        ///< gradient step size
+  double penalty_growth = 1.6;  ///< penalty weight multiplier per phase
+  int phases = 4;               ///< penalty continuation phases per restart
+};
+
+struct SolveResult {
+  bool success = false;
+  Raster layout;               ///< reconstructed clip (valid iff success)
+  std::vector<int> dx, dy;     ///< solved deltas (valid iff success)
+  int restarts_used = 0;
+  double seconds = 0.0;
+  double final_penalty = 0.0;  ///< residual of the last (failed) restart
+};
+
+class NonlinearLegalizer {
+ public:
+  NonlinearLegalizer(RuleSet rules, SolverConfig cfg = {});
+
+  const RuleSet& rules() const { return checker_.rules(); }
+  const SolverConfig& config() const { return cfg_; }
+
+  /// Solves for deltas making `topology` DR-clean on the canvas.
+  SolveResult legalize(const Raster& topology, Rng& rng) const;
+
+ private:
+  /// `discrete_weight` in [0,1] scales the nonconvex discrete-width term
+  /// (continuation: relaxed problem first, disjunctive terms ramped in).
+  double penalty_and_gradient(const ConstraintSet& cs,
+                              const std::vector<double>& dx,
+                              const std::vector<double>& dy,
+                              std::vector<double>& gx, std::vector<double>& gy,
+                              double discrete_weight) const;
+
+  DrcChecker checker_;
+  SolverConfig cfg_;
+};
+
+}  // namespace pp

@@ -1,0 +1,71 @@
+#include "metrics/drspace.hpp"
+
+#include <set>
+
+#include "common/error.hpp"
+#include "drc/runs.hpp"
+
+namespace pp {
+
+DrSpaceProfile measure_drspace(const Raster& clip) {
+  DrSpaceProfile p;
+  for (int y = 0; y < clip.height(); ++y) {
+    std::vector<Run> runs = row_runs(clip, y);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const Run& run = runs[i];
+      if (!run.bounded()) continue;
+      if (run.value) {
+        ++p.width_hist[run.length()];
+      } else {
+        ++p.space_hist[run.length()];
+        // Bounded space run => both neighbours are metal runs.
+        WsTriple t;
+        t.w_left = runs[i - 1].length();
+        t.space = run.length();
+        t.w_right = runs[i + 1].length();
+        ++p.triples[t];
+      }
+    }
+  }
+  return p;
+}
+
+DrSpaceProfile measure_drspace(const std::vector<Raster>& library) {
+  DrSpaceProfile all;
+  for (const auto& clip : library) {
+    DrSpaceProfile p = measure_drspace(clip);
+    for (const auto& [k, v] : p.width_hist) all.width_hist[k] += v;
+    for (const auto& [k, v] : p.space_hist) all.space_hist[k] += v;
+    for (const auto& [k, v] : p.triples) all.triples[k] += v;
+  }
+  return all;
+}
+
+std::vector<WsTriple> legal_triples(const RuleSet& rules) {
+  PP_REQUIRE_MSG(rules.width_is_discrete(),
+                 "legal_triples needs a discrete width set");
+  PP_REQUIRE_MSG(rules.max_space_h > 0,
+                 "legal_triples needs a spacing upper bound");
+  std::vector<WsTriple> out;
+  for (int wl : rules.allowed_widths_h)
+    for (int wr : rules.allowed_widths_h) {
+      int smin = rules.min_space_h;
+      if (rules.wd_spacing.enabled())
+        smin = std::max(smin, rules.wd_spacing.required(wl, wr));
+      for (int s = smin; s <= rules.max_space_h; ++s)
+        out.push_back(WsTriple{wl, s, wr});
+    }
+  return out;
+}
+
+double drspace_coverage(const DrSpaceProfile& profile, const RuleSet& rules) {
+  std::vector<WsTriple> legal = legal_triples(rules);
+  if (legal.empty()) return 0.0;
+  std::set<WsTriple> legal_set(legal.begin(), legal.end());
+  std::size_t hit = 0;
+  for (const auto& [t, count] : profile.triples)
+    if (legal_set.count(t)) ++hit;
+  return static_cast<double>(hit) / static_cast<double>(legal.size());
+}
+
+}  // namespace pp

@@ -1,0 +1,59 @@
+// Design-rule-space coverage of a pattern library.
+//
+// The paper's future work proposes evaluating "the explored design rule
+// space" of a generated library. This module quantifies it: every bounded
+// horizontal space run between two wires contributes an observed
+// (left width, spacing, right width) constructive triple; under a discrete
+// rule set the set of LEGAL triples is finite, so coverage = observed legal
+// triples / all legal triples. A library that only replicates the starter
+// geometries covers few triples; a diverse library approaches 1.0 — which
+// is what OPC/DRC-qualification consumers actually need from synthetic
+// libraries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "drc/rules.hpp"
+#include "geometry/raster.hpp"
+
+namespace pp {
+
+/// (left wire width, spacing, right wire width), as measured on a row.
+struct WsTriple {
+  int w_left = 0;
+  int space = 0;
+  int w_right = 0;
+
+  friend bool operator==(const WsTriple&, const WsTriple&) = default;
+  friend auto operator<=>(const WsTriple&, const WsTriple&) = default;
+};
+
+struct DrSpaceProfile {
+  std::map<int, long long> width_hist;   ///< bounded metal run lengths
+  std::map<int, long long> space_hist;   ///< bounded space run lengths
+  std::map<WsTriple, long long> triples; ///< adjacency triples with counts
+
+  std::size_t distinct_widths() const { return width_hist.size(); }
+  std::size_t distinct_spacings() const { return space_hist.size(); }
+  std::size_t distinct_triples() const { return triples.size(); }
+};
+
+/// Measures the profile of one clip / a whole library (row direction).
+DrSpaceProfile measure_drspace(const Raster& clip);
+DrSpaceProfile measure_drspace(const std::vector<Raster>& library);
+
+/// Enumerates every legal (w_left, space, w_right) triple of a DISCRETE
+/// rule set: widths from allowed_widths_h, spacing from the width-dependent
+/// minimum (or min_space_h) up to max_space_h. Throws pp::Error when the
+/// rule set has no discrete widths or no spacing upper bound (the legal set
+/// would be infinite).
+std::vector<WsTriple> legal_triples(const RuleSet& rules);
+
+/// Fraction of the legal triples observed in the profile, in [0, 1].
+/// Observed triples outside the legal set are ignored (they come from
+/// border-adjacent measurements).
+double drspace_coverage(const DrSpaceProfile& profile, const RuleSet& rules);
+
+}  // namespace pp

@@ -1,0 +1,98 @@
+#include "metrics/entropy.hpp"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pp {
+
+double entropy_bits(const std::vector<long long>& counts) {
+  long long total = 0;
+  for (long long c : counts) total += c > 0 ? c : 0;
+  if (total <= 0) return 0.0;
+  double h = 0.0;
+  for (long long c : counts) {
+    if (c <= 0) continue;
+    double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+namespace {
+
+std::uint64_t delta_key(const SquishPattern& p) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (int v : p.dx) mix(static_cast<std::uint64_t>(v) + 1);
+  mix(0xffffULL);
+  for (int v : p.dy) mix(static_cast<std::uint64_t>(v) + 1);
+  return h;
+}
+
+template <typename KeyFn>
+double entropy_over(const std::vector<SquishPattern>& patterns, KeyFn key) {
+  std::unordered_map<std::uint64_t, long long> hist;
+  for (const auto& p : patterns) ++hist[key(p)];
+  std::vector<long long> counts;
+  counts.reserve(hist.size());
+  for (const auto& [k, c] : hist) counts.push_back(c);
+  return entropy_bits(counts);
+}
+
+std::vector<SquishPattern> squish_all(const std::vector<Raster>& patterns) {
+  std::vector<SquishPattern> out;
+  out.reserve(patterns.size());
+  for (const auto& r : patterns) out.push_back(extract_squish(r));
+  return out;
+}
+
+}  // namespace
+
+double entropy_h1_squish(const std::vector<SquishPattern>& patterns) {
+  return entropy_over(patterns, [](const SquishPattern& p) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.cx()))
+            << 32) |
+           static_cast<std::uint32_t>(p.cy());
+  });
+}
+
+double entropy_h2_squish(const std::vector<SquishPattern>& patterns) {
+  return entropy_over(patterns, delta_key);
+}
+
+double entropy_h1(const std::vector<Raster>& patterns) {
+  return entropy_h1_squish(squish_all(patterns));
+}
+
+double entropy_h2(const std::vector<Raster>& patterns) {
+  return entropy_h2_squish(squish_all(patterns));
+}
+
+std::size_t count_unique(const std::vector<Raster>& patterns) {
+  std::unordered_set<std::uint64_t> seen;
+  for (const auto& r : patterns) seen.insert(r.hash());
+  return seen.size();
+}
+
+std::vector<Raster> deduplicate(const std::vector<Raster>& patterns) {
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Raster> out;
+  for (const auto& r : patterns)
+    if (seen.insert(r.hash()).second) out.push_back(r);
+  return out;
+}
+
+LibraryStats library_stats(const std::vector<Raster>& patterns) {
+  LibraryStats s;
+  s.total = patterns.size();
+  s.unique = count_unique(patterns);
+  s.h1 = entropy_h1(patterns);
+  s.h2 = entropy_h2(patterns);
+  return s;
+}
+
+}  // namespace pp

@@ -1,0 +1,52 @@
+// Diversity metrics for pattern libraries (Sec. III of the paper).
+//
+//   H1: Shannon entropy (bits) of the joint distribution of topology
+//       complexities (Cx, Cy) across the library — topology diversity only.
+//   H2: Shannon entropy (bits) of the joint distribution of (dx, dy) delta
+//       vector pairs — geometry-aware diversity, the paper's main metric.
+//
+// The paper writes the entropies without the leading minus sign; values in
+// its tables are standard (positive) entropies in bits (e.g. 20 distinct
+// starter patterns yield H2 = log2(20) = 4.32), which is what we compute.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/raster.hpp"
+#include "squish/squish.hpp"
+
+namespace pp {
+
+/// Shannon entropy in bits of an empirical distribution given as counts.
+/// Zero-count entries are ignored; an empty histogram has entropy 0.
+double entropy_bits(const std::vector<long long>& counts);
+
+/// H1 over a set of patterns: entropy of the (Cx, Cy) histogram.
+double entropy_h1(const std::vector<Raster>& patterns);
+
+/// H2 over a set of patterns: entropy of the (dx, dy) vector histogram.
+double entropy_h2(const std::vector<Raster>& patterns);
+
+/// Pre-squished variants (avoid re-extracting when callers already have
+/// squish forms).
+double entropy_h1_squish(const std::vector<SquishPattern>& patterns);
+double entropy_h2_squish(const std::vector<SquishPattern>& patterns);
+
+/// Number of distinct patterns by exact pixel content.
+std::size_t count_unique(const std::vector<Raster>& patterns);
+
+/// Removes exact duplicates, preserving first-seen order.
+std::vector<Raster> deduplicate(const std::vector<Raster>& patterns);
+
+/// Summary statistics used by the benchmark tables.
+struct LibraryStats {
+  std::size_t total = 0;
+  std::size_t unique = 0;
+  double h1 = 0.0;
+  double h2 = 0.0;
+};
+
+LibraryStats library_stats(const std::vector<Raster>& patterns);
+
+}  // namespace pp

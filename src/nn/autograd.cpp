@@ -1,0 +1,102 @@
+#include "nn/autograd.hpp"
+
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace pp::nn {
+
+Tensor& Node::ensure_grad() {
+  if (grad.empty()) grad = value.zeros_like();
+  return grad;
+}
+
+Var make_param(Tensor value) {
+  auto n = std::make_shared<Node>();
+  n->value = std::move(value);
+  n->requires_grad = true;
+  n->op = "param";
+  return n;
+}
+
+Var make_input(Tensor value) {
+  auto n = std::make_shared<Node>();
+  n->value = std::move(value);
+  n->requires_grad = false;
+  n->op = "input";
+  return n;
+}
+
+Var make_op(Tensor value, std::vector<Var> parents,
+            std::function<void(Node&)> backprop, const char* op_name) {
+  auto n = std::make_shared<Node>();
+  n->value = std::move(value);
+  n->parents = std::move(parents);
+  n->backprop = std::move(backprop);
+  n->op = op_name;
+  for (const auto& p : n->parents) {
+    PP_REQUIRE_MSG(p != nullptr, "null parent in op node");
+    if (p->requires_grad) n->requires_grad = true;
+  }
+  return n;
+}
+
+namespace {
+
+void topo_visit(const Var& v, std::unordered_set<Node*>& seen,
+                std::vector<Var>& order) {
+  // Iterative DFS to avoid stack overflow on deep graphs.
+  struct Frame {
+    Var node;
+    std::size_t next_parent = 0;
+  };
+  std::vector<Frame> stack;
+  if (!seen.insert(v.get()).second) return;
+  stack.push_back({v});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      Var p = f.node->parents[f.next_parent++];
+      if (p->requires_grad && seen.insert(p.get()).second)
+        stack.push_back({std::move(p)});
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void backward(const Var& root) {
+  PP_REQUIRE_MSG(root != nullptr, "backward on null var");
+  PP_REQUIRE_MSG(root->value.numel() == 1, "backward root must be scalar");
+  if (!root->requires_grad) return;  // nothing trainable upstream
+
+  std::unordered_set<Node*> seen;
+  std::vector<Var> order;  // children after parents (post-order)
+  topo_visit(root, seen, order);
+
+  root->ensure_grad()[0] = 1.0f;
+  // Reverse post-order: every node's grad is complete before its backprop
+  // pushes contributions into parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node& n = **it;
+    if (!n.backprop) continue;
+    if (!n.has_grad()) continue;  // unreachable from root along grad paths
+    n.backprop(n);
+  }
+}
+
+void zero_grad(const std::vector<Var>& params) {
+  for (const auto& p : params)
+    if (p && p->has_grad()) p->grad.fill(0.0f);
+}
+
+std::size_t parameter_count(const std::vector<Var>& params) {
+  std::size_t n = 0;
+  for (const auto& p : params) n += p->value.numel();
+  return n;
+}
+
+}  // namespace pp::nn

@@ -1,0 +1,62 @@
+// Minimal reverse-mode automatic differentiation.
+//
+// A computation builds a DAG of Nodes; Var is a shared handle. Calling
+// backward(root) runs a topological sweep and accumulates gradients into
+// every node with requires_grad. Leaf parameter nodes keep their gradients
+// for the optimizer; interior nodes free theirs when the graph is dropped.
+//
+// Design notes:
+//   * gradients are accumulated (+=), so a Var used twice receives the sum
+//     of both path contributions;
+//   * requires_grad propagates: an op node requires grad iff any parent
+//     does; backward skips subgraphs that don't;
+//   * graphs are built per step and released by shared_ptr when the step's
+//     Vars go out of scope — no retain-graph semantics needed.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace pp::nn {
+
+struct Node;
+using Var = std::shared_ptr<Node>;
+
+struct Node {
+  Tensor value;
+  Tensor grad;  ///< Allocated lazily on first accumulation.
+  bool requires_grad = false;
+  std::vector<Var> parents;
+  /// Propagates this->grad into parents' grads. Null for leaves.
+  std::function<void(Node&)> backprop;
+  const char* op = "leaf";
+
+  /// Ensures grad is allocated (zero-filled) with value's shape.
+  Tensor& ensure_grad();
+  bool has_grad() const { return !grad.empty(); }
+};
+
+/// Trainable leaf (weight/bias): participates in backward.
+Var make_param(Tensor value);
+
+/// Non-trainable leaf (network input / constant).
+Var make_input(Tensor value);
+
+/// Interior op node helper used by op implementations.
+Var make_op(Tensor value, std::vector<Var> parents,
+            std::function<void(Node&)> backprop, const char* op_name);
+
+/// Runs reverse-mode autodiff from `root`, which must be scalar (numel 1).
+/// Seeds d(root)/d(root) = 1 and accumulates into all requiring nodes.
+void backward(const Var& root);
+
+/// Zeroes the gradients of the given parameters (call before each step).
+void zero_grad(const std::vector<Var>& params);
+
+/// Number of scalar parameters across a parameter list.
+std::size_t parameter_count(const std::vector<Var>& params);
+
+}  // namespace pp::nn

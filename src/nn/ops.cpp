@@ -1,0 +1,915 @@
+#include "nn/ops.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace pp::nn {
+
+namespace {
+
+void require_same_shape(const Var& a, const Var& b, const char* op) {
+  PP_REQUIRE_MSG(a->value.same_shape(b->value),
+                 std::string(op) + ": shape mismatch " + a->value.shape_str() +
+                     " vs " + b->value.shape_str());
+}
+
+void accumulate(Node& parent, const Tensor& contribution) {
+  if (!parent.requires_grad) return;
+  parent.ensure_grad().add_scaled(contribution, 1.0f);
+}
+
+}  // namespace
+
+// --- Elementwise -------------------------------------------------------------
+
+Var add(const Var& a, const Var& b) {
+  require_same_shape(a, b, "add");
+  Tensor out = a->value;
+  out.add_scaled(b->value, 1.0f);
+  return make_op(std::move(out), {a, b},
+                 [](Node& n) {
+                   accumulate(*n.parents[0], n.grad);
+                   accumulate(*n.parents[1], n.grad);
+                 },
+                 "add");
+}
+
+Var sub(const Var& a, const Var& b) {
+  require_same_shape(a, b, "sub");
+  Tensor out = a->value;
+  out.add_scaled(b->value, -1.0f);
+  return make_op(std::move(out), {a, b},
+                 [](Node& n) {
+                   accumulate(*n.parents[0], n.grad);
+                   if (n.parents[1]->requires_grad)
+                     n.parents[1]->ensure_grad().add_scaled(n.grad, -1.0f);
+                 },
+                 "sub");
+}
+
+Var mul(const Var& a, const Var& b) {
+  require_same_shape(a, b, "mul");
+  Tensor out = a->value.zeros_like();
+  for (std::size_t i = 0; i < out.numel(); ++i)
+    out[i] = a->value[i] * b->value[i];
+  return make_op(std::move(out), {a, b},
+                 [](Node& n) {
+                   Node& a = *n.parents[0];
+                   Node& b = *n.parents[1];
+                   if (a.requires_grad) {
+                     Tensor& ga = a.ensure_grad();
+                     for (std::size_t i = 0; i < n.grad.numel(); ++i)
+                       ga[i] += n.grad[i] * b.value[i];
+                   }
+                   if (b.requires_grad) {
+                     Tensor& gb = b.ensure_grad();
+                     for (std::size_t i = 0; i < n.grad.numel(); ++i)
+                       gb[i] += n.grad[i] * a.value[i];
+                   }
+                 },
+                 "mul");
+}
+
+Var mul_scalar(const Var& a, float s) {
+  Tensor out = a->value;
+  for (std::size_t i = 0; i < out.numel(); ++i) out[i] *= s;
+  return make_op(std::move(out), {a},
+                 [s](Node& n) {
+                   if (!n.parents[0]->requires_grad) return;
+                   n.parents[0]->ensure_grad().add_scaled(n.grad, s);
+                 },
+                 "mul_scalar");
+}
+
+Var add_scalar(const Var& a, float s) {
+  Tensor out = a->value;
+  for (std::size_t i = 0; i < out.numel(); ++i) out[i] += s;
+  return make_op(std::move(out), {a},
+                 [](Node& n) { accumulate(*n.parents[0], n.grad); },
+                 "add_scalar");
+}
+
+Var silu(const Var& x) {
+  Tensor out = x->value.zeros_like();
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    float v = x->value[i];
+    out[i] = v / (1.0f + std::exp(-v));
+  }
+  return make_op(std::move(out), {x},
+                 [](Node& n) {
+                   Node& x = *n.parents[0];
+                   if (!x.requires_grad) return;
+                   Tensor& gx = x.ensure_grad();
+                   for (std::size_t i = 0; i < n.grad.numel(); ++i) {
+                     float v = x.value[i];
+                     float sig = 1.0f / (1.0f + std::exp(-v));
+                     gx[i] += n.grad[i] * (sig * (1.0f + v * (1.0f - sig)));
+                   }
+                 },
+                 "silu");
+}
+
+Var relu(const Var& x) {
+  Tensor out = x->value.zeros_like();
+  for (std::size_t i = 0; i < out.numel(); ++i)
+    out[i] = x->value[i] > 0 ? x->value[i] : 0.0f;
+  return make_op(std::move(out), {x},
+                 [](Node& n) {
+                   Node& x = *n.parents[0];
+                   if (!x.requires_grad) return;
+                   Tensor& gx = x.ensure_grad();
+                   for (std::size_t i = 0; i < n.grad.numel(); ++i)
+                     if (x.value[i] > 0) gx[i] += n.grad[i];
+                 },
+                 "relu");
+}
+
+Var sigmoid(const Var& x) {
+  Tensor out = x->value.zeros_like();
+  for (std::size_t i = 0; i < out.numel(); ++i)
+    out[i] = 1.0f / (1.0f + std::exp(-x->value[i]));
+  return make_op(std::move(out), {x},
+                 [](Node& n) {
+                   Node& x = *n.parents[0];
+                   if (!x.requires_grad) return;
+                   Tensor& gx = x.ensure_grad();
+                   for (std::size_t i = 0; i < n.grad.numel(); ++i) {
+                     float y = n.value[i];
+                     gx[i] += n.grad[i] * y * (1.0f - y);
+                   }
+                 },
+                 "sigmoid");
+}
+
+Var tanh_op(const Var& x) {
+  Tensor out = x->value.zeros_like();
+  for (std::size_t i = 0; i < out.numel(); ++i) out[i] = std::tanh(x->value[i]);
+  return make_op(std::move(out), {x},
+                 [](Node& n) {
+                   Node& x = *n.parents[0];
+                   if (!x.requires_grad) return;
+                   Tensor& gx = x.ensure_grad();
+                   for (std::size_t i = 0; i < n.grad.numel(); ++i) {
+                     float y = n.value[i];
+                     gx[i] += n.grad[i] * (1.0f - y * y);
+                   }
+                 },
+                 "tanh");
+}
+
+// --- Shape / structure -------------------------------------------------------
+
+Var concat_channels(const Var& a, const Var& b) {
+  PP_REQUIRE_MSG(a->value.ndim() == 4 && b->value.ndim() == 4,
+                 "concat_channels needs 4-D tensors");
+  const auto& sa = a->value.shape();
+  const auto& sb = b->value.shape();
+  PP_REQUIRE_MSG(sa[0] == sb[0] && sa[2] == sb[2] && sa[3] == sb[3],
+                 "concat_channels: N/H/W mismatch");
+  int N = sa[0], Ca = sa[1], Cb = sb[1], H = sa[2], W = sa[3];
+  Tensor out({N, Ca + Cb, H, W});
+  std::size_t plane = static_cast<std::size_t>(H) * W;
+  for (int n = 0; n < N; ++n) {
+    std::copy_n(a->value.data() + static_cast<std::size_t>(n) * Ca * plane,
+                static_cast<std::size_t>(Ca) * plane,
+                out.data() + static_cast<std::size_t>(n) * (Ca + Cb) * plane);
+    std::copy_n(b->value.data() + static_cast<std::size_t>(n) * Cb * plane,
+                static_cast<std::size_t>(Cb) * plane,
+                out.data() + (static_cast<std::size_t>(n) * (Ca + Cb) + Ca) * plane);
+  }
+  return make_op(std::move(out), {a, b},
+                 [Ca, Cb, plane, N](Node& n) {
+                   Node& a = *n.parents[0];
+                   Node& b = *n.parents[1];
+                   for (int i = 0; i < N; ++i) {
+                     const float* g =
+                         n.grad.data() + static_cast<std::size_t>(i) * (Ca + Cb) * plane;
+                     if (a.requires_grad) {
+                       float* ga = a.ensure_grad().data() +
+                                   static_cast<std::size_t>(i) * Ca * plane;
+                       for (std::size_t k = 0; k < static_cast<std::size_t>(Ca) * plane; ++k)
+                         ga[k] += g[k];
+                     }
+                     if (b.requires_grad) {
+                       float* gb = b.ensure_grad().data() +
+                                   static_cast<std::size_t>(i) * Cb * plane;
+                       const float* gsrc = g + static_cast<std::size_t>(Ca) * plane;
+                       for (std::size_t k = 0; k < static_cast<std::size_t>(Cb) * plane; ++k)
+                         gb[k] += gsrc[k];
+                     }
+                   }
+                 },
+                 "concat_channels");
+}
+
+Var add_channel_bias(const Var& x, const Var& bias) {
+  PP_REQUIRE_MSG(x->value.ndim() == 4, "add_channel_bias needs 4-D input");
+  int N = x->value.dim(0), C = x->value.dim(1), H = x->value.dim(2),
+      W = x->value.dim(3);
+  bool per_sample = bias->value.ndim() == 2;
+  if (per_sample) {
+    PP_REQUIRE_MSG(bias->value.dim(0) == N && bias->value.dim(1) == C,
+                   "add_channel_bias: bias {N,C} mismatch");
+  } else {
+    PP_REQUIRE_MSG(bias->value.ndim() == 1 && bias->value.dim(0) == C,
+                   "add_channel_bias: bias {C} mismatch");
+  }
+  Tensor out = x->value;
+  std::size_t plane = static_cast<std::size_t>(H) * W;
+  for (int n = 0; n < N; ++n)
+    for (int c = 0; c < C; ++c) {
+      float b = per_sample ? bias->value.at2(n, c) : bias->value[static_cast<std::size_t>(c)];
+      float* p = out.data() + (static_cast<std::size_t>(n) * C + c) * plane;
+      for (std::size_t k = 0; k < plane; ++k) p[k] += b;
+    }
+  return make_op(std::move(out), {x, bias},
+                 [N, C, plane, per_sample](Node& n) {
+                   accumulate(*n.parents[0], n.grad);
+                   Node& bias = *n.parents[1];
+                   if (!bias.requires_grad) return;
+                   Tensor& gb = bias.ensure_grad();
+                   for (int i = 0; i < N; ++i)
+                     for (int c = 0; c < C; ++c) {
+                       const float* g = n.grad.data() +
+                                        (static_cast<std::size_t>(i) * C + c) * plane;
+                       double s = 0;
+                       for (std::size_t k = 0; k < plane; ++k) s += g[k];
+                       if (per_sample)
+                         gb.at2(i, c) += static_cast<float>(s);
+                       else
+                         gb[static_cast<std::size_t>(c)] += static_cast<float>(s);
+                     }
+                 },
+                 "add_channel_bias");
+}
+
+Var reshape(const Var& x, std::vector<int> shape) {
+  Tensor out = x->value.reshaped(shape);
+  return make_op(std::move(out), {x},
+                 [](Node& n) {
+                   Node& x = *n.parents[0];
+                   if (!x.requires_grad) return;
+                   Tensor& gx = x.ensure_grad();
+                   for (std::size_t i = 0; i < n.grad.numel(); ++i)
+                     gx[i] += n.grad[i];
+                 },
+                 "reshape");
+}
+
+// --- Dense -------------------------------------------------------------------
+
+Var linear(const Var& x, const Var& w, const Var& b) {
+  PP_REQUIRE_MSG(x->value.ndim() == 2 && w->value.ndim() == 2 &&
+                     b->value.ndim() == 1,
+                 "linear: expected x{N,I} w{O,I} b{O}");
+  int N = x->value.dim(0), I = x->value.dim(1), O = w->value.dim(0);
+  PP_REQUIRE_MSG(w->value.dim(1) == I && b->value.dim(0) == O,
+                 "linear: dimension mismatch");
+  Tensor out({N, O});
+  for (int n = 0; n < N; ++n)
+    for (int o = 0; o < O; ++o) {
+      double s = b->value[static_cast<std::size_t>(o)];
+      const float* xr = x->value.data() + static_cast<std::size_t>(n) * I;
+      const float* wr = w->value.data() + static_cast<std::size_t>(o) * I;
+      for (int i = 0; i < I; ++i) s += static_cast<double>(xr[i]) * wr[i];
+      out.at2(n, o) = static_cast<float>(s);
+    }
+  return make_op(std::move(out), {x, w, b},
+                 [N, I, O](Node& n) {
+                   Node& x = *n.parents[0];
+                   Node& w = *n.parents[1];
+                   Node& b = *n.parents[2];
+                   if (x.requires_grad) {
+                     Tensor& gx = x.ensure_grad();
+                     for (int i = 0; i < N; ++i)
+                       for (int o = 0; o < O; ++o) {
+                         float g = n.grad.at2(i, o);
+                         const float* wr =
+                             w.value.data() + static_cast<std::size_t>(o) * I;
+                         float* gxr = gx.data() + static_cast<std::size_t>(i) * I;
+                         for (int k = 0; k < I; ++k) gxr[k] += g * wr[k];
+                       }
+                   }
+                   if (w.requires_grad) {
+                     Tensor& gw = w.ensure_grad();
+                     for (int i = 0; i < N; ++i)
+                       for (int o = 0; o < O; ++o) {
+                         float g = n.grad.at2(i, o);
+                         const float* xr =
+                             x.value.data() + static_cast<std::size_t>(i) * I;
+                         float* gwr = gw.data() + static_cast<std::size_t>(o) * I;
+                         for (int k = 0; k < I; ++k) gwr[k] += g * xr[k];
+                       }
+                   }
+                   if (b.requires_grad) {
+                     Tensor& gb = b.ensure_grad();
+                     for (int i = 0; i < N; ++i)
+                       for (int o = 0; o < O; ++o)
+                         gb[static_cast<std::size_t>(o)] += n.grad.at2(i, o);
+                   }
+                 },
+                 "linear");
+}
+
+// --- Conv --------------------------------------------------------------------
+
+Var conv2d(const Var& x, const Var& w, const Var& b, int stride, int pad) {
+  PP_REQUIRE_MSG(x->value.ndim() == 4 && w->value.ndim() == 4 &&
+                     b->value.ndim() == 1,
+                 "conv2d: expected x{N,Ci,H,W} w{Co,Ci,Kh,Kw} b{Co}");
+  PP_REQUIRE(stride >= 1 && pad >= 0);
+  int N = x->value.dim(0), Ci = x->value.dim(1), H = x->value.dim(2),
+      W = x->value.dim(3);
+  int Co = w->value.dim(0), Kh = w->value.dim(2), Kw = w->value.dim(3);
+  PP_REQUIRE_MSG(w->value.dim(1) == Ci, "conv2d: in-channel mismatch");
+  PP_REQUIRE_MSG(b->value.dim(0) == Co, "conv2d: bias size mismatch");
+  int Ho = (H + 2 * pad - Kh) / stride + 1;
+  int Wo = (W + 2 * pad - Kw) / stride + 1;
+  PP_REQUIRE_MSG(Ho > 0 && Wo > 0, "conv2d: output collapses to zero size");
+
+  Tensor out({N, Co, Ho, Wo});
+  const float* xv = x->value.data();
+  const float* wv = w->value.data();
+  const float* bv = b->value.data();
+  float* ov = out.data();
+
+  // Forward: parallel over (n, co) pairs; accumulation pattern keeps the
+  // inner loop contiguous over output columns.
+  parallel_for(0, static_cast<std::size_t>(N) * Co, [&](std::size_t idx) {
+    int n = static_cast<int>(idx) / Co;
+    int co = static_cast<int>(idx) % Co;
+    float* yplane = ov + ((static_cast<std::size_t>(n) * Co + co) *
+                          static_cast<std::size_t>(Ho) * Wo);
+    for (int i = 0; i < Ho * Wo; ++i) yplane[i] = bv[co];
+    for (int ci = 0; ci < Ci; ++ci) {
+      const float* xplane = xv + ((static_cast<std::size_t>(n) * Ci + ci) *
+                                  static_cast<std::size_t>(H) * W);
+      const float* wk = wv + ((static_cast<std::size_t>(co) * Ci + ci) *
+                              static_cast<std::size_t>(Kh) * Kw);
+      for (int kh = 0; kh < Kh; ++kh)
+        for (int kw = 0; kw < Kw; ++kw) {
+          float wval = wk[kh * Kw + kw];
+          if (wval == 0.0f) continue;
+          for (int oh = 0; oh < Ho; ++oh) {
+            int ih = oh * stride + kh - pad;
+            if (ih < 0 || ih >= H) continue;
+            // Valid output-column range so iw = ow*stride + kw - pad in
+            // [0, W).
+            int ow_lo = 0, ow_hi = Wo;
+            while (ow_lo < Wo && ow_lo * stride + kw - pad < 0) ++ow_lo;
+            while (ow_hi > ow_lo && (ow_hi - 1) * stride + kw - pad >= W)
+              --ow_hi;
+            const float* xrow = xplane + static_cast<std::size_t>(ih) * W;
+            float* yrow = yplane + static_cast<std::size_t>(oh) * Wo;
+            for (int ow = ow_lo; ow < ow_hi; ++ow)
+              yrow[ow] += wval * xrow[ow * stride + kw - pad];
+          }
+        }
+    }
+  });
+
+  return make_op(
+      std::move(out), {x, w, b},
+      [N, Ci, H, W, Co, Kh, Kw, Ho, Wo, stride, pad](Node& node) {
+        Node& x = *node.parents[0];
+        Node& w = *node.parents[1];
+        Node& b = *node.parents[2];
+        const float* g = node.grad.data();
+        // grad wrt bias.
+        if (b.requires_grad) {
+          Tensor& gb = b.ensure_grad();
+          for (int n = 0; n < N; ++n)
+            for (int co = 0; co < Co; ++co) {
+              const float* gp = g + ((static_cast<std::size_t>(n) * Co + co) *
+                                     static_cast<std::size_t>(Ho) * Wo);
+              double s = 0;
+              for (int i = 0; i < Ho * Wo; ++i) s += gp[i];
+              gb[static_cast<std::size_t>(co)] += static_cast<float>(s);
+            }
+        }
+        // grad wrt weights: parallel over co (disjoint writes per co).
+        if (w.requires_grad) {
+          Tensor& gw = w.ensure_grad();
+          const float* xv = x.value.data();
+          parallel_for(0, static_cast<std::size_t>(Co), [&](std::size_t co_idx) {
+            int co = static_cast<int>(co_idx);
+            for (int n = 0; n < N; ++n) {
+              const float* gp = g + ((static_cast<std::size_t>(n) * Co + co) *
+                                     static_cast<std::size_t>(Ho) * Wo);
+              for (int ci = 0; ci < Ci; ++ci) {
+                const float* xplane =
+                    xv + ((static_cast<std::size_t>(n) * Ci + ci) *
+                          static_cast<std::size_t>(H) * W);
+                float* gwk = gw.data() +
+                             ((static_cast<std::size_t>(co) * Ci + ci) *
+                              static_cast<std::size_t>(Kh) * Kw);
+                for (int kh = 0; kh < Kh; ++kh)
+                  for (int kw = 0; kw < Kw; ++kw) {
+                    double s = 0;
+                    for (int oh = 0; oh < Ho; ++oh) {
+                      int ih = oh * stride + kh - pad;
+                      if (ih < 0 || ih >= H) continue;
+                      int ow_lo = 0, ow_hi = Wo;
+                      while (ow_lo < Wo && ow_lo * stride + kw - pad < 0)
+                        ++ow_lo;
+                      while (ow_hi > ow_lo &&
+                             (ow_hi - 1) * stride + kw - pad >= W)
+                        --ow_hi;
+                      const float* xrow =
+                          xplane + static_cast<std::size_t>(ih) * W;
+                      const float* grow =
+                          gp + static_cast<std::size_t>(oh) * Wo;
+                      for (int ow = ow_lo; ow < ow_hi; ++ow)
+                        s += static_cast<double>(grow[ow]) *
+                             xrow[ow * stride + kw - pad];
+                    }
+                    gwk[kh * Kw + kw] += static_cast<float>(s);
+                  }
+              }
+            }
+          });
+        }
+        // grad wrt input: parallel over n (disjoint writes per sample).
+        if (x.requires_grad) {
+          Tensor& gx = x.ensure_grad();
+          const float* wv = w.value.data();
+          parallel_for(0, static_cast<std::size_t>(N), [&](std::size_t n_idx) {
+            int n = static_cast<int>(n_idx);
+            for (int co = 0; co < Co; ++co) {
+              const float* gp = g + ((static_cast<std::size_t>(n) * Co + co) *
+                                     static_cast<std::size_t>(Ho) * Wo);
+              for (int ci = 0; ci < Ci; ++ci) {
+                float* gxplane = gx.data() +
+                                 ((static_cast<std::size_t>(n) * Ci + ci) *
+                                  static_cast<std::size_t>(H) * W);
+                const float* wk = wv +
+                                  ((static_cast<std::size_t>(co) * Ci + ci) *
+                                   static_cast<std::size_t>(Kh) * Kw);
+                for (int kh = 0; kh < Kh; ++kh)
+                  for (int kw = 0; kw < Kw; ++kw) {
+                    float wval = wk[kh * Kw + kw];
+                    if (wval == 0.0f) continue;
+                    for (int oh = 0; oh < Ho; ++oh) {
+                      int ih = oh * stride + kh - pad;
+                      if (ih < 0 || ih >= H) continue;
+                      int ow_lo = 0, ow_hi = Wo;
+                      while (ow_lo < Wo && ow_lo * stride + kw - pad < 0)
+                        ++ow_lo;
+                      while (ow_hi > ow_lo &&
+                             (ow_hi - 1) * stride + kw - pad >= W)
+                        --ow_hi;
+                      float* gxrow =
+                          gxplane + static_cast<std::size_t>(ih) * W;
+                      const float* grow =
+                          gp + static_cast<std::size_t>(oh) * Wo;
+                      for (int ow = ow_lo; ow < ow_hi; ++ow)
+                        gxrow[ow * stride + kw - pad] += wval * grow[ow];
+                    }
+                  }
+              }
+            }
+          });
+        }
+      },
+      "conv2d");
+}
+
+// --- Batched linear algebra -----------------------------------------------------
+
+Var bmm(const Var& a, const Var& b) {
+  PP_REQUIRE_MSG(a->value.ndim() == 3 && b->value.ndim() == 3,
+                 "bmm: expected 3-D tensors");
+  int B = a->value.dim(0), M = a->value.dim(1), K = a->value.dim(2);
+  PP_REQUIRE_MSG(b->value.dim(0) == B && b->value.dim(1) == K,
+                 "bmm: shape mismatch " + a->value.shape_str() + " x " +
+                     b->value.shape_str());
+  int N = b->value.dim(2);
+  Tensor out({B, M, N});
+  for (int bi = 0; bi < B; ++bi) {
+    const float* av = a->value.data() + static_cast<std::size_t>(bi) * M * K;
+    const float* bv = b->value.data() + static_cast<std::size_t>(bi) * K * N;
+    float* ov = out.data() + static_cast<std::size_t>(bi) * M * N;
+    for (int m = 0; m < M; ++m)
+      for (int k = 0; k < K; ++k) {
+        float x = av[m * K + k];
+        if (x == 0.0f) continue;
+        const float* br = bv + static_cast<std::size_t>(k) * N;
+        float* orow = ov + static_cast<std::size_t>(m) * N;
+        for (int n = 0; n < N; ++n) orow[n] += x * br[n];
+      }
+  }
+  return make_op(std::move(out), {a, b},
+                 [B, M, K, N](Node& node) {
+                   Node& a = *node.parents[0];
+                   Node& b = *node.parents[1];
+                   const float* g = node.grad.data();
+                   if (a.requires_grad) {
+                     Tensor& ga = a.ensure_grad();
+                     for (int bi = 0; bi < B; ++bi) {
+                       const float* bv = b.value.data() +
+                                         static_cast<std::size_t>(bi) * K * N;
+                       const float* gp = g + static_cast<std::size_t>(bi) * M * N;
+                       float* gav = ga.data() + static_cast<std::size_t>(bi) * M * K;
+                       // dA = dOut * B^T
+                       for (int m = 0; m < M; ++m)
+                         for (int k = 0; k < K; ++k) {
+                           double s = 0;
+                           for (int n = 0; n < N; ++n)
+                             s += static_cast<double>(gp[m * N + n]) * bv[k * N + n];
+                           gav[m * K + k] += static_cast<float>(s);
+                         }
+                     }
+                   }
+                   if (b.requires_grad) {
+                     Tensor& gb = b.ensure_grad();
+                     for (int bi = 0; bi < B; ++bi) {
+                       const float* av = a.value.data() +
+                                         static_cast<std::size_t>(bi) * M * K;
+                       const float* gp = g + static_cast<std::size_t>(bi) * M * N;
+                       float* gbv = gb.data() + static_cast<std::size_t>(bi) * K * N;
+                       // dB = A^T * dOut
+                       for (int k = 0; k < K; ++k)
+                         for (int n = 0; n < N; ++n) {
+                           double s = 0;
+                           for (int m = 0; m < M; ++m)
+                             s += static_cast<double>(av[m * K + k]) * gp[m * N + n];
+                           gbv[k * N + n] += static_cast<float>(s);
+                         }
+                     }
+                   }
+                 },
+                 "bmm");
+}
+
+Var transpose_last2(const Var& x) {
+  PP_REQUIRE_MSG(x->value.ndim() == 3, "transpose_last2: expected 3-D tensor");
+  int B = x->value.dim(0), M = x->value.dim(1), N = x->value.dim(2);
+  Tensor out({B, N, M});
+  for (int b = 0; b < B; ++b)
+    for (int m = 0; m < M; ++m)
+      for (int n = 0; n < N; ++n)
+        out[static_cast<std::size_t>((b * N + n)) * M + m] =
+            x->value[static_cast<std::size_t>((b * M + m)) * N + n];
+  return make_op(std::move(out), {x},
+                 [B, M, N](Node& node) {
+                   Node& x = *node.parents[0];
+                   if (!x.requires_grad) return;
+                   Tensor& gx = x.ensure_grad();
+                   for (int b = 0; b < B; ++b)
+                     for (int m = 0; m < M; ++m)
+                       for (int n = 0; n < N; ++n)
+                         gx[static_cast<std::size_t>((b * M + m)) * N + n] +=
+                             node.grad[static_cast<std::size_t>((b * N + n)) * M + m];
+                 },
+                 "transpose_last2");
+}
+
+Var softmax_lastdim(const Var& x) {
+  int L = x->value.dim(x->value.ndim() - 1);
+  std::size_t rows = x->value.numel() / static_cast<std::size_t>(L);
+  Tensor out = x->value.zeros_like();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* xr = x->value.data() + r * static_cast<std::size_t>(L);
+    float* orow = out.data() + r * static_cast<std::size_t>(L);
+    float mx = xr[0];
+    for (int i = 1; i < L; ++i) mx = std::max(mx, xr[i]);
+    double denom = 0;
+    for (int i = 0; i < L; ++i) {
+      orow[i] = std::exp(xr[i] - mx);
+      denom += orow[i];
+    }
+    for (int i = 0; i < L; ++i)
+      orow[i] = static_cast<float>(orow[i] / denom);
+  }
+  return make_op(std::move(out), {x},
+                 [L, rows](Node& node) {
+                   Node& x = *node.parents[0];
+                   if (!x.requires_grad) return;
+                   Tensor& gx = x.ensure_grad();
+                   for (std::size_t r = 0; r < rows; ++r) {
+                     const float* y = node.value.data() + r * static_cast<std::size_t>(L);
+                     const float* gy = node.grad.data() + r * static_cast<std::size_t>(L);
+                     float* gxr = gx.data() + r * static_cast<std::size_t>(L);
+                     double dot = 0;
+                     for (int i = 0; i < L; ++i)
+                       dot += static_cast<double>(gy[i]) * y[i];
+                     for (int i = 0; i < L; ++i)
+                       gxr[i] += y[i] * (gy[i] - static_cast<float>(dot));
+                   }
+                 },
+                 "softmax_lastdim");
+}
+
+// --- Resampling --------------------------------------------------------------
+
+Var upsample_nearest2(const Var& x) {
+  PP_REQUIRE_MSG(x->value.ndim() == 4, "upsample_nearest2 needs 4-D input");
+  int N = x->value.dim(0), C = x->value.dim(1), H = x->value.dim(2),
+      W = x->value.dim(3);
+  Tensor out({N, C, 2 * H, 2 * W});
+  for (int n = 0; n < N; ++n)
+    for (int c = 0; c < C; ++c)
+      for (int h = 0; h < H; ++h)
+        for (int w = 0; w < W; ++w) {
+          float v = x->value.at4(n, c, h, w);
+          out.at4(n, c, 2 * h, 2 * w) = v;
+          out.at4(n, c, 2 * h, 2 * w + 1) = v;
+          out.at4(n, c, 2 * h + 1, 2 * w) = v;
+          out.at4(n, c, 2 * h + 1, 2 * w + 1) = v;
+        }
+  return make_op(std::move(out), {x},
+                 [N, C, H, W](Node& n) {
+                   Node& x = *n.parents[0];
+                   if (!x.requires_grad) return;
+                   Tensor& gx = x.ensure_grad();
+                   for (int i = 0; i < N; ++i)
+                     for (int c = 0; c < C; ++c)
+                       for (int h = 0; h < H; ++h)
+                         for (int w = 0; w < W; ++w)
+                           gx.at4(i, c, h, w) +=
+                               n.grad.at4(i, c, 2 * h, 2 * w) +
+                               n.grad.at4(i, c, 2 * h, 2 * w + 1) +
+                               n.grad.at4(i, c, 2 * h + 1, 2 * w) +
+                               n.grad.at4(i, c, 2 * h + 1, 2 * w + 1);
+                 },
+                 "upsample_nearest2");
+}
+
+Var avg_pool2(const Var& x) {
+  PP_REQUIRE_MSG(x->value.ndim() == 4, "avg_pool2 needs 4-D input");
+  int N = x->value.dim(0), C = x->value.dim(1), H = x->value.dim(2),
+      W = x->value.dim(3);
+  PP_REQUIRE_MSG(H % 2 == 0 && W % 2 == 0, "avg_pool2 needs even H and W");
+  Tensor out({N, C, H / 2, W / 2});
+  for (int n = 0; n < N; ++n)
+    for (int c = 0; c < C; ++c)
+      for (int h = 0; h < H / 2; ++h)
+        for (int w = 0; w < W / 2; ++w)
+          out.at4(n, c, h, w) =
+              0.25f * (x->value.at4(n, c, 2 * h, 2 * w) +
+                       x->value.at4(n, c, 2 * h, 2 * w + 1) +
+                       x->value.at4(n, c, 2 * h + 1, 2 * w) +
+                       x->value.at4(n, c, 2 * h + 1, 2 * w + 1));
+  return make_op(std::move(out), {x},
+                 [N, C, H, W](Node& n) {
+                   Node& x = *n.parents[0];
+                   if (!x.requires_grad) return;
+                   Tensor& gx = x.ensure_grad();
+                   for (int i = 0; i < N; ++i)
+                     for (int c = 0; c < C; ++c)
+                       for (int h = 0; h < H / 2; ++h)
+                         for (int w = 0; w < W / 2; ++w) {
+                           float g = 0.25f * n.grad.at4(i, c, h, w);
+                           gx.at4(i, c, 2 * h, 2 * w) += g;
+                           gx.at4(i, c, 2 * h, 2 * w + 1) += g;
+                           gx.at4(i, c, 2 * h + 1, 2 * w) += g;
+                           gx.at4(i, c, 2 * h + 1, 2 * w + 1) += g;
+                         }
+                 },
+                 "avg_pool2");
+}
+
+// --- GroupNorm ----------------------------------------------------------------
+
+Var group_norm(const Var& x, const Var& gamma, const Var& beta, int groups,
+               float eps) {
+  PP_REQUIRE_MSG(x->value.ndim() == 4, "group_norm needs 4-D input");
+  int N = x->value.dim(0), C = x->value.dim(1), H = x->value.dim(2),
+      W = x->value.dim(3);
+  PP_REQUIRE_MSG(groups >= 1 && C % groups == 0,
+                 "group_norm: C must be divisible by groups");
+  PP_REQUIRE_MSG(gamma->value.ndim() == 1 && gamma->value.dim(0) == C &&
+                     beta->value.ndim() == 1 && beta->value.dim(0) == C,
+                 "group_norm: affine parameter shape mismatch");
+  int cg = C / groups;                       // channels per group
+  std::size_t plane = static_cast<std::size_t>(H) * W;
+  std::size_t gsize = static_cast<std::size_t>(cg) * plane;  // elems per group
+
+  Tensor out = x->value.zeros_like();
+  // Cache statistics for backward.
+  auto mean = std::make_shared<std::vector<float>>(static_cast<std::size_t>(N) * groups);
+  auto inv_std = std::make_shared<std::vector<float>>(static_cast<std::size_t>(N) * groups);
+
+  for (int n = 0; n < N; ++n)
+    for (int g = 0; g < groups; ++g) {
+      const float* base = x->value.data() +
+                          (static_cast<std::size_t>(n) * C + static_cast<std::size_t>(g) * cg) * plane;
+      double s = 0, s2 = 0;
+      for (std::size_t i = 0; i < gsize; ++i) {
+        s += base[i];
+        s2 += static_cast<double>(base[i]) * base[i];
+      }
+      double mu = s / static_cast<double>(gsize);
+      double var = s2 / static_cast<double>(gsize) - mu * mu;
+      float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
+      (*mean)[static_cast<std::size_t>(n) * groups + g] = static_cast<float>(mu);
+      (*inv_std)[static_cast<std::size_t>(n) * groups + g] = istd;
+      float* o = out.data() +
+                 (static_cast<std::size_t>(n) * C + static_cast<std::size_t>(g) * cg) * plane;
+      for (int c = 0; c < cg; ++c) {
+        float gm = gamma->value[static_cast<std::size_t>(g * cg + c)];
+        float bt = beta->value[static_cast<std::size_t>(g * cg + c)];
+        for (std::size_t i = 0; i < plane; ++i) {
+          float xhat = (base[c * plane + i] - static_cast<float>(mu)) * istd;
+          o[c * plane + i] = gm * xhat + bt;
+        }
+      }
+    }
+
+  return make_op(
+      std::move(out), {x, gamma, beta},
+      [N, C, groups, cg, plane, gsize, mean, inv_std](Node& node) {
+        Node& x = *node.parents[0];
+        Node& gamma = *node.parents[1];
+        Node& beta = *node.parents[2];
+        const float* g = node.grad.data();
+        for (int n = 0; n < N; ++n)
+          for (int grp = 0; grp < groups; ++grp) {
+            std::size_t off =
+                (static_cast<std::size_t>(n) * C + static_cast<std::size_t>(grp) * cg) * plane;
+            const float* xb = x.value.data() + off;
+            const float* gb = g + off;
+            float mu = (*mean)[static_cast<std::size_t>(n) * groups + grp];
+            float istd = (*inv_std)[static_cast<std::size_t>(n) * groups + grp];
+            // Per-channel gamma/beta grads + group sums for input grad.
+            double sum_dxhat = 0, sum_dxhat_xhat = 0;
+            for (int c = 0; c < cg; ++c) {
+              float gm = gamma.value[static_cast<std::size_t>(grp * cg + c)];
+              double dg = 0, db = 0;
+              for (std::size_t i = 0; i < plane; ++i) {
+                float xhat = (xb[c * plane + i] - mu) * istd;
+                float go = gb[c * plane + i];
+                dg += static_cast<double>(go) * xhat;
+                db += go;
+                float dxhat = go * gm;
+                sum_dxhat += dxhat;
+                sum_dxhat_xhat += static_cast<double>(dxhat) * xhat;
+              }
+              if (gamma.requires_grad)
+                gamma.ensure_grad()[static_cast<std::size_t>(grp * cg + c)] +=
+                    static_cast<float>(dg);
+              if (beta.requires_grad)
+                beta.ensure_grad()[static_cast<std::size_t>(grp * cg + c)] +=
+                    static_cast<float>(db);
+            }
+            if (x.requires_grad) {
+              Tensor& gx = x.ensure_grad();
+              float* gxb = gx.data() + off;
+              float m = static_cast<float>(gsize);
+              for (int c = 0; c < cg; ++c) {
+                float gm = gamma.value[static_cast<std::size_t>(grp * cg + c)];
+                for (std::size_t i = 0; i < plane; ++i) {
+                  float xhat = (xb[c * plane + i] - mu) * istd;
+                  float dxhat = gb[c * plane + i] * gm;
+                  gxb[c * plane + i] +=
+                      istd * (dxhat - static_cast<float>(sum_dxhat) / m -
+                              xhat * static_cast<float>(sum_dxhat_xhat) / m);
+                }
+              }
+            }
+          }
+      },
+      "group_norm");
+}
+
+// --- Losses -------------------------------------------------------------------
+
+Var mse_loss(const Var& pred, const Var& target) {
+  require_same_shape(pred, target, "mse_loss");
+  double s = 0;
+  for (std::size_t i = 0; i < pred->value.numel(); ++i) {
+    double d = static_cast<double>(pred->value[i]) - target->value[i];
+    s += d * d;
+  }
+  Tensor out({1});
+  out[0] = static_cast<float>(s / static_cast<double>(pred->value.numel()));
+  return make_op(std::move(out), {pred, target},
+                 [](Node& n) {
+                   Node& p = *n.parents[0];
+                   Node& t = *n.parents[1];
+                   float scale =
+                       2.0f * n.grad[0] / static_cast<float>(p.value.numel());
+                   if (p.requires_grad) {
+                     Tensor& gp = p.ensure_grad();
+                     for (std::size_t i = 0; i < p.value.numel(); ++i)
+                       gp[i] += scale * (p.value[i] - t.value[i]);
+                   }
+                   if (t.requires_grad) {
+                     Tensor& gt = t.ensure_grad();
+                     for (std::size_t i = 0; i < p.value.numel(); ++i)
+                       gt[i] -= scale * (p.value[i] - t.value[i]);
+                   }
+                 },
+                 "mse_loss");
+}
+
+Var masked_mse_loss(const Var& pred, const Var& target, const Tensor& mask) {
+  require_same_shape(pred, target, "masked_mse_loss");
+  bool broadcast = !mask.same_shape(pred->value);
+  if (broadcast) {
+    PP_REQUIRE_MSG(pred->value.ndim() == 4 && mask.ndim() == 4 &&
+                       mask.dim(0) == pred->value.dim(0) && mask.dim(1) == 1 &&
+                       mask.dim(2) == pred->value.dim(2) &&
+                       mask.dim(3) == pred->value.dim(3),
+                   "masked_mse_loss: mask must match pred or be {N,1,H,W}");
+  }
+  int C = broadcast ? pred->value.dim(1) : 1;
+  std::size_t plane = broadcast
+                          ? static_cast<std::size_t>(pred->value.dim(2)) *
+                                pred->value.dim(3)
+                          : 0;
+  auto mask_at = [&](std::size_t i) -> float {
+    if (!broadcast) return mask[i];
+    // i indexes {N,C,H,W}; map to {N,1,H,W}.
+    std::size_t hw = i % plane;
+    std::size_t n = i / (plane * static_cast<std::size_t>(C));
+    return mask[n * plane + hw];
+  };
+  double s = 0, cnt = 0;
+  for (std::size_t i = 0; i < pred->value.numel(); ++i) {
+    float m = mask_at(i);
+    if (m == 0.0f) continue;
+    double d = static_cast<double>(pred->value[i]) - target->value[i];
+    s += m * d * d;
+    cnt += m;
+  }
+  Tensor out({1});
+  out[0] = cnt > 0 ? static_cast<float>(s / cnt) : 0.0f;
+  auto mask_copy = std::make_shared<Tensor>(mask);
+  double denom = cnt > 0 ? cnt : 1.0;
+  return make_op(std::move(out), {pred, target},
+                 [mask_copy, denom, broadcast, C, plane](Node& n) {
+                   Node& p = *n.parents[0];
+                   Node& t = *n.parents[1];
+                   auto mask_at = [&](std::size_t i) -> float {
+                     if (!broadcast) return (*mask_copy)[i];
+                     std::size_t hw = i % plane;
+                     std::size_t nn = i / (plane * static_cast<std::size_t>(C));
+                     return (*mask_copy)[nn * plane + hw];
+                   };
+                   float scale = 2.0f * n.grad[0] / static_cast<float>(denom);
+                   if (p.requires_grad) {
+                     Tensor& gp = p.ensure_grad();
+                     for (std::size_t i = 0; i < p.value.numel(); ++i) {
+                       float m = mask_at(i);
+                       if (m != 0.0f)
+                         gp[i] += scale * m * (p.value[i] - t.value[i]);
+                     }
+                   }
+                   if (t.requires_grad) {
+                     Tensor& gt = t.ensure_grad();
+                     for (std::size_t i = 0; i < p.value.numel(); ++i) {
+                       float m = mask_at(i);
+                       if (m != 0.0f)
+                         gt[i] -= scale * m * (p.value[i] - t.value[i]);
+                     }
+                   }
+                 },
+                 "masked_mse_loss");
+}
+
+Var bce_with_logits(const Var& logits, const Var& target) {
+  require_same_shape(logits, target, "bce_with_logits");
+  double s = 0;
+  for (std::size_t i = 0; i < logits->value.numel(); ++i) {
+    double z = logits->value[i];
+    double y = target->value[i];
+    // log(1 + exp(-|z|)) + max(z, 0) - z*y  (stable formulation)
+    s += std::log1p(std::exp(-std::fabs(z))) + std::max(z, 0.0) - z * y;
+  }
+  Tensor out({1});
+  out[0] = static_cast<float>(s / static_cast<double>(logits->value.numel()));
+  return make_op(std::move(out), {logits, target},
+                 [](Node& n) {
+                   Node& z = *n.parents[0];
+                   Node& y = *n.parents[1];
+                   if (!z.requires_grad) return;
+                   Tensor& gz = z.ensure_grad();
+                   float scale = n.grad[0] / static_cast<float>(z.value.numel());
+                   for (std::size_t i = 0; i < z.value.numel(); ++i) {
+                     float sig = 1.0f / (1.0f + std::exp(-z.value[i]));
+                     gz[i] += scale * (sig - y.value[i]);
+                   }
+                 },
+                 "bce_with_logits");
+}
+
+Var mean(const Var& x) {
+  double s = 0;
+  for (std::size_t i = 0; i < x->value.numel(); ++i) s += x->value[i];
+  Tensor out({1});
+  out[0] = static_cast<float>(s / static_cast<double>(x->value.numel()));
+  return make_op(std::move(out), {x},
+                 [](Node& n) {
+                   Node& x = *n.parents[0];
+                   if (!x.requires_grad) return;
+                   Tensor& gx = x.ensure_grad();
+                   float g = n.grad[0] / static_cast<float>(x.value.numel());
+                   for (std::size_t i = 0; i < gx.numel(); ++i) gx[i] += g;
+                 },
+                 "mean");
+}
+
+}  // namespace pp::nn

@@ -1,0 +1,101 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace pp::nn {
+
+namespace {
+constexpr char kMagic[] = "PPNN1\n";
+
+bool read_header(std::ifstream& in, std::vector<std::vector<int>>& shapes) {
+  char magic[6];
+  in.read(magic, 6);
+  if (!in.good() || std::string(magic, 6) != kMagic) return false;
+  std::uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in.good()) return false;
+  shapes.clear();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t ndim = 0;
+    in.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
+    if (!in.good() || ndim == 0 || ndim > 8) return false;
+    std::vector<int> shape(ndim);
+    for (auto& d : shape) {
+      std::int32_t v = 0;
+      in.read(reinterpret_cast<char*>(&v), sizeof(v));
+      if (!in.good() || v <= 0) return false;
+      d = v;
+    }
+    shapes.push_back(std::move(shape));
+    // Skip the data for this param.
+    in.seekg(static_cast<std::streamoff>(shape_numel(shapes.back()) *
+                                         sizeof(float)),
+             std::ios::cur);
+    if (!in.good()) return false;
+  }
+  return true;
+}
+}  // namespace
+
+void save_parameters(const std::vector<Var>& params, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  PP_REQUIRE_MSG(out.good(), "cannot open checkpoint for writing: " + path);
+  out.write(kMagic, 6);
+  std::uint32_t count = static_cast<std::uint32_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : params) {
+    std::uint32_t ndim = static_cast<std::uint32_t>(p->value.ndim());
+    out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
+    for (int d : p->value.shape()) {
+      std::int32_t v = d;
+      out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    }
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+  }
+  PP_REQUIRE_MSG(out.good(), "checkpoint write failed: " + path);
+}
+
+void load_parameters(const std::vector<Var>& params, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PP_REQUIRE_MSG(in.good(), "cannot open checkpoint: " + path);
+  char magic[6];
+  in.read(magic, 6);
+  PP_REQUIRE_MSG(in.good() && std::string(magic, 6) == kMagic,
+                 "bad checkpoint magic: " + path);
+  std::uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  PP_REQUIRE_MSG(in.good() && count == params.size(),
+                 "checkpoint parameter count mismatch: " + path);
+  for (const auto& p : params) {
+    std::uint32_t ndim = 0;
+    in.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
+    PP_REQUIRE_MSG(in.good() && ndim == static_cast<std::uint32_t>(p->value.ndim()),
+                   "checkpoint rank mismatch: " + path);
+    for (int d : p->value.shape()) {
+      std::int32_t v = 0;
+      in.read(reinterpret_cast<char*>(&v), sizeof(v));
+      PP_REQUIRE_MSG(in.good() && v == d, "checkpoint shape mismatch: " + path);
+    }
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+    PP_REQUIRE_MSG(in.good(), "truncated checkpoint: " + path);
+  }
+}
+
+bool checkpoint_compatible(const std::vector<Var>& params,
+                           const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::vector<std::vector<int>> shapes;
+  if (!read_header(in, shapes)) return false;
+  if (shapes.size() != params.size()) return false;
+  for (std::size_t i = 0; i < shapes.size(); ++i)
+    if (shapes[i] != params[i]->value.shape()) return false;
+  return true;
+}
+
+}  // namespace pp::nn

@@ -1,0 +1,26 @@
+// Binary checkpointing of parameter lists.
+//
+// Benchmarks train the diffusion model once and cache the weights on disk;
+// this module provides the (endianness-naive, same-machine) format:
+//   magic "PPNN1\n", param count, then per param: ndim, dims, float data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/autograd.hpp"
+
+namespace pp::nn {
+
+/// Writes the values of `params` in order. Throws pp::Error on I/O failure.
+void save_parameters(const std::vector<Var>& params, const std::string& path);
+
+/// Loads into `params` in order; shapes must match exactly.
+void load_parameters(const std::vector<Var>& params, const std::string& path);
+
+/// True when the checkpoint exists and matches the parameter shapes
+/// (convenient "can I skip training?" probe).
+bool checkpoint_compatible(const std::vector<Var>& params,
+                           const std::string& path);
+
+}  // namespace pp::nn

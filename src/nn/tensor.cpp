@@ -1,0 +1,86 @@
+#include "nn/tensor.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pp::nn {
+
+std::size_t shape_numel(const std::vector<int>& shape) {
+  PP_REQUIRE_MSG(!shape.empty(), "empty tensor shape");
+  std::size_t n = 1;
+  for (int d : shape) {
+    PP_REQUIRE_MSG(d > 0, "non-positive tensor dimension");
+    n *= static_cast<std::size_t>(d);
+  }
+  return n;
+}
+
+Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
+  data_.assign(shape_numel(shape_), 0.0f);
+}
+
+Tensor Tensor::full(std::vector<int> shape, float v) {
+  Tensor t(std::move(shape));
+  t.fill(v);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<int> shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data_) x = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::from_data(std::vector<int> shape, std::vector<float> data) {
+  PP_REQUIRE_MSG(shape_numel(shape) == data.size(),
+                 "tensor data size does not match shape");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(data);
+  return t;
+}
+
+void Tensor::fill(float v) {
+  for (auto& x : data_) x = v;
+}
+
+Tensor Tensor::reshaped(std::vector<int> shape) const {
+  PP_REQUIRE_MSG(shape_numel(shape) == numel(), "reshape changes volume");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::add_scaled(const Tensor& other, float scale) {
+  PP_REQUIRE_MSG(same_shape(other), "add_scaled shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += scale * other.data_[i];
+}
+
+float Tensor::squared_norm() const {
+  double s = 0;
+  for (float x : data_) s += static_cast<double>(x) * x;
+  return static_cast<float>(s);
+}
+
+float Tensor::max_abs() const {
+  float m = 0;
+  for (float x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ",";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace pp::nn

@@ -1,0 +1,32 @@
+#include "patterngen/augment.hpp"
+
+#include <unordered_set>
+
+namespace pp {
+
+std::vector<Raster> mirror_augment(const Raster& clip) {
+  std::vector<Raster> candidates;
+  candidates.push_back(clip);
+  candidates.push_back(clip.flipped_horizontal());
+  candidates.push_back(clip.flipped_vertical());
+  candidates.push_back(clip.flipped_horizontal().flipped_vertical());
+  std::vector<Raster> out;
+  std::unordered_set<std::uint64_t> seen;
+  for (auto& c : candidates)
+    if (seen.insert(c.hash()).second) out.push_back(std::move(c));
+  return out;
+}
+
+std::vector<Raster> mirror_augment(const std::vector<Raster>& clips) {
+  std::vector<Raster> out;
+  std::unordered_set<std::uint64_t> seen;
+  // Originals first so downstream consumers keep the starters up front.
+  for (const auto& c : clips)
+    if (seen.insert(c.hash()).second) out.push_back(c);
+  for (const auto& c : clips)
+    for (auto& v : mirror_augment(c))
+      if (seen.insert(v.hash()).second) out.push_back(std::move(v));
+  return out;
+}
+
+}  // namespace pp

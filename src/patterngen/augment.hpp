@@ -1,0 +1,24 @@
+// Legality-preserving pattern augmentation.
+//
+// Our rule model distinguishes horizontal from vertical dimensions but is
+// symmetric under mirroring along either axis, so flips of a DR-clean clip
+// are DR-clean. Augmentation stretches a scarce starter set (the paper's
+// few-shot regime) before finetuning — at most 4x (identity, two mirrors,
+// 180-degree rotation).
+#pragma once
+
+#include <vector>
+
+#include "geometry/raster.hpp"
+
+namespace pp {
+
+/// The distinct images of `clip` under {id, flip_h, flip_v, rot180},
+/// deduplicated (a symmetric clip yields fewer than 4).
+std::vector<Raster> mirror_augment(const Raster& clip);
+
+/// Augments a whole set and deduplicates across it, preserving order
+/// (originals first).
+std::vector<Raster> mirror_augment(const std::vector<Raster>& clips);
+
+}  // namespace pp

@@ -1,0 +1,46 @@
+#include "patterngen/random_clips.hpp"
+
+namespace pp {
+
+Raster random_rectilinear_clip(int width, int height, Rng& rng) {
+  Raster out(width, height);
+  int n_shapes = rng.uniform_int(2, 7);
+  for (int i = 0; i < n_shapes; ++i) {
+    int kind = rng.uniform_int(0, 2);
+    if (kind == 0) {
+      // Vertical bar, arbitrary width, often full height.
+      int w = rng.uniform_int(2, width / 3);
+      int x = rng.uniform_int(0, width - w);
+      int y0 = rng.bernoulli(0.6) ? 0 : rng.uniform_int(0, height / 2);
+      int y1 = rng.bernoulli(0.6) ? height
+                                  : rng.uniform_int(height / 2, height);
+      out.fill_rect(Rect{x, y0, x + w, y1}, 1);
+    } else if (kind == 1) {
+      // Horizontal bar.
+      int h = rng.uniform_int(2, height / 4);
+      int y = rng.uniform_int(0, height - h);
+      int x0 = rng.uniform_int(0, width / 2);
+      int x1 = rng.uniform_int(width / 2, width);
+      out.fill_rect(Rect{x0, y, x1, y + h}, 1);
+    } else {
+      // Free rectangle.
+      int w = rng.uniform_int(3, width / 2);
+      int h = rng.uniform_int(3, height / 2);
+      int x = rng.uniform_int(0, width - w);
+      int y = rng.uniform_int(0, height - h);
+      out.fill_rect(Rect{x, y, x + w, y + h}, 1);
+    }
+  }
+  return out;
+}
+
+std::vector<Raster> random_rectilinear_corpus(std::size_t n, int width,
+                                              int height, Rng& rng) {
+  std::vector<Raster> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(random_rectilinear_clip(width, height, rng));
+  return out;
+}
+
+}  // namespace pp

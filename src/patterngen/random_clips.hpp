@@ -1,0 +1,25 @@
+// Generic rectilinear clip generator for diffusion pretraining.
+//
+// The paper finetunes from a *generic* image foundation model. Our stand-in
+// pretrains the DDPM on random rectilinear imagery that is NOT design-rule
+// aware: random bars, rectangles and composite shapes. The pretrain/finetune
+// legality gap measured in Tables I and III comes from this corpus being
+// layout-like but rule-oblivious.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/raster.hpp"
+
+namespace pp {
+
+/// One random rectilinear clip: a handful of random vertical bars,
+/// horizontal bars and rectangles with arbitrary (rule-oblivious) sizes.
+Raster random_rectilinear_clip(int width, int height, Rng& rng);
+
+/// A corpus of n random clips.
+std::vector<Raster> random_rectilinear_corpus(std::size_t n, int width,
+                                              int height, Rng& rng);
+
+}  // namespace pp

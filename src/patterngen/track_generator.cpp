@@ -1,0 +1,161 @@
+#include "patterngen/track_generator.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace pp {
+
+namespace {
+
+/// One vertical track: column span plus metal segments (row spans).
+struct Track {
+  int x0 = 0;
+  int x1 = 0;
+  std::vector<std::pair<int, int>> segments;  // [y0, y1) spans, ascending
+
+  bool metal_rows(int y0, int y1) const {
+    for (const auto& [a, b] : segments)
+      if (a <= y0 && y1 <= b) return true;
+    return false;
+  }
+};
+
+}  // namespace
+
+TrackGenConfig track_config_for_clip(int clip_size) {
+  PP_REQUIRE(clip_size >= 16);
+  TrackGenConfig cfg;  // defaults target 64px
+  double f = static_cast<double>(clip_size) / 64.0;
+  auto scaled = [f](int v) { return std::max(1, static_cast<int>(v * f)); };
+  cfg.width = clip_size;
+  cfg.height = clip_size;
+  cfg.min_margin = scaled(cfg.min_margin);
+  cfg.max_margin = scaled(cfg.max_margin);
+  cfg.max_extra_space = scaled(cfg.max_extra_space);
+  cfg.min_segment = scaled(cfg.min_segment);
+  cfg.max_segment = scaled(cfg.max_segment);
+  cfg.min_gap = scaled(cfg.min_gap);
+  cfg.max_gap = scaled(cfg.max_gap);
+  cfg.min_strap = scaled(cfg.min_strap);
+  cfg.max_strap = scaled(cfg.max_strap);
+  return cfg;
+}
+
+TrackPatternGenerator::TrackPatternGenerator(TrackGenConfig cfg, RuleSet rules)
+    : cfg_(cfg), checker_(std::move(rules)) {
+  PP_REQUIRE(cfg_.width >= 16 && cfg_.height >= 16);
+  PP_REQUIRE(cfg_.min_segment >= 1 && cfg_.min_segment <= cfg_.max_segment);
+  PP_REQUIRE(cfg_.min_gap >= 1 && cfg_.min_gap <= cfg_.max_gap);
+}
+
+int TrackPatternGenerator::sample_width(Rng& rng) const {
+  const RuleSet& r = rules();
+  if (r.width_is_discrete())
+    return r.allowed_widths_h[rng.index(r.allowed_widths_h.size())];
+  int lo = r.min_width_h;
+  int hi = r.max_width_h > 0 ? r.max_width_h : lo + 8;
+  return rng.uniform_int(lo, hi);
+}
+
+Raster TrackPatternGenerator::build_candidate(Rng& rng) const {
+  const RuleSet& rules_ref = rules();
+  Raster out(cfg_.width, cfg_.height);
+
+  // --- Place tracks left to right ------------------------------------------
+  std::vector<Track> tracks;
+  int x = rng.uniform_int(cfg_.min_margin, cfg_.max_margin);
+  int prev_width = 0;
+  while (true) {
+    int w = sample_width(rng);
+    if (!tracks.empty()) {
+      int need = rules_ref.min_space_h;
+      if (rules_ref.wd_spacing.enabled())
+        need = std::max(need, rules_ref.wd_spacing.required(prev_width, w));
+      int s = need + rng.uniform_int(0, cfg_.max_extra_space);
+      if (rules_ref.max_space_h > 0) s = std::min(s, rules_ref.max_space_h);
+      x += s;
+    }
+    if (x + w > cfg_.width - cfg_.min_margin) break;
+    Track t;
+    t.x0 = x;
+    t.x1 = x + w;
+    tracks.push_back(t);
+    x += w;
+    prev_width = w;
+  }
+
+  // --- Segment each track ---------------------------------------------------
+  for (Track& t : tracks) {
+    if (!rng.bernoulli(cfg_.p_segmented)) {
+      t.segments.push_back({0, cfg_.height});
+      continue;
+    }
+    int y = rng.bernoulli(0.5) ? 0 : rng.uniform_int(0, cfg_.max_gap);
+    while (y < cfg_.height) {
+      int len = rng.uniform_int(cfg_.min_segment, cfg_.max_segment);
+      int y1 = std::min(cfg_.height, y + len);
+      if (cfg_.height - y1 < cfg_.min_gap + cfg_.min_segment) y1 = cfg_.height;
+      if (y1 - y >= cfg_.min_segment || (y == 0 && y1 == cfg_.height)) {
+        t.segments.push_back({y, y1});
+      } else if (y1 == cfg_.height && !t.segments.empty()) {
+        // Tail stub: extend the previous segment instead of drawing a sliver
+        // (keeps the end-to-end gap legal by absorbing it).
+        t.segments.back().second = y1;
+      }
+      if (y1 >= cfg_.height) break;
+      y = y1 + rng.uniform_int(cfg_.min_gap, cfg_.max_gap);
+    }
+    if (t.segments.empty()) t.segments.push_back({0, cfg_.height});
+  }
+
+  // --- Rasterize tracks -----------------------------------------------------
+  for (const Track& t : tracks)
+    for (const auto& [y0, y1] : t.segments)
+      out.fill_rect(Rect{t.x0, y0, t.x1, y1}, 1);
+
+  // --- Optional straps between adjacent tracks ------------------------------
+  for (std::size_t i = 0; i + 1 < tracks.size(); ++i) {
+    if (!rng.bernoulli(cfg_.p_strap)) continue;
+    const Track& a = tracks[i];
+    const Track& b = tracks[i + 1];
+    int thick = rng.uniform_int(cfg_.min_strap, cfg_.max_strap);
+    // Candidate strap rows: both tracks must carry metal across the rows.
+    std::vector<int> starts;
+    for (int y = 0; y + thick <= cfg_.height; ++y)
+      if (a.metal_rows(y, y + thick) && b.metal_rows(y, y + thick))
+        starts.push_back(y);
+    if (starts.empty()) continue;
+    int y = starts[rng.index(starts.size())];
+    out.fill_rect(Rect{a.x1, y, b.x0, y + thick}, 1);
+  }
+  return out;
+}
+
+std::optional<Raster> TrackPatternGenerator::try_generate(Rng& rng) const {
+  Raster cand = build_candidate(rng);
+  if (cand.count_ones() == 0) return std::nullopt;
+  if (!checker_.is_clean(cand)) return std::nullopt;
+  return cand;
+}
+
+std::vector<Raster> TrackPatternGenerator::generate(
+    std::size_t n, Rng& rng, std::size_t max_attempts_per_pattern) const {
+  std::vector<Raster> out;
+  std::unordered_set<std::uint64_t> seen;
+  std::size_t attempts = 0;
+  std::size_t budget = n * max_attempts_per_pattern;
+  while (out.size() < n) {
+    PP_REQUIRE_MSG(attempts++ < budget,
+                   "track generator acceptance rate collapsed; "
+                   "check rule/config compatibility");
+    auto cand = try_generate(rng);
+    if (!cand) continue;
+    if (!seen.insert(cand->hash()).second) continue;  // want distinct clips
+    out.push_back(std::move(*cand));
+  }
+  return out;
+}
+
+}  // namespace pp

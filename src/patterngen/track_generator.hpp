@@ -1,0 +1,85 @@
+// Rule-based vertical-track layout generator.
+//
+// This is the classical "heuristic generator" the paper describes as the
+// expensive status quo, and our substitute for proprietary layout data. It
+// produces DR-clean clips of vertical metal tracks with
+//   * widths drawn from the rule set's discrete width set,
+//   * track-to-track spacings respecting width-dependent minimums and the
+//     maximum-spacing upper bound,
+//   * optional segmentation (end-to-end gaps, R2-E),
+//   * optional inter-track straps.
+// Candidates are verified with the full DRC checker; only clean clips are
+// returned (rejection sampling), so the output is DR-clean by construction.
+//
+// Used to produce: the 20 starter patterns, the 1000-sample training corpus
+// for the CUP/DiffPattern baselines, and ground-truth clips for tests.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "drc/checker.hpp"
+#include "geometry/raster.hpp"
+
+namespace pp {
+
+struct TrackGenConfig {
+  int width = 64;
+  int height = 64;
+  /// Probability that a track is broken into segments (vs full height).
+  double p_segmented = 0.45;
+  /// Probability of attempting a strap between an adjacent track pair.
+  double p_strap = 0.35;
+  /// Left/right placement margin range for the first track.
+  int min_margin = 2;
+  int max_margin = 8;
+  /// Extra spacing slack added on top of the rule minimum, in pixels.
+  int max_extra_space = 10;
+  /// Segment height range (must clear min_width_v and min_area).
+  int min_segment = 16;
+  int max_segment = 48;
+  /// Vertical gap range between segments of one track.
+  int min_gap = 8;
+  int max_gap = 18;
+  /// Strap thickness range (vertical extent).
+  int min_strap = 8;
+  int max_strap = 12;
+};
+
+/// Config preset scaled for a clip_size x clip_size canvas (the defaults
+/// suit 64px; 32px clips need proportionally smaller segments/gaps, matching
+/// scale_rules_down(rules, 64 / clip_size)).
+TrackGenConfig track_config_for_clip(int clip_size);
+
+class TrackPatternGenerator {
+ public:
+  /// `rules` must provide a non-empty discrete width set OR sane min/max
+  /// widths; when allowed_widths_h is empty, widths are sampled uniformly
+  /// in [min_width_h, max(min_width_h, max_width_h or min+8)].
+  TrackPatternGenerator(TrackGenConfig cfg, RuleSet rules);
+
+  const TrackGenConfig& config() const { return cfg_; }
+  const RuleSet& rules() const { return checker_.rules(); }
+
+  /// Builds one candidate and DRC-checks it; nullopt if the candidate was
+  /// dirty (caller retries).
+  std::optional<Raster> try_generate(Rng& rng) const;
+
+  /// Generates exactly n distinct DR-clean clips. Throws pp::Error if the
+  /// acceptance rate collapses (more than max_attempts_per_pattern tries
+  /// per accepted clip on average).
+  std::vector<Raster> generate(std::size_t n, Rng& rng,
+                               std::size_t max_attempts_per_pattern = 400) const;
+
+ private:
+  /// Raw candidate construction, not necessarily clean.
+  Raster build_candidate(Rng& rng) const;
+
+  int sample_width(Rng& rng) const;
+
+  TrackGenConfig cfg_;
+  DrcChecker checker_;
+};
+
+}  // namespace pp

@@ -1,0 +1,151 @@
+#include "select/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pp {
+
+double PcaModel::explained_variance() const {
+  if (total_variance <= 0) return 0.0;
+  double s = 0;
+  for (float e : eigenvalues) s += e;
+  return s / total_variance;
+}
+
+std::vector<float> PcaModel::project(const std::vector<float>& x) const {
+  PP_REQUIRE_MSG(x.size() == mean.size(), "PCA projection dimension mismatch");
+  std::vector<float> out(components.size());
+  for (std::size_t k = 0; k < components.size(); ++k) {
+    double s = 0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      s += (static_cast<double>(x[i]) - mean[i]) * components[k][i];
+    out[k] = static_cast<float>(s);
+  }
+  return out;
+}
+
+std::vector<float> flatten(const Raster& r) {
+  std::vector<float> v(static_cast<std::size_t>(r.size()));
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = r.data()[i] ? 1.0f : 0.0f;
+  return v;
+}
+
+PcaModel fit_pca(const std::vector<std::vector<float>>& data,
+                 double explained_variance, int max_components, Rng& rng,
+                 int power_iterations) {
+  PP_REQUIRE_MSG(data.size() >= 2, "PCA needs at least two samples");
+  PP_REQUIRE(explained_variance > 0 && explained_variance <= 1.0);
+  PP_REQUIRE(max_components >= 1 && power_iterations >= 1);
+  std::size_t n = data.size();
+  std::size_t d = data.front().size();
+  for (const auto& row : data)
+    PP_REQUIRE_MSG(row.size() == d, "ragged PCA data");
+
+  PcaModel model;
+  model.mean.assign(d, 0.0f);
+  for (const auto& row : data)
+    for (std::size_t i = 0; i < d; ++i) model.mean[i] += row[i];
+  for (auto& m : model.mean) m /= static_cast<float>(n);
+
+  // Total variance = (1/n) sum ||x - mean||^2.
+  double tv = 0;
+  for (const auto& row : data)
+    for (std::size_t i = 0; i < d; ++i) {
+      double c = static_cast<double>(row[i]) - model.mean[i];
+      tv += c * c;
+    }
+  model.total_variance = tv / static_cast<double>(n);
+  if (model.total_variance <= 1e-12) return model;  // constant data: no modes
+
+  int k = std::min<int>(max_components, static_cast<int>(std::min(n - 1, d)));
+
+  // Block subspace iteration: B <- Cov * B, re-orthonormalized each sweep.
+  std::vector<std::vector<double>> B(static_cast<std::size_t>(k),
+                                     std::vector<double>(d));
+  for (auto& col : B)
+    for (auto& v : col) v = rng.normal();
+
+  auto orthonormalize = [&](std::vector<std::vector<double>>& cols) {
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        double dot = 0;
+        for (std::size_t t = 0; t < d; ++t) dot += cols[i][t] * cols[j][t];
+        for (std::size_t t = 0; t < d; ++t) cols[i][t] -= dot * cols[j][t];
+      }
+      double norm = 0;
+      for (double v : cols[i]) norm += v * v;
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) {
+        // Degenerate direction: re-randomize.
+        for (auto& v : cols[i]) v = rng.normal();
+        norm = 0;
+        for (double v : cols[i]) norm += v * v;
+        norm = std::sqrt(norm);
+      }
+      for (auto& v : cols[i]) v /= norm;
+    }
+  };
+
+  orthonormalize(B);
+  std::vector<double> proj(n);
+  for (int it = 0; it < power_iterations; ++it) {
+    for (auto& col : B) {
+      // y = X_c * col (n), then col' = X_c^T y / n.
+      for (std::size_t s = 0; s < n; ++s) {
+        double dot = 0;
+        const auto& row = data[s];
+        for (std::size_t t = 0; t < d; ++t)
+          dot += (static_cast<double>(row[t]) - model.mean[t]) * col[t];
+        proj[s] = dot;
+      }
+      std::vector<double> next(d, 0.0);
+      for (std::size_t s = 0; s < n; ++s) {
+        double p = proj[s] / static_cast<double>(n);
+        const auto& row = data[s];
+        for (std::size_t t = 0; t < d; ++t)
+          next[t] += p * (static_cast<double>(row[t]) - model.mean[t]);
+      }
+      col = std::move(next);
+    }
+    orthonormalize(B);
+  }
+
+  // Rayleigh quotients give the eigenvalues; sort descending.
+  std::vector<std::pair<double, std::size_t>> eig;
+  for (std::size_t c = 0; c < B.size(); ++c) {
+    double lambda = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      double dot = 0;
+      const auto& row = data[s];
+      for (std::size_t t = 0; t < d; ++t)
+        dot += (static_cast<double>(row[t]) - model.mean[t]) * B[c][t];
+      lambda += dot * dot;
+    }
+    eig.push_back({lambda / static_cast<double>(n), c});
+  }
+  std::sort(eig.rbegin(), eig.rend());
+
+  // Keep the smallest prefix reaching the explained-variance target.
+  double acc = 0;
+  for (const auto& [lambda, idx] : eig) {
+    std::vector<float> comp(d);
+    for (std::size_t t = 0; t < d; ++t) comp[t] = static_cast<float>(B[idx][t]);
+    model.components.push_back(std::move(comp));
+    model.eigenvalues.push_back(static_cast<float>(lambda));
+    acc += lambda;
+    if (acc / model.total_variance >= explained_variance) break;
+  }
+  return model;
+}
+
+PcaModel fit_pca(const std::vector<Raster>& clips, double explained_variance,
+                 int max_components, Rng& rng) {
+  std::vector<std::vector<float>> data;
+  data.reserve(clips.size());
+  for (const auto& c : clips) data.push_back(flatten(c));
+  return fit_pca(data, explained_variance, max_components, rng);
+}
+
+}  // namespace pp

@@ -1,0 +1,47 @@
+// Principal component analysis for layout libraries (Sec. IV-E1).
+//
+// Layout clips are flattened to {0,1}^d vectors; PCA captures the dominant
+// modes of variation and the paper keeps enough components to explain 90%
+// of the variance. Because d (pixels) is large and the number of desired
+// components is small, we compute the top components matrix-free with block
+// subspace iteration on the covariance operator v -> X_c^T (X_c v) / n,
+// never materializing the d x d covariance.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/raster.hpp"
+
+namespace pp {
+
+struct PcaModel {
+  std::vector<float> mean;                    ///< d
+  std::vector<std::vector<float>> components; ///< k orthonormal d-vectors
+  std::vector<float> eigenvalues;             ///< k, descending
+  double total_variance = 0.0;                ///< trace of the covariance
+
+  int n_components() const { return static_cast<int>(components.size()); }
+
+  /// Fraction of total variance captured by the kept components.
+  double explained_variance() const;
+
+  /// Projects a flattened sample onto the kept components (k scores).
+  std::vector<float> project(const std::vector<float>& x) const;
+};
+
+/// Flattens a raster clip to a {0,1} float vector.
+std::vector<float> flatten(const Raster& r);
+
+/// Fits PCA on row-major data (n samples x d features), keeping the
+/// smallest number of components whose cumulative eigenvalue mass reaches
+/// `explained_variance` (capped at max_components and at n-1).
+PcaModel fit_pca(const std::vector<std::vector<float>>& data,
+                 double explained_variance, int max_components, Rng& rng,
+                 int power_iterations = 30);
+
+/// Convenience: fit directly on rasters (all same shape).
+PcaModel fit_pca(const std::vector<Raster>& clips, double explained_variance,
+                 int max_components, Rng& rng);
+
+}  // namespace pp

@@ -1,0 +1,91 @@
+#include "select/representative.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace pp {
+
+std::vector<std::size_t> farthest_point_selection(
+    const std::vector<std::vector<float>>& scores, int k,
+    const std::function<bool(std::size_t)>& feasible, Rng& rng) {
+  PP_REQUIRE(k >= 1);
+  std::size_t n = scores.size();
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < n; ++i)
+    if (!feasible || feasible(i)) candidates.push_back(i);
+  if (candidates.empty()) return {};
+
+  std::vector<std::size_t> selected;
+  std::vector<char> taken(n, 0);
+  // Initial random feasible sample (Algorithm 2 line 3).
+  std::size_t first = candidates[rng.index(candidates.size())];
+  selected.push_back(first);
+  taken[first] = 1;
+
+  auto dist = [&](std::size_t a, std::size_t b) {
+    const auto& va = scores[a];
+    const auto& vb = scores[b];
+    double s = 0;
+    for (std::size_t t = 0; t < va.size(); ++t) {
+      double d = static_cast<double>(va[t]) - vb[t];
+      s += d * d;
+    }
+    return std::sqrt(s);
+  };
+
+  // Running sum of distances from each candidate to the selected set.
+  std::vector<double> dsum(n, 0.0);
+  for (std::size_t i : candidates)
+    if (!taken[i]) dsum[i] = dist(i, first);
+
+  while (static_cast<int>(selected.size()) < k) {
+    double best = -1;
+    std::size_t best_i = n;
+    for (std::size_t i : candidates) {
+      if (taken[i]) continue;
+      if (dsum[i] > best) {
+        best = dsum[i];
+        best_i = i;
+      }
+    }
+    if (best_i == n) break;  // feasible pool exhausted
+    selected.push_back(best_i);
+    taken[best_i] = 1;
+    for (std::size_t i : candidates)
+      if (!taken[i]) dsum[i] += dist(i, best_i);
+  }
+  return selected;
+}
+
+std::vector<std::size_t> select_representatives(
+    const std::vector<Raster>& library, const RepresentativeConfig& cfg,
+    Rng& rng) {
+  PP_REQUIRE_MSG(!library.empty(), "select_representatives: empty library");
+  if (library.size() == 1) return {0};
+
+  PcaModel pca = fit_pca(library, cfg.explained_variance, cfg.max_components,
+                         rng);
+  std::vector<std::vector<float>> scores;
+  scores.reserve(library.size());
+  for (const auto& r : library) {
+    if (pca.n_components() == 0)
+      scores.push_back({0.0f});  // constant library: all points coincide
+    else
+      scores.push_back(pca.project(flatten(r)));
+  }
+  auto feasible = [&](std::size_t i) {
+    return library[i].density() <= cfg.max_density;
+  };
+  std::vector<std::size_t> sel =
+      farthest_point_selection(scores, cfg.k, feasible, rng);
+  if (sel.empty()) {
+    // Degenerate: nothing satisfies the density cap — fall back to the
+    // unconstrained selection so iterative generation can still proceed.
+    sel = farthest_point_selection(scores, cfg.k, nullptr, rng);
+  }
+  return sel;
+}
+
+}  // namespace pp

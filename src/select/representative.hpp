@@ -1,0 +1,38 @@
+// PCA-based representative layout selection (Algorithm 2 of the paper).
+//
+// Greedy farthest-point sampling in PCA space: start from a random sample,
+// then repeatedly add the candidate maximizing the sum of distances to the
+// already-selected set, subject to a per-sample constraint (the paper uses
+// a 40% density cap so overly dense clips are not chosen as seeds).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/raster.hpp"
+#include "select/pca.hpp"
+
+namespace pp {
+
+struct RepresentativeConfig {
+  int k = 10;                         ///< number of representatives
+  double explained_variance = 0.9;    ///< PCA truncation target
+  int max_components = 32;
+  double max_density = 0.4;           ///< constraint C: density cap
+};
+
+/// Selects up to cfg.k indices from `library` (fewer when fewer samples
+/// satisfy the constraint). The first pick is uniform over feasible
+/// samples; subsequent picks follow farthest-point order.
+std::vector<std::size_t> select_representatives(
+    const std::vector<Raster>& library, const RepresentativeConfig& cfg,
+    Rng& rng);
+
+/// Generic core over precomputed PCA scores with an arbitrary constraint
+/// predicate (index -> feasible?). Exposed for tests and custom pipelines.
+std::vector<std::size_t> farthest_point_selection(
+    const std::vector<std::vector<float>>& scores, int k,
+    const std::function<bool(std::size_t)>& feasible, Rng& rng);
+
+}  // namespace pp

@@ -1,0 +1,118 @@
+#include "squish/squish.hpp"
+
+#include "common/error.hpp"
+
+namespace pp {
+
+namespace {
+
+bool columns_differ(const Raster& r, int xa, int xb) {
+  for (int y = 0; y < r.height(); ++y)
+    if ((r(xa, y) != 0) != (r(xb, y) != 0)) return true;
+  return false;
+}
+
+bool rows_differ(const Raster& r, int ya, int yb) {
+  for (int x = 0; x < r.width(); ++x)
+    if ((r(x, ya) != 0) != (r(x, yb) != 0)) return true;
+  return false;
+}
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ULL;
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t SquishPattern::topology_hash() const { return topology.hash(); }
+
+std::uint64_t SquishPattern::geometry_hash() const {
+  std::uint64_t h = topology.hash();
+  for (int v : dx) h = fnv_mix(h, static_cast<std::uint64_t>(v) + 0x517c);
+  h = fnv_mix(h, 0xabcdULL);
+  for (int v : dy) h = fnv_mix(h, static_cast<std::uint64_t>(v) + 0x517c);
+  return h;
+}
+
+std::vector<int> extract_x_lines(const Raster& r) {
+  std::vector<int> xs;
+  for (int x = 1; x < r.width(); ++x)
+    if (columns_differ(r, x - 1, x)) xs.push_back(x);
+  return xs;
+}
+
+std::vector<int> extract_y_lines(const Raster& r) {
+  std::vector<int> ys;
+  for (int y = 1; y < r.height(); ++y)
+    if (rows_differ(r, y - 1, y)) ys.push_back(y);
+  return ys;
+}
+
+SquishPattern extract_squish(const Raster& r) {
+  PP_REQUIRE_MSG(!r.empty(), "cannot squish an empty raster");
+  SquishPattern p;
+  p.x_lines.push_back(0);
+  for (int x : extract_x_lines(r)) p.x_lines.push_back(x);
+  p.x_lines.push_back(r.width());
+  p.y_lines.push_back(0);
+  for (int y : extract_y_lines(r)) p.y_lines.push_back(y);
+  p.y_lines.push_back(r.height());
+
+  int nx = static_cast<int>(p.x_lines.size()) - 1;
+  int ny = static_cast<int>(p.y_lines.size()) - 1;
+  p.topology = Raster(nx, ny);
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i)
+      p.topology(i, j) = r(p.x_lines[i], p.y_lines[j]) ? 1 : 0;
+
+  p.dx.resize(nx);
+  for (int i = 0; i < nx; ++i) p.dx[i] = p.x_lines[i + 1] - p.x_lines[i];
+  p.dy.resize(ny);
+  for (int j = 0; j < ny; ++j) p.dy[j] = p.y_lines[j + 1] - p.y_lines[j];
+  return p;
+}
+
+bool is_consistent(const SquishPattern& p) {
+  int nx = static_cast<int>(p.dx.size());
+  int ny = static_cast<int>(p.dy.size());
+  if (p.topology.width() != nx || p.topology.height() != ny) return false;
+  if (nx == 0 || ny == 0) return false;
+  for (int v : p.dx)
+    if (v <= 0) return false;
+  for (int v : p.dy)
+    if (v <= 0) return false;
+  if (!p.x_lines.empty()) {
+    if (static_cast<int>(p.x_lines.size()) != nx + 1) return false;
+    for (int i = 0; i < nx; ++i)
+      if (p.x_lines[i + 1] - p.x_lines[i] != p.dx[i]) return false;
+  }
+  if (!p.y_lines.empty()) {
+    if (static_cast<int>(p.y_lines.size()) != ny + 1) return false;
+    for (int j = 0; j < ny; ++j)
+      if (p.y_lines[j + 1] - p.y_lines[j] != p.dy[j]) return false;
+  }
+  return true;
+}
+
+Raster reconstruct_raster(const SquishPattern& p) {
+  PP_REQUIRE_MSG(is_consistent(p), "inconsistent squish pattern");
+  int w = 0, h = 0;
+  for (int v : p.dx) w += v;
+  for (int v : p.dy) h += v;
+  Raster out(w, h);
+  int y = 0;
+  for (int j = 0; j < static_cast<int>(p.dy.size()); ++j) {
+    int x = 0;
+    for (int i = 0; i < static_cast<int>(p.dx.size()); ++i) {
+      if (p.topology(i, j))
+        out.fill_rect(Rect{x, y, x + p.dx[i], y + p.dy[j]}, 1);
+      x += p.dx[i];
+    }
+    y += p.dy[j];
+  }
+  return out;
+}
+
+}  // namespace pp

@@ -1,0 +1,70 @@
+// Squish pattern representation (Gennari & Lai; Sec. II-B of the paper).
+//
+// A rectilinear layout clip is losslessly compressed into
+//   * scan lines: the x (resp. y) coordinates of every vertical (horizontal)
+//     geometry edge, plus the clip borders;
+//   * a binary topology matrix with one cell per scan-line interval;
+//   * delta vectors dx, dy holding the interval widths in pixels.
+//
+// PatternPaint uses this form for template-based denoising (Algorithm 1) and
+// for the H1/H2 diversity metrics; the squish-based baselines (CUP,
+// DiffPattern) generate topology matrices and ask a nonlinear solver for the
+// delta vectors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/raster.hpp"
+
+namespace pp {
+
+/// Lossless squish decomposition of a raster clip.
+struct SquishPattern {
+  /// Scan line coordinates including both borders; strictly increasing,
+  /// x_lines.front() == 0, x_lines.back() == raster width.
+  std::vector<int> x_lines;
+  std::vector<int> y_lines;
+
+  /// Topology: (x_lines.size()-1) x (y_lines.size()-1) cells, cell (i, j)
+  /// = 1 iff the raster is metal on [x_lines[i], x_lines[i+1]) x
+  /// [y_lines[j], y_lines[j+1]).
+  Raster topology;
+
+  /// Interval widths: dx[i] = x_lines[i+1] - x_lines[i]; likewise dy.
+  std::vector<int> dx;
+  std::vector<int> dy;
+
+  /// Topology complexity (Cx, Cy): number of *interior* scan lines, i.e.
+  /// geometry edges strictly inside the clip. A blank clip has (0, 0).
+  int cx() const { return static_cast<int>(x_lines.size()) - 2; }
+  int cy() const { return static_cast<int>(y_lines.size()) - 2; }
+
+  /// Hash of the topology matrix alone (H1-style identity).
+  std::uint64_t topology_hash() const;
+
+  /// Hash of the full (topology, dx, dy) triple (H2-style identity);
+  /// equal iff the reconstructed rasters are equal.
+  std::uint64_t geometry_hash() const;
+};
+
+/// Interior x scan lines of a raster: every column x in [1, w-1] whose pixel
+/// column differs from column x-1. (Borders excluded.)
+std::vector<int> extract_x_lines(const Raster& r);
+
+/// Interior y scan lines (rows where the row differs from the previous row).
+std::vector<int> extract_y_lines(const Raster& r);
+
+/// Full squish decomposition. Requires a non-empty raster.
+SquishPattern extract_squish(const Raster& r);
+
+/// Inverse of extract_squish: expands topology + deltas back to a raster.
+/// Accepts any consistent SquishPattern (dx/dy strictly positive, sizes
+/// matching the topology); throws pp::Error otherwise.
+Raster reconstruct_raster(const SquishPattern& p);
+
+/// Validates internal consistency (sizes, positivity, monotone scan lines).
+/// Returns false instead of throwing; used by property tests.
+bool is_consistent(const SquishPattern& p);
+
+}  // namespace pp

@@ -1,0 +1,157 @@
+// Tests for the squish-based baselines: topology data prep, CUP autoencoder
+// and DiffPattern discrete diffusion.
+#include <gtest/gtest.h>
+
+#include "baselines/cup.hpp"
+#include "baselines/diffpattern.hpp"
+#include "baselines/topology_data.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "patterngen/track_generator.hpp"
+#include "squish/squish.hpp"
+
+namespace pp {
+namespace {
+
+std::vector<Raster> training_topologies(int n, int size, Rng& rng) {
+  TrackPatternGenerator gen(TrackGenConfig{}, advance_rules());
+  auto layouts = gen.generate(static_cast<std::size_t>(n), rng);
+  auto topos = corpus_topologies(layouts, size);
+  return topos;
+}
+
+TEST(TopologyData, PadAndTrimRoundTrip) {
+  Raster t(3, 2);
+  t(0, 0) = 1;
+  t(2, 1) = 1;
+  auto padded = pad_topology(t, 8);
+  ASSERT_TRUE(padded.has_value());
+  EXPECT_EQ(padded->width(), 8);
+  EXPECT_EQ(trim_topology(*padded), t);
+}
+
+TEST(TopologyData, PadRejectsOversize) {
+  EXPECT_FALSE(pad_topology(Raster(9, 2), 8).has_value());
+  EXPECT_FALSE(pad_topology(Raster(2, 9), 8).has_value());
+}
+
+TEST(TopologyData, TrimBlankGivesUnitCell) {
+  Raster blank(6, 6);
+  Raster t = trim_topology(blank);
+  EXPECT_EQ(t.width(), 1);
+  EXPECT_EQ(t.height(), 1);
+}
+
+TEST(TopologyData, CorpusSkipsOversizedTopologies) {
+  Rng rng(501);
+  TrackPatternGenerator gen(TrackGenConfig{}, advance_rules());
+  auto layouts = gen.generate(10, rng);
+  auto small = corpus_topologies(layouts, 4);   // most topologies exceed 4
+  auto large = corpus_topologies(layouts, 32);  // all fit
+  EXPECT_LE(small.size(), large.size());
+  EXPECT_EQ(large.size(), layouts.size());
+  for (const auto& t : large) {
+    EXPECT_EQ(t.width(), 32);
+    EXPECT_EQ(t.height(), 32);
+  }
+}
+
+TEST(Cup, ReconstructionImprovesWithTraining) {
+  Rng rng(503);
+  auto topos = training_topologies(24, 16, rng);
+  ASSERT_GE(topos.size(), 10u);
+  CupConfig cfg;
+  CupModel model(cfg, rng);
+  // Untrained reconstruction error.
+  long long err_before = 0;
+  for (const auto& t : topos)
+    err_before += Raster::hamming(model.reconstruct(t), t);
+  model.train(topos, 150, 8, 2e-3f, rng);
+  long long err_after = 0;
+  for (const auto& t : topos)
+    err_after += Raster::hamming(model.reconstruct(t), t);
+  EXPECT_LT(err_after, err_before);
+}
+
+TEST(Cup, GeneratesTopologiesAfterTraining) {
+  Rng rng(507);
+  auto topos = training_topologies(16, 16, rng);
+  CupModel model(CupConfig{}, rng);
+  model.train(topos, 120, 8, 2e-3f, rng);
+  Raster g1 = model.generate_topology(rng);
+  Raster g2 = model.generate_topology(rng);
+  EXPECT_EQ(g1.width(), 16);
+  EXPECT_EQ(g1.height(), 16);
+  // Latent sampling should produce variation at least sometimes.
+  int distinct = (g1 == g2) ? 0 : 1;
+  for (int i = 0; i < 6 && !distinct; ++i)
+    distinct = (model.generate_topology(rng) == g1) ? 0 : 1;
+  EXPECT_TRUE(distinct);
+}
+
+TEST(Cup, GenerateBeforeTrainThrows) {
+  Rng rng(509);
+  CupModel model(CupConfig{}, rng);
+  EXPECT_THROW(model.generate_topology(rng), Error);
+}
+
+TEST(Cup, RejectsBadConfig) {
+  Rng rng(511);
+  CupConfig cfg;
+  cfg.topo_size = 10;  // not divisible by 4
+  EXPECT_THROW(CupModel(cfg, rng), Error);
+}
+
+TEST(DiffPattern, KeepProbabilityRampsDown) {
+  Rng rng(513);
+  DiffPatternModel model(DiffPatternConfig{}, rng);
+  EXPECT_FLOAT_EQ(model.keep_probability(-1), 1.0f);
+  float prev = 1.0f;
+  for (int t = 0; t < model.config().T; ++t) {
+    float k = model.keep_probability(t);
+    EXPECT_LE(k, prev + 1e-6f);
+    EXPECT_GE(k, 0.5f - 1e-6f);
+    prev = k;
+  }
+  EXPECT_NEAR(model.keep_probability(model.config().T - 1), 0.5f, 0.02f);
+}
+
+TEST(DiffPattern, TrainingReducesLoss) {
+  Rng rng(517);
+  auto topos = training_topologies(20, 16, rng);
+  DiffPatternConfig cfg;
+  cfg.T = 20;
+  DiffPatternModel model(cfg, rng);
+  float early = model.train(topos, 20, 8, 2e-3f, rng);
+  float late = model.train(topos, 150, 8, 2e-3f, rng);
+  EXPECT_LT(late, early);
+}
+
+TEST(DiffPattern, GeneratesTopologiesResemblingTraining) {
+  Rng rng(519);
+  auto topos = training_topologies(20, 16, rng);
+  DiffPatternConfig cfg;
+  cfg.T = 20;
+  DiffPatternModel model(cfg, rng);
+  model.train(topos, 250, 8, 2e-3f, rng);
+  // Average density of generations should land near the training density
+  // (the model learned something about the distribution).
+  double train_density = 0;
+  for (const auto& t : topos) train_density += t.density();
+  train_density /= static_cast<double>(topos.size());
+  double gen_density = 0;
+  const int n = 8;
+  for (int i = 0; i < n; ++i)
+    gen_density += model.generate_topology(rng).density();
+  gen_density /= n;
+  EXPECT_NEAR(gen_density, train_density, 0.25);
+}
+
+TEST(DiffPattern, GenerateBeforeTrainThrows) {
+  Rng rng(521);
+  DiffPatternModel model(DiffPatternConfig{}, rng);
+  EXPECT_THROW(model.generate_topology(rng), Error);
+}
+
+}  // namespace
+}  // namespace pp

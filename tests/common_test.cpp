@@ -1,0 +1,166 @@
+// Tests for the shared utilities: RNG determinism, parallel_for, errors.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace pp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    same += (a.uniform_int(0, 1 << 20) == b.uniform_int(0, 1 << 20));
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntRespectsRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int v = rng.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform_int(5, 4), Error);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, NormalHasApproximateMoments) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork();
+  // Child stream differs from the parent continuation.
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    same += (a.uniform_int(0, 1 << 20) == child.uniform_int(0, 1 << 20));
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(17);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto orig = v;
+  rng.shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(v, orig);  // 50! permutations; identity is essentially impossible
+}
+
+TEST(Rng, IndexRejectsZero) {
+  Rng rng(3);
+  EXPECT_THROW(rng.index(0), Error);
+}
+
+TEST(Parallel, CoversAllIndicesExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, ChunksPartitionRange) {
+  std::atomic<long long> total{0};
+  parallel_for_chunks(0, 777, [&](std::size_t lo, std::size_t hi) {
+    long long s = 0;
+    for (std::size_t i = lo; i < hi; ++i) s += static_cast<long long>(i);
+    total.fetch_add(s);
+  });
+  EXPECT_EQ(total.load(), 777LL * 776 / 2);
+}
+
+TEST(Parallel, PropagatesExceptions) {
+  EXPECT_THROW(parallel_for(0, 100,
+                            [](std::size_t i) {
+                              if (i == 57) throw Error("boom");
+                            }),
+               Error);
+}
+
+TEST(Parallel, ReentrantSequentialJobs) {
+  // Two consecutive jobs must not interfere.
+  std::atomic<int> a{0}, b{0};
+  parallel_for(0, 500, [&](std::size_t) { a.fetch_add(1); });
+  parallel_for(0, 300, [&](std::size_t) { b.fetch_add(1); });
+  EXPECT_EQ(a.load(), 500);
+  EXPECT_EQ(b.load(), 300);
+}
+
+TEST(Error, RequireMacroThrowsWithContext) {
+  try {
+    PP_REQUIRE_MSG(1 == 2, "math is broken");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("math is broken"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Timer, MeasuresNonNegativeTime) {
+  Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 10000; ++i) x = x + i;
+  EXPECT_GE(t.seconds(), 0.0);
+  double first = t.seconds();
+  t.reset();
+  EXPECT_LE(t.seconds(), first + 1.0);
+}
+
+}  // namespace
+}  // namespace pp

@@ -1,0 +1,178 @@
+// Tests for template-based denoising (Algorithm 1) and the NLM baseline,
+// including the headline property: template denoising restores DR-clean
+// geometry from edge-noised clips far better than NLM or nothing.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "denoise/nlm.hpp"
+#include "denoise/template_denoise.hpp"
+#include "drc/checker.hpp"
+#include "patterngen/track_generator.hpp"
+#include "squish/squish.hpp"
+
+namespace pp {
+namespace {
+
+/// Adds edge noise: flips pixels adjacent to geometry edges with probability
+/// p — the same failure mode lossy diffusion decoding produces.
+Raster add_edge_noise(const Raster& clean, double p, Rng& rng) {
+  Raster noisy = clean;
+  for (int y = 0; y < clean.height(); ++y)
+    for (int x = 0; x < clean.width(); ++x) {
+      bool edge = false;
+      for (int d = -1; d <= 1 && !edge; ++d) {
+        if (clean.at_or_zero(x + d, y) != clean(x, y)) edge = true;
+        if (clean.at_or_zero(x, y + d) != clean(x, y)) edge = true;
+      }
+      if (edge && rng.bernoulli(p)) noisy(x, y) = 1 - noisy(x, y);
+    }
+  return noisy;
+}
+
+TEST(ClusterLines, GroupsNearbyPositions) {
+  auto c = cluster_lines({3, 4, 5, 10, 11, 30}, 2);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0], (std::vector<int>{3, 4, 5}));
+  EXPECT_EQ(c[1], (std::vector<int>{10, 11}));
+  EXPECT_EQ(c[2], (std::vector<int>{30}));
+}
+
+TEST(ClusterLines, EmptyAndSingleton) {
+  EXPECT_TRUE(cluster_lines({}, 2).empty());
+  auto c = cluster_lines({7}, 0);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0][0], 7);
+}
+
+TEST(ClusterLines, ZeroThresholdSplitsAll) {
+  auto c = cluster_lines({1, 2, 3}, 0);
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(TemplateDenoise, IdentityOnCleanInput) {
+  Rng rng(201);
+  TrackPatternGenerator gen(TrackGenConfig{}, advance_rules());
+  auto clips = gen.generate(5, rng);
+  for (const auto& clip : clips) {
+    Rng drng(7);
+    Raster out = template_denoise(clip, clip, TemplateDenoiseConfig{}, drng);
+    EXPECT_EQ(out, clip);
+  }
+}
+
+TEST(TemplateDenoise, RestoresEdgeNoisedPattern) {
+  Rng rng(203);
+  TrackPatternGenerator gen(TrackGenConfig{}, advance_rules());
+  auto clips = gen.generate(8, rng);
+  int restored = 0;
+  for (const auto& clean : clips) {
+    Raster noisy = add_edge_noise(clean, 0.15, rng);
+    Rng drng(11);
+    Raster out = template_denoise(noisy, clean, TemplateDenoiseConfig{}, drng);
+    restored += (out == clean);
+  }
+  // Moderate edge noise should be fully reversible in most cases.
+  EXPECT_GE(restored, 6) << "template denoising failed to snap edges back";
+}
+
+TEST(TemplateDenoise, MuchBetterThanNlmOnLegality) {
+  Rng rng(207);
+  TrackPatternGenerator gen(TrackGenConfig{}, advance_rules());
+  DrcChecker drc(advance_rules());
+  auto clips = gen.generate(10, rng);
+  int clean_template = 0, clean_nlm = 0, clean_none = 0;
+  for (const auto& clean : clips) {
+    Raster noisy = add_edge_noise(clean, 0.2, rng);
+    Rng drng(13);
+    clean_template +=
+        drc.is_clean(template_denoise(noisy, clean, TemplateDenoiseConfig{}, drng));
+    clean_nlm += drc.is_clean(nlm_denoise(noisy));
+    clean_none += drc.is_clean(noisy);
+  }
+  EXPECT_GT(clean_template, clean_nlm);     // Table III ordering
+  EXPECT_GE(clean_nlm, clean_none);
+  EXPECT_EQ(clean_none, 0);                 // raw edge noise never passes DRC
+  EXPECT_GE(clean_template, 7);
+}
+
+TEST(TemplateDenoise, PreservesGenuineNewGeometry) {
+  // A genuinely moved edge (farther than threshold from any template line)
+  // must survive denoising: build template with a bar at x=[10,20), noisy
+  // with the bar at x=[30,40).
+  Raster tmpl(64, 64), moved(64, 64);
+  tmpl.fill_rect(Rect{10, 0, 20, 64}, 1);
+  moved.fill_rect(Rect{30, 0, 40, 64}, 1);
+  Rng rng(17);
+  Raster out = template_denoise(moved, tmpl, TemplateDenoiseConfig{}, rng);
+  EXPECT_EQ(out, moved);
+}
+
+TEST(TemplateDenoise, SnapsLinesWithinThreshold) {
+  // Noisy edge 1px off the template edge snaps back to the template.
+  Raster tmpl(32, 32), noisy(32, 32);
+  tmpl.fill_rect(Rect{8, 0, 16, 32}, 1);
+  noisy.fill_rect(Rect{9, 0, 16, 32}, 1);  // left edge off by one
+  Rng rng(19);
+  Raster out = template_denoise(noisy, tmpl, TemplateDenoiseConfig{.threshold = 2}, rng);
+  EXPECT_EQ(out, tmpl);
+}
+
+TEST(TemplateDenoise, ShapeMismatchThrows) {
+  Rng rng(23);
+  EXPECT_THROW(
+      template_denoise(Raster(8, 8), Raster(9, 8), TemplateDenoiseConfig{}, rng),
+      Error);
+}
+
+TEST(TemplateDenoise, BlankInputStaysBlank) {
+  Rng rng(29);
+  Raster blank(16, 16);
+  EXPECT_EQ(template_denoise(blank, blank, TemplateDenoiseConfig{}, rng), blank);
+}
+
+TEST(TemplateDenoise, ZeroThresholdDisablesSnapping) {
+  // With T = 0 every noisy line forms its own cluster and never matches a
+  // template line at distance > 0, so off-by-one edges survive (majority
+  // vote may still smooth cell interiors, but the lines stay).
+  Raster tmpl(32, 32), noisy(32, 32);
+  tmpl.fill_rect(Rect{8, 0, 16, 32}, 1);
+  noisy.fill_rect(Rect{9, 0, 16, 32}, 1);
+  Rng rng(31);
+  Raster out =
+      template_denoise(noisy, tmpl, TemplateDenoiseConfig{.threshold = 0}, rng);
+  EXPECT_EQ(out, noisy);
+}
+
+TEST(Nlm, SmoothsIsolatedSpeckles) {
+  Raster clean(32, 32);
+  clean.fill_rect(Rect{8, 0, 16, 32}, 1);
+  Raster noisy = clean;
+  noisy(24, 12) = 1;  // lone speckle in empty space
+  noisy(25, 25) = 1;
+  Raster out = nlm_denoise(noisy);
+  EXPECT_EQ(out(24, 12), 0);
+  EXPECT_EQ(out(25, 25), 0);
+  // Bulk geometry survives.
+  EXPECT_GT(Raster::logical_and(out, clean).count_ones(),
+            clean.count_ones() * 8 / 10);
+}
+
+TEST(Nlm, IdempotentOnCleanBars) {
+  Raster clean(32, 32);
+  clean.fill_rect(Rect{8, 0, 16, 32}, 1);
+  clean.fill_rect(Rect{22, 0, 28, 32}, 1);
+  EXPECT_EQ(nlm_denoise(clean), clean);
+}
+
+TEST(Nlm, RejectsBadConfig) {
+  NlmConfig cfg;
+  cfg.patch_radius = 0;
+  EXPECT_THROW(nlm_denoise(Raster(8, 8), cfg), Error);
+  cfg = NlmConfig{};
+  cfg.search_radius = 0;
+  EXPECT_THROW(nlm_denoise(Raster(8, 8), cfg), Error);
+}
+
+}  // namespace
+}  // namespace pp

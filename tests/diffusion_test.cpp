@@ -1,0 +1,284 @@
+// Tests for schedules, the UNet, raster<->tensor conversion and the DDPM
+// train/inpaint loops (tiny sizes: these run in seconds on CPU).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "diffusion/convert.hpp"
+#include "diffusion/ddpm.hpp"
+#include "diffusion/schedule.hpp"
+#include "diffusion/unet.hpp"
+
+namespace pp {
+namespace {
+
+TEST(Schedule, LinearBasicInvariants) {
+  auto s = DiffusionSchedule::linear(100);
+  ASSERT_EQ(s.T, 100);
+  ASSERT_EQ(s.beta.size(), 100u);
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_GT(s.beta[static_cast<std::size_t>(t)], 0.0f);
+    EXPECT_LT(s.beta[static_cast<std::size_t>(t)], 1.0f);
+    if (t > 0) {
+      EXPECT_GE(s.beta[static_cast<std::size_t>(t)], s.beta[static_cast<std::size_t>(t - 1)]);
+      EXPECT_LT(s.alpha_bar[static_cast<std::size_t>(t)],
+                s.alpha_bar[static_cast<std::size_t>(t - 1)]);
+    }
+    EXPECT_NEAR(s.sqrt_ab[static_cast<std::size_t>(t)] * s.sqrt_ab[static_cast<std::size_t>(t)] +
+                    s.sqrt_1m_ab[static_cast<std::size_t>(t)] *
+                        s.sqrt_1m_ab[static_cast<std::size_t>(t)],
+                1.0f, 1e-5f);
+  }
+  // Late alpha_bar should be tiny (x_T ~ pure noise, Eq. 3 of the paper).
+  EXPECT_LT(s.alpha_bar.back(), 0.05f);
+}
+
+TEST(Schedule, CosineInvariants) {
+  auto s = DiffusionSchedule::cosine(200);
+  for (int t = 1; t < 200; ++t)
+    EXPECT_LT(s.alpha_bar[static_cast<std::size_t>(t)],
+              s.alpha_bar[static_cast<std::size_t>(t - 1)]);
+  EXPECT_LT(s.alpha_bar.back(), 0.05f);
+  EXPECT_GT(s.alpha_bar.front(), 0.9f);
+}
+
+TEST(Schedule, AlphaBarAtConvention) {
+  auto s = DiffusionSchedule::linear(10);
+  EXPECT_FLOAT_EQ(s.alpha_bar_at(-1), 1.0f);
+  EXPECT_FLOAT_EQ(s.alpha_bar_at(0), s.alpha_bar[0]);
+}
+
+TEST(Schedule, RejectsBadArgs) {
+  EXPECT_THROW(DiffusionSchedule::linear(1), Error);
+  EXPECT_THROW(DiffusionSchedule::linear(10, 0.02f, 0.01f), Error);
+}
+
+UNetConfig tiny_unet() {
+  UNetConfig cfg;
+  cfg.base_channels = 8;
+  cfg.time_dim = 16;
+  cfg.groups = 4;
+  return cfg;
+}
+
+TEST(UNet, ForwardShapeAndZeroInit) {
+  Rng rng(41);
+  UNet net(tiny_unet(), rng);
+  EXPECT_GT(net.parameter_count(), 1000u);
+  nn::Tensor x = nn::Tensor::randn({2, 3, 16, 16}, rng);
+  auto y = net.forward(x, {0.1f, 0.9f});
+  ASSERT_EQ(y->value.shape(), (std::vector<int>{2, 1, 16, 16}));
+  // Zero-initialized head => exact zero output at init.
+  EXPECT_EQ(y->value.max_abs(), 0.0f);
+}
+
+TEST(UNet, RejectsBadInput) {
+  Rng rng(43);
+  UNet net(tiny_unet(), rng);
+  EXPECT_THROW(net.forward(nn::Tensor({1, 2, 16, 16}), {0.5f}), Error);
+  EXPECT_THROW(net.forward(nn::Tensor({1, 3, 18, 18}), {0.5f}), Error);
+  EXPECT_THROW(net.forward(nn::Tensor({2, 3, 16, 16}), {0.5f}), Error);
+}
+
+TEST(UNet, TimestepChangesOutputAfterTraining) {
+  // After a couple of gradient steps the time embedding must matter.
+  Rng rng(47);
+  UNet net(tiny_unet(), rng);
+  nn::Adam opt(net.parameters(), 1e-2f);
+  nn::Tensor x = nn::Tensor::randn({1, 3, 16, 16}, rng);
+  nn::Tensor tgt = nn::Tensor::randn({1, 1, 16, 16}, rng);
+  for (int i = 0; i < 3; ++i) {
+    opt.zero_grad();
+    nn::backward(nn::mse_loss(net.forward(x, {0.5f}), nn::make_input(tgt)));
+    opt.step();
+  }
+  auto y0 = net.forward(x, {0.05f});
+  auto y1 = net.forward(x, {0.95f});
+  nn::Tensor diff = y0->value;
+  diff.add_scaled(y1->value, -1.0f);
+  EXPECT_GT(diff.max_abs(), 1e-6f);
+}
+
+TEST(UNet, DeterministicForward) {
+  Rng rng(53);
+  UNet net(tiny_unet(), rng);
+  nn::Adam opt(net.parameters(), 1e-2f);
+  nn::Tensor x = nn::Tensor::randn({1, 3, 16, 16}, rng);
+  opt.zero_grad();
+  nn::backward(nn::mse_loss(net.forward(x, {0.3f}),
+                            nn::make_input(nn::Tensor({1, 1, 16, 16}))));
+  opt.step();
+  auto a = net.forward(x, {0.3f});
+  auto b = net.forward(x, {0.3f});
+  for (std::size_t i = 0; i < a->value.numel(); ++i)
+    EXPECT_EQ(a->value[i], b->value[i]);
+}
+
+TEST(UNet, AttentionVariantForwardAndTraining) {
+  Rng rng(57);
+  UNetConfig cfg = tiny_unet();
+  UNetConfig cfg_attn = cfg;
+  cfg_attn.attention = true;
+  UNet plain(cfg, rng);
+  UNet attn(cfg_attn, rng);
+  EXPECT_GT(attn.parameter_count(), plain.parameter_count());
+  nn::Tensor x = nn::Tensor::randn({1, 3, 16, 16}, rng);
+  // Zero-init heads: both start at zero output.
+  EXPECT_EQ(attn.forward(x, {0.5f})->value.max_abs(), 0.0f);
+  // One training step flows gradients through the attention block.
+  nn::Adam opt(attn.parameters(), 1e-2f);
+  nn::Tensor tgt = nn::Tensor::randn({1, 1, 16, 16}, rng);
+  opt.zero_grad();
+  nn::backward(nn::mse_loss(attn.forward(x, {0.5f}), nn::make_input(tgt)));
+  opt.step();
+  auto y = attn.forward(x, {0.5f});
+  EXPECT_GT(y->value.max_abs(), 0.0f);
+  for (std::size_t i = 0; i < y->value.numel(); ++i)
+    EXPECT_TRUE(std::isfinite(y->value[i]));
+}
+
+TEST(Convert, RasterTensorRoundTrip) {
+  Rng rng(59);
+  std::vector<Raster> batch;
+  for (int i = 0; i < 3; ++i) {
+    Raster r(8, 8);
+    for (auto& v : r.data()) v = rng.bernoulli(0.5);
+    batch.push_back(r);
+  }
+  nn::Tensor t = rasters_to_tensor(batch);
+  ASSERT_EQ(t.shape(), (std::vector<int>{3, 1, 8, 8}));
+  EXPECT_TRUE(t.max_abs() == 1.0f);
+  auto back = tensor_to_rasters(t);
+  ASSERT_EQ(back.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(back[static_cast<std::size_t>(i)], batch[static_cast<std::size_t>(i)]);
+}
+
+TEST(Convert, MaskAndRepeat) {
+  Raster m(4, 4);
+  m.fill_rect(Rect{0, 0, 2, 4}, 1);
+  nn::Tensor mt = mask_to_tensor(m);
+  EXPECT_FLOAT_EQ(mt.at4(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(mt.at4(0, 0, 0, 3), 0.0f);
+  nn::Tensor rep = repeat_batch(mt, 3);
+  ASSERT_EQ(rep.shape(), (std::vector<int>{3, 1, 4, 4}));
+  EXPECT_FLOAT_EQ(rep.at4(2, 0, 0, 0), 1.0f);
+  EXPECT_THROW(repeat_batch(rep, 2), Error);
+  EXPECT_THROW(rasters_to_tensor({}), Error);
+  EXPECT_THROW(rasters_to_tensor({Raster(2, 2), Raster(3, 3)}), Error);
+}
+
+DdpmConfig tiny_ddpm() {
+  DdpmConfig cfg;
+  cfg.unet = tiny_unet();
+  cfg.T = 50;
+  cfg.sample_steps = 8;
+  return cfg;
+}
+
+TEST(Ddpm, TrainingReducesLoss) {
+  Rng rng(61);
+  Ddpm model(tiny_ddpm(), rng);
+  nn::Adam opt(model.parameters(), 2e-3f);
+  // Tiny dataset: vertical bars on 16x16.
+  std::vector<Raster> data;
+  for (int i = 0; i < 4; ++i) {
+    Raster r(16, 16);
+    r.fill_rect(Rect{2 + 3 * i, 0, 5 + 3 * i, 16}, 1);
+    data.push_back(r);
+  }
+  nn::Tensor x0 = rasters_to_tensor(data);
+  nn::Tensor mask = nn::Tensor::full({4, 1, 16, 16}, 1.0f);
+  float first = 0, last = 0;
+  const int steps = 60;
+  float sum_head = 0, sum_tail = 0;
+  for (int s = 0; s < steps; ++s) {
+    float loss = model.train_step(x0, mask, opt, rng);
+    if (s == 0) first = loss;
+    if (s < 10) sum_head += loss;
+    if (s >= steps - 10) sum_tail += loss;
+    last = loss;
+  }
+  (void)first;
+  (void)last;
+  EXPECT_LT(sum_tail, sum_head) << "loss did not trend downward";
+}
+
+TEST(Ddpm, InpaintPreservesKnownRegion) {
+  Rng rng(67);
+  Ddpm model(tiny_ddpm(), rng);
+  Raster base(16, 16);
+  base.fill_rect(Rect{6, 0, 10, 16}, 1);
+  nn::Tensor known = raster_to_tensor(base);
+  Raster mrect(16, 16);
+  mrect.fill_rect(Rect{0, 0, 8, 8}, 1);  // regenerate top-left quadrant
+  nn::Tensor mask = mask_to_tensor(mrect);
+  nn::Tensor out = model.inpaint(known, mask, rng);
+  ASSERT_TRUE(out.same_shape(known));
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    if (mask[i] == 0.0f) {
+      EXPECT_EQ(out[i], known[i]);
+    }
+    EXPECT_TRUE(std::isfinite(out[i]));
+  }
+}
+
+TEST(Ddpm, SampleShapeAndVariation) {
+  Rng rng(71);
+  Ddpm model(tiny_ddpm(), rng);
+  nn::Tensor s = model.sample(2, 16, 16, rng);
+  ASSERT_EQ(s.shape(), (std::vector<int>{2, 1, 16, 16}));
+  // Two stochastic samples from an untrained model should differ.
+  float diff = 0;
+  for (int i = 0; i < 16 * 16; ++i)
+    diff += std::fabs(s[static_cast<std::size_t>(i)] - s[static_cast<std::size_t>(256 + i)]);
+  EXPECT_GT(diff, 1e-3f);
+}
+
+TEST(Ddpm, CheckpointRoundTrip) {
+  Rng rng(73);
+  Ddpm a(tiny_ddpm(), rng);
+  Ddpm b(tiny_ddpm(), rng);  // different init
+  auto dir = std::filesystem::temp_directory_path() / "pp_ddpm_ckpt";
+  std::filesystem::create_directories(dir);
+  std::string path = (dir / "m.bin").string();
+  a.save(path);
+  EXPECT_TRUE(b.try_load(path));
+  auto pa = a.parameters(), pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    for (std::size_t k = 0; k < pa[i]->value.numel(); ++k)
+      EXPECT_EQ(pa[i]->value[k], pb[i]->value[k]);
+  EXPECT_FALSE(b.try_load((dir / "missing.bin").string()));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Ddpm, FinetuneStepRuns) {
+  Rng rng(79);
+  Ddpm model(tiny_ddpm(), rng);
+  nn::Adam opt(model.parameters(), 1e-3f);
+  nn::Tensor x0 = nn::Tensor::randn({2, 1, 16, 16}, rng);
+  for (std::size_t i = 0; i < x0.numel(); ++i) x0[i] = x0[i] > 0 ? 1.0f : -1.0f;
+  nn::Tensor mask = nn::Tensor::full({2, 1, 16, 16}, 1.0f);
+  float l = model.finetune_step(x0, mask, x0, mask, 0.5f, opt, rng);
+  EXPECT_TRUE(std::isfinite(l));
+  EXPECT_GT(l, 0.0f);
+  // lambda = 0 path (no prior term).
+  l = model.finetune_step(x0, mask, x0, mask, 0.0f, opt, rng);
+  EXPECT_TRUE(std::isfinite(l));
+}
+
+TEST(Ddpm, RejectsBadConfig) {
+  Rng rng(83);
+  DdpmConfig cfg = tiny_ddpm();
+  cfg.sample_steps = 1;
+  EXPECT_THROW(Ddpm(cfg, rng), Error);
+  cfg = tiny_ddpm();
+  cfg.unet.in_channels = 1;
+  EXPECT_THROW(Ddpm(cfg, rng), Error);
+}
+
+}  // namespace
+}  // namespace pp

@@ -1,0 +1,133 @@
+// Cross-module integration tests that do not require diffusion training
+// (the trained-pipeline integration lives in core_test's MiniPipeline).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.hpp"
+#include "drc/checker.hpp"
+#include "io/gds_text.hpp"
+#include "io/pattern_io.hpp"
+#include "legalize/solver.hpp"
+#include "metrics/drspace.hpp"
+#include "metrics/entropy.hpp"
+#include "patterngen/track_generator.hpp"
+#include "select/representative.hpp"
+#include "squish/squish.hpp"
+
+namespace pp {
+namespace {
+
+class TempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pp_integration_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& n) const { return (dir_ / n).string(); }
+  std::filesystem::path dir_;
+};
+
+using Pipelines = TempDir;
+
+TEST_F(Pipelines, GenerateExportReloadResquishResolveRecheck) {
+  // The full substrate chain: rule-based generation -> GDS export ->
+  // reload -> squish decomposition -> solver re-legalization of the bare
+  // topology -> DRC of the re-solved layout.
+  Rng rng(1001);
+  RuleSet rules = advance_rules();
+  TrackPatternGenerator gen(TrackGenConfig{}, rules);
+  auto lib = gen.generate(5, rng);
+
+  write_gds_text(lib, path("lib.gds"));
+  auto reloaded = read_gds_text(path("lib.gds"));
+  ASSERT_EQ(reloaded.size(), lib.size());
+  DrcChecker drc(rules);
+  int resolved = 0;
+  for (std::size_t i = 0; i < lib.size(); ++i) {
+    ASSERT_EQ(reloaded[i], lib[i]);
+    SquishPattern sq = extract_squish(reloaded[i]);
+    ASSERT_EQ(reconstruct_raster(sq), lib[i]);
+    // Hand only the topology to the solver on the original canvas.
+    SolverConfig cfg;
+    cfg.canvas_width = lib[i].width();
+    cfg.canvas_height = lib[i].height();
+    cfg.max_restarts = 15;
+    NonlinearLegalizer solver(rules, cfg);
+    SolveResult res = solver.legalize(sq.topology, rng);
+    if (res.success) {
+      ++resolved;
+      EXPECT_TRUE(drc.is_clean(res.layout));
+      EXPECT_EQ(extract_squish(res.layout).topology, sq.topology);
+    }
+  }
+  // A legal assignment exists for every topology (the original); the solver
+  // should recover at least one across the pool even under advance rules.
+  EXPECT_GE(resolved, 1);
+}
+
+TEST_F(Pipelines, SelectionDrivesDiversityGrowth) {
+  // PCA farthest-point selection should pick a more DR-space-diverse subset
+  // than the first-k patterns from a library with redundant prefixes.
+  Rng rng(1003);
+  RuleSet rules = scale_rules_down(advance_rules(), 2);
+  TrackPatternGenerator gen(track_config_for_clip(32), rules);
+  auto base = gen.generate(12, rng);
+  // Library: 12 distinct patterns, but the first 4 repeated 5x each at the
+  // front (simulating a library dominated by near-duplicates).
+  std::vector<Raster> lib;
+  for (int rep = 0; rep < 5; ++rep)
+    for (int i = 0; i < 4; ++i) lib.push_back(base[static_cast<std::size_t>(i)]);
+  for (const auto& r : base) lib.push_back(r);
+
+  RepresentativeConfig cfg;
+  cfg.k = 6;
+  cfg.max_density = 1.0;
+  auto sel = select_representatives(lib, cfg, rng);
+  ASSERT_EQ(sel.size(), 6u);
+  std::vector<Raster> selected;
+  for (std::size_t i : sel) selected.push_back(lib[i]);
+  std::vector<Raster> first_k(lib.begin(), lib.begin() + 6);
+  // Farthest-point picks distinct patterns; the prefix is 4 patterns
+  // repeated.
+  EXPECT_GT(count_unique(selected), count_unique(first_k));
+}
+
+TEST_F(Pipelines, LibraryRoundTripPreservesMetrics) {
+  Rng rng(1005);
+  RuleSet rules = scale_rules_down(advance_rules(), 2);
+  TrackPatternGenerator gen(track_config_for_clip(32), rules);
+  auto lib = gen.generate(15, rng);
+  LibraryStats before = library_stats(lib);
+  save_pattern_library(lib, path("lib.txt"));
+  auto loaded = load_pattern_library(path("lib.txt"));
+  LibraryStats after = library_stats(loaded);
+  EXPECT_EQ(before.total, after.total);
+  EXPECT_EQ(before.unique, after.unique);
+  EXPECT_DOUBLE_EQ(before.h1, after.h1);
+  EXPECT_DOUBLE_EQ(before.h2, after.h2);
+  // DR-space profile identical too.
+  EXPECT_EQ(measure_drspace(lib).triples, measure_drspace(loaded).triples);
+}
+
+TEST_F(Pipelines, GeneratorCoversDrSpaceProgressively) {
+  // More generated patterns -> more of the legal DR space covered
+  // (monotone in the library prefix).
+  Rng rng(1007);
+  RuleSet rules = advance_rules();
+  TrackPatternGenerator gen(TrackGenConfig{}, rules);
+  auto lib = gen.generate(30, rng);
+  std::vector<Raster> small(lib.begin(), lib.begin() + 5);
+  double c_small = drspace_coverage(measure_drspace(small), rules);
+  double c_full = drspace_coverage(measure_drspace(lib), rules);
+  EXPECT_GE(c_full, c_small);
+  EXPECT_GT(c_full, 0.0);
+}
+
+}  // namespace
+}  // namespace pp

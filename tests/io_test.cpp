@@ -1,0 +1,228 @@
+// Tests for PGM image I/O, CSV writing and pattern library serialization.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "io/csv.hpp"
+#include "io/gds_text.hpp"
+#include "io/image_io.hpp"
+#include "io/pattern_io.hpp"
+
+namespace pp {
+namespace {
+
+class TempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pp_io_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+using ImageIo = TempDir;
+using Csv = TempDir;
+using PatternIo = TempDir;
+
+TEST_F(ImageIo, PgmRoundTrip) {
+  Raster r = Raster::from_ascii(
+      "#..#\n"
+      ".##.\n"
+      "#..#\n");
+  write_pgm(r, path("a.pgm"));
+  EXPECT_EQ(read_pgm(path("a.pgm")), r);
+}
+
+TEST_F(ImageIo, PgmScaledRoundTrip) {
+  Raster r = Raster::from_ascii("#.\n.#\n");
+  write_pgm(r, path("s.pgm"), 4);
+  Raster big = read_pgm(path("s.pgm"));
+  EXPECT_EQ(big.width(), 8);
+  EXPECT_EQ(big.height(), 8);
+  EXPECT_EQ(big(0, 0), 1);
+  EXPECT_EQ(big(3, 3), 1);
+  EXPECT_EQ(big(4, 0), 0);
+  EXPECT_EQ(big(7, 7), 1);
+}
+
+TEST_F(ImageIo, ReadAsciiPgmWithComment) {
+  std::ofstream f(path("p2.pgm"));
+  f << "P2\n# a comment\n3 2\n255\n255 0 255\n0 255 0\n";
+  f.close();
+  Raster r = read_pgm(path("p2.pgm"));
+  EXPECT_EQ(r.to_ascii(), "#.#\n.#.\n");
+}
+
+TEST_F(ImageIo, RejectsBadMagic) {
+  std::ofstream f(path("bad.pgm"));
+  f << "P6\n1 1\n255\nxxx";
+  f.close();
+  EXPECT_THROW(read_pgm(path("bad.pgm")), Error);
+}
+
+TEST_F(ImageIo, RejectsMissingFile) {
+  EXPECT_THROW(read_pgm(path("nonexistent.pgm")), Error);
+  EXPECT_THROW(write_pgm(Raster(2, 2), (dir_ / "no" / "dir" / "x.pgm").string()),
+               Error);
+}
+
+TEST_F(ImageIo, RejectsTruncatedData) {
+  std::ofstream f(path("trunc.pgm"), std::ios::binary);
+  f << "P5\n4 4\n255\nab";  // 2 bytes instead of 16
+  f.close();
+  EXPECT_THROW(read_pgm(path("trunc.pgm")), Error);
+}
+
+TEST_F(Csv, WritesRowsWithEscaping) {
+  {
+    CsvWriter w(path("t.csv"));
+    w.row("name", "value");
+    w.row("plain", 42);
+    w.write_row({"with,comma", "with\"quote", "multi\nline"});
+  }
+  std::ifstream in(path("t.csv"));
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("name,value\n"), std::string::npos);
+  EXPECT_NE(all.find("plain,42\n"), std::string::npos);
+  EXPECT_NE(all.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(all.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST_F(Csv, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter((dir_ / "no" / "x.csv").string()), Error);
+}
+
+TEST_F(PatternIo, LibraryRoundTrip) {
+  Rng rng(77);
+  std::vector<Raster> lib;
+  for (int i = 0; i < 7; ++i) {
+    Raster r(rng.uniform_int(4, 20), rng.uniform_int(4, 20));
+    for (auto& v : r.data()) v = rng.bernoulli(0.4);
+    lib.push_back(r);
+  }
+  save_pattern_library(lib, path("lib.txt"));
+  auto loaded = load_pattern_library(path("lib.txt"));
+  ASSERT_EQ(loaded.size(), lib.size());
+  for (std::size_t i = 0; i < lib.size(); ++i) EXPECT_EQ(loaded[i], lib[i]);
+}
+
+TEST_F(PatternIo, EmptyLibraryRoundTrip) {
+  save_pattern_library({}, path("empty.txt"));
+  EXPECT_TRUE(load_pattern_library(path("empty.txt")).empty());
+}
+
+TEST_F(PatternIo, RejectsCorruptHeader) {
+  std::ofstream f(path("corrupt.txt"));
+  f << "NOTALIB\n";
+  f.close();
+  EXPECT_THROW(load_pattern_library(path("corrupt.txt")), Error);
+}
+
+TEST_F(PatternIo, RejectsCountMismatch) {
+  std::ofstream f(path("mismatch.txt"));
+  f << "PPLIB v1\ncount 2\npattern 0 2 1\n##\n";
+  f.close();
+  EXPECT_THROW(load_pattern_library(path("mismatch.txt")), Error);
+}
+
+TEST_F(PatternIo, RejectsTruncatedPattern) {
+  std::ofstream f(path("trunc.txt"));
+  f << "PPLIB v1\ncount 1\npattern 0 2 3\n##\n";
+  f.close();
+  EXPECT_THROW(load_pattern_library(path("trunc.txt")), Error);
+}
+
+using GdsText = TempDir;
+
+TEST_F(GdsText, RoundTripRandomClips) {
+  Rng rng(911);
+  std::vector<Raster> lib;
+  for (int i = 0; i < 6; ++i) {
+    Raster r(rng.uniform_int(6, 24), rng.uniform_int(6, 24));
+    int k = rng.uniform_int(1, 4);
+    for (int j = 0; j < k; ++j) {
+      int x = rng.uniform_int(0, r.width() - 3);
+      int y = rng.uniform_int(0, r.height() - 3);
+      r.fill_rect(Rect{x, y, x + rng.uniform_int(1, 3), y + rng.uniform_int(1, 3)}, 1);
+    }
+    lib.push_back(r);
+  }
+  write_gds_text(lib, path("lib.gds"));
+  auto loaded = read_gds_text(path("lib.gds"));
+  ASSERT_EQ(loaded.size(), lib.size());
+  for (std::size_t i = 0; i < lib.size(); ++i) EXPECT_EQ(loaded[i], lib[i]);
+}
+
+TEST_F(GdsText, EmptyClipAndEmptyLibrary) {
+  write_gds_text({Raster(5, 7)}, path("blank.gds"));
+  auto loaded = read_gds_text(path("blank.gds"));
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0], Raster(5, 7));
+  write_gds_text({}, path("none.gds"));
+  EXPECT_TRUE(read_gds_text(path("none.gds")).empty());
+}
+
+TEST_F(GdsText, ReadsForeignRectilinearPolygon) {
+  // An L-shaped BOUNDARY as another tool would emit it (single polygon,
+  // not rect soup).
+  std::ofstream f(path("foreign.gds"));
+  f << "HEADER 600\nBGNLIB\nLIBNAME X\nUNITS 0.001 1e-09\n";
+  f << "BGNSTR\nSTRNAME clip_w6_h6\n";
+  f << "BOUNDARY\nLAYER 10\nDATATYPE 0\n";
+  f << "XY 7 0 0 2 0 2 4 6 4 6 6 0 6 0 0\nENDEL\nENDSTR\nENDLIB\n";
+  f.close();
+  auto loaded = read_gds_text(path("foreign.gds"));
+  ASSERT_EQ(loaded.size(), 1u);
+  Raster expect = Raster::from_ascii(
+      "##....\n"
+      "##....\n"
+      "##....\n"
+      "##....\n"
+      "######\n"
+      "######\n");
+  EXPECT_EQ(loaded[0], expect);
+}
+
+TEST_F(GdsText, RejectsCorruptStreams) {
+  std::ofstream f(path("bad1.gds"));
+  f << "STRNAME x_w2_h2\n";
+  f.close();
+  EXPECT_THROW(read_gds_text(path("bad1.gds")), Error);  // no HEADER
+
+  std::ofstream g(path("bad2.gds"));
+  g << "HEADER 600\nBGNSTR\nSTRNAME clip\nENDSTR\n";  // no dimensions
+  g.close();
+  EXPECT_THROW(read_gds_text(path("bad2.gds")), Error);
+
+  std::ofstream h(path("bad3.gds"));
+  h << "HEADER 600\nBGNSTR\nSTRNAME c_w4_h4\nXY 4 0 0 1\n";  // truncated XY
+  h.close();
+  EXPECT_THROW(read_gds_text(path("bad3.gds")), Error);
+
+  EXPECT_THROW(read_gds_text(path("missing.gds")), Error);
+}
+
+TEST(FillPolygon, RectangleAndDonutHalves) {
+  Raster r(8, 8);
+  fill_polygon(r, {{1, 1}, {5, 1}, {5, 4}, {1, 4}});
+  EXPECT_EQ(r.count_ones(), 12);
+  EXPECT_EQ(r(1, 1), 1);
+  EXPECT_EQ(r(4, 3), 1);
+  EXPECT_EQ(r(5, 1), 0);  // half-open
+  Raster tiny(4, 4);
+  EXPECT_THROW(fill_polygon(tiny, {{0, 0}, {1, 1}}), Error);
+}
+
+}  // namespace
+}  // namespace pp

@@ -1,0 +1,210 @@
+// Tests for entropy metrics H1/H2, uniqueness and library statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "metrics/drspace.hpp"
+#include "metrics/entropy.hpp"
+
+namespace pp {
+namespace {
+
+Raster bar(int x0, int x1, int w = 20, int h = 20) {
+  Raster r(w, h);
+  r.fill_rect(Rect{x0, 0, x1, h}, 1);
+  return r;
+}
+
+TEST(Entropy, BitsOfUniform) {
+  EXPECT_DOUBLE_EQ(entropy_bits({1, 1, 1, 1}), 2.0);
+  EXPECT_DOUBLE_EQ(entropy_bits({5, 5}), 1.0);
+}
+
+TEST(Entropy, BitsOfDegenerate) {
+  EXPECT_DOUBLE_EQ(entropy_bits({7}), 0.0);
+  EXPECT_DOUBLE_EQ(entropy_bits({}), 0.0);
+  EXPECT_DOUBLE_EQ(entropy_bits({0, 0, 3}), 0.0);
+}
+
+TEST(Entropy, BitsIgnoresNonPositive) {
+  EXPECT_DOUBLE_EQ(entropy_bits({2, 0, 2, -5}), 1.0);
+}
+
+TEST(Entropy, BitsOfSkewedDistribution) {
+  // p = {3/4, 1/4}: H = 0.811278 bits.
+  EXPECT_NEAR(entropy_bits({3, 1}), 0.8112781, 1e-6);
+}
+
+TEST(H1H2, IdenticalPatternsHaveZeroEntropy) {
+  std::vector<Raster> lib(10, bar(4, 10));
+  EXPECT_DOUBLE_EQ(entropy_h1(lib), 0.0);
+  EXPECT_DOUBLE_EQ(entropy_h2(lib), 0.0);
+  EXPECT_EQ(count_unique(lib), 1u);
+}
+
+TEST(H1H2, GeometricVariantsRaiseH2NotH1) {
+  // Same topology (one interior bar), different delta vectors.
+  std::vector<Raster> lib = {bar(2, 8), bar(3, 9), bar(4, 10), bar(5, 11)};
+  EXPECT_DOUBLE_EQ(entropy_h1(lib), 0.0);  // all share (Cx,Cy) = (2,0)
+  EXPECT_DOUBLE_EQ(entropy_h2(lib), 2.0);  // 4 distinct delta pairs
+}
+
+TEST(H1H2, TopologyVariantsRaiseBoth) {
+  Raster two_bars(20, 20);
+  two_bars.fill_rect(Rect{2, 0, 6, 20}, 1);
+  two_bars.fill_rect(Rect{12, 0, 16, 20}, 1);
+  std::vector<Raster> lib = {bar(2, 8), two_bars};
+  EXPECT_DOUBLE_EQ(entropy_h1(lib), 1.0);
+  EXPECT_DOUBLE_EQ(entropy_h2(lib), 1.0);
+}
+
+TEST(H1H2, DistinctLibraryMatchesPaperStarterIdentity) {
+  // The paper's starter set: 20 distinct patterns => H2 = log2(20) = 4.32.
+  std::vector<Raster> lib;
+  for (int i = 0; i < 20; ++i) lib.push_back(bar(2, 8 + i, 64, 64));
+  EXPECT_NEAR(entropy_h2(lib), std::log2(20.0), 1e-9);
+}
+
+TEST(Unique, CountsAndDeduplicates) {
+  std::vector<Raster> lib = {bar(2, 8), bar(2, 8), bar(3, 9), bar(2, 8)};
+  EXPECT_EQ(count_unique(lib), 2u);
+  auto dedup = deduplicate(lib);
+  ASSERT_EQ(dedup.size(), 2u);
+  EXPECT_EQ(dedup[0], bar(2, 8));  // first-seen order preserved
+  EXPECT_EQ(dedup[1], bar(3, 9));
+}
+
+TEST(Unique, EmptyLibrary) {
+  EXPECT_EQ(count_unique({}), 0u);
+  EXPECT_TRUE(deduplicate({}).empty());
+}
+
+TEST(Stats, LibraryStatsAggregates) {
+  std::vector<Raster> lib = {bar(2, 8), bar(3, 9), bar(3, 9)};
+  LibraryStats s = library_stats(lib);
+  EXPECT_EQ(s.total, 3u);
+  EXPECT_EQ(s.unique, 2u);
+  EXPECT_GT(s.h2, 0.0);
+}
+
+// Property: H2 >= H1-discriminated libraries: H2's partition refines H1's
+// only when topologies coincide; in general H2 over (dx,dy) of libraries of
+// *unique* rasters upper-bounds... we assert the weaker, always-true bound:
+// both entropies lie in [0, log2(n)].
+class EntropyBounds : public ::testing::TestWithParam<int> {};
+
+TEST_P(EntropyBounds, WithinTheoreticalRange) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 99);
+  std::vector<Raster> lib;
+  int n = rng.uniform_int(1, 30);
+  for (int i = 0; i < n; ++i) {
+    Raster r(16, 16);
+    int k = rng.uniform_int(1, 3);
+    for (int j = 0; j < k; ++j) {
+      int x = rng.uniform_int(0, 12), y = rng.uniform_int(0, 12);
+      r.fill_rect(Rect{x, y, x + rng.uniform_int(1, 4), y + rng.uniform_int(1, 4)}, 1);
+    }
+    lib.push_back(r);
+  }
+  double h1 = entropy_h1(lib), h2 = entropy_h2(lib);
+  double cap = std::log2(static_cast<double>(n));
+  EXPECT_GE(h1, 0.0);
+  EXPECT_GE(h2, 0.0);
+  EXPECT_LE(h1, cap + 1e-9);
+  EXPECT_LE(h2, cap + 1e-9);
+  // The delta-vector key refines the complexity key ((dx,dy) determines
+  // (Cx,Cy)), so H2 >= H1 always.
+  EXPECT_GE(h2, h1 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, EntropyBounds, ::testing::Range(0, 30));
+
+// --- DR-space coverage --------------------------------------------------------
+
+TEST(DrSpace, MeasuresTriplesOnTwoTracks) {
+  Raster r(30, 10);
+  r.fill_rect(Rect{4, 0, 10, 10}, 1);   // width 6
+  r.fill_rect(Rect{18, 0, 24, 10}, 1);  // width 6, spacing 8
+  DrSpaceProfile p = measure_drspace(r);
+  EXPECT_EQ(p.distinct_widths(), 1u);
+  EXPECT_EQ(p.distinct_spacings(), 1u);
+  ASSERT_EQ(p.distinct_triples(), 1u);
+  WsTriple t = p.triples.begin()->first;
+  EXPECT_EQ(t, (WsTriple{6, 8, 6}));
+  EXPECT_EQ(p.triples.begin()->second, 10);  // one per row
+}
+
+TEST(DrSpace, BorderRunsExcluded) {
+  Raster r(20, 5);
+  r.fill_rect(Rect{0, 0, 6, 5}, 1);  // touches border: unbounded runs
+  DrSpaceProfile p = measure_drspace(r);
+  EXPECT_EQ(p.distinct_triples(), 0u);
+  EXPECT_EQ(p.distinct_widths(), 0u);
+}
+
+TEST(DrSpace, LibraryAggregation) {
+  Raster a(30, 4), b(30, 4);
+  a.fill_rect(Rect{4, 0, 10, 4}, 1);
+  a.fill_rect(Rect{16, 0, 22, 4}, 1);  // (6, 6, 6)
+  b.fill_rect(Rect{4, 0, 10, 4}, 1);
+  b.fill_rect(Rect{18, 0, 24, 4}, 1);  // (6, 8, 6)
+  DrSpaceProfile p = measure_drspace(std::vector<Raster>{a, b});
+  EXPECT_EQ(p.distinct_triples(), 2u);
+  EXPECT_EQ(p.distinct_spacings(), 2u);
+}
+
+TEST(DrSpace, LegalTriplesMatchHandCount) {
+  RuleSet rules = advance_rules();  // widths {6,10,14}, max_space 44
+  auto legal = legal_triples(rules);
+  // For each (wl, wr) pair: spacing from required(wl,wr) to 44.
+  long long expect = 0;
+  for (int wl : rules.allowed_widths_h)
+    for (int wr : rules.allowed_widths_h)
+      expect += 44 - std::max(rules.min_space_h,
+                              rules.wd_spacing.required(wl, wr)) + 1;
+  EXPECT_EQ(static_cast<long long>(legal.size()), expect);
+  // All distinct.
+  std::set<WsTriple> dedup(legal.begin(), legal.end());
+  EXPECT_EQ(dedup.size(), legal.size());
+}
+
+TEST(DrSpace, LegalTriplesRequireDiscreteBoundedRules) {
+  EXPECT_THROW(legal_triples(default_rules()), Error);  // not discrete
+  RuleSet r = advance_rules();
+  r.max_space_h = 0;
+  EXPECT_THROW(legal_triples(r), Error);  // unbounded spacing
+}
+
+TEST(DrSpace, CoverageGrowsWithDiversity) {
+  RuleSet rules = advance_rules();
+  // One observed triple vs several.
+  auto clip = [](int wl, int s, int wr) {
+    Raster r(80, 4);
+    r.fill_rect(Rect{4, 0, 4 + wl, 4}, 1);
+    r.fill_rect(Rect{4 + wl + s, 0, 4 + wl + s + wr, 4}, 1);
+    return r;
+  };
+  std::vector<Raster> narrow = {clip(6, 8, 6)};
+  std::vector<Raster> wide = {clip(6, 8, 6), clip(6, 10, 10), clip(10, 12, 14),
+                              clip(14, 10, 14), clip(6, 20, 6)};
+  double c1 = drspace_coverage(measure_drspace(narrow), rules);
+  double c2 = drspace_coverage(measure_drspace(wide), rules);
+  EXPECT_GT(c1, 0.0);
+  EXPECT_GT(c2, c1);
+  EXPECT_LE(c2, 1.0);
+}
+
+TEST(DrSpace, IllegalObservationsIgnored) {
+  RuleSet rules = advance_rules();
+  Raster r(40, 4);
+  r.fill_rect(Rect{4, 0, 11, 4}, 1);   // width 7: not in the menu
+  r.fill_rect(Rect{15, 0, 22, 4}, 1);  // spacing 4: below minimum
+  double c = drspace_coverage(measure_drspace(r), rules);
+  EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+}  // namespace
+}  // namespace pp

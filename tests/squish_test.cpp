@@ -1,0 +1,151 @@
+// Tests for the squish representation: extraction, reconstruction,
+// round-trip property over random rasters, hashes and complexity.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "squish/squish.hpp"
+
+namespace pp {
+namespace {
+
+TEST(Squish, BlankClip) {
+  Raster r(10, 8);
+  SquishPattern p = extract_squish(r);
+  EXPECT_EQ(p.cx(), 0);
+  EXPECT_EQ(p.cy(), 0);
+  EXPECT_EQ(p.topology.width(), 1);
+  EXPECT_EQ(p.topology.height(), 1);
+  EXPECT_EQ(p.topology(0, 0), 0);
+  EXPECT_EQ(p.dx, std::vector<int>{10});
+  EXPECT_EQ(p.dy, std::vector<int>{8});
+}
+
+TEST(Squish, FullClip) {
+  Raster r(5, 5, 1);
+  SquishPattern p = extract_squish(r);
+  EXPECT_EQ(p.cx(), 0);
+  EXPECT_EQ(p.topology(0, 0), 1);
+}
+
+TEST(Squish, SingleRectangle) {
+  Raster r(10, 10);
+  r.fill_rect(Rect{2, 3, 7, 8}, 1);
+  SquishPattern p = extract_squish(r);
+  EXPECT_EQ(p.x_lines, (std::vector<int>{0, 2, 7, 10}));
+  EXPECT_EQ(p.y_lines, (std::vector<int>{0, 3, 8, 10}));
+  EXPECT_EQ(p.cx(), 2);
+  EXPECT_EQ(p.cy(), 2);
+  EXPECT_EQ(p.dx, (std::vector<int>{2, 5, 3}));
+  EXPECT_EQ(p.topology(1, 1), 1);
+  EXPECT_EQ(p.topology(0, 0), 0);
+}
+
+TEST(Squish, RectangleTouchingBorderHasFewerLines) {
+  Raster r(10, 10);
+  r.fill_rect(Rect{0, 0, 4, 10}, 1);  // full-height track at left border
+  SquishPattern p = extract_squish(r);
+  EXPECT_EQ(p.cx(), 1);
+  EXPECT_EQ(p.cy(), 0);
+}
+
+TEST(Squish, ReconstructInvertsExtract) {
+  Raster r(12, 9);
+  r.fill_rect(Rect{1, 1, 4, 8}, 1);
+  r.fill_rect(Rect{6, 2, 10, 5}, 1);
+  SquishPattern p = extract_squish(r);
+  EXPECT_EQ(reconstruct_raster(p), r);
+}
+
+TEST(Squish, EmptyRasterRejected) {
+  EXPECT_THROW(extract_squish(Raster()), Error);
+}
+
+TEST(Squish, InconsistentPatternRejected) {
+  SquishPattern p;
+  p.topology = Raster(2, 2, 1);
+  p.dx = {3, 0};  // zero-width interval is illegal
+  p.dy = {2, 2};
+  EXPECT_FALSE(is_consistent(p));
+  EXPECT_THROW(reconstruct_raster(p), Error);
+  p.dx = {3, 3};
+  p.dy = {2};  // size mismatch vs topology
+  EXPECT_FALSE(is_consistent(p));
+}
+
+TEST(Squish, ConsistencyWithoutScanLinesAllowed) {
+  // Baseline generators produce (topology, dx, dy) without absolute lines.
+  SquishPattern p;
+  p.topology = Raster(2, 1, 0);
+  p.topology(1, 0) = 1;
+  p.dx = {3, 4};
+  p.dy = {5};
+  EXPECT_TRUE(is_consistent(p));
+  Raster r = reconstruct_raster(p);
+  EXPECT_EQ(r.width(), 7);
+  EXPECT_EQ(r.height(), 5);
+  EXPECT_EQ(r.count_ones(), 20);
+}
+
+TEST(Squish, GeometryHashSeparatesScaledPatterns) {
+  // Same topology, different deltas => different geometry hash.
+  Raster a(10, 10), b(10, 10);
+  a.fill_rect(Rect{2, 2, 5, 8}, 1);
+  b.fill_rect(Rect{2, 2, 6, 8}, 1);
+  SquishPattern pa = extract_squish(a), pb = extract_squish(b);
+  EXPECT_EQ(pa.topology_hash(), pb.topology_hash());
+  EXPECT_NE(pa.geometry_hash(), pb.geometry_hash());
+}
+
+TEST(Squish, ScanLineExtractors) {
+  Raster r(8, 6);
+  r.fill_rect(Rect{2, 0, 4, 6}, 1);
+  EXPECT_EQ(extract_x_lines(r), (std::vector<int>{2, 4}));
+  EXPECT_TRUE(extract_y_lines(r).empty());
+}
+
+// Property: squish round-trip is lossless for arbitrary random rasters
+// (not only rectilinear layouts — the representation is universal since
+// cells degrade to 1x1 in the worst case).
+class SquishRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(SquishRoundTrip, RandomRaster) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  int w = rng.uniform_int(1, 40);
+  int h = rng.uniform_int(1, 40);
+  double density = rng.uniform(0.05, 0.95);
+  Raster r(w, h);
+  for (auto& v : r.data()) v = rng.bernoulli(density);
+  SquishPattern p = extract_squish(r);
+  ASSERT_TRUE(is_consistent(p));
+  EXPECT_EQ(reconstruct_raster(p), r);
+  // Interval widths must sum to the clip size.
+  int sx = 0;
+  for (int d : p.dx) sx += d;
+  EXPECT_EQ(sx, w);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SquishRoundTrip, ::testing::Range(0, 40));
+
+// Property: squish of a layout made of K disjoint axis-aligned rectangles
+// has at most 2K interior lines per axis.
+class SquishRectCount : public ::testing::TestWithParam<int> {};
+
+TEST_P(SquishRectCount, LineBudget) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 17);
+  Raster r(32, 32);
+  int k = rng.uniform_int(1, 5);
+  for (int i = 0; i < k; ++i) {
+    int x = rng.uniform_int(0, 28), y = rng.uniform_int(0, 28);
+    r.fill_rect(Rect{x, y, x + rng.uniform_int(1, 4), y + rng.uniform_int(1, 4)}, 1);
+  }
+  SquishPattern p = extract_squish(r);
+  EXPECT_LE(p.cx(), 2 * k);
+  EXPECT_LE(p.cy(), 2 * k);
+  EXPECT_EQ(reconstruct_raster(p), r);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SquishRectCount, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace pp
