@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_masks.dir/bench/bench_ablation_masks.cpp.o"
+  "CMakeFiles/bench_ablation_masks.dir/bench/bench_ablation_masks.cpp.o.d"
+  "bench/bench_ablation_masks"
+  "bench/bench_ablation_masks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_masks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

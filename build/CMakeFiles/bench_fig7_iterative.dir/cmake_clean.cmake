@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_iterative.dir/bench/bench_fig7_iterative.cpp.o"
+  "CMakeFiles/bench_fig7_iterative.dir/bench/bench_fig7_iterative.cpp.o.d"
+  "bench/bench_fig7_iterative"
+  "bench/bench_fig7_iterative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_iterative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_denoise.dir/bench/bench_table3_denoise.cpp.o"
+  "CMakeFiles/bench_table3_denoise.dir/bench/bench_table3_denoise.cpp.o.d"
+  "bench/bench_table3_denoise"
+  "bench/bench_table3_denoise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_denoise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/benchutil.cpp" "CMakeFiles/pp_benchutil.dir/bench/benchutil.cpp.o" "gcc" "CMakeFiles/pp_benchutil.dir/bench/benchutil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/pp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/legalize/CMakeFiles/pp_legalize.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/pp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/denoise/CMakeFiles/pp_denoise.dir/DependInfo.cmake"
+  "/root/repo/build/src/select/CMakeFiles/pp_select.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/pp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/patterngen/CMakeFiles/pp_patterngen.dir/DependInfo.cmake"
+  "/root/repo/build/src/drc/CMakeFiles/pp_drc.dir/DependInfo.cmake"
+  "/root/repo/build/src/diffusion/CMakeFiles/pp_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/squish/CMakeFiles/pp_squish.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/pp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

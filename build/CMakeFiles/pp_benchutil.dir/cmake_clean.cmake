@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_benchutil.dir/bench/benchutil.cpp.o"
+  "CMakeFiles/pp_benchutil.dir/bench/benchutil.cpp.o.d"
+  "libpp_benchutil.a"
+  "libpp_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

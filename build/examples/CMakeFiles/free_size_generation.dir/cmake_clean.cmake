@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/free_size_generation.dir/free_size_generation.cpp.o"
+  "CMakeFiles/free_size_generation.dir/free_size_generation.cpp.o.d"
+  "free_size_generation"
+  "free_size_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/free_size_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opc_pattern_library.dir/opc_pattern_library.cpp.o"
+  "CMakeFiles/opc_pattern_library.dir/opc_pattern_library.cpp.o.d"
+  "opc_pattern_library"
+  "opc_pattern_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opc_pattern_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppaint_cli.dir/ppaint_cli.cpp.o"
+  "CMakeFiles/ppaint_cli.dir/ppaint_cli.cpp.o.d"
+  "ppaint_cli"
+  "ppaint_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppaint_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_migration.dir/rule_migration.cpp.o"
+  "CMakeFiles/rule_migration.dir/rule_migration.cpp.o.d"
+  "rule_migration"
+  "rule_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

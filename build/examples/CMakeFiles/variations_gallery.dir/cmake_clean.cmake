@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variations_gallery.dir/variations_gallery.cpp.o"
+  "CMakeFiles/variations_gallery.dir/variations_gallery.cpp.o.d"
+  "variations_gallery"
+  "variations_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variations_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("geometry")
+subdirs("squish")
+subdirs("drc")
+subdirs("metrics")
+subdirs("io")
+subdirs("patterngen")
+subdirs("nn")
+subdirs("diffusion")
+subdirs("denoise")
+subdirs("select")
+subdirs("legalize")
+subdirs("baselines")
+subdirs("core")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_baselines.dir/cup.cpp.o"
+  "CMakeFiles/pp_baselines.dir/cup.cpp.o.d"
+  "CMakeFiles/pp_baselines.dir/diffpattern.cpp.o"
+  "CMakeFiles/pp_baselines.dir/diffpattern.cpp.o.d"
+  "CMakeFiles/pp_baselines.dir/topology_data.cpp.o"
+  "CMakeFiles/pp_baselines.dir/topology_data.cpp.o.d"
+  "libpp_baselines.a"
+  "libpp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

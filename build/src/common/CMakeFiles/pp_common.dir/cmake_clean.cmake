@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_common.dir/parallel.cpp.o"
+  "CMakeFiles/pp_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/pp_common.dir/rng.cpp.o"
+  "CMakeFiles/pp_common.dir/rng.cpp.o.d"
+  "libpp_common.a"
+  "libpp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_core.dir/config.cpp.o"
+  "CMakeFiles/pp_core.dir/config.cpp.o.d"
+  "CMakeFiles/pp_core.dir/library.cpp.o"
+  "CMakeFiles/pp_core.dir/library.cpp.o.d"
+  "CMakeFiles/pp_core.dir/outpaint.cpp.o"
+  "CMakeFiles/pp_core.dir/outpaint.cpp.o.d"
+  "CMakeFiles/pp_core.dir/patternpaint.cpp.o"
+  "CMakeFiles/pp_core.dir/patternpaint.cpp.o.d"
+  "libpp_core.a"
+  "libpp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_denoise.dir/nlm.cpp.o"
+  "CMakeFiles/pp_denoise.dir/nlm.cpp.o.d"
+  "CMakeFiles/pp_denoise.dir/template_denoise.cpp.o"
+  "CMakeFiles/pp_denoise.dir/template_denoise.cpp.o.d"
+  "libpp_denoise.a"
+  "libpp_denoise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_denoise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diffusion/convert.cpp" "src/diffusion/CMakeFiles/pp_diffusion.dir/convert.cpp.o" "gcc" "src/diffusion/CMakeFiles/pp_diffusion.dir/convert.cpp.o.d"
+  "/root/repo/src/diffusion/ddpm.cpp" "src/diffusion/CMakeFiles/pp_diffusion.dir/ddpm.cpp.o" "gcc" "src/diffusion/CMakeFiles/pp_diffusion.dir/ddpm.cpp.o.d"
+  "/root/repo/src/diffusion/schedule.cpp" "src/diffusion/CMakeFiles/pp_diffusion.dir/schedule.cpp.o" "gcc" "src/diffusion/CMakeFiles/pp_diffusion.dir/schedule.cpp.o.d"
+  "/root/repo/src/diffusion/unet.cpp" "src/diffusion/CMakeFiles/pp_diffusion.dir/unet.cpp.o" "gcc" "src/diffusion/CMakeFiles/pp_diffusion.dir/unet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/pp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/pp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

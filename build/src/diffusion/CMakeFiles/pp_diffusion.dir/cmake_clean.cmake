@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_diffusion.dir/convert.cpp.o"
+  "CMakeFiles/pp_diffusion.dir/convert.cpp.o.d"
+  "CMakeFiles/pp_diffusion.dir/ddpm.cpp.o"
+  "CMakeFiles/pp_diffusion.dir/ddpm.cpp.o.d"
+  "CMakeFiles/pp_diffusion.dir/schedule.cpp.o"
+  "CMakeFiles/pp_diffusion.dir/schedule.cpp.o.d"
+  "CMakeFiles/pp_diffusion.dir/unet.cpp.o"
+  "CMakeFiles/pp_diffusion.dir/unet.cpp.o.d"
+  "libpp_diffusion.a"
+  "libpp_diffusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_drc.dir/checker.cpp.o"
+  "CMakeFiles/pp_drc.dir/checker.cpp.o.d"
+  "CMakeFiles/pp_drc.dir/rules.cpp.o"
+  "CMakeFiles/pp_drc.dir/rules.cpp.o.d"
+  "CMakeFiles/pp_drc.dir/runs.cpp.o"
+  "CMakeFiles/pp_drc.dir/runs.cpp.o.d"
+  "libpp_drc.a"
+  "libpp_drc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_drc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

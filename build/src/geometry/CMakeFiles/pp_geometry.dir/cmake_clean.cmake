@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_geometry.dir/polygon.cpp.o"
+  "CMakeFiles/pp_geometry.dir/polygon.cpp.o.d"
+  "CMakeFiles/pp_geometry.dir/raster.cpp.o"
+  "CMakeFiles/pp_geometry.dir/raster.cpp.o.d"
+  "libpp_geometry.a"
+  "libpp_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

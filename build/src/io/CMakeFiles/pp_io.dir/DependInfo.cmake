@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/csv.cpp" "src/io/CMakeFiles/pp_io.dir/csv.cpp.o" "gcc" "src/io/CMakeFiles/pp_io.dir/csv.cpp.o.d"
+  "/root/repo/src/io/gds_text.cpp" "src/io/CMakeFiles/pp_io.dir/gds_text.cpp.o" "gcc" "src/io/CMakeFiles/pp_io.dir/gds_text.cpp.o.d"
+  "/root/repo/src/io/image_io.cpp" "src/io/CMakeFiles/pp_io.dir/image_io.cpp.o" "gcc" "src/io/CMakeFiles/pp_io.dir/image_io.cpp.o.d"
+  "/root/repo/src/io/pattern_io.cpp" "src/io/CMakeFiles/pp_io.dir/pattern_io.cpp.o" "gcc" "src/io/CMakeFiles/pp_io.dir/pattern_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/pp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_io.dir/csv.cpp.o"
+  "CMakeFiles/pp_io.dir/csv.cpp.o.d"
+  "CMakeFiles/pp_io.dir/gds_text.cpp.o"
+  "CMakeFiles/pp_io.dir/gds_text.cpp.o.d"
+  "CMakeFiles/pp_io.dir/image_io.cpp.o"
+  "CMakeFiles/pp_io.dir/image_io.cpp.o.d"
+  "CMakeFiles/pp_io.dir/pattern_io.cpp.o"
+  "CMakeFiles/pp_io.dir/pattern_io.cpp.o.d"
+  "libpp_io.a"
+  "libpp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_legalize.dir/constraints.cpp.o"
+  "CMakeFiles/pp_legalize.dir/constraints.cpp.o.d"
+  "CMakeFiles/pp_legalize.dir/feasible_topology.cpp.o"
+  "CMakeFiles/pp_legalize.dir/feasible_topology.cpp.o.d"
+  "CMakeFiles/pp_legalize.dir/solver.cpp.o"
+  "CMakeFiles/pp_legalize.dir/solver.cpp.o.d"
+  "libpp_legalize.a"
+  "libpp_legalize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_legalize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pp_legalize.
+# This may be replaced when dependencies are built.

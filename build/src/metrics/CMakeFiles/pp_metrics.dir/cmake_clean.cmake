@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_metrics.dir/drspace.cpp.o"
+  "CMakeFiles/pp_metrics.dir/drspace.cpp.o.d"
+  "CMakeFiles/pp_metrics.dir/entropy.cpp.o"
+  "CMakeFiles/pp_metrics.dir/entropy.cpp.o.d"
+  "libpp_metrics.a"
+  "libpp_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_nn.dir/autograd.cpp.o"
+  "CMakeFiles/pp_nn.dir/autograd.cpp.o.d"
+  "CMakeFiles/pp_nn.dir/ops.cpp.o"
+  "CMakeFiles/pp_nn.dir/ops.cpp.o.d"
+  "CMakeFiles/pp_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/pp_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/pp_nn.dir/serialize.cpp.o"
+  "CMakeFiles/pp_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/pp_nn.dir/tensor.cpp.o"
+  "CMakeFiles/pp_nn.dir/tensor.cpp.o.d"
+  "libpp_nn.a"
+  "libpp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

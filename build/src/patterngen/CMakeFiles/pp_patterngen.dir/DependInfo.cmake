@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/patterngen/augment.cpp" "src/patterngen/CMakeFiles/pp_patterngen.dir/augment.cpp.o" "gcc" "src/patterngen/CMakeFiles/pp_patterngen.dir/augment.cpp.o.d"
+  "/root/repo/src/patterngen/random_clips.cpp" "src/patterngen/CMakeFiles/pp_patterngen.dir/random_clips.cpp.o" "gcc" "src/patterngen/CMakeFiles/pp_patterngen.dir/random_clips.cpp.o.d"
+  "/root/repo/src/patterngen/track_generator.cpp" "src/patterngen/CMakeFiles/pp_patterngen.dir/track_generator.cpp.o" "gcc" "src/patterngen/CMakeFiles/pp_patterngen.dir/track_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/drc/CMakeFiles/pp_drc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/pp_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_patterngen.dir/augment.cpp.o"
+  "CMakeFiles/pp_patterngen.dir/augment.cpp.o.d"
+  "CMakeFiles/pp_patterngen.dir/random_clips.cpp.o"
+  "CMakeFiles/pp_patterngen.dir/random_clips.cpp.o.d"
+  "CMakeFiles/pp_patterngen.dir/track_generator.cpp.o"
+  "CMakeFiles/pp_patterngen.dir/track_generator.cpp.o.d"
+  "libpp_patterngen.a"
+  "libpp_patterngen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_patterngen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/select/masks.cpp" "src/select/CMakeFiles/pp_select.dir/masks.cpp.o" "gcc" "src/select/CMakeFiles/pp_select.dir/masks.cpp.o.d"
+  "/root/repo/src/select/pca.cpp" "src/select/CMakeFiles/pp_select.dir/pca.cpp.o" "gcc" "src/select/CMakeFiles/pp_select.dir/pca.cpp.o.d"
+  "/root/repo/src/select/representative.cpp" "src/select/CMakeFiles/pp_select.dir/representative.cpp.o" "gcc" "src/select/CMakeFiles/pp_select.dir/representative.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/pp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_select.dir/masks.cpp.o"
+  "CMakeFiles/pp_select.dir/masks.cpp.o.d"
+  "CMakeFiles/pp_select.dir/pca.cpp.o"
+  "CMakeFiles/pp_select.dir/pca.cpp.o.d"
+  "CMakeFiles/pp_select.dir/representative.cpp.o"
+  "CMakeFiles/pp_select.dir/representative.cpp.o.d"
+  "libpp_select.a"
+  "libpp_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_squish.dir/squish.cpp.o"
+  "CMakeFiles/pp_squish.dir/squish.cpp.o.d"
+  "libpp_squish.a"
+  "libpp_squish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_squish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/denoise_test.dir/denoise_test.cpp.o"
+  "CMakeFiles/denoise_test.dir/denoise_test.cpp.o.d"
+  "denoise_test"
+  "denoise_test.pdb"
+  "denoise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/denoise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

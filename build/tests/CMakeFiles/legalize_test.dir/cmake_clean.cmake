@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legalize_test.dir/legalize_test.cpp.o"
+  "CMakeFiles/legalize_test.dir/legalize_test.cpp.o.d"
+  "legalize_test"
+  "legalize_test.pdb"
+  "legalize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legalize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patterngen_test.dir/patterngen_test.cpp.o"
+  "CMakeFiles/patterngen_test.dir/patterngen_test.cpp.o.d"
+  "patterngen_test"
+  "patterngen_test.pdb"
+  "patterngen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patterngen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

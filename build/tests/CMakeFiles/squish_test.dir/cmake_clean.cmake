@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squish_test.dir/squish_test.cpp.o"
+  "CMakeFiles/squish_test.dir/squish_test.cpp.o.d"
+  "squish_test"
+  "squish_test.pdb"
+  "squish_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squish_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
