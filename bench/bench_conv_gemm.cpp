@@ -1,0 +1,87 @@
+// conv2d kernel microbenchmark: direct nested-loop vs im2col+GEMM across
+// the conv shapes the UNet actually runs (stem, down, bottleneck, 1x1
+// skip), so the dispatch heuristic in kernels.cpp can be re-validated when
+// either path changes.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "benchutil.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "nn/kernels.hpp"
+
+namespace {
+
+using namespace pp;
+using nn::ConvAlgo;
+using nn::Tensor;
+
+struct Shape {
+  const char* name;
+  int ci, co, h, w, k, stride, pad;
+};
+
+// UNet layer shapes at the 32px experiment size (base_channels from the
+// sd1 preset) plus a 64px stem to show scaling.
+constexpr Shape kShapes[] = {
+    {"stem_32px", 3, 32, 32, 32, 3, 1, 1},
+    {"mid_32px", 64, 64, 16, 16, 3, 1, 1},
+    {"bottleneck_32px", 128, 128, 8, 8, 3, 1, 1},
+    {"down_32px", 32, 64, 32, 32, 3, 2, 1},
+    {"skip1x1_32px", 64, 128, 8, 8, 1, 1, 0},
+    {"stem_64px", 3, 32, 64, 64, 3, 1, 1},
+};
+
+void BM_Conv(benchmark::State& state, const Shape& s, ConvAlgo algo) {
+  Rng rng(7);
+  Tensor x = Tensor::randn({1, s.ci, s.h, s.w}, rng);
+  Tensor w = Tensor::randn({s.co, s.ci, s.k, s.k}, rng, 0.1f);
+  Tensor b = Tensor::randn({s.co}, rng);
+  for (auto _ : state) {
+    Tensor out = nn::conv2d_forward(x, w, b, s.stride, s.pad, algo);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+/// One JSON line per shape and algorithm: median-free quick wall numbers
+/// for the cross-PR perf trajectory.
+void emit_summaries() {
+  Rng rng(7);
+  for (const Shape& s : kShapes) {
+    Tensor x = Tensor::randn({1, s.ci, s.h, s.w}, rng);
+    Tensor w = Tensor::randn({s.co, s.ci, s.k, s.k}, rng, 0.1f);
+    Tensor b = Tensor::randn({s.co}, rng);
+    for (ConvAlgo algo : {ConvAlgo::kDirect, ConvAlgo::kGemm}) {
+      nn::conv2d_forward(x, w, b, s.stride, s.pad, algo);  // warm-up
+      const int reps = 20;
+      Timer t;
+      for (int i = 0; i < reps; ++i) {
+        Tensor out = nn::conv2d_forward(x, w, b, s.stride, s.pad, algo);
+        benchmark::DoNotOptimize(out.data());
+      }
+      std::string name = std::string("conv_") + s.name +
+                         (algo == ConvAlgo::kGemm ? "_gemm" : "_direct");
+      bench::emit_json_summary(name, t.seconds() * 1e3 / reps);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const Shape& s : kShapes) {
+    benchmark::RegisterBenchmark(
+        (std::string("ConvGemm/") + s.name + "/direct").c_str(),
+        [&s](benchmark::State& st) { BM_Conv(st, s, ConvAlgo::kDirect); })
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        (std::string("ConvGemm/") + s.name + "/gemm").c_str(),
+        [&s](benchmark::State& st) { BM_Conv(st, s, ConvAlgo::kGemm); })
+        ->Unit(benchmark::kMicrosecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  emit_summaries();
+  return 0;
+}

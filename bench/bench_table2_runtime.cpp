@@ -153,6 +153,26 @@ void report_cost_per_legal() {
   }
 }
 
+/// Machine-readable perf trajectory: wall-time one inpaint call per size
+/// with a fresh RNG, mirroring BM_Inpainting's setup.
+void emit_inpaint_summaries() {
+  for (int size : {32, 64}) {
+    Rng rng(42);
+    Raster starter(size, size);
+    starter.fill_rect(Rect{size / 4, 0, size / 4 + size / 8, size}, 1);
+    nn::Tensor known = raster_to_tensor(starter);
+    Raster m(size, size);
+    m.fill_rect(Rect{0, 0, size / 2, size / 2}, 1);
+    nn::Tensor mask = mask_to_tensor(m);
+    model("sd1").inpaint(known, mask, rng);  // warm-up
+    Timer t;
+    nn::Tensor out = model("sd1").inpaint(known, mask, rng);
+    benchmark::DoNotOptimize(out.data());
+    emit_json_summary("table2_inpaint_" + std::to_string(size) + "px",
+                      t.seconds() * 1e3);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -175,5 +195,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   report_cost_per_legal();
+  emit_inpaint_summaries();
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "benchutil.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -161,6 +162,11 @@ void save_trajectory(const std::string& base, const Trajectory& t) {
 }
 
 }  // namespace
+
+void emit_json_summary(const std::string& bench, double ms) {
+  std::printf("{\"bench\": \"%s\", \"ms\": %.3f}\n", bench.c_str(), ms);
+  std::fflush(stdout);
+}
 
 Trajectory run_trajectory(const std::string& preset, bool finetuned) {
   Scale s = get_scale();

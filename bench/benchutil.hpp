@@ -86,4 +86,10 @@ struct Trajectory {
 };
 Trajectory run_trajectory(const std::string& preset, bool finetuned);
 
+/// Prints a single-line machine-readable summary to stdout:
+///   {"bench": "<name>", "ms": <value>}
+/// One line per tracked quantity so the perf trajectory can be scraped
+/// across PRs (grep '^{"bench"').
+void emit_json_summary(const std::string& bench, double ms);
+
 }  // namespace pp::bench

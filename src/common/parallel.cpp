@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -56,8 +57,18 @@ class Pool {
 
  private:
   Pool() {
-    unsigned hw = std::thread::hardware_concurrency();
-    std::size_t n = hw == 0 ? 4 : std::min<std::size_t>(hw, 16);
+    std::size_t n = 0;
+    // PP_THREADS overrides the pool width (1 = fully serial), for perf
+    // comparisons and deterministic sanitizer runs.
+    if (const char* env = std::getenv("PP_THREADS")) {
+      char* end = nullptr;
+      long v = std::strtol(env, &end, 10);
+      if (end != env && v >= 1) n = static_cast<std::size_t>(v);
+    }
+    if (n == 0) {
+      unsigned hw = std::thread::hardware_concurrency();
+      n = hw == 0 ? 4 : std::min<std::size_t>(hw, 16);
+    }
     for (std::size_t i = 0; i + 1 < n; ++i) {
       workers_.emplace_back([this] { worker_loop(); });
     }

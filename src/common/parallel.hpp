@@ -9,7 +9,9 @@
 
 namespace pp {
 
-/// Number of worker threads the pool uses (hardware_concurrency, capped).
+/// Number of worker threads the pool uses: the PP_THREADS environment
+/// variable if set (>= 1; 1 means fully serial), else
+/// hardware_concurrency capped at 16. Read once at pool creation.
 std::size_t parallel_thread_count();
 
 /// Runs fn(i) for every i in [begin, end), potentially in parallel.

@@ -154,8 +154,9 @@ nn::Tensor Ddpm::inpaint(const Tensor& known, const Tensor& mask,
         static_cast<std::size_t>(N),
         static_cast<float>(t) / static_cast<float>(sched_.T - 1));
     Tensor in = compose_input(x, mask, known);
-    Var eps_v = net_.forward(in, t_frac);
-    const Tensor& eps = eps_v->value;
+    // Graph-free fast path: sampling never backprops, so skip autograd
+    // entirely (no Node allocation — asserted by diffusion_test).
+    Tensor eps = net_.infer(in, t_frac);
 
     // DDIM update with stochasticity eta.
     float sigma = 0.0f;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "nn/kernels.hpp"
 
 namespace pp {
 
@@ -145,7 +146,7 @@ UNet::UNet(UNetConfig cfg, Rng& rng) : cfg_(cfg) {
   params_.insert(params_.end(), {head_gn_g_, head_gn_b_, head_w_, head_b_});
 }
 
-Var UNet::time_embedding(const std::vector<float>& t_frac) const {
+Tensor UNet::sinusoid_embedding(const std::vector<float>& t_frac) const {
   int N = static_cast<int>(t_frac.size());
   int D = cfg_.time_dim;
   int half = D / 2;
@@ -159,7 +160,11 @@ Var UNet::time_embedding(const std::vector<float>& t_frac) const {
       emb.at2(n, half + i) = static_cast<float>(std::cos(a));
     }
   }
-  Var e = nn::make_input(std::move(emb));
+  return emb;
+}
+
+Var UNet::time_embedding(const std::vector<float>& t_frac) const {
+  Var e = nn::make_input(sinusoid_embedding(t_frac));
   e = nn::silu(nn::linear(e, tmlp1_w_, tmlp1_b_));
   return nn::linear(e, tmlp2_w_, tmlp2_b_);
 }
@@ -210,6 +215,94 @@ Var UNet::forward(const Tensor& x, const std::vector<float>& t_frac) const {
   Var out = nn::group_norm(u0, head_gn_g_, head_gn_b_, cfg_.groups);
   out = nn::silu(out);
   return nn::conv2d(out, head_w_, head_b_, 1, 1);
+}
+
+// --- Graph-free inference path ----------------------------------------------
+//
+// Each helper below is the Tensor-level twin of its Var counterpart and must
+// call the same kernels in the same order so infer() stays bit-identical to
+// forward()->value (diffusion_test asserts this).
+
+Tensor UNet::time_embedding_infer(const std::vector<float>& t_frac) const {
+  Tensor e = nn::linear_forward(sinusoid_embedding(t_frac), tmlp1_w_->value,
+                                tmlp1_b_->value);
+  nn::silu_inplace(e);
+  return nn::linear_forward(e, tmlp2_w_->value, tmlp2_b_->value);
+}
+
+Tensor UNet::res_infer(const ResBlock& rb, const Tensor& x,
+                       const Tensor& temb) const {
+  Tensor h = nn::group_norm_forward(x, rb.gn1_g->value, rb.gn1_b->value,
+                                    cfg_.groups, 1e-5f);
+  nn::silu_inplace(h);
+  h = nn::conv2d_forward(h, rb.conv1_w->value, rb.conv1_b->value, 1, 1);
+  Tensor tproj = nn::linear_forward(temb, rb.t_w->value, rb.t_b->value);
+  nn::add_channel_bias_inplace(h, tproj);
+  h = nn::group_norm_forward(h, rb.gn2_g->value, rb.gn2_b->value, cfg_.groups,
+                             1e-5f);
+  nn::silu_inplace(h);
+  h = nn::conv2d_forward(h, rb.conv2_w->value, rb.conv2_b->value, 1, 1);
+  if (rb.skip_w) {
+    nn::add_inplace(
+        h, nn::conv2d_forward(x, rb.skip_w->value, rb.skip_b->value, 1, 0));
+  } else {
+    nn::add_inplace(h, x);
+  }
+  return h;
+}
+
+Tensor UNet::attn_infer(const AttentionBlock& ab, const Tensor& x) const {
+  int N = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
+  int L = H * W;
+  Tensor h = nn::group_norm_forward(x, ab.gn_g->value, ab.gn_b->value,
+                                    cfg_.groups, 1e-5f);
+  Tensor q =
+      nn::conv2d_forward(h, ab.q_w->value, ab.q_b->value, 1, 0).reshaped({N, C, L});
+  Tensor k =
+      nn::conv2d_forward(h, ab.k_w->value, ab.k_b->value, 1, 0).reshaped({N, C, L});
+  Tensor v =
+      nn::conv2d_forward(h, ab.v_w->value, ab.v_b->value, 1, 0).reshaped({N, C, L});
+  Tensor scores = nn::bmm_forward(nn::transpose_last2_forward(q), k);
+  nn::scale_inplace(scores, 1.0f / std::sqrt(static_cast<float>(C)));
+  nn::softmax_lastdim_inplace(scores);
+  Tensor out = nn::bmm_forward(v, nn::transpose_last2_forward(scores))
+                   .reshaped({N, C, H, W});
+  out = nn::conv2d_forward(out, ab.proj_w->value, ab.proj_b->value, 1, 0);
+  nn::add_inplace(out, x);
+  return out;
+}
+
+Tensor UNet::infer(const Tensor& x, const std::vector<float>& t_frac) const {
+  PP_REQUIRE_MSG(x.ndim() == 4 && x.dim(1) == cfg_.in_channels,
+                 "UNet::infer: bad input shape " + x.shape_str());
+  PP_REQUIRE_MSG(x.dim(2) % 4 == 0 && x.dim(3) % 4 == 0,
+                 "UNet::infer: H and W must be divisible by 4");
+  PP_REQUIRE_MSG(static_cast<int>(t_frac.size()) == x.dim(0),
+                 "UNet::infer: one timestep per sample required");
+  Tensor temb = time_embedding_infer(t_frac);
+
+  Tensor h0 = nn::conv2d_forward(x, stem_w_->value, stem_b_->value, 1, 1);
+  h0 = res_infer(rb0_, h0, temb);                                 // C   @ H
+  Tensor h1 = nn::conv2d_forward(h0, down1_w_->value, down1_b_->value, 2, 1);
+  h1 = res_infer(rb1_, h1, temb);                                 // 2C  @ H/2
+  Tensor h2 = nn::conv2d_forward(h1, down2_w_->value, down2_b_->value, 2, 1);
+  h2 = res_infer(rb2_, h2, temb);                                 // 4C  @ H/4
+  if (cfg_.attention) h2 = attn_infer(attn_, h2);
+
+  Tensor u1 = nn::upsample_nearest2_forward(h2);
+  u1 = nn::conv2d_forward(u1, up1_w_->value, up1_b_->value, 1, 1);  // 2C @ H/2
+  u1 = nn::concat_channels_forward(u1, h1);                         // 4C
+  u1 = res_infer(rb_up1_, u1, temb);                                // 2C
+
+  Tensor u0 = nn::upsample_nearest2_forward(u1);
+  u0 = nn::conv2d_forward(u0, up0_w_->value, up0_b_->value, 1, 1);  // C @ H
+  u0 = nn::concat_channels_forward(u0, h0);                         // 2C
+  u0 = res_infer(rb_up0_, u0, temb);                                // C
+
+  Tensor out = nn::group_norm_forward(u0, head_gn_g_->value,
+                                      head_gn_b_->value, cfg_.groups, 1e-5f);
+  nn::silu_inplace(out);
+  return nn::conv2d_forward(out, head_w_->value, head_b_->value, 1, 1);
 }
 
 }  // namespace pp

@@ -52,6 +52,13 @@ class UNet {
   /// reaches all parameters, so backward() on a loss trains the net.
   nn::Var forward(const nn::Tensor& x, const std::vector<float>& t_frac) const;
 
+  /// Graph-free inference fast path. Computes exactly the same function as
+  /// forward() (same kernels, bit-identical output) but operates on plain
+  /// Tensors: no autograd Node allocation, no backprop closures, no graph
+  /// retention. Use for sampling; use forward() whenever gradients are
+  /// needed (see DESIGN.md "infer vs forward").
+  nn::Tensor infer(const nn::Tensor& x, const std::vector<float>& t_frac) const;
+
   /// All trainable parameters in a stable order (for optimizers and
   /// checkpointing).
   std::vector<nn::Var> parameters() const { return params_; }
@@ -82,6 +89,13 @@ class UNet {
                       const nn::Var& temb) const;
   nn::Var attn_forward(const AttentionBlock& ab, const nn::Var& x) const;
   nn::Var time_embedding(const std::vector<float>& t_frac) const;
+
+  // Graph-free twins of the helpers above, on plain Tensors.
+  nn::Tensor sinusoid_embedding(const std::vector<float>& t_frac) const;
+  nn::Tensor time_embedding_infer(const std::vector<float>& t_frac) const;
+  nn::Tensor res_infer(const ResBlock& rb, const nn::Tensor& x,
+                       const nn::Tensor& temb) const;
+  nn::Tensor attn_infer(const AttentionBlock& ab, const nn::Tensor& x) const;
 
   UNetConfig cfg_;
   // Time MLP.

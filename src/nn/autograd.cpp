@@ -1,10 +1,19 @@
 #include "nn/autograd.hpp"
 
+#include <atomic>
 #include <unordered_set>
 
 #include "common/error.hpp"
 
 namespace pp::nn {
+
+namespace {
+std::atomic<std::size_t> g_node_allocs{0};
+}
+
+std::size_t node_allocation_count() {
+  return g_node_allocs.load(std::memory_order_relaxed);
+}
 
 Tensor& Node::ensure_grad() {
   if (grad.empty()) grad = value.zeros_like();
@@ -12,6 +21,7 @@ Tensor& Node::ensure_grad() {
 }
 
 Var make_param(Tensor value) {
+  g_node_allocs.fetch_add(1, std::memory_order_relaxed);
   auto n = std::make_shared<Node>();
   n->value = std::move(value);
   n->requires_grad = true;
@@ -20,6 +30,7 @@ Var make_param(Tensor value) {
 }
 
 Var make_input(Tensor value) {
+  g_node_allocs.fetch_add(1, std::memory_order_relaxed);
   auto n = std::make_shared<Node>();
   n->value = std::move(value);
   n->requires_grad = false;
@@ -29,6 +40,7 @@ Var make_input(Tensor value) {
 
 Var make_op(Tensor value, std::vector<Var> parents,
             std::function<void(Node&)> backprop, const char* op_name) {
+  g_node_allocs.fetch_add(1, std::memory_order_relaxed);
   auto n = std::make_shared<Node>();
   n->value = std::move(value);
   n->parents = std::move(parents);

@@ -56,6 +56,12 @@ void backward(const Var& root);
 /// Zeroes the gradients of the given parameters (call before each step).
 void zero_grad(const std::vector<Var>& params);
 
+/// Monotonic count of Node allocations (make_param/make_input/make_op) in
+/// this process. Sample before and after a region to assert it builds no
+/// graph — the inference fast path (UNet::infer, Ddpm sampling) must leave
+/// this unchanged.
+std::size_t node_allocation_count();
+
 /// Number of scalar parameters across a parameter list.
 std::size_t parameter_count(const std::vector<Var>& params);
 

@@ -1,0 +1,195 @@
+#include "nn/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/parallel.hpp"
+
+namespace pp::nn {
+
+namespace {
+
+// Block sizes chosen for typical L1/L2: an NC-column stripe of C plus four
+// B rows stay in L1; a KC x NC panel of B stays in L2 across the i loop.
+constexpr int kNc = 512;
+constexpr int kKc = 128;
+
+// Row ranges below kMinParallelRows run serially: the pool dispatch costs
+// more than the work for the small matrices in gradient checks.
+constexpr std::size_t kMinParallelRows = 8;
+
+void rows_parallel(int m, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (static_cast<std::size_t>(m) < kMinParallelRows ||
+      parallel_thread_count() <= 1) {
+    fn(0, static_cast<std::size_t>(m));
+    return;
+  }
+  parallel_for_chunks(0, static_cast<std::size_t>(m), fn);
+}
+
+}  // namespace
+
+void sgemm_nn(int M, int N, int K, const float* A, int lda, const float* B,
+              int ldb, float* C, int ldc, bool accumulate) {
+  rows_parallel(M, [&](std::size_t lo, std::size_t hi) {
+    for (int jc = 0; jc < N; jc += kNc) {
+      const int nb = std::min(kNc, N - jc);
+      for (int kc = 0; kc < K; kc += kKc) {
+        const int kb = std::min(kKc, K - kc);
+        for (std::size_t i = lo; i < hi; ++i) {
+          float* c = C + i * static_cast<std::size_t>(ldc) + jc;
+          if (kc == 0 && !accumulate) std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(nb));
+          const float* arow = A + i * static_cast<std::size_t>(lda) + kc;
+          int k = 0;
+          for (; k + 4 <= kb; k += 4) {
+            const float a0 = arow[k], a1 = arow[k + 1], a2 = arow[k + 2],
+                        a3 = arow[k + 3];
+            const float* b0 = B + static_cast<std::size_t>(kc + k) * ldb + jc;
+            const float* b1 = b0 + ldb;
+            const float* b2 = b1 + ldb;
+            const float* b3 = b2 + ldb;
+            for (int j = 0; j < nb; ++j)
+              c[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+          }
+          for (; k < kb; ++k) {
+            const float a = arow[k];
+            const float* b = B + static_cast<std::size_t>(kc + k) * ldb + jc;
+            for (int j = 0; j < nb; ++j) c[j] += a * b[j];
+          }
+        }
+      }
+    }
+  });
+}
+
+void sgemm_nt(int M, int N, int K, const float* A, int lda, const float* B,
+              int ldb, float* C, int ldc, bool accumulate) {
+  rows_parallel(M, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const float* arow = A + i * static_cast<std::size_t>(lda);
+      float* crow = C + i * static_cast<std::size_t>(ldc);
+      int j = 0;
+      // Four dot products at a time: A row is loaded once per group.
+      for (; j + 4 <= N; j += 4) {
+        const float* b0 = B + static_cast<std::size_t>(j) * ldb;
+        const float* b1 = b0 + ldb;
+        const float* b2 = b1 + ldb;
+        const float* b3 = b2 + ldb;
+        float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+        for (int k = 0; k < K; ++k) {
+          const float a = arow[k];
+          s0 += a * b0[k];
+          s1 += a * b1[k];
+          s2 += a * b2[k];
+          s3 += a * b3[k];
+        }
+        if (accumulate) {
+          crow[j] += s0; crow[j + 1] += s1; crow[j + 2] += s2; crow[j + 3] += s3;
+        } else {
+          crow[j] = s0; crow[j + 1] = s1; crow[j + 2] = s2; crow[j + 3] = s3;
+        }
+      }
+      for (; j < N; ++j) {
+        const float* b = B + static_cast<std::size_t>(j) * ldb;
+        float s = 0;
+        for (int k = 0; k < K; ++k) s += arow[k] * b[k];
+        if (accumulate) crow[j] += s; else crow[j] = s;
+      }
+    }
+  });
+}
+
+void sgemm_tn(int M, int N, int K, const float* A, int lda, const float* B,
+              int ldb, float* C, int ldc, bool accumulate) {
+  rows_parallel(M, [&](std::size_t lo, std::size_t hi) {
+    for (int jc = 0; jc < N; jc += kNc) {
+      const int nb = std::min(kNc, N - jc);
+      for (std::size_t i = lo; i < hi; ++i) {
+        float* c = C + i * static_cast<std::size_t>(ldc) + jc;
+        if (!accumulate) std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(nb));
+        int k = 0;
+        for (; k + 4 <= K; k += 4) {
+          const float a0 = A[static_cast<std::size_t>(k) * lda + i];
+          const float a1 = A[static_cast<std::size_t>(k + 1) * lda + i];
+          const float a2 = A[static_cast<std::size_t>(k + 2) * lda + i];
+          const float a3 = A[static_cast<std::size_t>(k + 3) * lda + i];
+          const float* b0 = B + static_cast<std::size_t>(k) * ldb + jc;
+          const float* b1 = b0 + ldb;
+          const float* b2 = b1 + ldb;
+          const float* b3 = b2 + ldb;
+          for (int j = 0; j < nb; ++j)
+            c[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+        }
+        for (; k < K; ++k) {
+          const float a = A[static_cast<std::size_t>(k) * lda + i];
+          const float* b = B + static_cast<std::size_t>(k) * ldb + jc;
+          for (int j = 0; j < nb; ++j) c[j] += a * b[j];
+        }
+      }
+    }
+  });
+}
+
+void im2col(const float* x, int ci, int h, int w, int kh, int kw, int stride,
+            int pad, int ho, int wo, float* col) {
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  float* dst = col;
+  for (int c = 0; c < ci; ++c) {
+    const float* xp = x + static_cast<std::size_t>(c) * plane;
+    for (int ky = 0; ky < kh; ++ky) {
+      for (int kx = 0; kx < kw; ++kx) {
+        for (int oh = 0; oh < ho; ++oh, dst += wo) {
+          const int ih = oh * stride + ky - pad;
+          if (ih < 0 || ih >= h) {
+            std::memset(dst, 0, sizeof(float) * static_cast<std::size_t>(wo));
+            continue;
+          }
+          // Output-column range with iw = ow*stride + kx - pad inside [0, w).
+          int ow_lo = 0;
+          while (ow_lo < wo && ow_lo * stride + kx - pad < 0) ++ow_lo;
+          int ow_hi = wo;
+          while (ow_hi > ow_lo && (ow_hi - 1) * stride + kx - pad >= w) --ow_hi;
+          if (ow_lo > 0)
+            std::memset(dst, 0, sizeof(float) * static_cast<std::size_t>(ow_lo));
+          if (ow_hi < wo)
+            std::memset(dst + ow_hi, 0,
+                        sizeof(float) * static_cast<std::size_t>(wo - ow_hi));
+          const float* src = xp + static_cast<std::size_t>(ih) * w;
+          if (stride == 1) {
+            std::memcpy(dst + ow_lo, src + ow_lo + kx - pad,
+                        sizeof(float) * static_cast<std::size_t>(ow_hi - ow_lo));
+          } else {
+            for (int ow = ow_lo; ow < ow_hi; ++ow)
+              dst[ow] = src[ow * stride + kx - pad];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im_add(const float* col, int ci, int h, int w, int kh, int kw,
+                int stride, int pad, int ho, int wo, float* x) {
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  const float* src = col;
+  for (int c = 0; c < ci; ++c) {
+    float* xp = x + static_cast<std::size_t>(c) * plane;
+    for (int ky = 0; ky < kh; ++ky) {
+      for (int kx = 0; kx < kw; ++kx) {
+        for (int oh = 0; oh < ho; ++oh, src += wo) {
+          const int ih = oh * stride + ky - pad;
+          if (ih < 0 || ih >= h) continue;
+          int ow_lo = 0;
+          while (ow_lo < wo && ow_lo * stride + kx - pad < 0) ++ow_lo;
+          int ow_hi = wo;
+          while (ow_hi > ow_lo && (ow_hi - 1) * stride + kx - pad >= w) --ow_hi;
+          float* dstrow = xp + static_cast<std::size_t>(ih) * w + kx - pad;
+          for (int ow = ow_lo; ow < ow_hi; ++ow)
+            dstrow[ow * stride] += src[ow];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace pp::nn

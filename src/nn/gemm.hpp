@@ -1,0 +1,44 @@
+// Cache-blocked single-precision GEMM micro-kernels and im2col/col2im
+// packing, the compute backbone of the conv2d/linear/bmm ops.
+//
+// All matrices are row-major with explicit leading dimensions (row
+// strides). Kernels block over columns (NC) and depth (KC) so the streamed
+// panel of B stays cache-resident, unroll the depth loop 4-wide for ILP,
+// and split rows of C across pp::parallel_for_chunks (disjoint writes, no
+// synchronization). `accumulate` selects C += A*B vs C = A*B.
+#pragma once
+
+#include <cstddef>
+
+namespace pp::nn {
+
+/// C{M,N} (+)= A{M,K} * B{K,N}
+void sgemm_nn(int M, int N, int K, const float* A, int lda, const float* B,
+              int ldb, float* C, int ldc, bool accumulate);
+
+/// C{M,N} (+)= A{M,K} * B{N,K}^T  (dot-product kernel; B stored row-major
+/// as {N,K}, so C[i][j] = <A row i, B row j>).
+void sgemm_nt(int M, int N, int K, const float* A, int lda, const float* B,
+              int ldb, float* C, int ldc, bool accumulate);
+
+/// C{M,N} (+)= A{K,M}^T * B{K,N}  (A stored row-major as {K,M}).
+void sgemm_tn(int M, int N, int K, const float* A, int lda, const float* B,
+              int ldb, float* C, int ldc, bool accumulate);
+
+/// Number of rows of the im2col matrix: Ci*Kh*Kw.
+inline std::size_t im2col_rows(int ci, int kh, int kw) {
+  return static_cast<std::size_t>(ci) * kh * kw;
+}
+
+/// Unrolls one sample's {Ci,H,W} plane into col{Ci*Kh*Kw, Ho*Wo}:
+/// col[(ci*Kh+kh)*Kw+kw][oh*Wo+ow] = x[ci][oh*stride+kh-pad][ow*stride+kw-pad]
+/// with zeros where the receptive field leaves the image.
+void im2col(const float* x, int ci, int h, int w, int kh, int kw, int stride,
+            int pad, int ho, int wo, float* col);
+
+/// Adjoint of im2col: scatter-adds col{Ci*Kh*Kw, Ho*Wo} back into the
+/// {Ci,H,W} plane (x is accumulated into, not overwritten).
+void col2im_add(const float* col, int ci, int h, int w, int kh, int kw,
+                int stride, int pad, int ho, int wo, float* x);
+
+}  // namespace pp::nn

@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "nn/gemm.hpp"
+#include "nn/kernels.hpp"
 
 namespace pp::nn {
 
@@ -52,21 +54,36 @@ Var sub(const Var& a, const Var& b) {
 Var mul(const Var& a, const Var& b) {
   require_same_shape(a, b, "mul");
   Tensor out = a->value.zeros_like();
-  for (std::size_t i = 0; i < out.numel(); ++i)
-    out[i] = a->value[i] * b->value[i];
+  {
+    const float* av = a->value.data();
+    const float* bv = b->value.data();
+    float* ov = out.data();
+    eltwise_parallel(out.numel(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) ov[i] = av[i] * bv[i];
+    });
+  }
   return make_op(std::move(out), {a, b},
                  [](Node& n) {
                    Node& a = *n.parents[0];
                    Node& b = *n.parents[1];
+                   const float* g = n.grad.data();
                    if (a.requires_grad) {
-                     Tensor& ga = a.ensure_grad();
-                     for (std::size_t i = 0; i < n.grad.numel(); ++i)
-                       ga[i] += n.grad[i] * b.value[i];
+                     float* ga = a.ensure_grad().data();
+                     const float* bv = b.value.data();
+                     eltwise_parallel(n.grad.numel(),
+                                      [&](std::size_t lo, std::size_t hi) {
+                                        for (std::size_t i = lo; i < hi; ++i)
+                                          ga[i] += g[i] * bv[i];
+                                      });
                    }
                    if (b.requires_grad) {
-                     Tensor& gb = b.ensure_grad();
-                     for (std::size_t i = 0; i < n.grad.numel(); ++i)
-                       gb[i] += n.grad[i] * a.value[i];
+                     float* gb = b.ensure_grad().data();
+                     const float* av = a.value.data();
+                     eltwise_parallel(n.grad.numel(),
+                                      [&](std::size_t lo, std::size_t hi) {
+                                        for (std::size_t i = lo; i < hi; ++i)
+                                          gb[i] += g[i] * av[i];
+                                      });
                    }
                  },
                  "mul");
@@ -92,36 +109,47 @@ Var add_scalar(const Var& a, float s) {
 }
 
 Var silu(const Var& x) {
-  Tensor out = x->value.zeros_like();
-  for (std::size_t i = 0; i < out.numel(); ++i) {
-    float v = x->value[i];
-    out[i] = v / (1.0f + std::exp(-v));
-  }
+  Tensor out = silu_forward(x->value);
   return make_op(std::move(out), {x},
                  [](Node& n) {
                    Node& x = *n.parents[0];
                    if (!x.requires_grad) return;
-                   Tensor& gx = x.ensure_grad();
-                   for (std::size_t i = 0; i < n.grad.numel(); ++i) {
-                     float v = x.value[i];
-                     float sig = 1.0f / (1.0f + std::exp(-v));
-                     gx[i] += n.grad[i] * (sig * (1.0f + v * (1.0f - sig)));
-                   }
+                   float* gx = x.ensure_grad().data();
+                   const float* xv = x.value.data();
+                   const float* g = n.grad.data();
+                   eltwise_parallel(n.grad.numel(),
+                                    [&](std::size_t lo, std::size_t hi) {
+                                      for (std::size_t i = lo; i < hi; ++i) {
+                                        float v = xv[i];
+                                        float sig = 1.0f / (1.0f + std::exp(-v));
+                                        gx[i] += g[i] * (sig * (1.0f + v * (1.0f - sig)));
+                                      }
+                                    });
                  },
                  "silu");
 }
 
 Var relu(const Var& x) {
   Tensor out = x->value.zeros_like();
-  for (std::size_t i = 0; i < out.numel(); ++i)
-    out[i] = x->value[i] > 0 ? x->value[i] : 0.0f;
+  {
+    const float* xv = x->value.data();
+    float* ov = out.data();
+    eltwise_parallel(out.numel(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) ov[i] = xv[i] > 0 ? xv[i] : 0.0f;
+    });
+  }
   return make_op(std::move(out), {x},
                  [](Node& n) {
                    Node& x = *n.parents[0];
                    if (!x.requires_grad) return;
-                   Tensor& gx = x.ensure_grad();
-                   for (std::size_t i = 0; i < n.grad.numel(); ++i)
-                     if (x.value[i] > 0) gx[i] += n.grad[i];
+                   float* gx = x.ensure_grad().data();
+                   const float* xv = x.value.data();
+                   const float* g = n.grad.data();
+                   eltwise_parallel(n.grad.numel(),
+                                    [&](std::size_t lo, std::size_t hi) {
+                                      for (std::size_t i = lo; i < hi; ++i)
+                                        if (xv[i] > 0) gx[i] += g[i];
+                                    });
                  },
                  "relu");
 }
@@ -169,16 +197,8 @@ Var concat_channels(const Var& a, const Var& b) {
   PP_REQUIRE_MSG(sa[0] == sb[0] && sa[2] == sb[2] && sa[3] == sb[3],
                  "concat_channels: N/H/W mismatch");
   int N = sa[0], Ca = sa[1], Cb = sb[1], H = sa[2], W = sa[3];
-  Tensor out({N, Ca + Cb, H, W});
   std::size_t plane = static_cast<std::size_t>(H) * W;
-  for (int n = 0; n < N; ++n) {
-    std::copy_n(a->value.data() + static_cast<std::size_t>(n) * Ca * plane,
-                static_cast<std::size_t>(Ca) * plane,
-                out.data() + static_cast<std::size_t>(n) * (Ca + Cb) * plane);
-    std::copy_n(b->value.data() + static_cast<std::size_t>(n) * Cb * plane,
-                static_cast<std::size_t>(Cb) * plane,
-                out.data() + (static_cast<std::size_t>(n) * (Ca + Cb) + Ca) * plane);
-  }
+  Tensor out = concat_channels_forward(a->value, b->value);
   return make_op(std::move(out), {a, b},
                  [Ca, Cb, plane, N](Node& n) {
                    Node& a = *n.parents[0];
@@ -218,12 +238,7 @@ Var add_channel_bias(const Var& x, const Var& bias) {
   }
   Tensor out = x->value;
   std::size_t plane = static_cast<std::size_t>(H) * W;
-  for (int n = 0; n < N; ++n)
-    for (int c = 0; c < C; ++c) {
-      float b = per_sample ? bias->value.at2(n, c) : bias->value[static_cast<std::size_t>(c)];
-      float* p = out.data() + (static_cast<std::size_t>(n) * C + c) * plane;
-      for (std::size_t k = 0; k < plane; ++k) p[k] += b;
-    }
+  add_channel_bias_inplace(out, bias->value);
   return make_op(std::move(out), {x, bias},
                  [N, C, plane, per_sample](Node& n) {
                    accumulate(*n.parents[0], n.grad);
@@ -267,41 +282,22 @@ Var linear(const Var& x, const Var& w, const Var& b) {
   int N = x->value.dim(0), I = x->value.dim(1), O = w->value.dim(0);
   PP_REQUIRE_MSG(w->value.dim(1) == I && b->value.dim(0) == O,
                  "linear: dimension mismatch");
-  Tensor out({N, O});
-  for (int n = 0; n < N; ++n)
-    for (int o = 0; o < O; ++o) {
-      double s = b->value[static_cast<std::size_t>(o)];
-      const float* xr = x->value.data() + static_cast<std::size_t>(n) * I;
-      const float* wr = w->value.data() + static_cast<std::size_t>(o) * I;
-      for (int i = 0; i < I; ++i) s += static_cast<double>(xr[i]) * wr[i];
-      out.at2(n, o) = static_cast<float>(s);
-    }
+  Tensor out = linear_forward(x->value, w->value, b->value);
   return make_op(std::move(out), {x, w, b},
                  [N, I, O](Node& n) {
                    Node& x = *n.parents[0];
                    Node& w = *n.parents[1];
                    Node& b = *n.parents[2];
+                   const float* g = n.grad.data();
                    if (x.requires_grad) {
-                     Tensor& gx = x.ensure_grad();
-                     for (int i = 0; i < N; ++i)
-                       for (int o = 0; o < O; ++o) {
-                         float g = n.grad.at2(i, o);
-                         const float* wr =
-                             w.value.data() + static_cast<std::size_t>(o) * I;
-                         float* gxr = gx.data() + static_cast<std::size_t>(i) * I;
-                         for (int k = 0; k < I; ++k) gxr[k] += g * wr[k];
-                       }
+                     // gx{N,I} += g{N,O} * w{O,I}
+                     sgemm_nn(N, I, O, g, O, w.value.data(), I,
+                              x.ensure_grad().data(), I, true);
                    }
                    if (w.requires_grad) {
-                     Tensor& gw = w.ensure_grad();
-                     for (int i = 0; i < N; ++i)
-                       for (int o = 0; o < O; ++o) {
-                         float g = n.grad.at2(i, o);
-                         const float* xr =
-                             x.value.data() + static_cast<std::size_t>(i) * I;
-                         float* gwr = gw.data() + static_cast<std::size_t>(o) * I;
-                         for (int k = 0; k < I; ++k) gwr[k] += g * xr[k];
-                       }
+                     // gw{O,I} += g^T{O,N} * x{N,I}
+                     sgemm_tn(O, I, N, g, O, x.value.data(), I,
+                              w.ensure_grad().data(), I, true);
                    }
                    if (b.requires_grad) {
                      Tensor& gb = b.ensure_grad();
@@ -316,162 +312,20 @@ Var linear(const Var& x, const Var& w, const Var& b) {
 // --- Conv --------------------------------------------------------------------
 
 Var conv2d(const Var& x, const Var& w, const Var& b, int stride, int pad) {
-  PP_REQUIRE_MSG(x->value.ndim() == 4 && w->value.ndim() == 4 &&
-                     b->value.ndim() == 1,
-                 "conv2d: expected x{N,Ci,H,W} w{Co,Ci,Kh,Kw} b{Co}");
-  PP_REQUIRE(stride >= 1 && pad >= 0);
-  int N = x->value.dim(0), Ci = x->value.dim(1), H = x->value.dim(2),
-      W = x->value.dim(3);
-  int Co = w->value.dim(0), Kh = w->value.dim(2), Kw = w->value.dim(3);
-  PP_REQUIRE_MSG(w->value.dim(1) == Ci, "conv2d: in-channel mismatch");
-  PP_REQUIRE_MSG(b->value.dim(0) == Co, "conv2d: bias size mismatch");
-  int Ho = (H + 2 * pad - Kh) / stride + 1;
-  int Wo = (W + 2 * pad - Kw) / stride + 1;
-  PP_REQUIRE_MSG(Ho > 0 && Wo > 0, "conv2d: output collapses to zero size");
-
-  Tensor out({N, Co, Ho, Wo});
-  const float* xv = x->value.data();
-  const float* wv = w->value.data();
-  const float* bv = b->value.data();
-  float* ov = out.data();
-
-  // Forward: parallel over (n, co) pairs; accumulation pattern keeps the
-  // inner loop contiguous over output columns.
-  parallel_for(0, static_cast<std::size_t>(N) * Co, [&](std::size_t idx) {
-    int n = static_cast<int>(idx) / Co;
-    int co = static_cast<int>(idx) % Co;
-    float* yplane = ov + ((static_cast<std::size_t>(n) * Co + co) *
-                          static_cast<std::size_t>(Ho) * Wo);
-    for (int i = 0; i < Ho * Wo; ++i) yplane[i] = bv[co];
-    for (int ci = 0; ci < Ci; ++ci) {
-      const float* xplane = xv + ((static_cast<std::size_t>(n) * Ci + ci) *
-                                  static_cast<std::size_t>(H) * W);
-      const float* wk = wv + ((static_cast<std::size_t>(co) * Ci + ci) *
-                              static_cast<std::size_t>(Kh) * Kw);
-      for (int kh = 0; kh < Kh; ++kh)
-        for (int kw = 0; kw < Kw; ++kw) {
-          float wval = wk[kh * Kw + kw];
-          if (wval == 0.0f) continue;
-          for (int oh = 0; oh < Ho; ++oh) {
-            int ih = oh * stride + kh - pad;
-            if (ih < 0 || ih >= H) continue;
-            // Valid output-column range so iw = ow*stride + kw - pad in
-            // [0, W).
-            int ow_lo = 0, ow_hi = Wo;
-            while (ow_lo < Wo && ow_lo * stride + kw - pad < 0) ++ow_lo;
-            while (ow_hi > ow_lo && (ow_hi - 1) * stride + kw - pad >= W)
-              --ow_hi;
-            const float* xrow = xplane + static_cast<std::size_t>(ih) * W;
-            float* yrow = yplane + static_cast<std::size_t>(oh) * Wo;
-            for (int ow = ow_lo; ow < ow_hi; ++ow)
-              yrow[ow] += wval * xrow[ow * stride + kw - pad];
-          }
-        }
-    }
-  });
-
+  // All shape validation and algorithm dispatch (direct vs im2col+GEMM)
+  // lives in the kernel layer, shared with the graph-free inference path.
+  Tensor out = conv2d_forward(x->value, w->value, b->value, stride, pad);
   return make_op(
       std::move(out), {x, w, b},
-      [N, Ci, H, W, Co, Kh, Kw, Ho, Wo, stride, pad](Node& node) {
+      [stride, pad](Node& node) {
         Node& x = *node.parents[0];
         Node& w = *node.parents[1];
         Node& b = *node.parents[2];
-        const float* g = node.grad.data();
-        // grad wrt bias.
-        if (b.requires_grad) {
-          Tensor& gb = b.ensure_grad();
-          for (int n = 0; n < N; ++n)
-            for (int co = 0; co < Co; ++co) {
-              const float* gp = g + ((static_cast<std::size_t>(n) * Co + co) *
-                                     static_cast<std::size_t>(Ho) * Wo);
-              double s = 0;
-              for (int i = 0; i < Ho * Wo; ++i) s += gp[i];
-              gb[static_cast<std::size_t>(co)] += static_cast<float>(s);
-            }
-        }
-        // grad wrt weights: parallel over co (disjoint writes per co).
-        if (w.requires_grad) {
-          Tensor& gw = w.ensure_grad();
-          const float* xv = x.value.data();
-          parallel_for(0, static_cast<std::size_t>(Co), [&](std::size_t co_idx) {
-            int co = static_cast<int>(co_idx);
-            for (int n = 0; n < N; ++n) {
-              const float* gp = g + ((static_cast<std::size_t>(n) * Co + co) *
-                                     static_cast<std::size_t>(Ho) * Wo);
-              for (int ci = 0; ci < Ci; ++ci) {
-                const float* xplane =
-                    xv + ((static_cast<std::size_t>(n) * Ci + ci) *
-                          static_cast<std::size_t>(H) * W);
-                float* gwk = gw.data() +
-                             ((static_cast<std::size_t>(co) * Ci + ci) *
-                              static_cast<std::size_t>(Kh) * Kw);
-                for (int kh = 0; kh < Kh; ++kh)
-                  for (int kw = 0; kw < Kw; ++kw) {
-                    double s = 0;
-                    for (int oh = 0; oh < Ho; ++oh) {
-                      int ih = oh * stride + kh - pad;
-                      if (ih < 0 || ih >= H) continue;
-                      int ow_lo = 0, ow_hi = Wo;
-                      while (ow_lo < Wo && ow_lo * stride + kw - pad < 0)
-                        ++ow_lo;
-                      while (ow_hi > ow_lo &&
-                             (ow_hi - 1) * stride + kw - pad >= W)
-                        --ow_hi;
-                      const float* xrow =
-                          xplane + static_cast<std::size_t>(ih) * W;
-                      const float* grow =
-                          gp + static_cast<std::size_t>(oh) * Wo;
-                      for (int ow = ow_lo; ow < ow_hi; ++ow)
-                        s += static_cast<double>(grow[ow]) *
-                             xrow[ow * stride + kw - pad];
-                    }
-                    gwk[kh * Kw + kw] += static_cast<float>(s);
-                  }
-              }
-            }
-          });
-        }
-        // grad wrt input: parallel over n (disjoint writes per sample).
-        if (x.requires_grad) {
-          Tensor& gx = x.ensure_grad();
-          const float* wv = w.value.data();
-          parallel_for(0, static_cast<std::size_t>(N), [&](std::size_t n_idx) {
-            int n = static_cast<int>(n_idx);
-            for (int co = 0; co < Co; ++co) {
-              const float* gp = g + ((static_cast<std::size_t>(n) * Co + co) *
-                                     static_cast<std::size_t>(Ho) * Wo);
-              for (int ci = 0; ci < Ci; ++ci) {
-                float* gxplane = gx.data() +
-                                 ((static_cast<std::size_t>(n) * Ci + ci) *
-                                  static_cast<std::size_t>(H) * W);
-                const float* wk = wv +
-                                  ((static_cast<std::size_t>(co) * Ci + ci) *
-                                   static_cast<std::size_t>(Kh) * Kw);
-                for (int kh = 0; kh < Kh; ++kh)
-                  for (int kw = 0; kw < Kw; ++kw) {
-                    float wval = wk[kh * Kw + kw];
-                    if (wval == 0.0f) continue;
-                    for (int oh = 0; oh < Ho; ++oh) {
-                      int ih = oh * stride + kh - pad;
-                      if (ih < 0 || ih >= H) continue;
-                      int ow_lo = 0, ow_hi = Wo;
-                      while (ow_lo < Wo && ow_lo * stride + kw - pad < 0)
-                        ++ow_lo;
-                      while (ow_hi > ow_lo &&
-                             (ow_hi - 1) * stride + kw - pad >= W)
-                        --ow_hi;
-                      float* gxrow =
-                          gxplane + static_cast<std::size_t>(ih) * W;
-                      const float* grow =
-                          gp + static_cast<std::size_t>(oh) * Wo;
-                      for (int ow = ow_lo; ow < ow_hi; ++ow)
-                        gxrow[ow * stride + kw - pad] += wval * grow[ow];
-                    }
-                  }
-              }
-            }
-          });
-        }
+        if (b.requires_grad) conv2d_grad_bias(node.grad, b.ensure_grad());
+        if (w.requires_grad)
+          conv2d_grad_weight(x.value, node.grad, w.ensure_grad(), stride, pad);
+        if (x.requires_grad)
+          conv2d_grad_input(w.value, node.grad, x.ensure_grad(), stride, pad);
       },
       "conv2d");
 }
@@ -486,20 +340,7 @@ Var bmm(const Var& a, const Var& b) {
                  "bmm: shape mismatch " + a->value.shape_str() + " x " +
                      b->value.shape_str());
   int N = b->value.dim(2);
-  Tensor out({B, M, N});
-  for (int bi = 0; bi < B; ++bi) {
-    const float* av = a->value.data() + static_cast<std::size_t>(bi) * M * K;
-    const float* bv = b->value.data() + static_cast<std::size_t>(bi) * K * N;
-    float* ov = out.data() + static_cast<std::size_t>(bi) * M * N;
-    for (int m = 0; m < M; ++m)
-      for (int k = 0; k < K; ++k) {
-        float x = av[m * K + k];
-        if (x == 0.0f) continue;
-        const float* br = bv + static_cast<std::size_t>(k) * N;
-        float* orow = ov + static_cast<std::size_t>(m) * N;
-        for (int n = 0; n < N; ++n) orow[n] += x * br[n];
-      }
-  }
+  Tensor out = bmm_forward(a->value, b->value);
   return make_op(std::move(out), {a, b},
                  [B, M, K, N](Node& node) {
                    Node& a = *node.parents[0];
@@ -512,14 +353,8 @@ Var bmm(const Var& a, const Var& b) {
                                          static_cast<std::size_t>(bi) * K * N;
                        const float* gp = g + static_cast<std::size_t>(bi) * M * N;
                        float* gav = ga.data() + static_cast<std::size_t>(bi) * M * K;
-                       // dA = dOut * B^T
-                       for (int m = 0; m < M; ++m)
-                         for (int k = 0; k < K; ++k) {
-                           double s = 0;
-                           for (int n = 0; n < N; ++n)
-                             s += static_cast<double>(gp[m * N + n]) * bv[k * N + n];
-                           gav[m * K + k] += static_cast<float>(s);
-                         }
+                       // dA{M,K} += dOut{M,N} * B{K,N}^T
+                       sgemm_nt(M, K, N, gp, N, bv, N, gav, K, true);
                      }
                    }
                    if (b.requires_grad) {
@@ -529,14 +364,8 @@ Var bmm(const Var& a, const Var& b) {
                                          static_cast<std::size_t>(bi) * M * K;
                        const float* gp = g + static_cast<std::size_t>(bi) * M * N;
                        float* gbv = gb.data() + static_cast<std::size_t>(bi) * K * N;
-                       // dB = A^T * dOut
-                       for (int k = 0; k < K; ++k)
-                         for (int n = 0; n < N; ++n) {
-                           double s = 0;
-                           for (int m = 0; m < M; ++m)
-                             s += static_cast<double>(av[m * K + k]) * gp[m * N + n];
-                           gbv[k * N + n] += static_cast<float>(s);
-                         }
+                       // dB{K,N} += A{M,K}^T * dOut{M,N}
+                       sgemm_tn(K, N, M, av, K, gp, N, gbv, N, true);
                      }
                    }
                  },
@@ -546,12 +375,7 @@ Var bmm(const Var& a, const Var& b) {
 Var transpose_last2(const Var& x) {
   PP_REQUIRE_MSG(x->value.ndim() == 3, "transpose_last2: expected 3-D tensor");
   int B = x->value.dim(0), M = x->value.dim(1), N = x->value.dim(2);
-  Tensor out({B, N, M});
-  for (int b = 0; b < B; ++b)
-    for (int m = 0; m < M; ++m)
-      for (int n = 0; n < N; ++n)
-        out[static_cast<std::size_t>((b * N + n)) * M + m] =
-            x->value[static_cast<std::size_t>((b * M + m)) * N + n];
+  Tensor out = transpose_last2_forward(x->value);
   return make_op(std::move(out), {x},
                  [B, M, N](Node& node) {
                    Node& x = *node.parents[0];
@@ -569,20 +393,8 @@ Var transpose_last2(const Var& x) {
 Var softmax_lastdim(const Var& x) {
   int L = x->value.dim(x->value.ndim() - 1);
   std::size_t rows = x->value.numel() / static_cast<std::size_t>(L);
-  Tensor out = x->value.zeros_like();
-  for (std::size_t r = 0; r < rows; ++r) {
-    const float* xr = x->value.data() + r * static_cast<std::size_t>(L);
-    float* orow = out.data() + r * static_cast<std::size_t>(L);
-    float mx = xr[0];
-    for (int i = 1; i < L; ++i) mx = std::max(mx, xr[i]);
-    double denom = 0;
-    for (int i = 0; i < L; ++i) {
-      orow[i] = std::exp(xr[i] - mx);
-      denom += orow[i];
-    }
-    for (int i = 0; i < L; ++i)
-      orow[i] = static_cast<float>(orow[i] / denom);
-  }
+  Tensor out = x->value;
+  softmax_lastdim_inplace(out);
   return make_op(std::move(out), {x},
                  [L, rows](Node& node) {
                    Node& x = *node.parents[0];
@@ -608,17 +420,7 @@ Var upsample_nearest2(const Var& x) {
   PP_REQUIRE_MSG(x->value.ndim() == 4, "upsample_nearest2 needs 4-D input");
   int N = x->value.dim(0), C = x->value.dim(1), H = x->value.dim(2),
       W = x->value.dim(3);
-  Tensor out({N, C, 2 * H, 2 * W});
-  for (int n = 0; n < N; ++n)
-    for (int c = 0; c < C; ++c)
-      for (int h = 0; h < H; ++h)
-        for (int w = 0; w < W; ++w) {
-          float v = x->value.at4(n, c, h, w);
-          out.at4(n, c, 2 * h, 2 * w) = v;
-          out.at4(n, c, 2 * h, 2 * w + 1) = v;
-          out.at4(n, c, 2 * h + 1, 2 * w) = v;
-          out.at4(n, c, 2 * h + 1, 2 * w + 1) = v;
-        }
+  Tensor out = upsample_nearest2_forward(x->value);
   return make_op(std::move(out), {x},
                  [N, C, H, W](Node& n) {
                    Node& x = *n.parents[0];
@@ -687,36 +489,11 @@ Var group_norm(const Var& x, const Var& gamma, const Var& beta, int groups,
   std::size_t plane = static_cast<std::size_t>(H) * W;
   std::size_t gsize = static_cast<std::size_t>(cg) * plane;  // elems per group
 
-  Tensor out = x->value.zeros_like();
   // Cache statistics for backward.
-  auto mean = std::make_shared<std::vector<float>>(static_cast<std::size_t>(N) * groups);
-  auto inv_std = std::make_shared<std::vector<float>>(static_cast<std::size_t>(N) * groups);
-
-  for (int n = 0; n < N; ++n)
-    for (int g = 0; g < groups; ++g) {
-      const float* base = x->value.data() +
-                          (static_cast<std::size_t>(n) * C + static_cast<std::size_t>(g) * cg) * plane;
-      double s = 0, s2 = 0;
-      for (std::size_t i = 0; i < gsize; ++i) {
-        s += base[i];
-        s2 += static_cast<double>(base[i]) * base[i];
-      }
-      double mu = s / static_cast<double>(gsize);
-      double var = s2 / static_cast<double>(gsize) - mu * mu;
-      float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
-      (*mean)[static_cast<std::size_t>(n) * groups + g] = static_cast<float>(mu);
-      (*inv_std)[static_cast<std::size_t>(n) * groups + g] = istd;
-      float* o = out.data() +
-                 (static_cast<std::size_t>(n) * C + static_cast<std::size_t>(g) * cg) * plane;
-      for (int c = 0; c < cg; ++c) {
-        float gm = gamma->value[static_cast<std::size_t>(g * cg + c)];
-        float bt = beta->value[static_cast<std::size_t>(g * cg + c)];
-        for (std::size_t i = 0; i < plane; ++i) {
-          float xhat = (base[c * plane + i] - static_cast<float>(mu)) * istd;
-          o[c * plane + i] = gm * xhat + bt;
-        }
-      }
-    }
+  auto mean = std::make_shared<std::vector<float>>();
+  auto inv_std = std::make_shared<std::vector<float>>();
+  Tensor out = group_norm_forward(x->value, gamma->value, beta->value, groups,
+                                  eps, mean.get(), inv_std.get());
 
   return make_op(
       std::move(out), {x, gamma, beta},

@@ -1,0 +1,84 @@
+#include "nn/workspace.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pp::nn {
+
+namespace {
+constexpr std::size_t kMinBlock = 1 << 12;  // 4k floats = 16 KiB
+}
+
+Workspace& Workspace::tls() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+float* Workspace::alloc(std::size_t n) {
+  PP_REQUIRE_MSG(n > 0, "Workspace::alloc: zero-size allocation");
+  // Advance through existing blocks looking for room before growing.
+  while (active_ < blocks_.size() &&
+         blocks_[active_].used + n > blocks_[active_].size) {
+    if (active_ + 1 < blocks_.size()) {
+      ++active_;
+    } else {
+      break;
+    }
+  }
+  if (blocks_.empty() || blocks_[active_].used + n > blocks_[active_].size) {
+    // Grow: new block at least doubling total capacity so repeated growth
+    // within one forward is logarithmic.
+    std::size_t want = std::max({n, capacity(), kMinBlock});
+    Block b;
+    b.data = std::make_unique<float[]>(want);
+    b.size = want;
+    blocks_.push_back(std::move(b));
+    active_ = blocks_.size() - 1;
+  }
+  Block& blk = blocks_[active_];
+  float* p = blk.data.get() + blk.used;
+  blk.used += n;
+  high_water_ = std::max(high_water_, in_use());
+  return p;
+}
+
+void Workspace::release(const Mark& m) {
+  if (blocks_.empty()) return;
+  PP_REQUIRE_MSG(m.block < blocks_.size(), "Workspace::release: stale mark");
+  for (std::size_t i = m.block + 1; i < blocks_.size(); ++i)
+    blocks_[i].used = 0;
+  blocks_[m.block].used = m.used;
+  active_ = m.block;
+  // Fully rewound and fragmented: coalesce into one high-water-sized block
+  // so the steady state after the first forward is a single allocation.
+  if (m.block == 0 && m.used == 0 && blocks_.size() > 1) {
+    std::size_t want = std::max(high_water_, kMinBlock);
+    blocks_.clear();
+    Block b;
+    b.data = std::make_unique<float[]>(want);
+    b.size = want;
+    blocks_.push_back(std::move(b));
+    active_ = 0;
+  }
+}
+
+std::size_t Workspace::capacity() const {
+  std::size_t c = 0;
+  for (const auto& b : blocks_) c += b.size;
+  return c;
+}
+
+std::size_t Workspace::in_use() const {
+  std::size_t u = 0;
+  for (const auto& b : blocks_) u += b.used;
+  return u;
+}
+
+void Workspace::shrink() {
+  PP_REQUIRE_MSG(in_use() == 0, "Workspace::shrink with live allocations");
+  blocks_.clear();
+  active_ = 0;
+}
+
+}  // namespace pp::nn

@@ -140,6 +140,55 @@ TEST(UNet, AttentionVariantForwardAndTraining) {
     EXPECT_TRUE(std::isfinite(y->value[i]));
 }
 
+TEST(UNet, InferMatchesForwardBitExact) {
+  // infer() runs the same kernels as forward() in the same order, so the
+  // outputs must agree exactly, not just approximately.
+  Rng rng(61);
+  UNet net(tiny_unet(), rng);
+  // Train a little so the head is no longer all-zero.
+  nn::Adam opt(net.parameters(), 1e-2f);
+  nn::Tensor x = nn::Tensor::randn({2, 3, 16, 16}, rng);
+  nn::Tensor tgt = nn::Tensor::randn({2, 1, 16, 16}, rng);
+  for (int i = 0; i < 2; ++i) {
+    opt.zero_grad();
+    nn::backward(
+        nn::mse_loss(net.forward(x, {0.2f, 0.8f}), nn::make_input(tgt)));
+    opt.step();
+  }
+  auto ref = net.forward(x, {0.2f, 0.8f});
+  nn::Tensor fast = net.infer(x, {0.2f, 0.8f});
+  ASSERT_EQ(ref->value.shape(), fast.shape());
+  EXPECT_GT(fast.max_abs(), 0.0f);
+  for (std::size_t i = 0; i < fast.numel(); ++i)
+    EXPECT_EQ(ref->value[i], fast[i]) << "index " << i;
+}
+
+TEST(UNet, InferMatchesForwardWithAttention) {
+  Rng rng(63);
+  UNetConfig cfg = tiny_unet();
+  cfg.attention = true;
+  UNet net(cfg, rng);
+  nn::Adam opt(net.parameters(), 1e-2f);
+  nn::Tensor x = nn::Tensor::randn({1, 3, 16, 16}, rng);
+  nn::Tensor tgt = nn::Tensor::randn({1, 1, 16, 16}, rng);
+  opt.zero_grad();
+  nn::backward(nn::mse_loss(net.forward(x, {0.4f}), nn::make_input(tgt)));
+  opt.step();
+  auto ref = net.forward(x, {0.4f});
+  nn::Tensor fast = net.infer(x, {0.4f});
+  for (std::size_t i = 0; i < fast.numel(); ++i)
+    EXPECT_EQ(ref->value[i], fast[i]) << "index " << i;
+}
+
+TEST(UNet, InferAllocatesNoGraphNodes) {
+  Rng rng(67);
+  UNet net(tiny_unet(), rng);
+  nn::Tensor x = nn::Tensor::randn({1, 3, 16, 16}, rng);
+  std::size_t before = nn::node_allocation_count();
+  net.infer(x, {0.5f});
+  EXPECT_EQ(nn::node_allocation_count(), before);
+}
+
 TEST(Convert, RasterTensorRoundTrip) {
   Rng rng(59);
   std::vector<Raster> batch;
@@ -223,6 +272,20 @@ TEST(Ddpm, InpaintPreservesKnownRegion) {
     }
     EXPECT_TRUE(std::isfinite(out[i]));
   }
+}
+
+TEST(Ddpm, InpaintAllocatesNoGraphNodes) {
+  // The sampling loop must stay on the graph-free inference path: zero
+  // autograd Node allocations across a full inpaint call.
+  Rng rng(69);
+  Ddpm model(tiny_ddpm(), rng);
+  Raster base(16, 16);
+  base.fill_rect(Rect{6, 0, 10, 16}, 1);
+  nn::Tensor known = raster_to_tensor(base);
+  nn::Tensor mask = nn::Tensor::full({1, 1, 16, 16}, 1.0f);
+  std::size_t before = nn::node_allocation_count();
+  model.inpaint(known, mask, rng);
+  EXPECT_EQ(nn::node_allocation_count(), before);
 }
 
 TEST(Ddpm, SampleShapeAndVariation) {
