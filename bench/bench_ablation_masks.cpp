@@ -66,5 +66,6 @@ int main() {
   }
   std::printf("\ntable written to %s/ablation_masks.csv\n",
               results_dir().c_str());
+  finalize_observability("ablation_masks");
   return 0;
 }

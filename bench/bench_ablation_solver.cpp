@@ -54,5 +54,6 @@ int main() {
   }
   std::printf("table written to %s/ablation_solver.csv\n",
               results_dir().c_str());
+  finalize_observability("ablation_solver");
   return 0;
 }

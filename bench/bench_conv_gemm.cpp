@@ -83,5 +83,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   emit_summaries();
+  bench::finalize_observability("conv_gemm");
   return 0;
 }

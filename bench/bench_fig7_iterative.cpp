@@ -9,6 +9,7 @@
 
 #include "benchutil.hpp"
 #include "io/csv.hpp"
+#include "obs/report.hpp"
 
 int main() {
   using namespace pp;
@@ -23,12 +24,18 @@ int main() {
   CsvWriter csv(results_dir() + "/fig7.csv");
   csv.row("config", "iteration", "generated", "legal", "unique", "h1", "h2");
 
+  // Per-config trajectory points as structured rows of the run report.
+  obs::Json trajectories = obs::Json::object();
+
   const char* presets[] = {"sd1", "sd2"};
   const bool fts[] = {false, true};
   for (const char* preset : presets) {
     for (bool ft : fts) {
       Trajectory t = run_trajectory(preset, ft);
       std::string label = config_label(preset, ft);
+      obs::Json points = obs::Json::array();
+      for (const auto& p : t.points) points.push_back(p.to_json());
+      trajectories.set(label, std::move(points));
       std::printf("%-24s %5s %9s %7s %7s %7s %7s\n", label.c_str(), "iter",
                   "generated", "legal", "unique", "H1", "H2");
       for (const auto& p : t.points) {
@@ -42,5 +49,8 @@ int main() {
     }
   }
   std::printf("series written to %s/fig7.csv\n", results_dir().c_str());
+  obs::register_report_section(
+      "trajectories", [trajectories] { return trajectories; });
+  finalize_observability("fig7_iterative");
   return 0;
 }

@@ -58,5 +58,6 @@ int main() {
     std::printf("\n");
   }
   std::printf("series written to %s/fig9.csv\n", results_dir().c_str());
+  finalize_observability("fig9_solver");
   return 0;
 }

@@ -160,5 +160,6 @@ int main() {
     }
   }
   std::printf("\ntable written to %s/table1.csv\n", results_dir().c_str());
+  finalize_observability("table1");
   return 0;
 }

@@ -72,5 +72,6 @@ int main() {
               sum_t / n_cfg, sum_n / n_cfg, sum_0 / n_cfg);
   csv.row("Average", 0, sum_t / n_cfg, sum_n / n_cfg, sum_0 / n_cfg);
   std::printf("\ntable written to %s/table3.csv\n", results_dir().c_str());
+  finalize_observability("table3_denoise");
   return 0;
 }

@@ -8,6 +8,9 @@
 
 #include "common/error.hpp"
 #include "io/pattern_io.hpp"
+#include "obs/log.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "patterngen/track_generator.hpp"
 
 namespace pp::bench {
@@ -166,6 +169,25 @@ void save_trajectory(const std::string& base, const Trajectory& t) {
 void emit_json_summary(const std::string& bench, double ms) {
   std::printf("{\"bench\": \"%s\", \"ms\": %.3f}\n", bench.c_str(), ms);
   std::fflush(stdout);
+}
+
+std::string finalize_observability(const std::string& tool) {
+  const char* report_env = std::getenv("PP_REPORT_FILE");
+  std::string report_path =
+      report_env ? report_env : results_dir() + "/run_report_" + tool + ".json";
+  obs::write_run_report(report_path, tool);
+  PP_LOG(Info) << "run report: " << report_path;
+  if (obs::trace_enabled()) {
+    const char* trace_env = std::getenv("PP_TRACE_FILE");
+    std::string trace_path =
+        trace_env ? trace_env : results_dir() + "/trace_" + tool + ".json";
+    obs::write_chrome_trace(trace_path);
+    std::string spans_path = results_dir() + "/spans_" + tool + ".jsonl";
+    obs::write_span_summary_jsonl(spans_path);
+    PP_LOG(Info) << "chrome trace: " << trace_path
+                 << " span summary: " << spans_path;
+  }
+  return report_path;
 }
 
 Trajectory run_trajectory(const std::string& preset, bool finetuned) {

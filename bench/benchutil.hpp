@@ -92,4 +92,13 @@ Trajectory run_trajectory(const std::string& preset, bool finetuned);
 /// across PRs (grep '^{"bench"').
 void emit_json_summary(const std::string& bench, double ms);
 
+/// Writes the observability artifacts for one bench run and returns the
+/// run-report path:
+///   * run report  -> PP_REPORT_FILE or results/run_report_<tool>.json
+/// and, when tracing is on (PP_TRACE=1):
+///   * Chrome trace -> PP_TRACE_FILE or results/trace_<tool>.json
+///   * span summary -> results/spans_<tool>.jsonl
+/// Call once at the end of main(), after all measured work.
+std::string finalize_observability(const std::string& tool);
+
 }  // namespace pp::bench

@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""Validate PatternPaint observability artifacts.
+
+Checks two kinds of files against the same rules the C++ side enforces
+(src/obs/report.cpp):
+
+  * run reports (results/run_report_<tool>.json) — the version-1 schema:
+    schema_version/tool/wall_ms/metrics/spans/trace core keys, histogram
+    and span field lists, and object-or-array extra sections;
+  * bench logs — stdout captures containing '{"bench": ..., "ms": ...}'
+    summary lines (grep '^{"bench"' compatible).
+
+Usage:
+  check_bench_json.py --selfcheck
+  check_bench_json.py report.json [more.json ...]
+  check_bench_json.py --bench-log bench_stdout.txt [...]
+
+Exit status 0 when every input validates, 1 otherwise. --selfcheck runs the
+built-in fixtures (wired as a ctest so CI exercises the validator without
+needing bench results on disk).
+"""
+
+import argparse
+import json
+import sys
+
+HIST_FIELDS = {"count", "sum", "mean", "p50", "p95"}
+SPAN_FIELDS = {"name", "count", "total_ms", "p50_ms", "p95_ms"}
+CORE_KEYS = {"schema_version", "tool", "wall_ms", "metrics", "spans", "trace"}
+
+
+def _num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def validate_report(doc):
+    """Returns a list of problems (empty = valid)."""
+    errs = []
+    if not isinstance(doc, dict):
+        return ["report is not a JSON object"]
+    if doc.get("schema_version") != 1:
+        errs.append("schema_version must be 1")
+    if not isinstance(doc.get("tool"), str) or not doc.get("tool"):
+        errs.append("tool must be a non-empty string")
+    if not _num(doc.get("wall_ms")) or doc.get("wall_ms", -1) < 0:
+        errs.append("wall_ms must be a non-negative number")
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        errs.append("metrics must be an object")
+    else:
+        for group in ("counters", "gauges"):
+            vals = metrics.get(group)
+            if not isinstance(vals, dict):
+                errs.append(f"metrics.{group} must be an object")
+                continue
+            for name, v in vals.items():
+                if not _num(v):
+                    errs.append(f"metrics.{group}.{name} must be a number")
+        hists = metrics.get("histograms")
+        if not isinstance(hists, dict):
+            errs.append("metrics.histograms must be an object")
+        else:
+            for name, h in hists.items():
+                if not isinstance(h, dict) or set(h) != HIST_FIELDS:
+                    errs.append(
+                        f"metrics.histograms.{name} must have exactly "
+                        f"{sorted(HIST_FIELDS)}")
+                elif not all(_num(h[k]) for k in HIST_FIELDS):
+                    errs.append(f"metrics.histograms.{name} has a non-number")
+
+    spans = doc.get("spans")
+    if not isinstance(spans, list):
+        errs.append("spans must be an array")
+    else:
+        for i, s in enumerate(spans):
+            if not isinstance(s, dict) or set(s) != SPAN_FIELDS:
+                errs.append(f"spans[{i}] must have exactly {sorted(SPAN_FIELDS)}")
+            elif not isinstance(s["name"], str) or not s["name"]:
+                errs.append(f"spans[{i}].name must be a non-empty string")
+
+    trace = doc.get("trace")
+    if not isinstance(trace, dict):
+        errs.append("trace must be an object")
+    else:
+        if not isinstance(trace.get("enabled"), bool):
+            errs.append("trace.enabled must be a bool")
+        for k in ("events", "dropped"):
+            if not _num(trace.get(k)) or trace.get(k, -1) < 0:
+                errs.append(f"trace.{k} must be a non-negative number")
+
+    for key, v in doc.items():
+        if key not in CORE_KEYS and not isinstance(v, (dict, list)):
+            errs.append(f"extra section '{key}' must be an object or array")
+    return errs
+
+
+def validate_bench_line(doc):
+    errs = []
+    if not isinstance(doc, dict):
+        return ["line is not a JSON object"]
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        errs.append("bench must be a non-empty string")
+    if not _num(doc.get("ms")) or doc.get("ms", -1) < 0:
+        errs.append("ms must be a non-negative number")
+    for key, v in doc.items():
+        if not isinstance(v, (str, int, float)) or isinstance(v, bool):
+            errs.append(f"field '{key}' must be a scalar")
+    return errs
+
+
+def check_report_file(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: {e}"]
+    return [f"{path}: {e}" for e in validate_report(doc)]
+
+
+def check_bench_log(path):
+    errs = []
+    lines = 0
+    try:
+        with open(path) as f:
+            for lineno, raw in enumerate(f, 1):
+                if not raw.startswith('{"bench"'):
+                    continue
+                lines += 1
+                try:
+                    doc = json.loads(raw)
+                except json.JSONDecodeError as e:
+                    errs.append(f"{path}:{lineno}: {e}")
+                    continue
+                errs += [f"{path}:{lineno}: {e}" for e in validate_bench_line(doc)]
+    except OSError as e:
+        return [f"{path}: {e}"]
+    if lines == 0:
+        errs.append(f"{path}: no '{{\"bench\"' summary lines found")
+    return errs
+
+
+def selfcheck():
+    good_report = {
+        "schema_version": 1,
+        "tool": "selfcheck",
+        "wall_ms": 12.5,
+        "metrics": {
+            "counters": {"pp.generated": 10},
+            "gauges": {"trace.pipeline_coverage": 0.99},
+            "histograms": {
+                "pool.job_ns": {"count": 2, "sum": 10.0, "mean": 5.0,
+                                "p50": 4.0, "p95": 6.0}
+            },
+        },
+        "spans": [{"name": "ddpm.inpaint", "count": 1, "total_ms": 9.0,
+                   "p50_ms": 9.0, "p95_ms": 9.0}],
+        "trace": {"enabled": True, "events": 1, "dropped": 0},
+        "pool": {"threads": 4, "busy_fraction": [0.5]},
+    }
+    bad_reports = []
+    for mutate in (
+        lambda d: d.update(schema_version=2),
+        lambda d: d.update(tool=7),
+        lambda d: d.pop("wall_ms"),
+        lambda d: d["metrics"]["histograms"]["pool.job_ns"].pop("p95"),
+        lambda d: d["spans"].append({"name": "x"}),
+        lambda d: d["trace"].update(enabled="yes"),
+        lambda d: d.update(rogue=3),
+    ):
+        doc = json.loads(json.dumps(good_report))
+        mutate(doc)
+        bad_reports.append(doc)
+
+    good_lines = [
+        {"bench": "table2_inpaint_32px", "ms": 74.2},
+        {"bench": "x", "ms": 0, "note": "scalar extras are fine"},
+    ]
+    bad_lines = [
+        {"ms": 1.0},
+        {"bench": "", "ms": 1.0},
+        {"bench": "x", "ms": "fast"},
+        {"bench": "x", "ms": -1},
+        {"bench": "x", "ms": 1, "extra": {}},
+    ]
+
+    failures = []
+    if validate_report(good_report):
+        failures.append(f"good report rejected: {validate_report(good_report)}")
+    for i, doc in enumerate(bad_reports):
+        if not validate_report(doc):
+            failures.append(f"bad report #{i} accepted")
+    for doc in good_lines:
+        if validate_bench_line(doc):
+            failures.append(f"good line rejected: {validate_bench_line(doc)}")
+    for i, doc in enumerate(bad_lines):
+        if not validate_bench_line(doc):
+            failures.append(f"bad line #{i} accepted")
+
+    for msg in failures:
+        print(f"selfcheck FAIL: {msg}", file=sys.stderr)
+    if not failures:
+        print("selfcheck OK")
+    return 0 if not failures else 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("reports", nargs="*", help="run_report JSON files")
+    ap.add_argument("--bench-log", action="append", default=[],
+                    help="stdout capture with {\"bench\"...} summary lines")
+    ap.add_argument("--selfcheck", action="store_true",
+                    help="run built-in fixtures instead of reading files")
+    args = ap.parse_args()
+
+    if args.selfcheck:
+        return selfcheck()
+    if not args.reports and not args.bench_log:
+        ap.error("nothing to check: pass report files, --bench-log, or --selfcheck")
+
+    errs = []
+    for path in args.reports:
+        errs += check_report_file(path)
+    for path in args.bench_log:
+        errs += check_bench_log(path)
+    for e in errs:
+        print(f"FAIL: {e}", file=sys.stderr)
+    if not errs:
+        n = len(args.reports) + len(args.bench_log)
+        print(f"OK: {n} file(s) validated")
+    return 0 if not errs else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,15 +2,44 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
-#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 
 namespace pp {
 namespace {
+
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One parallel_for dispatch. Shared (via shared_ptr) between the caller
+/// and every worker that observes it, so a worker waking late — even after
+/// run() returned — only ever touches this struct, finds the chunk counter
+/// exhausted, and never dereferences the (by then dangling) callback.
+struct Job {
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  std::size_t begin = 0, end = 0, chunk = 1;
+  std::atomic<std::size_t> next_chunk{0};
+  /// Threads currently between claiming their first chunk and finishing
+  /// their last. run() completes when the caller has drained the chunk
+  /// counter and this returns to zero.
+  std::atomic<int> active{0};
+  std::uint64_t publish_ns = 0;
+  std::mutex err_m;
+  std::exception_ptr first_error;
+};
 
 /// A tiny persistent thread pool. Workers wait for a job, execute chunk
 /// callbacks, and signal completion. Created lazily on first use.
@@ -25,34 +54,64 @@ class Pool {
 
   void run(std::size_t begin, std::size_t end,
            const std::function<void(std::size_t, std::size_t)>& fn) {
+    static obs::Counter& inline_jobs =
+        obs::metrics().counter("pool.inline_jobs");
+    static obs::Counter& jobs = obs::metrics().counter("pool.jobs");
+    static obs::Histogram& job_ns = obs::metrics().histogram("pool.job_ns");
+
     std::size_t n = end - begin;
     std::size_t nthreads = std::min(size(), n);
     if (nthreads <= 1) {
+      inline_jobs.add(1);
+      std::uint64_t t0 = mono_ns();
       fn(begin, end);
+      busy_ns_[0].fetch_add(mono_ns() - t0, std::memory_order_relaxed);
       return;
     }
     std::unique_lock<std::mutex> guard(job_mutex_);  // one job at a time
-    std::size_t chunk = (n + nthreads - 1) / nthreads;
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->begin = begin;
+    job->end = end;
+    job->chunk = (n + nthreads - 1) / nthreads;
+    job->publish_ns = mono_ns();
     {
       std::lock_guard<std::mutex> lk(m_);
-      job_fn_ = &fn;
-      job_begin_ = begin;
-      job_end_ = end;
-      job_chunk_ = chunk;
-      next_chunk_.store(0, std::memory_order_relaxed);
-      pending_.store(static_cast<int>(nthreads) - 1, std::memory_order_relaxed);
-      first_error_ = nullptr;
+      current_job_ = job;
       ++generation_;
     }
     cv_.notify_all();
-    // The calling thread participates as worker 0.
-    work_chunks();
+    // The calling thread participates as slot 0 and, by only returning
+    // once the chunk counter is exhausted, guarantees every chunk is
+    // claimed before the completion wait below.
+    work_chunks(*job, 0);
     {
       std::unique_lock<std::mutex> lk(m_);
-      done_cv_.wait(lk, [&] { return pending_.load() == 0; });
-      job_fn_ = nullptr;
-      if (first_error_) std::rethrow_exception(first_error_);
+      done_cv_.wait(lk, [&] {
+        return job->active.load(std::memory_order_acquire) == 0;
+      });
+      current_job_.reset();
     }
+    jobs.add(1);
+    job_ns.observe(static_cast<double>(mono_ns() - job->publish_ns));
+    if (job->first_error) std::rethrow_exception(job->first_error);
+  }
+
+  PoolStats stats() const {
+    PoolStats s;
+    s.threads = size();
+    s.jobs = obs::metrics().counter("pool.jobs").value();
+    s.inline_jobs = obs::metrics().counter("pool.inline_jobs").value();
+    s.chunks = obs::metrics().counter("pool.chunks").value();
+    double wall = static_cast<double>(mono_ns() - start_ns_);
+    s.busy_fraction.resize(size());
+    for (std::size_t i = 0; i < size(); ++i)
+      s.busy_fraction[i] =
+          wall > 0 ? static_cast<double>(
+                         busy_ns_[i].load(std::memory_order_relaxed)) /
+                         wall
+                   : 0.0;
+    return s;
   }
 
  private:
@@ -69,9 +128,24 @@ class Pool {
       unsigned hw = std::thread::hardware_concurrency();
       n = hw == 0 ? 4 : std::min<std::size_t>(hw, 16);
     }
+    start_ns_ = mono_ns();
+    busy_ns_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+    for (std::size_t i = 0; i < n; ++i) busy_ns_[i].store(0);
     for (std::size_t i = 0; i + 1 < n; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] { worker_loop(i + 1); });
     }
+    obs::register_report_section("pool", [] {
+      PoolStats s = pool_stats();
+      obs::Json busy = obs::Json::array();
+      for (double f : s.busy_fraction) busy.push_back(obs::Json(f));
+      obs::Json o = obs::Json::object();
+      o.set("threads", obs::Json(s.threads));
+      o.set("jobs", obs::Json(s.jobs));
+      o.set("inline_jobs", obs::Json(s.inline_jobs));
+      o.set("chunks", obs::Json(s.chunks));
+      o.set("busy_fraction", std::move(busy));
+      return o;
+    });
   }
 
   ~Pool() {
@@ -83,38 +157,53 @@ class Pool {
     for (auto& t : workers_) t.join();
   }
 
-  void worker_loop() {
+  void worker_loop(std::size_t slot) {
+    static obs::Histogram& wait_ns =
+        obs::metrics().histogram("pool.job_wait_ns");
     std::uint64_t seen = 0;
     for (;;) {
-      const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+      std::shared_ptr<Job> job;
       {
         std::unique_lock<std::mutex> lk(m_);
         cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
         if (stop_) return;
         seen = generation_;
-        fn = job_fn_;
+        job = current_job_;
       }
-      if (fn) work_chunks();
-      bool last = pending_.fetch_sub(1) == 1;
-      if (last) {
-        std::lock_guard<std::mutex> lk(m_);
-        done_cv_.notify_all();
-      }
+      if (!job) continue;
+      wait_ns.observe(static_cast<double>(mono_ns() - job->publish_ns));
+      work_chunks(*job, slot);
     }
   }
 
-  void work_chunks() {
+  /// Claims and executes chunks. Registers in job.active around the whole
+  /// claim/execute phase, so `active == 0` while the counter is exhausted
+  /// means no callback invocation is in flight anywhere.
+  void work_chunks(Job& job, std::size_t slot) {
+    static obs::Counter& chunk_counter = obs::metrics().counter("pool.chunks");
+    job.active.fetch_add(1, std::memory_order_acquire);
+    std::uint64_t t0 = mono_ns();
+    std::size_t executed = 0;
     for (;;) {
-      std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
-      std::size_t lo = job_begin_ + c * job_chunk_;
-      if (lo >= job_end_) break;
-      std::size_t hi = std::min(job_end_, lo + job_chunk_);
+      std::size_t c = job.next_chunk.fetch_add(1, std::memory_order_relaxed);
+      std::size_t lo = job.begin + c * job.chunk;
+      if (lo >= job.end || c * job.chunk >= job.end - job.begin) break;
+      std::size_t hi = std::min(job.end, lo + job.chunk);
+      ++executed;
       try {
-        (*job_fn_)(lo, hi);
+        (*job.fn)(lo, hi);
       } catch (...) {
-        std::lock_guard<std::mutex> lk(m_);
-        if (!first_error_) first_error_ = std::current_exception();
+        std::lock_guard<std::mutex> lk(job.err_m);
+        if (!job.first_error) job.first_error = std::current_exception();
       }
+    }
+    if (executed) {
+      chunk_counter.add(executed);
+      busy_ns_[slot].fetch_add(mono_ns() - t0, std::memory_order_relaxed);
+    }
+    if (job.active.fetch_sub(1, std::memory_order_release) == 1) {
+      std::lock_guard<std::mutex> lk(m_);
+      done_cv_.notify_all();
     }
   }
 
@@ -123,18 +212,18 @@ class Pool {
   std::mutex job_mutex_;
   std::condition_variable cv_;
   std::condition_variable done_cv_;
-  const std::function<void(std::size_t, std::size_t)>* job_fn_ = nullptr;
-  std::size_t job_begin_ = 0, job_end_ = 0, job_chunk_ = 1;
-  std::atomic<std::size_t> next_chunk_{0};
-  std::atomic<int> pending_{0};
+  std::shared_ptr<Job> current_job_;
   std::uint64_t generation_ = 0;
-  std::exception_ptr first_error_;
+  std::uint64_t start_ns_ = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> busy_ns_;
   bool stop_ = false;
 };
 
 }  // namespace
 
 std::size_t parallel_thread_count() { return Pool::instance().size(); }
+
+PoolStats pool_stats() { return Pool::instance().stats(); }
 
 void parallel_for_chunks(std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t, std::size_t)>& fn) {

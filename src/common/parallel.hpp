@@ -5,7 +5,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace pp {
 
@@ -13,6 +15,21 @@ namespace pp {
 /// variable if set (>= 1; 1 means fully serial), else
 /// hardware_concurrency capped at 16. Read once at pool creation.
 std::size_t parallel_thread_count();
+
+/// Pool instrumentation snapshot (also published as the "pool" section of
+/// the obs run report, and as pool.* counters/histograms in the metrics
+/// registry).
+struct PoolStats {
+  std::size_t threads = 0;      ///< pool width incl. the calling thread
+  std::uint64_t jobs = 0;       ///< parallel jobs dispatched to workers
+  std::uint64_t inline_jobs = 0;///< jobs run serially (small range / 1 thread)
+  std::uint64_t chunks = 0;     ///< work chunks claimed across all threads
+  /// Fraction of wall time each thread spent executing chunk bodies since
+  /// pool creation. Slot 0 aggregates every calling thread; slots 1.. are
+  /// the pool workers.
+  std::vector<double> busy_fraction;
+};
+PoolStats pool_stats();
 
 /// Runs fn(i) for every i in [begin, end), potentially in parallel.
 /// Falls back to a serial loop for small ranges. Exceptions thrown by fn are

@@ -3,12 +3,38 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
 #include "denoise/template_denoise.hpp"
 #include "diffusion/convert.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "patterngen/random_clips.hpp"
 #include "select/representative.hpp"
 
 namespace pp {
+
+obs::Json GenerationRecord::to_json() const {
+  obs::Json o = obs::Json::object();
+  o.set("legal", obs::Json(legal));
+  o.set("wall_ms", obs::Json(wall_ms));
+  o.set("raw_density", obs::Json(raw.density()));
+  o.set("denoised_density", obs::Json(denoised.density()));
+  return o;
+}
+
+obs::Json IterationStats::to_json() const {
+  obs::Json o = obs::Json::object();
+  o.set("iteration", obs::Json(iteration));
+  o.set("generated_total", obs::Json(generated_total));
+  o.set("legal_total", obs::Json(legal_total));
+  o.set("unique_total", obs::Json(unique_total));
+  o.set("h1", obs::Json(h1));
+  o.set("h2", obs::Json(h2));
+  o.set("wall_seconds", obs::Json(wall_seconds));
+  o.set("drc_pass_rate", obs::Json(drc_pass_rate));
+  return o;
+}
 
 PatternPaint::PatternPaint(PatternPaintConfig cfg, RuleSet rules,
                            std::uint64_t seed)
@@ -22,10 +48,15 @@ PatternPaint::PatternPaint(PatternPaintConfig cfg, RuleSet rules,
 }
 
 void PatternPaint::pretrain(const std::string& cache_path) {
+  PP_TRACE_SPAN("pp.pretrain");
   if (!cache_path.empty() && model_.try_load(cache_path)) {
+    PP_LOG(Info) << "pretrain: cache hit, skipping " << cfg_.pretrain_steps
+                 << " steps";
     pretrained_ = true;
     return;
   }
+  PP_LOG(Info) << "pretrain: " << cfg_.pretrain_steps << " steps, corpus "
+               << cfg_.pretrain_corpus;
   // Rule-oblivious rectilinear corpus: the "image foundation" stand-in.
   std::vector<Raster> corpus = random_rectilinear_corpus(
       static_cast<std::size_t>(cfg_.pretrain_corpus), cfg_.clip_size,
@@ -69,9 +100,16 @@ void PatternPaint::set_starters(const std::vector<Raster>& starters) {
 
 void PatternPaint::finetune(const std::vector<Raster>& starters,
                             const std::string& cache_path) {
+  PP_TRACE_SPAN("pp.finetune");
   set_starters(starters);
-  if (!cache_path.empty() && model_.try_load(cache_path)) return;
+  if (!cache_path.empty() && model_.try_load(cache_path)) {
+    PP_LOG(Info) << "finetune: cache hit, skipping " << cfg_.finetune_steps
+                 << " steps";
+    return;
+  }
   PP_REQUIRE_MSG(pretrained_, "finetune requires a pretrained model");
+  PP_LOG(Info) << "finetune: " << cfg_.finetune_steps << " steps on "
+               << starters.size() << " starters";
 
   // Prior-preservation set: samples from the PRE-finetuning model (the
   // "class images" of DreamBooth / Eq. 7).
@@ -126,11 +164,13 @@ std::vector<Raster> PatternPaint::inpaint_variations(const Raster& tmpl,
 
 GenerationRecord PatternPaint::finish_sample(const Raster& raw,
                                              const Raster& tmpl) {
+  Timer t;
   GenerationRecord rec;
   rec.raw = raw;
   rec.tmpl = tmpl;
   rec.denoised = template_denoise(raw, tmpl, cfg_.denoise, rng_);
   rec.legal = rec.denoised.count_ones() > 0 && checker_.is_clean(rec.denoised);
+  rec.wall_ms = t.millis();
   return rec;
 }
 
@@ -138,6 +178,8 @@ std::vector<GenerationRecord> PatternPaint::generate_for(
     const std::vector<Raster>& templates, const std::vector<Raster>& masks,
     int variations) {
   PP_REQUIRE(templates.size() == masks.size());
+  static obs::Counter& generated = obs::metrics().counter("pp.generated");
+  static obs::Counter& legal = obs::metrics().counter("pp.legal");
   std::vector<GenerationRecord> records;
   for (std::size_t i = 0; i < templates.size(); ++i) {
     std::vector<Raster> raws =
@@ -145,8 +187,10 @@ std::vector<GenerationRecord> PatternPaint::generate_for(
     for (const Raster& raw : raws) {
       GenerationRecord rec = finish_sample(raw, templates[i]);
       ++total_generated_;
+      generated.add(1);
       if (rec.legal) {
         ++total_legal_;
+        legal.add(1);
         library_.add(rec.denoised);
       }
       records.push_back(std::move(rec));
@@ -157,6 +201,7 @@ std::vector<GenerationRecord> PatternPaint::generate_for(
 
 std::vector<GenerationRecord> PatternPaint::initial_generation(
     int variations_per_mask) {
+  PP_TRACE_SPAN("pp.initial_generation");
   PP_REQUIRE_MSG(!starters_.empty(),
                  "initial_generation requires starters (finetune or "
                  "set_starters first)");
@@ -170,6 +215,7 @@ std::vector<GenerationRecord> PatternPaint::initial_generation(
 }
 
 std::vector<GenerationRecord> PatternPaint::iteration_round(int samples) {
+  PP_TRACE_SPAN("pp.iteration_round");
   PP_REQUIRE_MSG(!library_.empty(), "iteration_round on an empty library");
   RepresentativeConfig rc;
   rc.k = cfg_.representatives;
@@ -195,15 +241,25 @@ std::vector<GenerationRecord> PatternPaint::iteration_round(int samples) {
 
 std::vector<IterationStats> PatternPaint::run(int iterations) {
   std::vector<IterationStats> trajectory;
+  auto record_point = [&](int iteration, double wall_seconds) {
+    LibraryStats s = library_.stats();
+    IterationStats st{iteration, total_generated_, total_legal_, s.unique,
+                      s.h1,      s.h2,             wall_seconds,  0.0};
+    st.drc_pass_rate = total_generated_ == 0
+                           ? 0.0
+                           : static_cast<double>(total_legal_) /
+                                 static_cast<double>(total_generated_);
+    PP_LOG(Debug) << "run: iteration " << iteration << " library "
+                  << st.unique_total << " pass-rate " << st.drc_pass_rate;
+    trajectory.push_back(st);
+  };
+  Timer t;
   initial_generation(cfg_.variations_per_mask);
-  LibraryStats s = library_.stats();
-  trajectory.push_back({0, total_generated_, total_legal_, s.unique, s.h1,
-                        s.h2});
+  record_point(0, t.seconds());
   for (int it = 1; it <= iterations; ++it) {
+    t.reset();
     iteration_round(cfg_.samples_per_iteration);
-    s = library_.stats();
-    trajectory.push_back({it, total_generated_, total_legal_, s.unique, s.h1,
-                          s.h2});
+    record_point(it, t.seconds());
   }
   return trajectory;
 }

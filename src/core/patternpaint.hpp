@@ -26,6 +26,7 @@
 #include "core/config.hpp"
 #include "core/library.hpp"
 #include "drc/checker.hpp"
+#include "obs/json.hpp"
 #include "select/masks.hpp"
 
 namespace pp {
@@ -37,6 +38,11 @@ struct GenerationRecord {
   Raster denoised;   ///< after template-based denoising
   Raster tmpl;       ///< the pre-inpainting template pattern
   bool legal = false;  ///< DRC verdict on `denoised`
+  double wall_ms = 0.0;  ///< denoise + DRC time for this sample
+
+  /// {legal, wall_ms, raw_density, denoised_density} — the per-sample row
+  /// of the run report.
+  obs::Json to_json() const;
 };
 
 /// Per-iteration library trajectory (Fig. 7 series).
@@ -47,6 +53,11 @@ struct IterationStats {
   std::size_t unique_total = 0;     ///< library size
   double h1 = 0.0;
   double h2 = 0.0;
+  double wall_seconds = 0.0;   ///< wall time of this round (0 for cached)
+  double drc_pass_rate = 0.0;  ///< cumulative legal_total / generated_total
+
+  /// One trajectory point as a JSON object (run-report "trajectory" rows).
+  obs::Json to_json() const;
 };
 
 class PatternPaint {

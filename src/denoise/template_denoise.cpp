@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "squish/squish.hpp"
 
 namespace pp {
@@ -60,6 +62,10 @@ std::vector<int> resolve_lines(const std::vector<int>& noisy_lines,
 
 Raster template_denoise(const Raster& noisy, const Raster& tmpl,
                         const TemplateDenoiseConfig& cfg, Rng& rng) {
+  PP_TRACE_SPAN("denoise.template");
+  static obs::Counter& calls = obs::metrics().counter("denoise.calls");
+  static obs::Counter& repairs = obs::metrics().counter("denoise.pixels_repaired");
+  calls.add(1);
   PP_REQUIRE_MSG(noisy.width() == tmpl.width() && noisy.height() == tmpl.height(),
                  "template_denoise: shape mismatch");
   PP_REQUIRE(cfg.threshold >= 0);
@@ -91,6 +97,11 @@ Raster template_denoise(const Raster& noisy, const Raster& tmpl,
         out.fill_rect(Rect{gx[i], gy[j], gx[i + 1], gy[j + 1]}, 1);
     }
   }
+  std::uint64_t changed = 0;
+  for (int y = 0; y < out.height(); ++y)
+    for (int x = 0; x < out.width(); ++x)
+      changed += (out(x, y) != 0) != (noisy(x, y) != 0);
+  repairs.add(changed);
   return out;
 }
 

@@ -6,6 +6,9 @@
 
 #include "common/error.hpp"
 #include "nn/serialize.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pp {
 
@@ -79,6 +82,7 @@ Var diffusion_loss(const Ddpm& model, const UNet& net,
 
 float Ddpm::train_step(const Tensor& x0, const Tensor& mask, nn::Adam& opt,
                        Rng& rng) const {
+  PP_TRACE_SPAN("ddpm.train_step");
   PP_REQUIRE_MSG(x0.ndim() == 4 && x0.dim(1) == 1, "train_step: x0 {N,1,H,W}");
   PP_REQUIRE(x0.same_shape(mask));
   opt.zero_grad();
@@ -95,6 +99,7 @@ float Ddpm::train_step(const Tensor& x0, const Tensor& mask, nn::Adam& opt,
 float Ddpm::finetune_step(const Tensor& x0, const Tensor& mask,
                           const Tensor& prior_x0, const Tensor& prior_mask,
                           float lambda_prior, nn::Adam& opt, Rng& rng) const {
+  PP_TRACE_SPAN("ddpm.finetune_step");
   PP_REQUIRE(lambda_prior >= 0.0f);
   opt.zero_grad();
   auto compose = [this](const Tensor& xt, const Tensor& m, const Tensor& k) {
@@ -113,10 +118,16 @@ float Ddpm::finetune_step(const Tensor& x0, const Tensor& mask,
 
 nn::Tensor Ddpm::inpaint(const Tensor& known, const Tensor& mask,
                          Rng& rng) const {
+  PP_TRACE_SPAN("ddpm.inpaint");
+  static obs::Counter& calls = obs::metrics().counter("ddpm.inpaint.calls");
+  static obs::Counter& steps = obs::metrics().counter("ddpm.inpaint.steps");
+  static obs::Counter& samples = obs::metrics().counter("ddpm.inpaint.samples");
+  calls.add(1);
   PP_REQUIRE_MSG(known.ndim() == 4 && known.dim(1) == 1,
                  "inpaint: known {N,1,H,W}");
   PP_REQUIRE(known.same_shape(mask));
   int N = known.dim(0);
+  samples.add(static_cast<std::uint64_t>(N));
   std::size_t per = known.numel() / static_cast<std::size_t>(N);
 
   // Strided timestep subsequence T-1 = ts[0] > ts[1] > ... > ts[K-1] = 0.
@@ -133,6 +144,8 @@ nn::Tensor Ddpm::inpaint(const Tensor& known, const Tensor& mask,
     x[i] = static_cast<float>(rng.normal());
 
   for (int step = 0; step < K; ++step) {
+    PP_TRACE_SPAN("ddpm.inpaint.step");
+    steps.add(1);
     int t = ts[static_cast<std::size_t>(step)];
     int t_prev = step + 1 < K ? ts[static_cast<std::size_t>(step + 1)] : -1;
     float ab_t = sched_.alpha_bar_at(t);
@@ -198,8 +211,12 @@ void Ddpm::load(const std::string& path) {
 }
 
 bool Ddpm::try_load(const std::string& path) {
-  if (!nn::checkpoint_compatible(net_.parameters(), path)) return false;
+  if (!nn::checkpoint_compatible(net_.parameters(), path)) {
+    PP_LOG(Debug) << "ddpm: no compatible checkpoint at " << path;
+    return false;
+  }
   nn::load_parameters(net_.parameters(), path);
+  PP_LOG(Info) << "ddpm: loaded checkpoint " << path;
   return true;
 }
 

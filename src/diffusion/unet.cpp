@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "nn/kernels.hpp"
+#include "obs/trace.hpp"
 
 namespace pp {
 
@@ -185,6 +186,7 @@ Var UNet::res_forward(const ResBlock& rb, const Var& x, const Var& temb) const {
 }
 
 Var UNet::forward(const Tensor& x, const std::vector<float>& t_frac) const {
+  PP_TRACE_SPAN("unet.forward");
   PP_REQUIRE_MSG(x.ndim() == 4 && x.dim(1) == cfg_.in_channels,
                  "UNet::forward: bad input shape " + x.shape_str());
   PP_REQUIRE_MSG(x.dim(2) % 4 == 0 && x.dim(3) % 4 == 0,
@@ -273,6 +275,7 @@ Tensor UNet::attn_infer(const AttentionBlock& ab, const Tensor& x) const {
 }
 
 Tensor UNet::infer(const Tensor& x, const std::vector<float>& t_frac) const {
+  PP_TRACE_SPAN("unet.infer");
   PP_REQUIRE_MSG(x.ndim() == 4 && x.dim(1) == cfg_.in_channels,
                  "UNet::infer: bad input shape " + x.shape_str());
   PP_REQUIRE_MSG(x.dim(2) % 4 == 0 && x.dim(3) % 4 == 0,

@@ -6,6 +6,8 @@
 #include "common/error.hpp"
 #include "drc/runs.hpp"
 #include "geometry/polygon.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pp {
 
@@ -178,15 +180,30 @@ void DrcChecker::check_impl(const Raster& r, DrcResult& out,
   }
 }
 
+namespace {
+
+void count_check(bool clean) {
+  static obs::Counter& checks = obs::metrics().counter("drc.checks");
+  static obs::Counter& clean_count = obs::metrics().counter("drc.clean");
+  checks.add(1);
+  if (clean) clean_count.add(1);
+}
+
+}  // namespace
+
 DrcResult DrcChecker::check(const Raster& r) const {
+  PP_TRACE_SPAN("drc.check");
   DrcResult out;
   check_impl(r, out, /*stop_early=*/false);
+  count_check(out.clean());
   return out;
 }
 
 bool DrcChecker::is_clean(const Raster& r) const {
+  PP_TRACE_SPAN("drc.check");
   DrcResult out;
   check_impl(r, out, /*stop_early=*/true);
+  count_check(out.clean());
   return out.clean();
 }
 

@@ -8,6 +8,8 @@
 #include "common/parallel.hpp"
 #include "nn/gemm.hpp"
 #include "nn/workspace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pp::nn {
 
@@ -187,13 +189,21 @@ bool conv2d_use_gemm(int co, int ci, int kh, int kw, int ho, int wo) {
 
 Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
                       int stride, int pad, ConvAlgo algo) {
+  static obs::Counter& gemm_dispatches =
+      obs::metrics().counter("nn.conv2d.dispatch.gemm");
+  static obs::Counter& direct_dispatches =
+      obs::metrics().counter("nn.conv2d.dispatch.direct");
   const ConvDims d = conv_dims(x, w, b, stride, pad);
   Tensor out({d.N, d.Co, d.Ho, d.Wo});
   if (!resolve_gemm(algo, d)) {
+    PP_TRACE_SPAN("nn.conv2d.direct");
+    direct_dispatches.add(1);
     conv_forward_direct(d, stride, pad, x.data(), w.data(), b.data(),
                         out.data());
     return out;
   }
+  PP_TRACE_SPAN("nn.conv2d.gemm");
+  gemm_dispatches.add(1);
   const int K2 = d.Ci * d.Kh * d.Kw;
   const int P = d.Ho * d.Wo;
   const bool pointwise = is_pointwise(d, stride, pad);

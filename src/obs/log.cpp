@@ -1,0 +1,96 @@
+#include "obs/log.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace pp::obs {
+
+namespace detail {
+std::atomic<int> g_log_level{-1};
+}  // namespace detail
+
+namespace {
+
+std::mutex& sink_mutex() {
+  static std::mutex* m = new std::mutex;  // leaked: outlives static dtors
+  return *m;
+}
+
+// The only std::cerr user in src/ — every other module logs through PP_LOG.
+void default_sink(LogLevel level, const std::string& message) {
+  std::cerr << "[pp:" << log_level_name(level) << "] " << message << "\n";
+}
+
+std::atomic<LogSink> g_sink{&default_sink};
+
+}  // namespace
+
+const char* log_level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::Trace: return "trace";
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(const std::string& name, LogLevel fallback) {
+  std::string low;
+  for (char c : name) low += static_cast<char>(std::tolower(c));
+  for (LogLevel l : {LogLevel::Trace, LogLevel::Debug, LogLevel::Info,
+                     LogLevel::Warn, LogLevel::Error, LogLevel::Off})
+    if (low == log_level_name(l)) return l;
+  return fallback;
+}
+
+namespace detail {
+int init_log_level() {
+  LogLevel l = LogLevel::Warn;
+  if (const char* env = std::getenv("PP_LOG_LEVEL"))
+    l = parse_log_level(env, LogLevel::Warn);
+  int v = static_cast<int>(l);
+  int expected = -1;
+  // First caller wins; a racing set_log_level() would have stored >= 0.
+  g_log_level.compare_exchange_strong(expected, v, std::memory_order_relaxed);
+  return g_log_level.load(std::memory_order_relaxed);
+}
+}  // namespace detail
+
+LogLevel log_level() {
+  int cur = detail::g_log_level.load(std::memory_order_relaxed);
+  if (cur < 0) cur = detail::init_log_level();
+  return static_cast<LogLevel>(cur);
+}
+
+void set_log_level(LogLevel l) {
+  detail::g_log_level.store(static_cast<int>(l), std::memory_order_relaxed);
+}
+
+void set_log_sink(LogSink sink) {
+  g_sink.store(sink ? sink : &default_sink, std::memory_order_relaxed);
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  std::string msg = os_.str();
+  // Debug/Trace lines carry their origin; Info+ stays clean for humans.
+  if (level_ <= LogLevel::Debug) {
+    const char* base = file_;
+    for (const char* p = file_; *p; ++p)
+      if (*p == '/') base = p + 1;
+    msg += " (";
+    msg += base;
+    msg += ":" + std::to_string(line_) + ")";
+  }
+  std::lock_guard<std::mutex> lk(sink_mutex());
+  g_sink.load(std::memory_order_relaxed)(level_, msg);
+}
+
+}  // namespace pp::obs

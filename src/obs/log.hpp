@@ -1,0 +1,88 @@
+// Leveled, thread-safe logger for library code.
+//
+//   PP_LOG(Info) << "finetune step " << step << "/" << total;
+//
+// The stream expression is only evaluated when the level is enabled, so a
+// disabled log line costs one relaxed atomic load and a branch. Messages
+// are assembled privately per call and handed to the sink as one line, so
+// concurrent threads never interleave mid-line.
+//
+// Level selection, most verbose first: Trace < Debug < Info < Warn < Error
+// < Off. The default is Warn — library code must be silent on the happy
+// path so tests and benches keep clean output. Override with the
+// PP_LOG_LEVEL environment variable (trace|debug|info|warn|error|off, read
+// once on first use) or programmatically with set_log_level().
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace pp::obs {
+
+enum class LogLevel : int {
+  Trace = 0,
+  Debug = 1,
+  Info = 2,
+  Warn = 3,
+  Error = 4,
+  Off = 5,
+};
+
+const char* log_level_name(LogLevel l);
+
+/// Parses a level name (case-insensitive); falls back to `fallback` on
+/// unknown input.
+LogLevel parse_log_level(const std::string& name, LogLevel fallback);
+
+/// Current threshold: messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel l);
+
+namespace detail {
+/// Threshold as a relaxed atomic so the PP_LOG fast path is one load.
+/// -1 means "not yet initialized from PP_LOG_LEVEL".
+extern std::atomic<int> g_log_level;
+int init_log_level();  // reads PP_LOG_LEVEL, publishes, returns the level
+}  // namespace detail
+
+inline bool log_enabled(LogLevel l) {
+  int cur = detail::g_log_level.load(std::memory_order_relaxed);
+  if (cur < 0) cur = detail::init_log_level();
+  return static_cast<int>(l) >= cur;
+}
+
+/// Where finished lines go. The default sink writes "[pp:level] message\n"
+/// to stderr. Tests install a capture sink. Passing nullptr restores the
+/// default. The sink is called with the logger mutex held (one line at a
+/// time).
+using LogSink = void (*)(LogLevel, const std::string& message);
+void set_log_sink(LogSink sink);
+
+/// One in-flight log statement; flushes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return os_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream os_;
+};
+
+}  // namespace pp::obs
+
+/// Usage: PP_LOG(Info) << "message" << value;
+/// The for-loop makes the statement an expression-safe single unit (no
+/// dangling-else) and guarantees the body runs at most once.
+#define PP_LOG(lvl)                                                     \
+  for (bool pp_log_go =                                                 \
+           ::pp::obs::log_enabled(::pp::obs::LogLevel::lvl);            \
+       pp_log_go; pp_log_go = false)                                    \
+  ::pp::obs::LogMessage(::pp::obs::LogLevel::lvl, __FILE__, __LINE__).stream()

@@ -1,0 +1,136 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/json.hpp"
+
+namespace pp::obs {
+
+namespace {
+
+constexpr double kRatio = 1.5;  // 1.5^63 ~ 1.2e11: ns-fed spans cover 100+ s
+
+int bucket_index(double v) {
+  if (!(v > 1.0)) return 0;  // also catches NaN
+  int i = static_cast<int>(std::ceil(std::log(v) / std::log(kRatio)));
+  return std::clamp(i, 0, Histogram::kBuckets - 1);
+}
+
+}  // namespace
+
+double Histogram::bucket_bound(int i) { return std::pow(kRatio, i); }
+
+void Histogram::observe(double v) {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+double Histogram::percentile(double q) const {
+  std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile among n sorted samples (1-based, nearest-rank).
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      double hi = bucket_bound(i);
+      double lo = i == 0 ? hi / kRatio : bucket_bound(i - 1);
+      return std::sqrt(lo * hi);  // geometric midpoint of the bucket
+    }
+  }
+  return bucket_bound(kBuckets - 1);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+struct MetricsRegistry::Impl {
+  std::mutex m;
+  // std::map keeps export order deterministic (sorted by name).
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  // Leaked singleton: metrics may be touched from pool worker threads that
+  // outlive static destruction order.
+  static Impl* i = new Impl;
+  return *i;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.m);
+  auto& slot = i.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.m);
+  auto& slot = i.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.m);
+  auto& slot = i.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.m);
+  for (auto& kv : i.counters) kv.second->reset();
+  for (auto& kv : i.gauges) kv.second->reset();
+  for (auto& kv : i.histograms) kv.second->reset();
+}
+
+Json MetricsRegistry::to_json() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.m);
+  Json counters = Json::object();
+  for (const auto& kv : i.counters)
+    counters.set(kv.first, Json(kv.second->value()));
+  Json gauges = Json::object();
+  for (const auto& kv : i.gauges) gauges.set(kv.first, Json(kv.second->value()));
+  Json hists = Json::object();
+  for (const auto& kv : i.histograms) {
+    const Histogram& h = *kv.second;
+    Json o = Json::object();
+    o.set("count", Json(h.count()));
+    o.set("sum", Json(h.sum()));
+    o.set("mean", Json(h.mean()));
+    o.set("p50", Json(h.percentile(0.50)));
+    o.set("p95", Json(h.percentile(0.95)));
+    hists.set(kv.first, std::move(o));
+  }
+  Json out = Json::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(hists));
+  return out;
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry r;
+  return r;
+}
+
+}  // namespace pp::obs

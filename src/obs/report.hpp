@@ -1,0 +1,47 @@
+// The run report: one JSON document per run that snapshots every
+// observability source — metrics registry, span summary, trace status and
+// any registered extra sections (e.g. the thread pool publishes one).
+//
+// Schema (version 1, enforced by validate_run_report and by
+// scripts/check_bench_json.py):
+//   {
+//     "schema_version": 1,
+//     "tool": "<producer name>",
+//     "wall_ms": <monotonic ms since process trace epoch>,
+//     "metrics": {"counters": {...}, "gauges": {...},
+//                 "histograms": {name: {count,sum,mean,p50,p95}}},
+//     "spans": [{name,count,total_ms,p50_ms,p95_ms}, ...],
+//     "trace": {"enabled": bool, "events": n, "dropped": n},
+//     ...one key per registered section (must be object or array)...
+//   }
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace pp::obs {
+
+/// Registers a named section included in every subsequent report. The
+/// callback runs at report-build time and must return an object or array.
+/// Re-registering a key replaces it. Section keys must not collide with
+/// the core keys above.
+void register_report_section(const std::string& key,
+                             std::function<Json()> fn);
+
+/// Snapshot of everything, under the version-1 schema.
+Json build_run_report(const std::string& tool);
+
+/// Builds and writes (pretty-printed). Returns false on I/O failure.
+bool write_run_report(const std::string& path, const std::string& tool);
+
+/// Structural validation against the version-1 schema. On failure returns
+/// false and stores a message in `err` (when non-null).
+bool validate_run_report(const Json& report, std::string* err = nullptr);
+
+/// Validates one bench summary line: {"bench": <string>, "ms": <number>}
+/// plus optional extra numeric/string fields.
+bool validate_bench_summary_line(const Json& line, std::string* err = nullptr);
+
+}  // namespace pp::obs

@@ -1,0 +1,235 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+#include "obs/json.hpp"
+
+namespace pp::obs {
+
+namespace detail {
+
+std::atomic<int> g_trace_state{-1};
+thread_local int t_span_depth = 0;
+
+namespace {
+
+struct RawEvent {
+  const char* name;
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+  std::int32_t depth;
+};
+
+std::size_t buffer_capacity() {
+  static std::size_t cap = [] {
+    if (const char* env = std::getenv("PP_TRACE_BUF")) {
+      char* end = nullptr;
+      long v = std::strtol(env, &end, 10);
+      if (end != env && v >= 64) return static_cast<std::size_t>(v);
+    }
+    return static_cast<std::size_t>(1) << 16;  // 64K events, ~1.5 MB/thread
+  }();
+  return cap;
+}
+
+/// Owned and written by exactly one thread; readers only consume entries
+/// below the release-published count.
+struct ThreadBuffer {
+  explicit ThreadBuffer(std::uint32_t id)
+      : events(new RawEvent[buffer_capacity()]), tid(id) {}
+
+  RawEvent* events;
+  std::atomic<std::size_t> count{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::uint32_t tid;
+};
+
+struct BufferRegistry {
+  std::mutex m;
+  std::vector<ThreadBuffer*> buffers;  // leaked: outlive their threads
+  std::uint32_t next_tid = 1;
+};
+
+BufferRegistry& registry() {
+  static BufferRegistry* r = new BufferRegistry;
+  return *r;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local ThreadBuffer* buf = [] {
+    BufferRegistry& r = registry();
+    std::lock_guard<std::mutex> lk(r.m);
+    auto* b = new ThreadBuffer(r.next_tid++);
+    r.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return t0;
+}
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+void record_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t end_ns) {
+  ThreadBuffer& buf = local_buffer();
+  std::size_t slot = buf.count.load(std::memory_order_relaxed);
+  if (slot >= buffer_capacity()) {
+    buf.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf.events[slot] = {name, start_ns, end_ns - start_ns, t_span_depth};
+  buf.count.store(slot + 1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+bool detail::init_trace_state() {
+  const char* env = std::getenv("PP_TRACE");
+  bool on = env && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+  int expected = -1;
+  detail::g_trace_state.compare_exchange_strong(expected, on ? 1 : 0,
+                                                std::memory_order_relaxed);
+  return detail::g_trace_state.load(std::memory_order_relaxed) != 0;
+}
+
+void set_trace_enabled(bool on) {
+  detail::g_trace_state.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void reset_trace() {
+  auto& r = detail::registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  for (auto* b : r.buffers) {
+    b->count.store(0, std::memory_order_relaxed);
+    b->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t trace_dropped() {
+  auto& r = detail::registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  std::uint64_t total = 0;
+  for (auto* b : r.buffers) total += b->dropped.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t trace_event_count() {
+  auto& r = detail::registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  std::uint64_t total = 0;
+  for (auto* b : r.buffers) total += b->count.load(std::memory_order_acquire);
+  return total;
+}
+
+std::vector<TraceEventView> trace_events() {
+  auto& r = detail::registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  std::vector<TraceEventView> out;
+  for (auto* b : r.buffers) {
+    std::size_t n = b->count.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& e = b->events[i];
+      out.push_back({e.name, e.start_ns, e.dur_ns, b->tid, e.depth});
+    }
+  }
+  return out;
+}
+
+std::vector<SpanStat> span_summary() {
+  std::vector<TraceEventView> events = trace_events();
+  // Group durations by name. Event volume is bench-scale (<= buffer caps),
+  // so sort-based grouping is plenty.
+  std::sort(events.begin(), events.end(),
+            [](const TraceEventView& a, const TraceEventView& b) {
+              return a.name < b.name;
+            });
+  std::vector<SpanStat> stats;
+  std::size_t i = 0;
+  while (i < events.size()) {
+    std::size_t j = i;
+    std::vector<double> durs;
+    while (j < events.size() && events[j].name == events[i].name) {
+      durs.push_back(static_cast<double>(events[j].dur_ns));
+      ++j;
+    }
+    std::sort(durs.begin(), durs.end());
+    auto rank = [&](double q) {
+      std::size_t k = static_cast<std::size_t>(q * static_cast<double>(durs.size() - 1) + 0.5);
+      return durs[std::min(k, durs.size() - 1)] / 1e6;
+    };
+    SpanStat s;
+    s.name = events[i].name;
+    s.count = durs.size();
+    for (double d : durs) s.total_ms += d / 1e6;
+    s.p50_ms = rank(0.50);
+    s.p95_ms = rank(0.95);
+    stats.push_back(std::move(s));
+    i = j;
+  }
+  return stats;
+}
+
+Json span_summary_json() {
+  Json arr = Json::array();
+  for (const SpanStat& s : span_summary()) {
+    Json o = Json::object();
+    o.set("name", Json(s.name));
+    o.set("count", Json(s.count));
+    o.set("total_ms", Json(s.total_ms));
+    o.set("p50_ms", Json(s.p50_ms));
+    o.set("p95_ms", Json(s.p95_ms));
+    arr.push_back(std::move(o));
+  }
+  return arr;
+}
+
+bool write_span_summary_jsonl(const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  Json arr = span_summary_json();
+  for (std::size_t i = 0; i < arr.size(); ++i) out << arr.at(i).dump() << "\n";
+  return out.good();
+}
+
+Json chrome_trace_json() {
+  Json events = Json::array();
+  for (const TraceEventView& e : trace_events()) {
+    Json o = Json::object();
+    o.set("name", Json(e.name));
+    o.set("ph", Json("X"));
+    o.set("ts", Json(static_cast<double>(e.start_ns) / 1e3));   // µs
+    o.set("dur", Json(static_cast<double>(e.dur_ns) / 1e3));
+    o.set("pid", Json(1));
+    o.set("tid", Json(static_cast<std::size_t>(e.tid)));
+    events.push_back(std::move(o));
+  }
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", Json("ms"));
+  return doc;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  out << chrome_trace_json().dump();
+  return out.good();
+}
+
+}  // namespace pp::obs

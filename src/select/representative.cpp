@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace pp {
 
@@ -62,6 +63,7 @@ std::vector<std::size_t> farthest_point_selection(
 std::vector<std::size_t> select_representatives(
     const std::vector<Raster>& library, const RepresentativeConfig& cfg,
     Rng& rng) {
+  PP_TRACE_SPAN("select.representatives");
   PP_REQUIRE_MSG(!library.empty(), "select_representatives: empty library");
   if (library.size() == 1) return {0};
 

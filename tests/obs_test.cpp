@@ -1,0 +1,422 @@
+// Tests for the observability layer: JSON round-trips, logger filtering,
+// histogram percentiles, span recording (nesting, multi-thread merge,
+// disabled no-op) and run-report schema validation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace pp::obs {
+namespace {
+
+// --- JSON -------------------------------------------------------------------
+
+TEST(Json, DumpParseRoundTrip) {
+  Json o = Json::object();
+  o.set("b", Json(true));
+  o.set("n", Json(3.5));
+  o.set("s", Json("he\"llo\nworld"));
+  Json arr = Json::array();
+  arr.push_back(Json(1));
+  arr.push_back(Json(nullptr));
+  arr.push_back(Json::object());
+  o.set("a", std::move(arr));
+
+  for (int indent : {-1, 2}) {
+    std::string err;
+    Json back = Json::parse(o.dump(indent), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_TRUE(back.find("b")->as_bool());
+    EXPECT_DOUBLE_EQ(back.find("n")->as_number(), 3.5);
+    EXPECT_EQ(back.find("s")->as_string(), "he\"llo\nworld");
+    ASSERT_EQ(back.find("a")->size(), 3u);
+    EXPECT_DOUBLE_EQ(back.find("a")->at(0).as_number(), 1.0);
+    EXPECT_TRUE(back.find("a")->at(1).is_null());
+    EXPECT_TRUE(back.find("a")->at(2).is_object());
+  }
+}
+
+TEST(Json, PreservesInsertionOrder) {
+  Json o = Json::object();
+  o.set("zebra", Json(1));
+  o.set("alpha", Json(2));
+  EXPECT_EQ(o.dump(), "{\"zebra\":1,\"alpha\":2}");
+}
+
+TEST(Json, SetReplacesInPlace) {
+  Json o = Json::object();
+  o.set("k", Json(1));
+  o.set("k", Json(2));
+  EXPECT_EQ(o.size(), 1u);
+  EXPECT_DOUBLE_EQ(o.find("k")->as_number(), 2.0);
+}
+
+TEST(Json, ParseUnicodeEscape) {
+  std::string err;
+  Json v = Json::parse("\"A\\u00e9B\"", &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(v.as_string(), "A\xc3\xa9"
+                           "B");
+}
+
+TEST(Json, ParseRejectsTrailingGarbage) {
+  std::string err;
+  Json v = Json::parse("{\"a\": 1} extra", &err);
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Json, ParseRejectsMalformed) {
+  for (const char* bad : {"{", "[1,", "\"unterminated", "tru", "{'a':1}",
+                          "[1 2]", ""}) {
+    std::string err;
+    Json v = Json::parse(bad, &err);
+    EXPECT_TRUE(v.is_null()) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+// --- Logger -----------------------------------------------------------------
+
+std::mutex g_log_mutex;
+std::vector<std::pair<LogLevel, std::string>> g_log_lines;
+
+void capture_sink(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lk(g_log_mutex);
+  g_log_lines.emplace_back(level, message);
+}
+
+class LogCapture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_log_lines.clear();
+    set_log_sink(&capture_sink);
+  }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::Warn);
+  }
+};
+
+TEST_F(LogCapture, FiltersBelowThreshold) {
+  set_log_level(LogLevel::Warn);
+  PP_LOG(Debug) << "hidden";
+  PP_LOG(Info) << "hidden too";
+  PP_LOG(Warn) << "shown " << 42;
+  PP_LOG(Error) << "also shown";
+  ASSERT_EQ(g_log_lines.size(), 2u);
+  EXPECT_EQ(g_log_lines[0].first, LogLevel::Warn);
+  EXPECT_EQ(g_log_lines[0].second, "shown 42");
+  EXPECT_EQ(g_log_lines[1].first, LogLevel::Error);
+}
+
+TEST_F(LogCapture, DisabledLineDoesNotEvaluateStream) {
+  set_log_level(LogLevel::Error);
+  int evaluations = 0;
+  auto probe = [&] {
+    ++evaluations;
+    return 1;
+  };
+  PP_LOG(Info) << probe();
+  EXPECT_EQ(evaluations, 0);
+  PP_LOG(Error) << probe();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogCapture, DebugLinesCarryLocation) {
+  set_log_level(LogLevel::Trace);
+  PP_LOG(Debug) << "with location";
+  ASSERT_EQ(g_log_lines.size(), 1u);
+  EXPECT_NE(g_log_lines[0].second.find("obs_test.cpp"), std::string::npos);
+}
+
+TEST(LogLevelNames, ParseRoundTrip) {
+  for (LogLevel l : {LogLevel::Trace, LogLevel::Debug, LogLevel::Info,
+                     LogLevel::Warn, LogLevel::Error, LogLevel::Off})
+    EXPECT_EQ(parse_log_level(log_level_name(l), LogLevel::Off), l);
+  EXPECT_EQ(parse_log_level("WARN", LogLevel::Off), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("bogus", LogLevel::Info), LogLevel::Info);
+}
+
+// --- Metrics ----------------------------------------------------------------
+
+TEST(Metrics, RegistryInternsByName) {
+  Counter& a = metrics().counter("obs_test.interned");
+  Counter& b = metrics().counter("obs_test.interned");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  a.reset();
+}
+
+TEST(Metrics, HistogramExactCountAndSum) {
+  Histogram h;
+  double sum = 0;
+  for (int i = 1; i <= 100; ++i) {
+    h.observe(i);
+    sum += i;
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), sum);
+  EXPECT_DOUBLE_EQ(h.mean(), sum / 100);
+}
+
+TEST(Metrics, HistogramPercentileWithinBucketRatio) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.observe(i);
+  // Log-bucketed: the estimate is exact to within one bucket ratio (1.5x).
+  double p50 = h.percentile(0.5);
+  EXPECT_GT(p50, 500.0 / 1.5);
+  EXPECT_LT(p50, 500.0 * 1.5);
+  double p95 = h.percentile(0.95);
+  EXPECT_GT(p95, 950.0 / 1.5);
+  EXPECT_LT(p95, 950.0 * 1.5);
+  EXPECT_LE(p50, p95);
+}
+
+TEST(Metrics, HistogramEdgeCases) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);  // empty
+  h.observe(-5);                             // non-positive -> bucket 0
+  h.observe(0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_LE(h.percentile(1.0), Histogram::bucket_bound(0));
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(Metrics, BucketBoundsGrowGeometrically) {
+  for (int i = 1; i < Histogram::kBuckets; ++i)
+    EXPECT_GT(Histogram::bucket_bound(i), Histogram::bucket_bound(i - 1));
+}
+
+// --- Tracing ----------------------------------------------------------------
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_trace_enabled(true);
+    reset_trace();
+  }
+  void TearDown() override {
+    set_trace_enabled(false);
+    reset_trace();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  set_trace_enabled(false);
+  {
+    PP_TRACE_SPAN("obs_test.disabled");
+  }
+  EXPECT_EQ(trace_event_count(), 0u);
+  EXPECT_TRUE(span_summary().empty());
+}
+
+TEST_F(TraceTest, RecordsNestedSpansWithDepth) {
+  {
+    PP_TRACE_SPAN("obs_test.outer");
+    PP_TRACE_SPAN("obs_test.inner");
+  }
+  std::vector<TraceEventView> events = trace_events();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEventView* outer = nullptr;
+  const TraceEventView* inner = nullptr;
+  for (const auto& e : events) {
+    if (e.name == "obs_test.outer") outer = &e;
+    if (e.name == "obs_test.inner") inner = &e;
+  }
+  ASSERT_TRUE(outer && inner);
+  EXPECT_EQ(outer->depth, 0);
+  EXPECT_EQ(inner->depth, 1);
+  // The inner span nests inside the outer one on the timeline.
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_LE(inner->start_ns + inner->dur_ns, outer->start_ns + outer->dur_ns);
+}
+
+TEST_F(TraceTest, MergesEventsAcrossThreads) {
+  constexpr int kThreads = 3;
+  constexpr int kSpansPerThread = 10;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        PP_TRACE_SPAN("obs_test.worker");
+      }
+    });
+  for (auto& t : threads) t.join();
+
+  std::vector<std::uint32_t> tids;
+  std::size_t total = 0;
+  for (const auto& e : trace_events()) {
+    if (e.name != std::string("obs_test.worker")) continue;
+    ++total;
+    if (std::find(tids.begin(), tids.end(), e.tid) == tids.end())
+      tids.push_back(e.tid);
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kThreads * kSpansPerThread));
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+
+  for (const SpanStat& s : span_summary()) {
+    if (s.name != "obs_test.worker") continue;
+    EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads * kSpansPerThread));
+    EXPECT_GE(s.p95_ms, s.p50_ms);
+    EXPECT_GT(s.total_ms, 0.0);
+  }
+}
+
+TEST_F(TraceTest, SummaryAggregatesPerName) {
+  for (int i = 0; i < 5; ++i) {
+    PP_TRACE_SPAN("obs_test.a");
+  }
+  {
+    PP_TRACE_SPAN("obs_test.b");
+  }
+  bool saw_a = false, saw_b = false;
+  for (const SpanStat& s : span_summary()) {
+    if (s.name == "obs_test.a") {
+      saw_a = true;
+      EXPECT_EQ(s.count, 5u);
+    }
+    if (s.name == "obs_test.b") {
+      saw_b = true;
+      EXPECT_EQ(s.count, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsValid) {
+  {
+    PP_TRACE_SPAN("obs_test.chrome");
+  }
+  Json doc = chrome_trace_json();
+  std::string err;
+  Json back = Json::parse(doc.dump(), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  const Json* events = back.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_GE(events->size(), 1u);
+  const Json& e = events->at(0);
+  EXPECT_TRUE(e.find("name")->is_string());
+  EXPECT_EQ(e.find("ph")->as_string(), "X");
+  EXPECT_TRUE(e.find("ts")->is_number());
+  EXPECT_TRUE(e.find("dur")->is_number());
+}
+
+TEST_F(TraceTest, ResetClearsEvents) {
+  {
+    PP_TRACE_SPAN("obs_test.reset");
+  }
+  EXPECT_GT(trace_event_count(), 0u);
+  reset_trace();
+  EXPECT_EQ(trace_event_count(), 0u);
+  EXPECT_EQ(trace_dropped(), 0u);
+}
+
+// --- Run report -------------------------------------------------------------
+
+TEST(RunReport, BuildValidateRoundTrip) {
+  metrics().counter("obs_test.report_counter").add(7);
+  metrics().gauge("obs_test.report_gauge").set(1.25);
+  metrics().histogram("obs_test.report_hist").observe(10.0);
+
+  Json report = build_run_report("obs_test");
+  std::string err;
+  EXPECT_TRUE(validate_run_report(report, &err)) << err;
+  EXPECT_EQ(report.find("tool")->as_string(), "obs_test");
+
+  // Survives serialization: dump -> parse -> validate again.
+  Json back = Json::parse(report.dump(2), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_TRUE(validate_run_report(back, &err)) << err;
+  const Json* counters = back.find("metrics")->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->find("obs_test.report_counter")->as_number(), 7.0);
+}
+
+TEST(RunReport, RegisteredSectionAppears) {
+  register_report_section("obs_test_section", [] {
+    Json o = Json::object();
+    o.set("answer", Json(42));
+    return o;
+  });
+  Json report = build_run_report("obs_test");
+  std::string err;
+  EXPECT_TRUE(validate_run_report(report, &err)) << err;
+  const Json* section = report.find("obs_test_section");
+  ASSERT_NE(section, nullptr);
+  EXPECT_DOUBLE_EQ(section->find("answer")->as_number(), 42.0);
+}
+
+TEST(RunReport, PoolSectionPublishedAfterParallelWork) {
+  std::atomic<int> sum{0};
+  parallel_for(0, 64, [&](std::size_t) { sum.fetch_add(1); });
+  EXPECT_EQ(sum.load(), 64);
+
+  Json report = build_run_report("obs_test");
+  const Json* pool = report.find("pool");
+  ASSERT_NE(pool, nullptr);
+  EXPECT_GE(pool->find("threads")->as_number(), 0.0);
+  EXPECT_TRUE(pool->find("busy_fraction")->is_array());
+
+  PoolStats stats = pool_stats();
+  EXPECT_GE(stats.jobs + stats.inline_jobs, 1u);
+  EXPECT_EQ(stats.busy_fraction.size(), stats.threads);
+}
+
+TEST(RunReport, ValidatorRejectsBrokenReports) {
+  Json report = build_run_report("obs_test");
+  std::string err;
+
+  Json no_tool = Json::parse(report.dump());
+  no_tool.set("tool", Json(3));  // wrong type
+  EXPECT_FALSE(validate_run_report(no_tool, &err));
+  EXPECT_FALSE(err.empty());
+
+  Json bad_version = Json::parse(report.dump());
+  bad_version.set("schema_version", Json(99));
+  EXPECT_FALSE(validate_run_report(bad_version, &err));
+
+  Json scalar_section = Json::parse(report.dump());
+  scalar_section.set("rogue", Json(1));  // extras must be object/array
+  EXPECT_FALSE(validate_run_report(scalar_section, &err));
+
+  EXPECT_FALSE(validate_run_report(Json(1), &err));
+}
+
+TEST(RunReport, BenchSummaryLineValidation) {
+  std::string err;
+  Json good = Json::parse("{\"bench\": \"x\", \"ms\": 1.5}", &err);
+  ASSERT_TRUE(err.empty());
+  EXPECT_TRUE(validate_bench_summary_line(good, &err)) << err;
+
+  Json no_ms = Json::parse("{\"bench\": \"x\"}");
+  EXPECT_FALSE(validate_bench_summary_line(no_ms, &err));
+
+  Json bad_ms = Json::parse("{\"bench\": \"x\", \"ms\": \"fast\"}");
+  EXPECT_FALSE(validate_bench_summary_line(bad_ms, &err));
+
+  Json empty_name = Json::parse("{\"bench\": \"\", \"ms\": 1}");
+  EXPECT_FALSE(validate_bench_summary_line(empty_name, &err));
+
+  Json nested = Json::parse("{\"bench\": \"x\", \"ms\": 1, \"extra\": {}}");
+  EXPECT_FALSE(validate_bench_summary_line(nested, &err));
+}
+
+}  // namespace
+}  // namespace pp::obs
