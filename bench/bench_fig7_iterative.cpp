@@ -8,7 +8,9 @@
 #include <cstdio>
 
 #include "benchutil.hpp"
+#include "common/parallel.hpp"
 #include "io/csv.hpp"
+#include "obs/metrics.hpp"
 #include "obs/report.hpp"
 
 int main() {
@@ -49,6 +51,14 @@ int main() {
     }
   }
   std::printf("series written to %s/fig7.csv\n", results_dir().c_str());
+  // The denoise+DRC finish tail runs on the shared pool with per-sample RNG
+  // streams; trajectories above are bitwise identical for any PP_THREADS.
+  std::printf("finish stage: %llu parallel chunks across %llu pool jobs "
+              "(%zu threads)\n",
+              static_cast<unsigned long long>(
+                  obs::metrics().counter("pp.finish.par_chunks").value()),
+              static_cast<unsigned long long>(pool_stats().jobs),
+              parallel_thread_count());
   obs::register_report_section(
       "trajectories", [trajectories] { return trajectories; });
   finalize_observability("fig7_iterative");

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds the ASan/UBSan tree (PP_SANITIZE=ON) and runs the tier-1 test
+# label under it. The parallel finish path must stay clean here: no shared
+# mutable Rng, merge-after-join only.
+#
+# Usage: scripts/run_sanitized.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${PP_ASAN_BUILD_DIR:-build-asan}
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+cmake -B "$BUILD_DIR" -S . -DPP_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+# halt_on_error keeps a sanitizer hit from hiding behind a green exit code;
+# PP_THREADS unset → full pool width, so the parallel paths actually run.
+export ASAN_OPTIONS=${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=0}
+export UBSAN_OPTIONS=${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}
+ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$JOBS" "$@"

@@ -4,6 +4,31 @@
 
 namespace pp {
 
+namespace {
+
+/// splitmix64 finalizer: bijective 64-bit mixer with full avalanche, the
+/// standard seed-derivation primitive (Steele et al., "Fast Splittable
+/// Pseudorandom Number Generators").
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng Rng::stream(std::uint64_t base_seed, std::uint64_t stream_id) {
+  // Mix the id through one round before combining so (base, id) pairs that
+  // differ by simple arithmetic (base+1 vs id+1) cannot alias, then a second
+  // round decorrelates the combined value.
+  std::uint64_t s = splitmix64(base_seed ^ splitmix64(stream_id));
+  // Avoid the degenerate all-zero seed.
+  return Rng(s != 0 ? s : 0x9e3779b97f4a7c15ULL);
+}
+
+std::uint64_t Rng::draw_seed() { return gen_(); }
+
 int Rng::uniform_int(int lo, int hi) {
   PP_REQUIRE(lo <= hi);
   return std::uniform_int_distribution<int>(lo, hi)(gen_);

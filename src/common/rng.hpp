@@ -12,10 +12,25 @@
 namespace pp {
 
 /// Thin wrapper over a 64-bit Mersenne Twister with convenience samplers.
-/// Copyable; copies continue the same stream independently.
+///
+/// Copyable; copies continue the same stream independently. NOTE: that makes
+/// a shared `Rng` a footgun in parallel code — concurrent draws race, and
+/// even with a lock the interleaving (and thus every downstream value) would
+/// depend on scheduling. Parallel consumers must each own a stream derived
+/// up front with stream() / draw_seed() or fork() (see DESIGN.md, "RNG
+/// stream discipline").
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : gen_(seed) {}
+
+  /// Deterministically derives independent stream `stream_id` of
+  /// `base_seed` — a pure function of its two arguments (counter-based
+  /// splitmix64 mixing, no shared state), so stream k of seed s is the same
+  /// generator no matter when, where, or in what order it is constructed.
+  /// This is the primitive behind batch-split- and thread-count-invariant
+  /// sampling: give every logical sample its own stream instead of
+  /// interleaving draws from one generator.
+  static Rng stream(std::uint64_t base_seed, std::uint64_t stream_id);
 
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
   int uniform_int(int lo, int hi);
@@ -49,6 +64,13 @@ class Rng {
 
   /// Derive an independent child stream (for per-thread / per-sample use).
   Rng fork();
+
+  /// Draws a 64-bit stream base, consuming exactly ONE engine step. Pairing
+  /// this with stream() — `Rng::stream(rng.draw_seed(), k)` — keeps the
+  /// parent's consumption proportional to the number of logical samples, so
+  /// regrouping samples into different batches cannot shift which stream a
+  /// sample receives.
+  std::uint64_t draw_seed();
 
   std::mt19937_64& engine() { return gen_; }
 

@@ -2,8 +2,16 @@
 
 namespace pp {
 
+std::optional<std::size_t> PatternLibrary::index_of(const Raster& clip) const {
+  auto [lo, hi] = index_.equal_range(key(clip));
+  for (auto it = lo; it != hi; ++it)
+    if (clips_[it->second] == clip) return it->second;
+  return std::nullopt;
+}
+
 bool PatternLibrary::add(const Raster& clip) {
-  if (!hashes_.insert(clip.hash()).second) return false;
+  if (index_of(clip)) return false;
+  index_.emplace(key(clip), clips_.size());
   clips_.push_back(clip);
   return true;
 }

@@ -2,10 +2,16 @@
 //
 // The pattern library accumulates DR-clean clips across generation rounds;
 // uniqueness is exact pixel identity (the paper's "unique patterns"
-// column). Entropy metrics are computed on demand from the stored clips.
+// column). The content hash is only an index: clips whose hashes collide
+// are compared pixel-for-pixel, so a 64-bit collision can never silently
+// drop a distinct pattern. Entropy metrics are computed on demand from the
+// stored clips.
 #pragma once
 
-#include <unordered_set>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "geometry/raster.hpp"
@@ -15,7 +21,14 @@ namespace pp {
 
 class PatternLibrary {
  public:
+  /// Bucketing function for the dedup index. Only equality behavior depends
+  /// on content comparison, never on the hash, so a weak hasher degrades
+  /// performance, not correctness.
+  using Hasher = std::function<std::uint64_t(const Raster&)>;
+
   PatternLibrary() = default;
+  /// Test seam: inject a custom (e.g. deliberately colliding) hasher.
+  explicit PatternLibrary(Hasher hasher) : hasher_(std::move(hasher)) {}
 
   /// Adds a clip; returns true when it was new (not an exact duplicate).
   bool add(const Raster& clip);
@@ -23,9 +36,13 @@ class PatternLibrary {
   /// Bulk add; returns the number of new clips.
   std::size_t add_all(const std::vector<Raster>& clips);
 
-  bool contains(const Raster& clip) const {
-    return hashes_.count(clip.hash()) > 0;
-  }
+  /// Content-verified membership test.
+  bool contains(const Raster& clip) const { return index_of(clip).has_value(); }
+
+  /// Index of an exact-content match in clips(), if present. Indices are
+  /// stable: the library is append-only, so an index is a persistent
+  /// identity for a pattern (used e.g. for per-pattern mask cursors).
+  std::optional<std::size_t> index_of(const Raster& clip) const;
 
   std::size_t size() const { return clips_.size(); }
   bool empty() const { return clips_.empty(); }
@@ -35,8 +52,14 @@ class PatternLibrary {
   LibraryStats stats() const;
 
  private:
+  std::uint64_t key(const Raster& clip) const {
+    return hasher_ ? hasher_(clip) : clip.hash();
+  }
+
+  Hasher hasher_;  ///< empty = Raster::hash
   std::vector<Raster> clips_;
-  std::unordered_set<std::uint64_t> hashes_;
+  /// hash -> candidate indices into clips_ (multimap: collisions allowed).
+  std::unordered_multimap<std::uint64_t, std::size_t> index_;
 };
 
 }  // namespace pp

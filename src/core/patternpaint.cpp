@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "denoise/template_denoise.hpp"
 #include "diffusion/convert.hpp"
@@ -162,38 +163,78 @@ std::vector<Raster> PatternPaint::inpaint_variations(const Raster& tmpl,
   return tensor_to_rasters(out);
 }
 
-GenerationRecord PatternPaint::finish_sample(const Raster& raw,
-                                             const Raster& tmpl) {
+GenerationRecord PatternPaint::finish_one(const Raster& raw,
+                                          const Raster& tmpl,
+                                          Rng& stream) const {
   Timer t;
   GenerationRecord rec;
   rec.raw = raw;
   rec.tmpl = tmpl;
-  rec.denoised = template_denoise(raw, tmpl, cfg_.denoise, rng_);
+  rec.denoised = template_denoise(raw, tmpl, cfg_.denoise, stream);
   rec.legal = rec.denoised.count_ones() > 0 && checker_.is_clean(rec.denoised);
   rec.wall_ms = t.millis();
   return rec;
 }
 
+GenerationRecord PatternPaint::finish_sample(const Raster& raw,
+                                             const Raster& tmpl) {
+  Rng stream = Rng::stream(rng_.draw_seed(), 0);
+  return finish_one(raw, tmpl, stream);
+}
+
+std::vector<GenerationRecord> PatternPaint::finish_samples(
+    const std::vector<Raster>& raws, const std::vector<Raster>& tmpls) {
+  PP_TRACE_SPAN("pp.finish");
+  PP_REQUIRE(raws.size() == tmpls.size());
+  static obs::Counter& par_chunks =
+      obs::metrics().counter("pp.finish.par_chunks");
+  // Stream bases are drawn serially, in sample order, BEFORE the fan-out:
+  // the parallel region then only reads per-sample state and writes
+  // disjoint slots, so the records are bitwise independent of PP_THREADS.
+  std::vector<std::uint64_t> bases(raws.size());
+  for (auto& b : bases) b = rng_.draw_seed();
+  std::vector<GenerationRecord> records(raws.size());
+  parallel_for_chunks(0, raws.size(), [&](std::size_t lo, std::size_t hi) {
+    par_chunks.add(1);
+    for (std::size_t j = lo; j < hi; ++j) {
+      Rng stream = Rng::stream(bases[j], 0);
+      records[j] = finish_one(raws[j], tmpls[j], stream);
+    }
+  });
+  return records;
+}
+
 std::vector<GenerationRecord> PatternPaint::generate_for(
     const std::vector<Raster>& templates, const std::vector<Raster>& masks,
-    int variations) {
-  PP_REQUIRE(templates.size() == masks.size());
+    const std::vector<int>& counts) {
+  PP_REQUIRE(templates.size() == masks.size() &&
+             templates.size() == counts.size());
   static obs::Counter& generated = obs::metrics().counter("pp.generated");
   static obs::Counter& legal = obs::metrics().counter("pp.legal");
-  std::vector<GenerationRecord> records;
+
+  // Stage 1 (serial): inpaint every pair, collecting the flat sample list.
+  std::vector<Raster> raws, tmpl_of;
   for (std::size_t i = 0; i < templates.size(); ++i) {
-    std::vector<Raster> raws =
-        inpaint_variations(templates[i], masks[i], variations);
-    for (const Raster& raw : raws) {
-      GenerationRecord rec = finish_sample(raw, templates[i]);
-      ++total_generated_;
-      generated.add(1);
-      if (rec.legal) {
-        ++total_legal_;
-        legal.add(1);
-        library_.add(rec.denoised);
-      }
-      records.push_back(std::move(rec));
+    if (counts[i] <= 0) continue;
+    std::vector<Raster> batch =
+        inpaint_variations(templates[i], masks[i], counts[i]);
+    for (Raster& raw : batch) {
+      raws.push_back(std::move(raw));
+      tmpl_of.push_back(templates[i]);
+    }
+  }
+
+  // Stage 2 (parallel): denoise + DRC with per-sample streams.
+  std::vector<GenerationRecord> records = finish_samples(raws, tmpl_of);
+
+  // Stage 3 (serial merge, deterministic sample order): counters + library.
+  for (const GenerationRecord& rec : records) {
+    ++total_generated_;
+    generated.add(1);
+    if (rec.legal) {
+      ++total_legal_;
+      legal.add(1);
+      library_.add(rec.denoised);
     }
   }
   return records;
@@ -211,12 +252,14 @@ std::vector<GenerationRecord> PatternPaint::initial_generation(
       templates.push_back(s);
       masks.push_back(m);
     }
-  return generate_for(templates, masks, variations_per_mask);
+  std::vector<int> counts(templates.size(), variations_per_mask);
+  return generate_for(templates, masks, counts);
 }
 
 std::vector<GenerationRecord> PatternPaint::iteration_round(int samples) {
   PP_TRACE_SPAN("pp.iteration_round");
   PP_REQUIRE_MSG(!library_.empty(), "iteration_round on an empty library");
+  PP_REQUIRE(samples >= 1);
   RepresentativeConfig rc;
   rc.k = cfg_.representatives;
   rc.explained_variance = 0.9;
@@ -225,18 +268,26 @@ std::vector<GenerationRecord> PatternPaint::iteration_round(int samples) {
       select_representatives(library_.clips(), rc, rng_);
   PP_REQUIRE(!sel.empty());
 
-  int per_pattern =
-      std::max(1, samples / static_cast<int>(sel.size()));
+  // Exact sample budget: base count per representative plus the remainder
+  // spread over the first `samples % sel.size()` of them, so inexact
+  // division no longer undershoots cfg_.samples_per_iteration.
+  int base = samples / static_cast<int>(sel.size());
+  int rem = samples % static_cast<int>(sel.size());
   std::vector<Raster> templates, masks;
-  for (std::size_t idx : sel) {
-    const Raster& pattern = library_.clips()[idx];
-    // Sequential mask schedule keyed by pattern identity (Sec. IV-E2).
-    std::size_t& cursor = mask_cursor_[pattern.hash()];
-    templates.push_back(pattern);
+  std::vector<int> counts;
+  for (std::size_t i = 0; i < sel.size(); ++i) {
+    int count = base + (static_cast<int>(i) < rem ? 1 : 0);
+    if (count == 0) continue;  // samples < sel.size(): surplus reps sit out
+    std::size_t idx = sel[i];
+    // Sequential mask schedule keyed by pattern identity — the stable
+    // library index, not the (collidable) content hash (Sec. IV-E2).
+    std::size_t& cursor = mask_cursor_[idx];
+    templates.push_back(library_.clips()[idx]);
     masks.push_back(masks_[cursor % masks_.size()]);
+    counts.push_back(count);
     ++cursor;
   }
-  return generate_for(templates, masks, per_pattern);
+  return generate_for(templates, masks, counts);
 }
 
 std::vector<IterationStats> PatternPaint::run(int iterations) {

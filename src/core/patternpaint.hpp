@@ -104,14 +104,29 @@ class PatternPaint {
   /// Denoise + DRC one raw sample against its template.
   GenerationRecord finish_sample(const Raster& raw, const Raster& tmpl);
 
+  /// Batch denoise + DRC, fanned out over the shared thread pool with one
+  /// pre-derived RNG stream per sample; results come back in input order and
+  /// are bitwise independent of PP_THREADS. Pure: does not touch the library
+  /// or the cumulative counters (generate_for's merge step does that).
+  std::vector<GenerationRecord> finish_samples(const std::vector<Raster>& raws,
+                                               const std::vector<Raster>& tmpls);
+
   /// Cumulative counters across all generation calls.
   std::size_t total_generated() const { return total_generated_; }
   std::size_t total_legal() const { return total_legal_; }
 
  private:
+  /// Inpaints counts[i] variations of each (template, mask) pair, then
+  /// denoises + DRC-checks every sample in parallel (finish_samples) and
+  /// merges records/library/counters serially in sample order.
   std::vector<GenerationRecord> generate_for(
       const std::vector<Raster>& templates, const std::vector<Raster>& masks,
-      int variations);
+      const std::vector<int>& counts);
+
+  /// Denoise + DRC against `stream` only (no shared RNG): the parallel-safe
+  /// core of finish_sample/finish_samples.
+  GenerationRecord finish_one(const Raster& raw, const Raster& tmpl,
+                              Rng& stream) const;
 
   PatternPaintConfig cfg_;
   DrcChecker checker_;
@@ -122,8 +137,10 @@ class PatternPaint {
   PatternLibrary library_;
   std::size_t total_generated_ = 0;
   std::size_t total_legal_ = 0;
-  /// Sequential mask schedule position per pattern (by hash).
-  std::unordered_map<std::uint64_t, std::size_t> mask_cursor_;
+  /// Sequential mask schedule position per pattern, keyed by the pattern's
+  /// library index (append-only, so a persistent identity — unlike a bare
+  /// content hash, which can collide between distinct patterns).
+  std::unordered_map<std::size_t, std::size_t> mask_cursor_;
   bool pretrained_ = false;
 };
 

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "nn/serialize.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -48,6 +49,26 @@ Tensor Ddpm::compose_input(const Tensor& x_t, const Tensor& mask,
 
 namespace {
 
+/// Sub-stream ids of a sample's RNG base (see Rng::stream): every noise
+/// source a sample consumes has its own stream, so its values depend only on
+/// (base seed, purpose) — never on batch grouping or thread interleaving.
+enum StreamId : std::uint64_t {
+  kLossStream = 0,     ///< timestep + forward noise in diffusion_loss
+  kInitStream = 0,     ///< x_T initialization in inpaint
+  kRenoiseStream = 1,  ///< RePaint known-region re-noising
+  kSigmaStream = 2,    ///< DDIM stochasticity term
+};
+
+/// One caller-RNG draw per sample, in batch order. This is the contract that
+/// makes sampling batch-split invariant: regrouping the same logical samples
+/// into different inpaint()/loss calls consumes the caller's stream
+/// identically, so sample i always receives the same base seed.
+std::vector<std::uint64_t> sample_bases(int n, Rng& rng) {
+  std::vector<std::uint64_t> bases(static_cast<std::size_t>(n));
+  for (auto& b : bases) b = rng.draw_seed();
+  return bases;
+}
+
 /// Shared loss construction for train/finetune: noise, predict, MSE.
 Var diffusion_loss(const Ddpm& model, const UNet& net,
                    const DiffusionSchedule& sched, const Tensor& x0,
@@ -60,19 +81,20 @@ Var diffusion_loss(const Ddpm& model, const UNet& net,
   Tensor eps = x0.zeros_like();
   Tensor x_t = x0.zeros_like();
   std::size_t per = x0.numel() / static_cast<std::size_t>(N);
-  for (int n = 0; n < N; ++n) {
-    int t = rng.uniform_int(0, sched.T - 1);
-    t_frac[static_cast<std::size_t>(n)] =
-        static_cast<float>(t) / static_cast<float>(sched.T - 1);
+  std::vector<std::uint64_t> bases = sample_bases(N, rng);
+  parallel_for(0, static_cast<std::size_t>(N), [&](std::size_t n) {
+    Rng s = Rng::stream(bases[n], kLossStream);
+    int t = s.uniform_int(0, sched.T - 1);
+    t_frac[n] = static_cast<float>(t) / static_cast<float>(sched.T - 1);
     float sa = sched.sqrt_ab[static_cast<std::size_t>(t)];
     float sb = sched.sqrt_1m_ab[static_cast<std::size_t>(t)];
     for (std::size_t i = 0; i < per; ++i) {
-      std::size_t k = static_cast<std::size_t>(n) * per + i;
-      float e = static_cast<float>(rng.normal());
+      std::size_t k = n * per + i;
+      float e = static_cast<float>(s.normal());
       eps[k] = e;
       x_t[k] = sa * x0[k] + sb * e;
     }
-  }
+  });
   Tensor in = compose(x_t, mask, x0);
   Var pred = net.forward(in, t_frac);
   return nn::mse_loss(pred, nn::make_input(eps));
@@ -138,10 +160,30 @@ nn::Tensor Ddpm::inpaint(const Tensor& known, const Tensor& mask,
         static_cast<int>(std::lround((1.0 - static_cast<double>(i) / (K - 1)) *
                                      (sched_.T - 1)));
 
+  // Per-sample RNG streams (see sample_bases): each sample owns three
+  // independent streams — init noise, RePaint re-noising, DDIM sigma —
+  // consumed in a fixed per-sample order, so the output for a given sample
+  // is a pure function of its base seed, making the batch bitwise identical
+  // under any batch split and any thread count.
+  std::vector<std::uint64_t> bases = sample_bases(N, rng);
+  std::vector<Rng> renoise, sigma_rng;
+  renoise.reserve(static_cast<std::size_t>(N));
+  sigma_rng.reserve(static_cast<std::size_t>(N));
+  for (int n = 0; n < N; ++n) {
+    renoise.push_back(Rng::stream(bases[static_cast<std::size_t>(n)],
+                                  kRenoiseStream));
+    sigma_rng.push_back(Rng::stream(bases[static_cast<std::size_t>(n)],
+                                    kSigmaStream));
+  }
+
   // x starts as pure noise.
   Tensor x = known.zeros_like();
-  for (std::size_t i = 0; i < x.numel(); ++i)
-    x[i] = static_cast<float>(rng.normal());
+  parallel_for(0, static_cast<std::size_t>(N), [&](std::size_t n) {
+    Rng init = Rng::stream(bases[n], kInitStream);
+    float* xs = x.data() + n * per;
+    for (std::size_t i = 0; i < per; ++i)
+      xs[i] = static_cast<float>(init.normal());
+  });
 
   for (int step = 0; step < K; ++step) {
     PP_TRACE_SPAN("ddpm.inpaint.step");
@@ -154,14 +196,15 @@ nn::Tensor Ddpm::inpaint(const Tensor& known, const Tensor& mask,
 
     // RePaint conditioning: overwrite the known region of x_t with the
     // forward-noised ground truth at level t.
-    for (int n = 0; n < N; ++n)
+    parallel_for(0, static_cast<std::size_t>(N), [&](std::size_t n) {
       for (std::size_t i = 0; i < per; ++i) {
-        std::size_t k = static_cast<std::size_t>(n) * per + i;
+        std::size_t k = n * per + i;
         if (mask[k] == 0.0f) {
-          float e = static_cast<float>(rng.normal());
+          float e = static_cast<float>(renoise[n].normal());
           x[k] = sa_t * known[k] + sb_t * e;
         }
       }
+    });
 
     std::vector<float> t_frac(
         static_cast<std::size_t>(N),
@@ -179,13 +222,17 @@ nn::Tensor Ddpm::inpaint(const Tensor& known, const Tensor& mask,
     }
     float sa_p = std::sqrt(ab_prev);
     float dir = std::sqrt(std::max(0.0f, 1.0f - ab_prev - sigma * sigma));
-    for (std::size_t k = 0; k < x.numel(); ++k) {
-      float x0_hat = (x[k] - sb_t * eps[k]) / sa_t;
-      x0_hat = std::clamp(x0_hat, -1.0f, 1.0f);
-      float noise =
-          sigma > 0.0f ? sigma * static_cast<float>(rng.normal()) : 0.0f;
-      x[k] = sa_p * x0_hat + dir * eps[k] + noise;
-    }
+    parallel_for(0, static_cast<std::size_t>(N), [&](std::size_t n) {
+      for (std::size_t i = 0; i < per; ++i) {
+        std::size_t k = n * per + i;
+        float x0_hat = (x[k] - sb_t * eps[k]) / sa_t;
+        x0_hat = std::clamp(x0_hat, -1.0f, 1.0f);
+        float noise = sigma > 0.0f
+                          ? sigma * static_cast<float>(sigma_rng[n].normal())
+                          : 0.0f;
+        x[k] = sa_p * x0_hat + dir * eps[k] + noise;
+      }
+    });
   }
 
   // Final compositing: keep known pixels exactly.
@@ -215,7 +262,18 @@ bool Ddpm::try_load(const std::string& path) {
     PP_LOG(Debug) << "ddpm: no compatible checkpoint at " << path;
     return false;
   }
-  nn::load_parameters(net_.parameters(), path);
+  // The probe can still race a concurrent writer (or miss corruption the
+  // header walk cannot see), so a failing load must degrade to "no cache"
+  // rather than abort the pipeline. load_parameters stages into temporary
+  // buffers before committing, so a failed attempt leaves the weights
+  // untouched.
+  try {
+    nn::load_parameters(net_.parameters(), path);
+  } catch (const std::exception& e) {
+    PP_LOG(Warn) << "ddpm: discarding unreadable checkpoint " << path << " ("
+                 << e.what() << ")";
+    return false;
+  }
   PP_LOG(Info) << "ddpm: loaded checkpoint " << path;
   return true;
 }

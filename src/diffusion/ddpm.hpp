@@ -58,6 +58,12 @@ class Ddpm {
 
   /// Inpaints: regenerates mask==1 pixels of `known` ({N,1,H,W} in [-1,1],
   /// mask {N,1,H,W}); returns the completed batch in [-1,1].
+  ///
+  /// RNG contract: consumes exactly one draw from `rng` per sample (a
+  /// per-sample stream base; all noise then comes from Rng::stream-derived
+  /// streams), so for a fixed caller-RNG state the i-th logical sample is
+  /// bitwise identical however the samples are split into inpaint calls
+  /// (1xN == Nx1) and whatever PP_THREADS is.
   nn::Tensor inpaint(const nn::Tensor& known, const nn::Tensor& mask,
                      Rng& rng) const;
 

@@ -1,7 +1,10 @@
 #include "nn/serialize.hpp"
 
+#include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 
 #include "common/error.hpp"
 
@@ -10,13 +13,19 @@ namespace pp::nn {
 namespace {
 constexpr char kMagic[] = "PPNN1\n";
 
-bool read_header(std::ifstream& in, std::vector<std::vector<int>>& shapes) {
+/// Walks the header (magic, count, per-param ndim + dims) and collects the
+/// shapes, tracking the byte offset every payload would occupy. `file_size`
+/// guards against truncation: seekg past EOF does NOT set failbit, so offset
+/// arithmetic — not stream state — is what detects a cut-off final param.
+bool read_header(std::ifstream& in, std::uintmax_t file_size,
+                 std::vector<std::vector<int>>& shapes) {
   char magic[6];
   in.read(magic, 6);
   if (!in.good() || std::string(magic, 6) != kMagic) return false;
   std::uint32_t count = 0;
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
   if (!in.good()) return false;
+  std::uintmax_t offset = 6 + sizeof(count);
   shapes.clear();
   for (std::uint32_t i = 0; i < count; ++i) {
     std::uint32_t ndim = 0;
@@ -30,33 +39,46 @@ bool read_header(std::ifstream& in, std::vector<std::vector<int>>& shapes) {
       d = v;
     }
     shapes.push_back(std::move(shape));
-    // Skip the data for this param.
-    in.seekg(static_cast<std::streamoff>(shape_numel(shapes.back()) *
-                                         sizeof(float)),
-             std::ios::cur);
+    offset += sizeof(ndim) + ndim * sizeof(std::int32_t) +
+              shape_numel(shapes.back()) * sizeof(float);
+    if (offset > file_size) return false;  // truncated payload
+    in.seekg(static_cast<std::streamoff>(offset), std::ios::beg);
     if (!in.good()) return false;
   }
-  return true;
+  // Trailing garbage means the file is not a checkpoint we wrote (e.g. a
+  // concatenation from a botched copy); reject it too.
+  return offset == file_size;
 }
 }  // namespace
 
 void save_parameters(const std::vector<Var>& params, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  PP_REQUIRE_MSG(out.good(), "cannot open checkpoint for writing: " + path);
-  out.write(kMagic, 6);
-  std::uint32_t count = static_cast<std::uint32_t>(params.size());
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const auto& p : params) {
-    std::uint32_t ndim = static_cast<std::uint32_t>(p->value.ndim());
-    out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
-    for (int d : p->value.shape()) {
-      std::int32_t v = d;
-      out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  // Write-to-temp + rename: an interrupted or failed save can never leave a
+  // half-written file at `path`, so cache directories stay loadable.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    PP_REQUIRE_MSG(out.good(), "cannot open checkpoint for writing: " + tmp);
+    out.write(kMagic, 6);
+    std::uint32_t count = static_cast<std::uint32_t>(params.size());
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (const auto& p : params) {
+      std::uint32_t ndim = static_cast<std::uint32_t>(p->value.ndim());
+      out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
+      for (int d : p->value.shape()) {
+        std::int32_t v = d;
+        out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+      }
+      out.write(reinterpret_cast<const char*>(p->value.data()),
+                static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
     }
-    out.write(reinterpret_cast<const char*>(p->value.data()),
-              static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+    out.flush();
+    PP_REQUIRE_MSG(out.good(), "checkpoint write failed: " + tmp);
   }
-  PP_REQUIRE_MSG(out.good(), "checkpoint write failed: " + path);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp);
+  PP_REQUIRE_MSG(!ec, "checkpoint rename failed: " + path + " (" +
+                          ec.message() + ")");
 }
 
 void load_parameters(const std::vector<Var>& params, const std::string& path) {
@@ -70,7 +92,11 @@ void load_parameters(const std::vector<Var>& params, const std::string& path) {
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
   PP_REQUIRE_MSG(in.good() && count == params.size(),
                  "checkpoint parameter count mismatch: " + path);
-  for (const auto& p : params) {
+  // Stage everything before touching the params: a throw below must leave
+  // the live weights untouched (Ddpm::try_load turns it into a cache miss).
+  std::vector<std::vector<float>> staged(params.size());
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    const auto& p = params[pi];
     std::uint32_t ndim = 0;
     in.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
     PP_REQUIRE_MSG(in.good() && ndim == static_cast<std::uint32_t>(p->value.ndim()),
@@ -80,18 +106,27 @@ void load_parameters(const std::vector<Var>& params, const std::string& path) {
       in.read(reinterpret_cast<char*>(&v), sizeof(v));
       PP_REQUIRE_MSG(in.good() && v == d, "checkpoint shape mismatch: " + path);
     }
-    in.read(reinterpret_cast<char*>(p->value.data()),
-            static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
-    PP_REQUIRE_MSG(in.good(), "truncated checkpoint: " + path);
+    staged[pi].resize(p->value.numel());
+    in.read(reinterpret_cast<char*>(staged[pi].data()),
+            static_cast<std::streamsize>(staged[pi].size() * sizeof(float)));
+    PP_REQUIRE_MSG(in.good() &&
+                       in.gcount() == static_cast<std::streamsize>(
+                                          staged[pi].size() * sizeof(float)),
+                   "truncated checkpoint: " + path);
   }
+  for (std::size_t pi = 0; pi < params.size(); ++pi)
+    std::copy(staged[pi].begin(), staged[pi].end(), params[pi]->value.data());
 }
 
 bool checkpoint_compatible(const std::vector<Var>& params,
                            const std::string& path) {
+  std::error_code ec;
+  std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) return false;
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) return false;
   std::vector<std::vector<int>> shapes;
-  if (!read_header(in, shapes)) return false;
+  if (!read_header(in, size, shapes)) return false;
   if (shapes.size() != params.size()) return false;
   for (std::size_t i = 0; i < shapes.size(); ++i)
     if (shapes[i] != params[i]->value.shape()) return false;

@@ -12,14 +12,20 @@
 
 namespace pp::nn {
 
-/// Writes the values of `params` in order. Throws pp::Error on I/O failure.
+/// Writes the values of `params` in order, atomically: the data goes to
+/// `path + ".tmp"` and is renamed over `path` only after a successful flush,
+/// so an interrupted save cannot leave a half-written checkpoint behind.
+/// Throws pp::Error on I/O failure.
 void save_parameters(const std::vector<Var>& params, const std::string& path);
 
-/// Loads into `params` in order; shapes must match exactly.
+/// Loads into `params` in order; shapes must match exactly. All data is
+/// staged before any parameter is modified, so a throw (bad magic, shape
+/// mismatch, truncation) leaves `params` untouched.
 void load_parameters(const std::vector<Var>& params, const std::string& path);
 
-/// True when the checkpoint exists and matches the parameter shapes
-/// (convenient "can I skip training?" probe).
+/// True when the checkpoint exists, matches the parameter shapes, and its
+/// byte size is exactly what those shapes require (truncated or padded
+/// files fail the probe — convenient "can I skip training?" check).
 bool checkpoint_compatible(const std::vector<Var>& params,
                            const std::string& path);
 

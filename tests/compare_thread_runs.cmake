@@ -1,0 +1,23 @@
+# Runs the determinism probe under PP_THREADS=1 and PP_THREADS=8 and fails
+# unless the outputs are byte-identical (thread-count-invariant sampling).
+# Invoked by ctest: cmake -DPROBE=<binary> -P compare_thread_runs.cmake
+if(NOT DEFINED PROBE)
+  message(FATAL_ERROR "pass -DPROBE=<path to determinism_probe>")
+endif()
+
+foreach(threads 1 8)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env PP_THREADS=${threads} ${PROBE}
+    OUTPUT_VARIABLE out_${threads}
+    RESULT_VARIABLE rc_${threads})
+  if(NOT rc_${threads} EQUAL 0)
+    message(FATAL_ERROR "probe failed under PP_THREADS=${threads} (rc ${rc_${threads}})")
+  endif()
+endforeach()
+
+if(NOT out_1 STREQUAL out_8)
+  message(FATAL_ERROR "library differs between PP_THREADS=1 and PP_THREADS=8:\n"
+                      "--- PP_THREADS=1 ---\n${out_1}\n"
+                      "--- PP_THREADS=8 ---\n${out_8}")
+endif()
+message(STATUS "PP_THREADS=1 and PP_THREADS=8 produced identical libraries")

@@ -1,0 +1,52 @@
+// Prints a canonical digest of a miniature (untrained) generation run.
+//
+// The determinism_pp_threads ctest runs this binary twice — PP_THREADS=1
+// and PP_THREADS=8 — and requires byte-identical output: the pool width
+// must never leak into generated patterns (per-sample RNG streams, ordered
+// merge). Any stdout difference is a determinism regression.
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/config.hpp"
+#include "core/patternpaint.hpp"
+#include "patterngen/track_generator.hpp"
+
+int main() {
+  using namespace pp;
+  PatternPaintConfig cfg = sd1_config();
+  cfg.clip_size = 32;
+  cfg.ddpm.unet.base_channels = 8;
+  cfg.ddpm.unet.time_dim = 16;
+  cfg.ddpm.T = 60;
+  cfg.ddpm.sample_steps = 4;
+  cfg.representatives = 4;
+
+  RuleSet rules = default_rules();
+  rules.min_width_h = rules.min_width_v = 3;
+  rules.min_space_h = rules.min_space_v = 3;
+  rules.min_area = 20;
+
+  TrackGenConfig tg;
+  tg.width = tg.height = 32;
+  tg.min_segment = 10;
+  tg.max_segment = 26;
+  tg.min_gap = 3;
+  tg.max_gap = 8;
+  tg.min_strap = 3;
+  tg.max_strap = 6;
+  tg.max_extra_space = 5;
+  Rng starter_rng(777);
+  std::vector<Raster> starters =
+      TrackPatternGenerator(tg, rules).generate(2, starter_rng);
+
+  PatternPaint pp(cfg, rules, /*seed=*/4242);
+  pp.set_starters(starters);
+  pp.initial_generation(/*variations_per_mask=*/1);
+  pp.iteration_round(5);
+
+  std::printf("generated %zu legal %zu library %zu\n", pp.total_generated(),
+              pp.total_legal(), pp.library().size());
+  for (const Raster& c : pp.library().clips())
+    std::printf("%016" PRIx64 "\n", c.hash());
+  return 0;
+}

@@ -2,8 +2,10 @@
 // train/inpaint loops (tiny sizes: these run in seconds on CPU).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -315,6 +317,112 @@ TEST(Ddpm, CheckpointRoundTrip) {
     for (std::size_t k = 0; k < pa[i]->value.numel(); ++k)
       EXPECT_EQ(pa[i]->value[k], pb[i]->value[k]);
   EXPECT_FALSE(b.try_load((dir / "missing.bin").string()));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Ddpm, InpaintBatchSplitInvariant) {
+  // The determinism contract: for a fixed caller-RNG state, the i-th
+  // logical sample is bitwise identical whether the samples run as one
+  // batch of 4 or four batches of 1 (inpaint consumes exactly one caller
+  // draw per sample and derives all noise from per-sample streams).
+  Rng init(67);
+  Ddpm model(tiny_ddpm(), init);
+  const int n = 4, hw = 16;
+  const std::size_t per = static_cast<std::size_t>(hw) * hw;
+  nn::Tensor known({n, 1, hw, hw});
+  for (int s = 0; s < n; ++s) {
+    Raster r(hw, hw);
+    r.fill_rect(Rect{2 + 2 * s, 0, 5 + 2 * s, hw}, 1);
+    nn::Tensor one = raster_to_tensor(r);
+    std::copy_n(one.data(), per, known.data() + static_cast<std::size_t>(s) * per);
+  }
+  Raster m(hw, hw);
+  m.fill_rect(Rect{0, 0, hw / 2, hw}, 1);  // half mask: both RePaint paths
+  nn::Tensor mask1 = mask_to_tensor(m);
+  nn::Tensor mask({n, 1, hw, hw});
+  for (int s = 0; s < n; ++s)
+    std::copy_n(mask1.data(), per, mask.data() + static_cast<std::size_t>(s) * per);
+
+  Rng batched_rng(5);
+  nn::Tensor batched = model.inpaint(known, mask, batched_rng);
+
+  Rng split_rng(5);
+  for (int s = 0; s < n; ++s) {
+    nn::Tensor known1({1, 1, hw, hw});
+    std::copy_n(known.data() + static_cast<std::size_t>(s) * per, per,
+                known1.data());
+    nn::Tensor single = model.inpaint(known1, mask1, split_rng);
+    for (std::size_t i = 0; i < per; ++i)
+      ASSERT_EQ(single[i], batched[static_cast<std::size_t>(s) * per + i])
+          << "sample " << s << " pixel " << i;
+  }
+}
+
+namespace {
+
+/// Overwrites one byte of a file in place.
+void corrupt_byte(const std::string& path, std::streamoff off, char value) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.good());
+  f.seekp(off);
+  f.write(&value, 1);
+}
+
+/// Truncates a file by `cut` trailing bytes.
+void truncate_tail(const std::string& path, std::uintmax_t cut) {
+  std::uintmax_t size = std::filesystem::file_size(path);
+  ASSERT_GT(size, cut);
+  std::filesystem::resize_file(path, size - cut);
+}
+
+}  // namespace
+
+TEST(Ddpm, TryLoadRejectsCorruptCheckpoints) {
+  Rng rng(91);
+  Ddpm trained(tiny_ddpm(), rng);
+  auto dir = std::filesystem::temp_directory_path() / "pp_ddpm_corrupt";
+  std::filesystem::create_directories(dir);
+  std::string good = (dir / "good.bin").string();
+  trained.save(good);
+
+  auto expect_rejected = [&](const std::string& path) {
+    Rng r2(92);
+    Ddpm victim(tiny_ddpm(), r2);
+    auto before = victim.parameters();
+    std::vector<float> w0(before[0]->value.data(),
+                          before[0]->value.data() + before[0]->value.numel());
+    // Must return false, not throw, and leave the weights untouched.
+    EXPECT_FALSE(victim.try_load(path));
+    for (std::size_t i = 0; i < w0.size(); ++i)
+      ASSERT_EQ(before[0]->value[i], w0[i]);
+  };
+
+  std::string bad_magic = (dir / "magic.bin").string();
+  std::filesystem::copy_file(good, bad_magic);
+  corrupt_byte(bad_magic, 0, 'X');
+  expect_rejected(bad_magic);
+
+  std::string bad_count = (dir / "count.bin").string();
+  std::filesystem::copy_file(good, bad_count);
+  corrupt_byte(bad_count, 6, 1);  // param count LSB
+  expect_rejected(bad_count);
+
+  std::string bad_shape = (dir / "shape.bin").string();
+  std::filesystem::copy_file(good, bad_shape);
+  corrupt_byte(bad_shape, 14, 0x7f);  // first dim of the first param
+  expect_rejected(bad_shape);
+
+  // Truncated final payload: the historical bug — seekg past EOF does not
+  // set failbit, so the probe passed and load threw mid-restore.
+  std::string truncated = (dir / "trunc.bin").string();
+  std::filesystem::copy_file(good, truncated);
+  truncate_tail(truncated, 3);
+  expect_rejected(truncated);
+
+  // Sanity: the untouched file still loads.
+  Rng r3(93);
+  Ddpm ok(tiny_ddpm(), r3);
+  EXPECT_TRUE(ok.try_load(good));
   std::filesystem::remove_all(dir);
 }
 

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 
 #include "common/error.hpp"
@@ -483,6 +484,55 @@ TEST(Serialize, DetectsIncompatibleShapes) {
   EXPECT_FALSE(checkpoint_compatible({wrong}, path));
   EXPECT_THROW(load_parameters({wrong}, path), Error);
   EXPECT_FALSE(checkpoint_compatible({a}, (dir / "missing.bin").string()));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Serialize, ProbeRejectsTruncatedAndPaddedFiles) {
+  Rng rng(20);
+  auto dir = std::filesystem::temp_directory_path() / "pp_nn_ckpt_test3";
+  std::filesystem::create_directories(dir);
+  std::string path = (dir / "w.bin").string();
+  Var a = make_param(Tensor::randn({3, 4}, rng));
+  save_parameters({a}, path);
+  ASSERT_TRUE(checkpoint_compatible({a}, path));
+
+  // Truncated payload: the probe must fail via size accounting (seekg past
+  // EOF does not set failbit), and load must throw without modifying `a`.
+  std::uintmax_t full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 2);
+  EXPECT_FALSE(checkpoint_compatible({a}, path));
+  Tensor before = a->value;
+  EXPECT_THROW(load_parameters({a}, path), Error);
+  for (std::size_t i = 0; i < before.numel(); ++i)
+    EXPECT_EQ(a->value[i], before[i]);
+
+  // Trailing garbage (padded file) is not a checkpoint we wrote either.
+  save_parameters({a}, path);
+  {
+    std::ofstream app(path, std::ios::binary | std::ios::app);
+    app.write("junk", 4);
+  }
+  EXPECT_FALSE(checkpoint_compatible({a}, path));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Serialize, SaveIsAtomicViaTmpRename) {
+  Rng rng(21);
+  auto dir = std::filesystem::temp_directory_path() / "pp_nn_ckpt_test4";
+  std::filesystem::create_directories(dir);
+  std::string path = (dir / "w.bin").string();
+  Var a = make_param(Tensor::randn({5}, rng));
+  save_parameters({a}, path);
+  // No temp residue, and the final file is complete.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_TRUE(checkpoint_compatible({a}, path));
+  // Re-saving over an existing checkpoint replaces it cleanly.
+  a->value.fill(3.5f);
+  save_parameters({a}, path);
+  Var b = make_param(Tensor({5}));
+  load_parameters({b}, path);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(b->value[i], 3.5f);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
   std::filesystem::remove_all(dir);
 }
 
