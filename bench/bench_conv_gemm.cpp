@@ -9,7 +9,9 @@
 #include "benchutil.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "nn/gemm.hpp"
 #include "nn/kernels.hpp"
+#include "nn/simd.hpp"
 
 namespace {
 
@@ -44,27 +46,68 @@ void BM_Conv(benchmark::State& state, const Shape& s, ConvAlgo algo) {
   }
 }
 
-/// One JSON line per shape and algorithm: median-free quick wall numbers
-/// for the cross-PR perf trajectory.
+/// One JSON line per shape, algorithm, and usable kernel ISA: quick wall
+/// numbers plus GFLOP/s for the cross-PR perf trajectory. Each ISA is
+/// measured under force_isa so one run reports the scalar/AVX2 ratio.
+/// `gemm_*` lines time sgemm_nn alone at the im2col'd shape (the kernel
+/// the ISA dispatch actually targets); `conv_*` lines include the pack.
 void emit_summaries() {
   Rng rng(7);
+  std::vector<nn::Isa> isas = {nn::Isa::kScalar};
+  if (nn::isa_usable(nn::Isa::kAvx2)) isas.push_back(nn::Isa::kAvx2);
   for (const Shape& s : kShapes) {
+    // Pure GEMM at this conv's im2col shape: M=Co, K=Ci*Kh*Kw, N=Ho*Wo.
+    const int gm = s.co;
+    const int gk = s.ci * s.k * s.k;
+    const int gho = (s.h + 2 * s.pad - s.k) / s.stride + 1;
+    const int gn = gho * ((s.w + 2 * s.pad - s.k) / s.stride + 1);
+    Tensor ga = Tensor::randn({gm, gk}, rng, 0.1f);
+    Tensor gb = Tensor::randn({gk, gn}, rng, 0.1f);
+    Tensor gc = Tensor::zeros({gm, gn});
+    const double gemm_flops = 2.0 * gm * gk * static_cast<double>(gn);
+    for (nn::Isa isa : isas) {
+      nn::force_isa(isa);
+      nn::sgemm_nn(gm, gn, gk, ga.data(), gk, gb.data(), gn, gc.data(), gn,
+                   /*accumulate=*/false);  // warm-up
+      const int reps = 50;
+      Timer t;
+      for (int i = 0; i < reps; ++i) {
+        nn::sgemm_nn(gm, gn, gk, ga.data(), gk, gb.data(), gn, gc.data(), gn,
+                     /*accumulate=*/false);
+        benchmark::DoNotOptimize(gc.data());
+      }
+      const double ms = t.seconds() * 1e3 / reps;
+      bench::emit_json_summary(std::string("gemm_") + s.name + "_" +
+                                   nn::isa_name(isa),
+                               ms, gemm_flops / (ms * 1e6), nn::isa_name(isa));
+    }
     Tensor x = Tensor::randn({1, s.ci, s.h, s.w}, rng);
     Tensor w = Tensor::randn({s.co, s.ci, s.k, s.k}, rng, 0.1f);
     Tensor b = Tensor::randn({s.co}, rng);
+    const int ho = (s.h + 2 * s.pad - s.k) / s.stride + 1;
+    const int wo = (s.w + 2 * s.pad - s.k) / s.stride + 1;
+    const double flops = 2.0 * s.co * s.ci * s.k * s.k *
+                         static_cast<double>(ho) * wo;
     for (ConvAlgo algo : {ConvAlgo::kDirect, ConvAlgo::kGemm}) {
-      nn::conv2d_forward(x, w, b, s.stride, s.pad, algo);  // warm-up
-      const int reps = 20;
-      Timer t;
-      for (int i = 0; i < reps; ++i) {
-        Tensor out = nn::conv2d_forward(x, w, b, s.stride, s.pad, algo);
-        benchmark::DoNotOptimize(out.data());
+      for (nn::Isa isa : isas) {
+        nn::force_isa(isa);
+        nn::conv2d_forward(x, w, b, s.stride, s.pad, algo);  // warm-up
+        const int reps = 20;
+        Timer t;
+        for (int i = 0; i < reps; ++i) {
+          Tensor out = nn::conv2d_forward(x, w, b, s.stride, s.pad, algo);
+          benchmark::DoNotOptimize(out.data());
+        }
+        const double ms = t.seconds() * 1e3 / reps;
+        const double gflops = flops / (ms * 1e6);
+        std::string name = std::string("conv_") + s.name +
+                           (algo == ConvAlgo::kGemm ? "_gemm" : "_direct") +
+                           "_" + nn::isa_name(isa);
+        bench::emit_json_summary(name, ms, gflops, nn::isa_name(isa));
       }
-      std::string name = std::string("conv_") + s.name +
-                         (algo == ConvAlgo::kGemm ? "_gemm" : "_direct");
-      bench::emit_json_summary(name, t.seconds() * 1e3 / reps);
     }
   }
+  nn::clear_forced_isa();
 }
 
 }  // namespace

@@ -171,6 +171,14 @@ void emit_json_summary(const std::string& bench, double ms) {
   std::fflush(stdout);
 }
 
+void emit_json_summary(const std::string& bench, double ms, double gflops,
+                       const std::string& isa) {
+  std::printf(
+      "{\"bench\": \"%s\", \"ms\": %.3f, \"gflops\": %.3f, \"isa\": \"%s\"}\n",
+      bench.c_str(), ms, gflops, isa.c_str());
+  std::fflush(stdout);
+}
+
 std::string finalize_observability(const std::string& tool) {
   const char* report_env = std::getenv("PP_REPORT_FILE");
   std::string report_path =

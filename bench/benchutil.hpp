@@ -92,6 +92,12 @@ Trajectory run_trajectory(const std::string& preset, bool finetuned);
 /// across PRs (grep '^{"bench"').
 void emit_json_summary(const std::string& bench, double ms);
 
+/// Kernel-bench variant that also records arithmetic throughput and the
+/// kernel ISA the measurement ran under:
+///   {"bench": "<name>", "ms": ..., "gflops": ..., "isa": "scalar|avx2"}
+void emit_json_summary(const std::string& bench, double ms, double gflops,
+                       const std::string& isa);
+
 /// Writes the observability artifacts for one bench run and returns the
 /// run-report path:
 ///   * run report  -> PP_REPORT_FILE or results/run_report_<tool>.json

@@ -103,6 +103,11 @@ def validate_bench_line(doc):
         errs.append("bench must be a non-empty string")
     if not _num(doc.get("ms")) or doc.get("ms", -1) < 0:
         errs.append("ms must be a non-negative number")
+    # Optional kernel-bench fields (emit_json_summary overload).
+    if "gflops" in doc and (not _num(doc["gflops"]) or doc["gflops"] < 0):
+        errs.append("gflops must be a non-negative number")
+    if "isa" in doc and doc["isa"] not in ("scalar", "avx2"):
+        errs.append('isa must be "scalar" or "avx2"')
     for key, v in doc.items():
         if not isinstance(v, (str, int, float)) or isinstance(v, bool):
             errs.append(f"field '{key}' must be a scalar")
@@ -175,6 +180,10 @@ def selfcheck():
     good_lines = [
         {"bench": "table2_inpaint_32px", "ms": 74.2},
         {"bench": "x", "ms": 0, "note": "scalar extras are fine"},
+        {"bench": "conv_stem_32px_gemm_avx2", "ms": 0.5, "gflops": 12.3,
+         "isa": "avx2"},
+        {"bench": "conv_stem_32px_gemm_scalar", "ms": 1.5, "gflops": 4.1,
+         "isa": "scalar"},
     ]
     bad_lines = [
         {"ms": 1.0},
@@ -182,6 +191,9 @@ def selfcheck():
         {"bench": "x", "ms": "fast"},
         {"bench": "x", "ms": -1},
         {"bench": "x", "ms": 1, "extra": {}},
+        {"bench": "x", "ms": 1, "gflops": -2.0},
+        {"bench": "x", "ms": 1, "gflops": "fast"},
+        {"bench": "x", "ms": 1, "isa": "avx512"},
     ]
 
     failures = []

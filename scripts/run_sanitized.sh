@@ -17,4 +17,11 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 # PP_THREADS unset → full pool width, so the parallel paths actually run.
 export ASAN_OPTIONS=${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=0}
 export UBSAN_OPTIONS=${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}
+
+# Two passes: once pinned to the portable scalar kernels, once under the
+# host's native ISA dispatch, so both kernel sets get sanitizer coverage.
+echo "=== tier-1 under PP_FORCE_ISA=scalar ==="
+PP_FORCE_ISA=scalar ctest --test-dir "$BUILD_DIR" -L tier1 \
+    --output-on-failure -j "$JOBS" "$@"
+echo "=== tier-1 under native ISA dispatch ==="
 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$JOBS" "$@"

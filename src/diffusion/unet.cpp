@@ -223,12 +223,13 @@ Var UNet::forward(const Tensor& x, const std::vector<float>& t_frac) const {
 //
 // Each helper below is the Tensor-level twin of its Var counterpart and must
 // call the same kernels in the same order so infer() stays bit-identical to
-// forward()->value (diffusion_test asserts this).
+// forward()->value (diffusion_test asserts this). Fusing an activation into
+// a GEMM epilogue is allowed: the epilogue runs the identical value-pure
+// kernel a separate pass would, so the bits cannot differ.
 
 Tensor UNet::time_embedding_infer(const std::vector<float>& t_frac) const {
   Tensor e = nn::linear_forward(sinusoid_embedding(t_frac), tmlp1_w_->value,
-                                tmlp1_b_->value);
-  nn::silu_inplace(e);
+                                tmlp1_b_->value, nn::Act::kSilu);
   return nn::linear_forward(e, tmlp2_w_->value, tmlp2_b_->value);
 }
 

@@ -1,18 +1,15 @@
 #include "nn/gemm.hpp"
 
-#include <algorithm>
 #include <cstring>
 
+#include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "nn/simd_kernels.hpp"
+#include "obs/metrics.hpp"
 
 namespace pp::nn {
 
 namespace {
-
-// Block sizes chosen for typical L1/L2: an NC-column stripe of C plus four
-// B rows stay in L1; a KC x NC panel of B stays in L2 across the i loop.
-constexpr int kNc = 512;
-constexpr int kKc = 128;
 
 // Row ranges below kMinParallelRows run serially: the pool dispatch costs
 // more than the work for the small matrices in gradient checks.
@@ -27,106 +24,67 @@ void rows_parallel(int m, const std::function<void(std::size_t, std::size_t)>& f
   parallel_for_chunks(0, static_cast<std::size_t>(m), fn);
 }
 
+void note_fused_epilogue() {
+  static obs::Counter& c = obs::metrics().counter("nn.gemm.epilogue.fused");
+  c.add(1);
+}
+
+// Runs inside the same chunk that produced rows [lo, hi), so the epilogue
+// touches cache-hot data. Row i's arithmetic depends only on row i —
+// chunk boundaries never change results.
+void apply_epilogue_rows(const detail::KernelTable& kt,
+                         const GemmEpilogue& epi, std::size_t lo,
+                         std::size_t hi, int N, float* C, int ldc) {
+  const std::size_t n = static_cast<std::size_t>(N);
+  for (std::size_t i = lo; i < hi; ++i) {
+    float* row = C + i * static_cast<std::size_t>(ldc);
+    if (epi.bias) {
+      const float b = epi.bias[i];
+      if (b != 0.0f) kt.add_const(row, b, n);
+    }
+    if (epi.bias_per_col) kt.add(row, epi.bias_per_col, n);
+    detail::apply_act(kt, epi.act, row, n);
+  }
+}
+
 }  // namespace
 
 void sgemm_nn(int M, int N, int K, const float* A, int lda, const float* B,
-              int ldb, float* C, int ldc, bool accumulate) {
+              int ldb, float* C, int ldc, bool accumulate,
+              const GemmEpilogue* epilogue) {
+  PP_REQUIRE_MSG(!epilogue || !accumulate,
+                 "GEMM epilogue requires accumulate=false");
+  const detail::KernelTable& kt = detail::active_kernels();
+  if (epilogue) note_fused_epilogue();
   rows_parallel(M, [&](std::size_t lo, std::size_t hi) {
-    for (int jc = 0; jc < N; jc += kNc) {
-      const int nb = std::min(kNc, N - jc);
-      for (int kc = 0; kc < K; kc += kKc) {
-        const int kb = std::min(kKc, K - kc);
-        for (std::size_t i = lo; i < hi; ++i) {
-          float* c = C + i * static_cast<std::size_t>(ldc) + jc;
-          if (kc == 0 && !accumulate) std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(nb));
-          const float* arow = A + i * static_cast<std::size_t>(lda) + kc;
-          int k = 0;
-          for (; k + 4 <= kb; k += 4) {
-            const float a0 = arow[k], a1 = arow[k + 1], a2 = arow[k + 2],
-                        a3 = arow[k + 3];
-            const float* b0 = B + static_cast<std::size_t>(kc + k) * ldb + jc;
-            const float* b1 = b0 + ldb;
-            const float* b2 = b1 + ldb;
-            const float* b3 = b2 + ldb;
-            for (int j = 0; j < nb; ++j)
-              c[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-          }
-          for (; k < kb; ++k) {
-            const float a = arow[k];
-            const float* b = B + static_cast<std::size_t>(kc + k) * ldb + jc;
-            for (int j = 0; j < nb; ++j) c[j] += a * b[j];
-          }
-        }
-      }
-    }
+    kt.gemm_nn(lo, hi, N, K, A, lda, B, ldb, C, ldc, accumulate);
+    if (epilogue) apply_epilogue_rows(kt, *epilogue, lo, hi, N, C, ldc);
   });
 }
 
 void sgemm_nt(int M, int N, int K, const float* A, int lda, const float* B,
-              int ldb, float* C, int ldc, bool accumulate) {
+              int ldb, float* C, int ldc, bool accumulate,
+              const GemmEpilogue* epilogue) {
+  PP_REQUIRE_MSG(!epilogue || !accumulate,
+                 "GEMM epilogue requires accumulate=false");
+  const detail::KernelTable& kt = detail::active_kernels();
+  if (epilogue) note_fused_epilogue();
   rows_parallel(M, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      const float* arow = A + i * static_cast<std::size_t>(lda);
-      float* crow = C + i * static_cast<std::size_t>(ldc);
-      int j = 0;
-      // Four dot products at a time: A row is loaded once per group.
-      for (; j + 4 <= N; j += 4) {
-        const float* b0 = B + static_cast<std::size_t>(j) * ldb;
-        const float* b1 = b0 + ldb;
-        const float* b2 = b1 + ldb;
-        const float* b3 = b2 + ldb;
-        float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
-        for (int k = 0; k < K; ++k) {
-          const float a = arow[k];
-          s0 += a * b0[k];
-          s1 += a * b1[k];
-          s2 += a * b2[k];
-          s3 += a * b3[k];
-        }
-        if (accumulate) {
-          crow[j] += s0; crow[j + 1] += s1; crow[j + 2] += s2; crow[j + 3] += s3;
-        } else {
-          crow[j] = s0; crow[j + 1] = s1; crow[j + 2] = s2; crow[j + 3] = s3;
-        }
-      }
-      for (; j < N; ++j) {
-        const float* b = B + static_cast<std::size_t>(j) * ldb;
-        float s = 0;
-        for (int k = 0; k < K; ++k) s += arow[k] * b[k];
-        if (accumulate) crow[j] += s; else crow[j] = s;
-      }
-    }
+    kt.gemm_nt(lo, hi, N, K, A, lda, B, ldb, C, ldc, accumulate);
+    if (epilogue) apply_epilogue_rows(kt, *epilogue, lo, hi, N, C, ldc);
   });
 }
 
 void sgemm_tn(int M, int N, int K, const float* A, int lda, const float* B,
-              int ldb, float* C, int ldc, bool accumulate) {
+              int ldb, float* C, int ldc, bool accumulate,
+              const GemmEpilogue* epilogue) {
+  PP_REQUIRE_MSG(!epilogue || !accumulate,
+                 "GEMM epilogue requires accumulate=false");
+  const detail::KernelTable& kt = detail::active_kernels();
+  if (epilogue) note_fused_epilogue();
   rows_parallel(M, [&](std::size_t lo, std::size_t hi) {
-    for (int jc = 0; jc < N; jc += kNc) {
-      const int nb = std::min(kNc, N - jc);
-      for (std::size_t i = lo; i < hi; ++i) {
-        float* c = C + i * static_cast<std::size_t>(ldc) + jc;
-        if (!accumulate) std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(nb));
-        int k = 0;
-        for (; k + 4 <= K; k += 4) {
-          const float a0 = A[static_cast<std::size_t>(k) * lda + i];
-          const float a1 = A[static_cast<std::size_t>(k + 1) * lda + i];
-          const float a2 = A[static_cast<std::size_t>(k + 2) * lda + i];
-          const float a3 = A[static_cast<std::size_t>(k + 3) * lda + i];
-          const float* b0 = B + static_cast<std::size_t>(k) * ldb + jc;
-          const float* b1 = b0 + ldb;
-          const float* b2 = b1 + ldb;
-          const float* b3 = b2 + ldb;
-          for (int j = 0; j < nb; ++j)
-            c[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-        }
-        for (; k < K; ++k) {
-          const float a = A[static_cast<std::size_t>(k) * lda + i];
-          const float* b = B + static_cast<std::size_t>(k) * ldb + jc;
-          for (int j = 0; j < nb; ++j) c[j] += a * b[j];
-        }
-      }
-    }
+    kt.gemm_tn(lo, hi, N, K, A, lda, B, ldb, C, ldc, accumulate);
+    if (epilogue) apply_epilogue_rows(kt, *epilogue, lo, hi, N, C, ldc);
   });
 }
 
@@ -134,6 +92,27 @@ void im2col(const float* x, int ci, int h, int w, int kh, int kw, int stride,
             int pad, int ho, int wo, float* col) {
   const std::size_t plane = static_cast<std::size_t>(h) * w;
   float* dst = col;
+  if (pad == 0) {
+    // Every receptive field stays inside the image: no boundary scans and
+    // no zero-fill, each output row is a (possibly strided) gather.
+    for (int c = 0; c < ci; ++c) {
+      const float* xp = x + static_cast<std::size_t>(c) * plane;
+      for (int ky = 0; ky < kh; ++ky) {
+        for (int kx = 0; kx < kw; ++kx) {
+          for (int oh = 0; oh < ho; ++oh, dst += wo) {
+            const float* src =
+                xp + static_cast<std::size_t>(oh * stride + ky) * w + kx;
+            if (stride == 1) {
+              std::memcpy(dst, src, sizeof(float) * static_cast<std::size_t>(wo));
+            } else {
+              for (int ow = 0; ow < wo; ++ow) dst[ow] = src[ow * stride];
+            }
+          }
+        }
+      }
+    }
+    return;
+  }
   for (int c = 0; c < ci; ++c) {
     const float* xp = x + static_cast<std::size_t>(c) * plane;
     for (int ky = 0; ky < kh; ++ky) {

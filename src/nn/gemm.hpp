@@ -1,29 +1,52 @@
-// Cache-blocked single-precision GEMM micro-kernels and im2col/col2im
-// packing, the compute backbone of the conv2d/linear/bmm ops.
+// Single-precision GEMM with runtime-dispatched microkernels (scalar or
+// AVX2+FMA, see nn/simd.hpp) plus the im2col/col2im packing that turns
+// convolutions into GEMM calls.
 //
 // All matrices are row-major with explicit leading dimensions (row
-// strides). Kernels block over columns (NC) and depth (KC) so the streamed
-// panel of B stays cache-resident, unroll the depth loop 4-wide for ILP,
-// and split rows of C across pp::parallel_for_chunks (disjoint writes, no
-// synchronization). `accumulate` selects C += A*B vs C = A*B.
+// strides). Rows of C are split across pp::parallel_for_chunks (disjoint
+// writes, no synchronization); the per-row arithmetic is independent of
+// the chunking, so results are bitwise identical for any PP_THREADS.
+// `accumulate` selects C += A*B vs C = A*B.
+//
+// A GemmEpilogue fuses the caller's usual post-GEMM pass (bias add and/or
+// activation) into the row chunk that just produced those rows, while the
+// data is still cache-hot. The epilogue runs the same dispatched
+// value-pure kernels a separate full-tensor pass would, so fused and
+// unfused results are bit-identical on a fixed ISA.
 #pragma once
 
 #include <cstddef>
 
+#include "nn/simd.hpp"
+
 namespace pp::nn {
+
+/// Optional fused post-pass over freshly computed rows of C. Only valid
+/// with accumulate=false. `bias` adds bias[i] to every element of row i
+/// (conv layout: row = output channel; zero entries are skipped exactly
+/// like the unfused path). `bias_per_col` adds bias_per_col[j] to column j
+/// (linear layout). `act` then applies an activation in place.
+struct GemmEpilogue {
+  const float* bias = nullptr;
+  const float* bias_per_col = nullptr;
+  Act act = Act::kNone;
+};
 
 /// C{M,N} (+)= A{M,K} * B{K,N}
 void sgemm_nn(int M, int N, int K, const float* A, int lda, const float* B,
-              int ldb, float* C, int ldc, bool accumulate);
+              int ldb, float* C, int ldc, bool accumulate,
+              const GemmEpilogue* epilogue = nullptr);
 
 /// C{M,N} (+)= A{M,K} * B{N,K}^T  (dot-product kernel; B stored row-major
 /// as {N,K}, so C[i][j] = <A row i, B row j>).
 void sgemm_nt(int M, int N, int K, const float* A, int lda, const float* B,
-              int ldb, float* C, int ldc, bool accumulate);
+              int ldb, float* C, int ldc, bool accumulate,
+              const GemmEpilogue* epilogue = nullptr);
 
 /// C{M,N} (+)= A{K,M}^T * B{K,N}  (A stored row-major as {K,M}).
 void sgemm_tn(int M, int N, int K, const float* A, int lda, const float* B,
-              int ldb, float* C, int ldc, bool accumulate);
+              int ldb, float* C, int ldc, bool accumulate,
+              const GemmEpilogue* epilogue = nullptr);
 
 /// Number of rows of the im2col matrix: Ci*Kh*Kw.
 inline std::size_t im2col_rows(int ci, int kh, int kw) {
@@ -32,7 +55,9 @@ inline std::size_t im2col_rows(int ci, int kh, int kw) {
 
 /// Unrolls one sample's {Ci,H,W} plane into col{Ci*Kh*Kw, Ho*Wo}:
 /// col[(ci*Kh+kh)*Kw+kw][oh*Wo+ow] = x[ci][oh*stride+kh-pad][ow*stride+kw-pad]
-/// with zeros where the receptive field leaves the image.
+/// with zeros where the receptive field leaves the image. pad==0 takes a
+/// fast path with no boundary scans or zero-fills; stride==1 rows are
+/// straight memcpy.
 void im2col(const float* x, int ci, int h, int w, int kh, int kw, int stride,
             int pad, int ho, int wo, float* col);
 

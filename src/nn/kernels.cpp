@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "nn/gemm.hpp"
+#include "nn/simd_kernels.hpp"
 #include "nn/workspace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -188,7 +189,7 @@ bool conv2d_use_gemm(int co, int ci, int kh, int kw, int ho, int wo) {
 }
 
 Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
-                      int stride, int pad, ConvAlgo algo) {
+                      int stride, int pad, ConvAlgo algo, Act act) {
   static obs::Counter& gemm_dispatches =
       obs::metrics().counter("nn.conv2d.dispatch.gemm");
   static obs::Counter& direct_dispatches =
@@ -200,6 +201,7 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
     direct_dispatches.add(1);
     conv_forward_direct(d, stride, pad, x.data(), w.data(), b.data(),
                         out.data());
+    detail::apply_act(detail::active_kernels(), act, out.data(), out.numel());
     return out;
   }
   PP_TRACE_SPAN("nn.conv2d.gemm");
@@ -211,7 +213,11 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
   WorkspaceScope scope(ws);
   float* col = pointwise ? nullptr
                          : ws.alloc(static_cast<std::size_t>(K2) * P);
-  const float* bv = b.data();
+  // Bias (one value per output-channel row) and activation run as a fused
+  // epilogue on each row chunk right after the GEMM writes it.
+  GemmEpilogue epi;
+  epi.bias = b.data();
+  epi.act = act;
   for (int n = 0; n < d.N; ++n) {
     const float* xn = x.data() + static_cast<std::size_t>(n) * d.Ci * d.H * d.W;
     const float* colp = xn;
@@ -220,13 +226,8 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
       colp = col;
     }
     float* on = out.data() + static_cast<std::size_t>(n) * d.Co * P;
-    sgemm_nn(d.Co, P, K2, w.data(), K2, colp, P, on, P, /*accumulate=*/false);
-    for (int co = 0; co < d.Co; ++co) {
-      float* row = on + static_cast<std::size_t>(co) * P;
-      const float bias = bv[co];
-      if (bias != 0.0f)
-        for (int j = 0; j < P; ++j) row[j] += bias;
-    }
+    sgemm_nn(d.Co, P, K2, w.data(), K2, colp, P, on, P, /*accumulate=*/false,
+             &epi);
   }
   return out;
 }
@@ -305,18 +306,18 @@ void conv2d_grad_input(const Tensor& w, const Tensor& gout, Tensor& gx,
   }
 }
 
-Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& b) {
+Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& b,
+                      Act act) {
   PP_REQUIRE_MSG(x.ndim() == 2 && w.ndim() == 2 && b.ndim() == 1,
                  "linear: expected x{N,I} w{O,I} b{O}");
   const int N = x.dim(0), I = x.dim(1), O = w.dim(0);
   PP_REQUIRE_MSG(w.dim(1) == I && b.dim(0) == O, "linear: dimension mismatch");
   Tensor out({N, O});
+  GemmEpilogue epi;
+  epi.bias_per_col = b.data();
+  epi.act = act;
   sgemm_nt(N, O, I, x.data(), I, w.data(), I, out.data(), O,
-           /*accumulate=*/false);
-  for (int n = 0; n < N; ++n) {
-    float* row = out.data() + static_cast<std::size_t>(n) * O;
-    for (int o = 0; o < O; ++o) row[o] += b[static_cast<std::size_t>(o)];
-  }
+           /*accumulate=*/false, &epi);
   return out;
 }
 
@@ -338,16 +339,16 @@ Tensor group_norm_forward(const Tensor& x, const Tensor& gamma,
   if (inv_std) inv_std->assign(static_cast<std::size_t>(N) * groups, 0.0f);
 
   Tensor out = x.zeros_like();
+  // Serial per (sample, group): the reduce has one fixed accumulation
+  // order, so statistics are independent of thread count.
+  const detail::KernelTable& kt = detail::active_kernels();
   for (int n = 0; n < N; ++n)
     for (int g = 0; g < groups; ++g) {
       const float* base =
           x.data() + (static_cast<std::size_t>(n) * C +
                       static_cast<std::size_t>(g) * cg) * plane;
       double s = 0, s2 = 0;
-      for (std::size_t i = 0; i < gsize; ++i) {
-        s += base[i];
-        s2 += static_cast<double>(base[i]) * base[i];
-      }
+      kt.reduce_sum_sumsq(base, gsize, &s, &s2);
       double mu = s / static_cast<double>(gsize);
       double var = s2 / static_cast<double>(gsize) - mu * mu;
       float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
@@ -358,10 +359,9 @@ Tensor group_norm_forward(const Tensor& x, const Tensor& gamma,
       for (int c = 0; c < cg; ++c) {
         float gm = gamma[static_cast<std::size_t>(g * cg + c)];
         float bt = beta[static_cast<std::size_t>(g * cg + c)];
-        for (std::size_t i = 0; i < plane; ++i) {
-          float xhat = (base[c * plane + i] - static_cast<float>(mu)) * istd;
-          o[c * plane + i] = gm * xhat + bt;
-        }
+        kt.normalize_affine(base + static_cast<std::size_t>(c) * plane,
+                            o + static_cast<std::size_t>(c) * plane, plane,
+                            static_cast<float>(mu), istd, gm, bt);
       }
     }
   return out;
@@ -371,22 +371,18 @@ Tensor silu_forward(const Tensor& x) {
   Tensor out = x.zeros_like();
   const float* xv = x.data();
   float* ov = out.data();
+  const detail::KernelTable& kt = detail::active_kernels();
   eltwise_parallel(x.numel(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      float v = xv[i];
-      ov[i] = v / (1.0f + std::exp(-v));
-    }
+    kt.silu(xv + lo, ov + lo, hi - lo);
   });
   return out;
 }
 
 void silu_inplace(Tensor& x) {
   float* xv = x.data();
+  const detail::KernelTable& kt = detail::active_kernels();
   eltwise_parallel(x.numel(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      float v = xv[i];
-      xv[i] = v / (1.0f + std::exp(-v));
-    }
+    kt.silu(xv + lo, xv + lo, hi - lo);
   });
 }
 
@@ -394,15 +390,17 @@ void add_inplace(Tensor& a, const Tensor& b) {
   PP_REQUIRE_MSG(a.same_shape(b), "add_inplace: shape mismatch");
   float* av = a.data();
   const float* bv = b.data();
+  const detail::KernelTable& kt = detail::active_kernels();
   eltwise_parallel(a.numel(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) av[i] += bv[i];
+    kt.add(av + lo, bv + lo, hi - lo);
   });
 }
 
 void scale_inplace(Tensor& a, float s) {
   float* av = a.data();
+  const detail::KernelTable& kt = detail::active_kernels();
   eltwise_parallel(a.numel(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) av[i] *= s;
+    kt.scale(av + lo, s, hi - lo);
   });
 }
 
@@ -418,11 +416,12 @@ void add_channel_bias_inplace(Tensor& x, const Tensor& bias) {
                    "add_channel_bias: bias {C} mismatch");
   }
   const std::size_t plane = static_cast<std::size_t>(H) * W;
+  const detail::KernelTable& kt = detail::active_kernels();
   for (int n = 0; n < N; ++n)
     for (int c = 0; c < C; ++c) {
       float b = per_sample ? bias.at2(n, c) : bias[static_cast<std::size_t>(c)];
       float* p = x.data() + (static_cast<std::size_t>(n) * C + c) * plane;
-      for (std::size_t k = 0; k < plane; ++k) p[k] += b;
+      kt.add_const(p, b, plane);
     }
 }
 

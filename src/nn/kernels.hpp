@@ -19,6 +19,7 @@
 #include <functional>
 #include <vector>
 
+#include "nn/simd.hpp"
 #include "nn/tensor.hpp"
 
 namespace pp::nn {
@@ -36,9 +37,11 @@ enum class ConvAlgo { kAuto, kDirect, kGemm };
 bool conv2d_use_gemm(int co, int ci, int kh, int kw, int ho, int wo);
 
 /// x{N,Ci,H,W} conv w{Co,Ci,Kh,Kw} + b{Co} -> {N,Co,Ho,Wo}. Validates
-/// shapes (pp::Error on mismatch).
+/// shapes (pp::Error on mismatch). `act` fuses an activation into the GEMM
+/// epilogue (bit-identical to a separate pass on the same ISA).
 Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
-                      int stride, int pad, ConvAlgo algo = ConvAlgo::kAuto);
+                      int stride, int pad, ConvAlgo algo = ConvAlgo::kAuto,
+                      Act act = Act::kNone);
 
 /// Accumulates d(loss)/d(bias) into gb{Co} given gout{N,Co,Ho,Wo}.
 void conv2d_grad_bias(const Tensor& gout, Tensor& gb);
@@ -51,8 +54,10 @@ void conv2d_grad_weight(const Tensor& x, const Tensor& gout, Tensor& gw,
 void conv2d_grad_input(const Tensor& w, const Tensor& gout, Tensor& gx,
                        int stride, int pad, ConvAlgo algo = ConvAlgo::kAuto);
 
-/// x{N,I} * w{O,I}^T + b{O} -> {N,O} (SGEMM-NT backed).
-Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& b);
+/// x{N,I} * w{O,I}^T + b{O} -> {N,O} (SGEMM-NT backed; bias and `act` are
+/// fused into the GEMM epilogue).
+Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& b,
+                      Act act = Act::kNone);
 
 /// GroupNorm forward; when mean/inv_std are non-null they receive the
 /// per-(sample,group) statistics needed by the backward pass.

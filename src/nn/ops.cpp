@@ -6,6 +6,7 @@
 #include "common/parallel.hpp"
 #include "nn/gemm.hpp"
 #include "nn/kernels.hpp"
+#include "nn/simd_kernels.hpp"
 
 namespace pp::nn {
 
@@ -58,8 +59,9 @@ Var mul(const Var& a, const Var& b) {
     const float* av = a->value.data();
     const float* bv = b->value.data();
     float* ov = out.data();
+    const detail::KernelTable& kt = detail::active_kernels();
     eltwise_parallel(out.numel(), [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t i = lo; i < hi; ++i) ov[i] = av[i] * bv[i];
+      kt.mul(av + lo, bv + lo, ov + lo, hi - lo);
     });
   }
   return make_op(std::move(out), {a, b},
@@ -91,7 +93,7 @@ Var mul(const Var& a, const Var& b) {
 
 Var mul_scalar(const Var& a, float s) {
   Tensor out = a->value;
-  for (std::size_t i = 0; i < out.numel(); ++i) out[i] *= s;
+  detail::active_kernels().scale(out.data(), s, out.numel());
   return make_op(std::move(out), {a},
                  [s](Node& n) {
                    if (!n.parents[0]->requires_grad) return;
@@ -102,7 +104,7 @@ Var mul_scalar(const Var& a, float s) {
 
 Var add_scalar(const Var& a, float s) {
   Tensor out = a->value;
-  for (std::size_t i = 0; i < out.numel(); ++i) out[i] += s;
+  detail::active_kernels().add_const(out.data(), s, out.numel());
   return make_op(std::move(out), {a},
                  [](Node& n) { accumulate(*n.parents[0], n.grad); },
                  "add_scalar");
@@ -134,8 +136,9 @@ Var relu(const Var& x) {
   {
     const float* xv = x->value.data();
     float* ov = out.data();
+    const detail::KernelTable& kt = detail::active_kernels();
     eltwise_parallel(out.numel(), [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t i = lo; i < hi; ++i) ov[i] = xv[i] > 0 ? xv[i] : 0.0f;
+      kt.relu(xv + lo, ov + lo, hi - lo);
     });
   }
   return make_op(std::move(out), {x},
@@ -156,8 +159,7 @@ Var relu(const Var& x) {
 
 Var sigmoid(const Var& x) {
   Tensor out = x->value.zeros_like();
-  for (std::size_t i = 0; i < out.numel(); ++i)
-    out[i] = 1.0f / (1.0f + std::exp(-x->value[i]));
+  detail::active_kernels().sigmoid(x->value.data(), out.data(), out.numel());
   return make_op(std::move(out), {x},
                  [](Node& n) {
                    Node& x = *n.parents[0];

@@ -1,0 +1,112 @@
+#include "nn/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "nn/simd_kernels.hpp"
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/report.hpp"
+
+namespace pp::nn {
+
+namespace {
+
+bool cpu_has_avx2_fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+// force_isa pin: -1 = none, otherwise static_cast<int>(Isa).
+std::atomic<int> g_forced{-1};
+
+void register_simd_report_section() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    obs::register_report_section("simd", [] {
+      obs::Json j = obs::Json::object();
+      j.set("isa", isa_name(active_isa()));
+      j.set("avx2_compiled", isa_compiled(Isa::kAvx2));
+      j.set("avx2_usable", isa_usable(Isa::kAvx2));
+      j.set("forced", g_forced.load(std::memory_order_relaxed) >= 0 ||
+                          std::getenv("PP_FORCE_ISA") != nullptr);
+      return j;
+    });
+  });
+}
+
+Isa resolve_from_env() {
+  if (const char* env = std::getenv("PP_FORCE_ISA")) {
+    Isa isa = parse_isa(env);
+    PP_REQUIRE_MSG(isa_usable(isa),
+                   std::string("PP_FORCE_ISA=") + env +
+                       " requested but this host/build does not support it");
+    PP_LOG(Info) << "kernel ISA forced via PP_FORCE_ISA: " << isa_name(isa);
+    return isa;
+  }
+  Isa isa = isa_usable(Isa::kAvx2) ? Isa::kAvx2 : Isa::kScalar;
+  PP_LOG(Debug) << "kernel ISA dispatch: " << isa_name(isa);
+  return isa;
+}
+
+}  // namespace
+
+Isa active_isa() {
+  int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Isa>(forced);
+  // Resolved once; a throwing resolution (bad PP_FORCE_ISA) retries on the
+  // next call rather than caching the failure.
+  static Isa resolved = [] {
+    Isa isa = resolve_from_env();
+    register_simd_report_section();
+    return isa;
+  }();
+  return resolved;
+}
+
+const char* isa_name(Isa isa) {
+  return isa == Isa::kAvx2 ? "avx2" : "scalar";
+}
+
+bool isa_compiled(Isa isa) {
+  return isa == Isa::kScalar || detail::avx2_kernels() != nullptr;
+}
+
+bool isa_usable(Isa isa) {
+  if (isa == Isa::kScalar) return true;
+  return isa_compiled(isa) && cpu_has_avx2_fma();
+}
+
+Isa parse_isa(const std::string& name) {
+  if (name == "scalar") return Isa::kScalar;
+  if (name == "avx2") return Isa::kAvx2;
+  throw Error("unknown ISA '" + name + "' (expected \"scalar\" or \"avx2\")");
+}
+
+void force_isa(Isa isa) {
+  PP_REQUIRE_MSG(isa_usable(isa), std::string("force_isa(") + isa_name(isa) +
+                                      "): not usable on this host/build");
+  register_simd_report_section();
+  g_forced.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+void clear_forced_isa() { g_forced.store(-1, std::memory_order_relaxed); }
+
+namespace detail {
+
+const KernelTable& active_kernels() {
+  if (active_isa() == Isa::kAvx2) {
+    const KernelTable* t = avx2_kernels();
+    if (t) return *t;
+  }
+  return scalar_kernels();
+}
+
+}  // namespace detail
+
+}  // namespace pp::nn

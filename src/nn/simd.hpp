@@ -1,0 +1,60 @@
+// Runtime ISA selection for the kernel layer (see DESIGN.md "SIMD kernel
+// layer").
+//
+// One binary carries both kernel sets: the portable scalar kernels that
+// every target compiles, and AVX2+FMA microkernels built in a single
+// translation unit with per-file -mavx2 -mfma (so nothing else in the
+// binary emits vector instructions). Which set runs is decided once per
+// process:
+//
+//   PP_FORCE_ISA=scalar|avx2   explicit override (unknown values are a
+//                              pp::Error; avx2 on a host without AVX2+FMA
+//                              is also an error, not a silent fallback);
+//   unset                      cpuid probe: AVX2+FMA when the CPU and the
+//                              build both support it, scalar otherwise.
+//
+// Determinism contract: a fixed binary on a fixed ISA is bitwise
+// reproducible across PP_THREADS and batch splits (kernels are value-pure
+// per output element; row-parallel GEMM chunking never changes a row's
+// reduction order). Scalar vs AVX2 agree only to tolerance — FMA contracts
+// rounding steps and vector exp is a polynomial, so cross-ISA parity is
+// asserted with epsilons, never bitwise.
+#pragma once
+
+#include <string>
+
+namespace pp::nn {
+
+enum class Isa { kScalar, kAvx2 };
+
+/// Activation applied by fused GEMM epilogues (and conv/linear forward).
+enum class Act { kNone, kSilu, kRelu };
+
+/// The ISA every dispatched kernel currently runs. Resolved from
+/// PP_FORCE_ISA / cpuid on first call; after that it only changes through
+/// force_isa/clear_forced_isa.
+Isa active_isa();
+
+/// "scalar" or "avx2".
+const char* isa_name(Isa isa);
+
+/// True when the given ISA's kernels are compiled into this binary.
+bool isa_compiled(Isa isa);
+
+/// True when the ISA is usable on this host: compiled in AND supported by
+/// the CPU. Scalar is always usable.
+bool isa_usable(Isa isa);
+
+/// Parses an ISA name as accepted by PP_FORCE_ISA. Throws pp::Error on
+/// anything other than "scalar" or "avx2".
+Isa parse_isa(const std::string& name);
+
+/// Test/bench hook: pins the dispatched ISA for the whole process until
+/// clear_forced_isa(). Throws pp::Error when the ISA is not usable here.
+void force_isa(Isa isa);
+
+/// Drops a force_isa() pin; dispatch returns to the PP_FORCE_ISA / cpuid
+/// resolution.
+void clear_forced_isa();
+
+}  // namespace pp::nn

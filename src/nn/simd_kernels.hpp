@@ -1,0 +1,72 @@
+// Internal dispatch table between the scalar and AVX2 kernel sets. Every
+// entry obeys the same two contracts:
+//
+//   * GEMM block kernels compute rows [lo, hi) of C and are called from
+//     inside pp::parallel_for_chunks: a row's arithmetic (k order, lane
+//     assignment) must not depend on lo/hi, so any thread chunking yields
+//     bitwise-identical rows.
+//   * Elementwise kernels are value-pure: output element i is a function
+//     of input element i alone, independent of where i falls relative to
+//     vector-width boundaries (AVX2 handles tails with masked loads, never
+//     a differently-rounded scalar loop). This is what lets fused GEMM
+//     epilogues produce bit-identical results to a separate full-tensor
+//     activation pass.
+//
+// Not a public header: include only from src/nn translation units.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/simd.hpp"
+
+namespace pp::nn::detail {
+
+struct KernelTable {
+  // --- GEMM row-range blocks (see gemm.hpp for the variant semantics) ---
+  void (*gemm_nn)(std::size_t lo, std::size_t hi, int N, int K,
+                  const float* A, int lda, const float* B, int ldb, float* C,
+                  int ldc, bool accumulate);
+  void (*gemm_nt)(std::size_t lo, std::size_t hi, int N, int K,
+                  const float* A, int lda, const float* B, int ldb, float* C,
+                  int ldc, bool accumulate);
+  void (*gemm_tn)(std::size_t lo, std::size_t hi, int N, int K,
+                  const float* A, int lda, const float* B, int ldb, float* C,
+                  int ldc, bool accumulate);
+
+  // --- Value-pure elementwise kernels ---
+  void (*silu)(const float* x, float* y, std::size_t n);     ///< y = x·σ(x)
+  void (*sigmoid)(const float* x, float* y, std::size_t n);  ///< y = σ(x)
+  void (*relu)(const float* x, float* y, std::size_t n);     ///< y = max(x,0)
+  void (*add)(float* a, const float* b, std::size_t n);      ///< a += b
+  void (*mul)(const float* a, const float* b, float* o, std::size_t n);
+  void (*scale)(float* a, float s, std::size_t n);           ///< a *= s
+  void (*add_const)(float* a, float c, std::size_t n);       ///< a += c
+  void (*axpy)(float* a, const float* b, float s, std::size_t n);  ///< a += s·b
+
+  // --- GroupNorm passes (called serially per (sample, group)) ---
+  /// sum/sumsq of x[0..n) accumulated in double precision, fixed order.
+  void (*reduce_sum_sumsq)(const float* x, std::size_t n, double* sum,
+                           double* sumsq);
+  /// y = g·((x − mu)·istd) + b
+  void (*normalize_affine)(const float* x, float* y, std::size_t n, float mu,
+                           float istd, float g, float b);
+};
+
+/// The portable kernel set (always available).
+const KernelTable& scalar_kernels();
+
+/// The AVX2+FMA kernel set, or nullptr when this binary was built without
+/// it (non-x86 target or compiler lacking -mavx2).
+const KernelTable* avx2_kernels();
+
+/// Table for active_isa().
+const KernelTable& active_kernels();
+
+/// In-place activation via the given table (kNone is a no-op).
+inline void apply_act(const KernelTable& kt, Act act, float* p,
+                      std::size_t n) {
+  if (act == Act::kSilu) kt.silu(p, p, n);
+  else if (act == Act::kRelu) kt.relu(p, p, n);
+}
+
+}  // namespace pp::nn::detail

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "nn/simd_kernels.hpp"
 
 namespace pp::nn {
 
@@ -38,7 +39,7 @@ Tensor Tensor::from_data(std::vector<int> shape, std::vector<float> data) {
                  "tensor data size does not match shape");
   Tensor t;
   t.shape_ = std::move(shape);
-  t.data_ = std::move(data);
+  t.data_.assign(data.begin(), data.end());
   return t;
 }
 
@@ -56,8 +57,8 @@ Tensor Tensor::reshaped(std::vector<int> shape) const {
 
 void Tensor::add_scaled(const Tensor& other, float scale) {
   PP_REQUIRE_MSG(same_shape(other), "add_scaled shape mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i)
-    data_[i] += scale * other.data_[i];
+  detail::active_kernels().axpy(data_.data(), other.data_.data(), scale,
+                                data_.size());
 }
 
 float Tensor::squared_norm() const {

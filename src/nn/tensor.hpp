@@ -6,13 +6,39 @@
 // dimension fastest.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <new>
 #include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 
 namespace pp::nn {
+
+/// Minimal allocator that hands out 64-byte-aligned storage so tensor data
+/// starts on a cache-line boundary (and full AVX registers load aligned).
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+  static constexpr std::size_t kAlign = 64;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(kAlign)));
+  }
+  void deallocate(T* p, std::size_t) {
+    ::operator delete(p, std::align_val_t(kAlign));
+  }
+  bool operator==(const AlignedAllocator&) const { return true; }
+  bool operator!=(const AlignedAllocator&) const { return false; }
+};
+
+using AlignedVec = std::vector<float, AlignedAllocator<float>>;
 
 class Tensor {
  public:
@@ -37,8 +63,8 @@ class Tensor {
 
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
-  std::vector<float>& vec() { return data_; }
-  const std::vector<float>& vec() const { return data_; }
+  AlignedVec& vec() { return data_; }
+  const AlignedVec& vec() const { return data_; }
 
   float& operator[](std::size_t i) { return data_[i]; }
   float operator[](std::size_t i) const { return data_[i]; }
@@ -81,7 +107,7 @@ class Tensor {
 
  private:
   std::vector<int> shape_;
-  std::vector<float> data_;
+  AlignedVec data_;
 };
 
 /// Volume of a shape; throws on non-positive dimensions.

@@ -1,6 +1,7 @@
 #include "nn/workspace.hpp"
 
 #include <algorithm>
+#include <new>
 
 #include "common/error.hpp"
 
@@ -8,6 +9,24 @@ namespace pp::nn {
 
 namespace {
 constexpr std::size_t kMinBlock = 1 << 12;  // 4k floats = 16 KiB
+constexpr std::size_t kAlignBytes = 64;
+constexpr std::size_t kAlignFloats = kAlignBytes / sizeof(float);
+
+// Rounding every bump to a 16-float multiple keeps each returned pointer on
+// a 64-byte boundary (blocks themselves are allocated 64-byte aligned).
+std::size_t round_up_floats(std::size_t n) {
+  return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+
+float* aligned_alloc_floats(std::size_t n) {
+  return static_cast<float*>(
+      ::operator new(n * sizeof(float), std::align_val_t(kAlignBytes)));
+}
+
+}  // namespace
+
+void Workspace::AlignedFree::operator()(float* p) const {
+  ::operator delete(p, std::align_val_t(kAlignBytes));
 }
 
 Workspace& Workspace::tls() {
@@ -17,6 +36,7 @@ Workspace& Workspace::tls() {
 
 float* Workspace::alloc(std::size_t n) {
   PP_REQUIRE_MSG(n > 0, "Workspace::alloc: zero-size allocation");
+  n = round_up_floats(n);
   // Advance through existing blocks looking for room before growing.
   while (active_ < blocks_.size() &&
          blocks_[active_].used + n > blocks_[active_].size) {
@@ -31,7 +51,7 @@ float* Workspace::alloc(std::size_t n) {
     // within one forward is logarithmic.
     std::size_t want = std::max({n, capacity(), kMinBlock});
     Block b;
-    b.data = std::make_unique<float[]>(want);
+    b.data.reset(aligned_alloc_floats(want));
     b.size = want;
     blocks_.push_back(std::move(b));
     active_ = blocks_.size() - 1;
@@ -56,7 +76,7 @@ void Workspace::release(const Mark& m) {
     std::size_t want = std::max(high_water_, kMinBlock);
     blocks_.clear();
     Block b;
-    b.data = std::make_unique<float[]>(want);
+    b.data.reset(aligned_alloc_floats(want));
     b.size = want;
     blocks_.push_back(std::move(b));
     active_ = 0;

@@ -35,6 +35,8 @@ class Workspace {
 
   /// Bump-allocates n floats (uninitialized). Never returns null; grows the
   /// arena when needed. Existing allocations stay valid across growth.
+  /// Returned pointers are 64-byte aligned: blocks start on a 64-byte
+  /// boundary and every bump is rounded up to a 16-float multiple.
   float* alloc(std::size_t n);
 
   Mark mark() const { return {active_, blocks_.empty() ? 0 : blocks_[active_].used}; }
@@ -58,8 +60,11 @@ class Workspace {
   void shrink();
 
  private:
+  struct AlignedFree {
+    void operator()(float* p) const;
+  };
   struct Block {
-    std::unique_ptr<float[]> data;
+    std::unique_ptr<float[], AlignedFree> data;
     std::size_t size = 0;
     std::size_t used = 0;
   };

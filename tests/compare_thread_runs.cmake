@@ -1,13 +1,20 @@
 # Runs the determinism probe under PP_THREADS=1 and PP_THREADS=8 and fails
 # unless the outputs are byte-identical (thread-count-invariant sampling).
-# Invoked by ctest: cmake -DPROBE=<binary> -P compare_thread_runs.cmake
+# Invoked by ctest: cmake -DPROBE=<binary> [-DFORCE_ISA=<isa>]
+#                         -P compare_thread_runs.cmake
+# FORCE_ISA additionally pins PP_FORCE_ISA so the probe can be run once per
+# kernel ISA (determinism must hold on the vector path too).
 if(NOT DEFINED PROBE)
   message(FATAL_ERROR "pass -DPROBE=<path to determinism_probe>")
 endif()
 
 foreach(threads 1 8)
+  set(envs PP_THREADS=${threads})
+  if(DEFINED FORCE_ISA)
+    list(APPEND envs PP_FORCE_ISA=${FORCE_ISA})
+  endif()
   execute_process(
-    COMMAND ${CMAKE_COMMAND} -E env PP_THREADS=${threads} ${PROBE}
+    COMMAND ${CMAKE_COMMAND} -E env ${envs} ${PROBE}
     OUTPUT_VARIABLE out_${threads}
     RESULT_VARIABLE rc_${threads})
   if(NOT rc_${threads} EQUAL 0)

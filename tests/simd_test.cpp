@@ -1,0 +1,371 @@
+// SIMD kernel layer tests: runtime ISA dispatch, scalar-vs-AVX2 parity
+// (tolerance-based — FMA and vectorized exp legitimately round differently
+// from the scalar kernels), value-purity/bit-exactness guarantees within a
+// fixed ISA (fused-vs-unfused epilogues, chunk invariance), and the 64-byte
+// alignment contract of Tensor storage and Workspace arenas.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/gemm.hpp"
+#include "nn/kernels.hpp"
+#include "nn/simd.hpp"
+#include "nn/simd_kernels.hpp"
+#include "nn/tensor.hpp"
+#include "nn/workspace.hpp"
+
+namespace pp::nn {
+namespace {
+
+bool avx2_available() { return isa_usable(Isa::kAvx2); }
+
+/// Pins the dispatched ISA for the duration of a scope.
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(Isa isa) { force_isa(isa); }
+  ~ScopedIsa() { clear_forced_isa(); }
+};
+
+Tensor random_tensor(std::vector<int> shape, std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::randn(std::move(shape), rng, 1.0f);
+}
+
+void expect_close(const Tensor& a, const Tensor& b, float tol,
+                  const char* what) {
+  ASSERT_TRUE(a.same_shape(b)) << what;
+  for (std::size_t i = 0; i < a.numel(); ++i)
+    ASSERT_NEAR(a[i], b[i], tol) << what << " at " << i;
+}
+
+void expect_bitwise(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_TRUE(a.same_shape(b)) << what;
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)))
+      << what;
+}
+
+// --- Dispatch plumbing ------------------------------------------------------
+
+TEST(SimdDispatch, ParseIsaAcceptsKnownNames) {
+  EXPECT_EQ(Isa::kScalar, parse_isa("scalar"));
+  EXPECT_EQ(Isa::kAvx2, parse_isa("avx2"));
+}
+
+TEST(SimdDispatch, ParseIsaRejectsUnknownNames) {
+  EXPECT_THROW(parse_isa("avx512"), Error);
+  EXPECT_THROW(parse_isa(""), Error);
+  EXPECT_THROW(parse_isa("AVX2"), Error);  // names are case-sensitive
+}
+
+TEST(SimdDispatch, ScalarAlwaysUsable) {
+  EXPECT_TRUE(isa_compiled(Isa::kScalar));
+  EXPECT_TRUE(isa_usable(Isa::kScalar));
+}
+
+TEST(SimdDispatch, ForceIsaPinsAndClears) {
+  const Isa ambient = active_isa();
+  {
+    ScopedIsa pin(Isa::kScalar);
+    EXPECT_EQ(Isa::kScalar, active_isa());
+  }
+  EXPECT_EQ(ambient, active_isa());
+  if (avx2_available()) {
+    ScopedIsa pin(Isa::kAvx2);
+    EXPECT_EQ(Isa::kAvx2, active_isa());
+  }
+}
+
+TEST(SimdDispatch, ForceIsaRejectsUnusable) {
+  if (avx2_available()) GTEST_SKIP() << "AVX2 usable on this host";
+  EXPECT_THROW(force_isa(Isa::kAvx2), Error);
+}
+
+TEST(SimdDispatch, IsaNames) {
+  EXPECT_STREQ("scalar", isa_name(Isa::kScalar));
+  EXPECT_STREQ("avx2", isa_name(Isa::kAvx2));
+}
+
+// --- Scalar vs AVX2 parity (tolerance) --------------------------------------
+
+// Runs fn under both ISAs and returns {scalar, avx2} results.
+template <typename Fn>
+std::pair<Tensor, Tensor> both_isas(Fn fn) {
+  Tensor s, v;
+  {
+    ScopedIsa pin(Isa::kScalar);
+    s = fn();
+  }
+  {
+    ScopedIsa pin(Isa::kAvx2);
+    v = fn();
+  }
+  return {std::move(s), std::move(v)};
+}
+
+TEST(SimdParity, GemmNN) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2";
+  // Deliberately awkward sizes: M exercises the 1..3-row remainders, N the
+  // 16/8/masked column tails, K the k-loop tail of the NT kernel.
+  for (int M : {1, 3, 7, 33}) {
+    for (int N : {1, 5, 8, 19, 64}) {
+      const int K = 21;
+      Tensor a = random_tensor({M, K}, 100 + static_cast<std::uint64_t>(M));
+      Tensor b = random_tensor({K, N}, 200 + static_cast<std::uint64_t>(N));
+      auto [s, v] = both_isas([&] {
+        Tensor c({M, N});
+        sgemm_nn(M, N, K, a.data(), K, b.data(), N, c.data(), N, false);
+        return c;
+      });
+      expect_close(s, v, 1e-4f * static_cast<float>(K), "gemm_nn");
+    }
+  }
+}
+
+TEST(SimdParity, GemmNT) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2";
+  for (int M : {2, 9}) {
+    for (int N : {3, 17}) {
+      for (int K : {6, 24, 37}) {
+        Tensor a = random_tensor({M, K}, 300);
+        Tensor b = random_tensor({N, K}, 400);
+        auto [s, v] = both_isas([&] {
+          Tensor c({M, N});
+          sgemm_nt(M, N, K, a.data(), K, b.data(), K, c.data(), N, false);
+          return c;
+        });
+        expect_close(s, v, 1e-4f * static_cast<float>(K), "gemm_nt");
+      }
+    }
+  }
+}
+
+TEST(SimdParity, GemmTN) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2";
+  for (int M : {4, 13}) {
+    for (int N : {7, 30}) {
+      const int K = 18;
+      Tensor a = random_tensor({K, M}, 500);
+      Tensor b = random_tensor({K, N}, 600);
+      auto [s, v] = both_isas([&] {
+        Tensor c({M, N});
+        sgemm_tn(M, N, K, a.data(), M, b.data(), N, c.data(), N, false);
+        return c;
+      });
+      expect_close(s, v, 1e-4f * static_cast<float>(K), "gemm_tn");
+    }
+  }
+}
+
+TEST(SimdParity, GemmAccumulate) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2";
+  const int M = 6, N = 11, K = 9;
+  Tensor a = random_tensor({M, K}, 700);
+  Tensor b = random_tensor({K, N}, 800);
+  Tensor init = random_tensor({M, N}, 900);
+  auto [s, v] = both_isas([&] {
+    Tensor c = init;
+    sgemm_nn(M, N, K, a.data(), K, b.data(), N, c.data(), N, true);
+    return c;
+  });
+  expect_close(s, v, 1e-4f * static_cast<float>(K), "gemm_nn accumulate");
+}
+
+TEST(SimdParity, Conv2dForwardAndBackward) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2";
+  Tensor x = random_tensor({2, 3, 9, 9}, 1000);
+  Tensor w = random_tensor({5, 3, 3, 3}, 1001);
+  Tensor b = random_tensor({5}, 1002);
+  auto [s, v] = both_isas(
+      [&] { return conv2d_forward(x, w, b, 1, 1, ConvAlgo::kGemm); });
+  expect_close(s, v, 1e-3f, "conv2d forward");
+
+  Tensor gout = random_tensor(s.shape(), 1003);
+  auto [gws, gwv] = both_isas([&] {
+    Tensor gw = w.zeros_like();
+    conv2d_grad_weight(x, gout, gw, 1, 1, ConvAlgo::kGemm);
+    return gw;
+  });
+  expect_close(gws, gwv, 1e-2f, "conv2d grad_weight");
+
+  auto [gxs, gxv] = both_isas([&] {
+    Tensor gx = x.zeros_like();
+    conv2d_grad_input(w, gout, gx, 1, 1, ConvAlgo::kGemm);
+    return gx;
+  });
+  expect_close(gxs, gxv, 1e-2f, "conv2d grad_input");
+}
+
+TEST(SimdParity, EltwiseKernels) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2";
+  // 67 elements: 8 full groups + a 3-lane masked tail.
+  Tensor x = random_tensor({67}, 1100);
+  Tensor y = random_tensor({67}, 1101);
+
+  auto [ss, sv] = both_isas([&] { return silu_forward(x); });
+  expect_close(ss, sv, 1e-5f, "silu");
+
+  auto [as, av] = both_isas([&] {
+    Tensor t = x;
+    add_inplace(t, y);
+    return t;
+  });
+  // Plain float adds round identically on both ISAs.
+  expect_bitwise(as, av, "add");
+
+  auto [cs, cv] = both_isas([&] {
+    Tensor t = x;
+    scale_inplace(t, 0.37f);
+    return t;
+  });
+  expect_bitwise(cs, cv, "scale");
+}
+
+TEST(SimdParity, SiluExtremeInputsStayFinite) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2";
+  Tensor x = Tensor::from_data(
+      {6}, {-100.0f, -20.0f, -0.0f, 0.0f, 20.0f, 100.0f});
+  auto [s, v] = both_isas([&] { return silu_forward(x); });
+  for (std::size_t i = 0; i < v.numel(); ++i)
+    ASSERT_TRUE(std::isfinite(v[i])) << i;
+  expect_close(s, v, 1e-5f, "silu extremes");
+}
+
+TEST(SimdParity, GroupNorm) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2";
+  Tensor x = random_tensor({2, 8, 5, 5}, 1200);
+  Tensor g = random_tensor({8}, 1201);
+  Tensor b = random_tensor({8}, 1202);
+  std::vector<float> mean_s, istd_s, mean_v, istd_v;
+  Tensor s, v;
+  {
+    ScopedIsa pin(Isa::kScalar);
+    s = group_norm_forward(x, g, b, 4, 1e-5f, &mean_s, &istd_s);
+  }
+  {
+    ScopedIsa pin(Isa::kAvx2);
+    v = group_norm_forward(x, g, b, 4, 1e-5f, &mean_v, &istd_v);
+  }
+  expect_close(s, v, 1e-5f, "group_norm");
+  for (std::size_t i = 0; i < mean_s.size(); ++i) {
+    ASSERT_NEAR(mean_s[i], mean_v[i], 1e-6f);
+    ASSERT_NEAR(istd_s[i], istd_v[i], 1e-4f);
+  }
+}
+
+TEST(SimdParity, LinearForward) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2";
+  Tensor x = random_tensor({4, 13}, 1300);
+  Tensor w = random_tensor({9, 13}, 1301);
+  Tensor b = random_tensor({9}, 1302);
+  auto [s, v] = both_isas([&] { return linear_forward(x, w, b); });
+  expect_close(s, v, 1e-4f * 13.0f, "linear");
+}
+
+// --- Within-ISA bit-exactness guarantees ------------------------------------
+
+class SimdBitExactTest : public ::testing::TestWithParam<Isa> {
+ protected:
+  void SetUp() override {
+    if (!isa_usable(GetParam())) GTEST_SKIP() << "ISA not usable here";
+    force_isa(GetParam());
+  }
+  void TearDown() override { clear_forced_isa(); }
+};
+
+// Fused bias+activation epilogue must equal the unfused sequence bit for
+// bit: the epilogue runs the identical value-pure kernels per row.
+TEST_P(SimdBitExactTest, FusedConvEpilogueMatchesUnfused) {
+  Tensor x = random_tensor({2, 4, 8, 8}, 2000);
+  Tensor w = random_tensor({6, 4, 3, 3}, 2001);
+  Tensor b = random_tensor({6}, 2002);
+  Tensor fused = conv2d_forward(x, w, b, 1, 1, ConvAlgo::kGemm, Act::kSilu);
+  Tensor unfused = conv2d_forward(x, w, b, 1, 1, ConvAlgo::kGemm, Act::kNone);
+  silu_inplace(unfused);
+  expect_bitwise(fused, unfused, "conv fused epilogue");
+}
+
+TEST_P(SimdBitExactTest, FusedLinearEpilogueMatchesUnfused) {
+  Tensor x = random_tensor({5, 17}, 2100);
+  Tensor w = random_tensor({11, 17}, 2101);
+  Tensor b = random_tensor({11}, 2102);
+  Tensor fused = linear_forward(x, w, b, Act::kSilu);
+  Tensor unfused = linear_forward(x, w, b, Act::kNone);
+  silu_inplace(unfused);
+  expect_bitwise(fused, unfused, "linear fused epilogue");
+}
+
+// A row of C must come out bitwise identical whether it is computed as part
+// of a large row range (register-blocked 4 rows at a time on AVX2) or alone
+// (the 1-row remainder kernel). This is the invariant that makes GEMM
+// results independent of thread chunking.
+TEST_P(SimdBitExactTest, GemmRowsIndependentOfRowBlocking) {
+  const int M = 13, N = 37, K = 29;
+  Tensor a = random_tensor({M, K}, 2200);
+  Tensor b = random_tensor({K, N}, 2201);
+  Tensor full({M, N});
+  sgemm_nn(M, N, K, a.data(), K, b.data(), N, full.data(), N, false);
+  for (int i = 0; i < M; ++i) {
+    Tensor row({1, N});
+    sgemm_nn(1, N, K, a.data() + static_cast<std::size_t>(i) * K, K, b.data(),
+             N, row.data(), N, false);
+    ASSERT_EQ(0, std::memcmp(row.data(),
+                             full.data() + static_cast<std::size_t>(i) * N,
+                             sizeof(float) * static_cast<std::size_t>(N)))
+        << "row " << i;
+  }
+}
+
+// Elementwise kernels are value-pure: splitting a buffer at an arbitrary
+// offset (as eltwise_parallel does across threads) must not change any
+// element, even though the split shifts vector-lane assignments.
+TEST_P(SimdBitExactTest, EltwiseChunkInvariance) {
+  const std::size_t n = 1003;
+  Tensor x = random_tensor({static_cast<int>(n)}, 2300);
+  Tensor whole = silu_forward(x);
+  const detail::KernelTable& kt = detail::active_kernels();
+  Tensor split = x.zeros_like();
+  const std::size_t cut = 13;  // not a multiple of the vector width
+  kt.silu(x.data(), split.data(), cut);
+  kt.silu(x.data() + cut, split.data() + cut, n - cut);
+  expect_bitwise(whole, split, "silu chunk invariance");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, SimdBitExactTest,
+                         ::testing::Values(Isa::kScalar, Isa::kAvx2),
+                         [](const ::testing::TestParamInfo<Isa>& info) {
+                           return isa_name(info.param);
+                         });
+
+// --- Alignment regression ----------------------------------------------------
+
+bool aligned64(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % 64 == 0;
+}
+
+TEST(Alignment, TensorStorageIs64ByteAligned) {
+  for (auto shape : std::vector<std::vector<int>>{
+           {1}, {7}, {3, 5}, {2, 3, 9, 9}, {128, 1152}}) {
+    Tensor t(shape);
+    EXPECT_TRUE(aligned64(t.data())) << t.shape_str();
+  }
+  Tensor fd = Tensor::from_data({5}, {1, 2, 3, 4, 5});
+  EXPECT_TRUE(aligned64(fd.data()));
+}
+
+TEST(Alignment, WorkspaceAllocationsAre64ByteAligned) {
+  Workspace ws;
+  WorkspaceScope scope(ws);
+  // Odd sizes: each bump must still land on a 64-byte boundary.
+  for (std::size_t n : {1u, 3u, 17u, 100u, 4097u}) {
+    float* p = ws.alloc(n);
+    EXPECT_TRUE(aligned64(p)) << "alloc(" << n << ")";
+  }
+}
+
+}  // namespace
+}  // namespace pp::nn
