@@ -179,6 +179,16 @@ void emit_json_summary(const std::string& bench, double ms, double gflops,
   std::fflush(stdout);
 }
 
+void emit_json_summary(
+    const std::string& bench, double ms,
+    const std::vector<std::pair<std::string, double>>& extras) {
+  std::printf("{\"bench\": \"%s\", \"ms\": %.3f", bench.c_str(), ms);
+  for (const auto& kv : extras)
+    std::printf(", \"%s\": %.3f", kv.first.c_str(), kv.second);
+  std::printf("}\n");
+  std::fflush(stdout);
+}
+
 std::string finalize_observability(const std::string& tool) {
   const char* report_env = std::getenv("PP_REPORT_FILE");
   std::string report_path =

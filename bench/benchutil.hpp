@@ -15,6 +15,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/patternpaint.hpp"
@@ -97,6 +98,13 @@ void emit_json_summary(const std::string& bench, double ms);
 ///   {"bench": "<name>", "ms": ..., "gflops": ..., "isa": "scalar|avx2"}
 void emit_json_summary(const std::string& bench, double ms, double gflops,
                        const std::string& isa);
+
+/// General variant with extra numeric fields appended in order, e.g.
+///   {"bench": "serve_closed_loop", "ms": ..., "rps": ..., "p50_ms": ...}
+/// Extra fields must stay scalar (scripts/check_bench_json.py enforces it).
+void emit_json_summary(
+    const std::string& bench, double ms,
+    const std::vector<std::pair<std::string, double>>& extras);
 
 /// Writes the observability artifacts for one bench run and returns the
 /// run-report path:

@@ -6,11 +6,23 @@
 //   ppaint_cli check <lib.{txt|gds}> [ruleset]
 //   ppaint_cli stats <lib.{txt|gds}> [ruleset]
 //   ppaint_cli convert <in.{txt|gds}> <out.{txt|gds|dir}>
+//   ppaint_cli client <socket|spawn:/path/to/ppaint_serve> [count] [seed]
 //
 // Rule sets: default | complex | complex-discrete (optionally "/2" suffix
 // for the half-scaled 32px variant, e.g. "complex-discrete/2").
 // Running without arguments prints usage and exits 0.
+//
+// `client` round-trips one generation against a running ppaint_serve:
+// connect to a Unix socket (or spawn a pipe-mode server child), load a
+// tiny model, submit a sample request, and print the returned patterns
+// with their DRC verdicts.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -23,6 +35,8 @@
 #include "metrics/drspace.hpp"
 #include "metrics/entropy.hpp"
 #include "patterngen/track_generator.hpp"
+#include "serve/protocol.hpp"
+#include "serve/transport.hpp"
 
 namespace {
 
@@ -109,6 +123,181 @@ int cmd_stats(const std::vector<std::string>& args) {
   return 0;
 }
 
+// ---- serve client -------------------------------------------------------
+
+/// Connection to a generation service: either a Unix socket to a running
+/// ppaint_serve, or a child spawned in pipe mode ("spawn:<binary>").
+struct ServeConn {
+  int in_fd = -1;   ///< responses from the server
+  int out_fd = -1;  ///< requests to the server
+  pid_t child = -1;
+
+  ~ServeConn() {
+    if (out_fd >= 0) ::close(out_fd);
+    if (in_fd >= 0 && in_fd != out_fd) ::close(in_fd);
+    if (child > 0) ::waitpid(child, nullptr, 0);
+  }
+};
+
+bool connect_socket(const std::string& path, ServeConn* conn) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return false;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return false;
+  }
+  conn->in_fd = conn->out_fd = fd;
+  return true;
+}
+
+bool spawn_pipe_server(const std::string& binary, ServeConn* conn) {
+  int to_child[2], from_child[2];
+  if (::pipe(to_child) < 0) return false;
+  if (::pipe(from_child) < 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    return false;
+  }
+  pid_t pid = ::fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    ::execl(binary.c_str(), binary.c_str(), "pipe", static_cast<char*>(nullptr));
+    std::_Exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  conn->out_fd = to_child[1];
+  conn->in_fd = from_child[0];
+  conn->child = pid;
+  return true;
+}
+
+/// Reads responses until the one with `id` arrives (responses may be out of
+/// order); other ids are reported and skipped.
+bool await_response(serve::LineReader& reader, std::uint64_t id,
+                    obs::Json* out) {
+  std::string line;
+  while (reader.next(line)) {
+    if (line.empty()) continue;
+    obs::Json j = obs::Json::parse(line);
+    std::uint64_t got = 0;
+    if (!j.is_object() || !serve::get_u64(j, "id", 0, &got)) {
+      std::fprintf(stderr, "client: unparseable response: %s\n", line.c_str());
+      continue;
+    }
+    if (got == id) {
+      *out = std::move(j);
+      return true;
+    }
+  }
+  std::fprintf(stderr, "client: server closed before id %llu answered\n",
+               static_cast<unsigned long long>(id));
+  return false;
+}
+
+int cmd_client(const std::vector<std::string>& args) {
+  const std::string target = args.at(0);
+  const int count = args.size() > 1 ? std::stoi(args[1]) : 2;
+  const std::uint64_t seed = args.size() > 2 ? std::stoull(args[2]) : 7;
+
+  ServeConn conn;
+  const std::string spawn_prefix = "spawn:";
+  if (target.rfind(spawn_prefix, 0) == 0) {
+    if (!spawn_pipe_server(target.substr(spawn_prefix.size()), &conn)) {
+      std::fprintf(stderr, "client: failed to spawn '%s'\n", target.c_str());
+      return 1;
+    }
+  } else if (!connect_socket(target, &conn)) {
+    std::fprintf(stderr, "client: cannot connect to socket '%s'\n",
+                 target.c_str());
+    return 1;
+  }
+  serve::LineReader reader(conn.in_fd);
+  auto send = [&](const obs::Json& j) {
+    return serve::write_line_fd(conn.out_fd, j.dump());
+  };
+
+  // 1. ping — proves the transport before any heavy work.
+  obs::Json req = obs::Json::object();
+  req.set("id", obs::Json(1));
+  req.set("op", obs::Json("ping"));
+  obs::Json resp;
+  if (!send(req) || !await_response(reader, 1, &resp)) return 1;
+
+  // 2. load a tiny untrained model (fast enough for a round-trip demo;
+  //    point "checkpoint" at a trained .ppw for real generation).
+  req = obs::Json::object();
+  req.set("id", obs::Json(2));
+  req.set("op", obs::Json("load"));
+  req.set("model", obs::Json("cli"));
+  req.set("preset", obs::Json("sd1"));
+  req.set("clip", obs::Json(16));
+  req.set("timesteps", obs::Json(40));
+  req.set("sample_steps", obs::Json(4));
+  req.set("base_channels", obs::Json(6));
+  req.set("time_dim", obs::Json(16));
+  if (!send(req) || !await_response(reader, 2, &resp)) return 1;
+  bool ok = false;
+  serve::get_bool(resp, "ok", false, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "client: load failed: %s\n", resp.dump().c_str());
+    return 1;
+  }
+
+  // 3. one generation round-trip.
+  req = obs::Json::object();
+  req.set("id", obs::Json(3));
+  req.set("op", obs::Json("sample"));
+  req.set("model", obs::Json("cli"));
+  req.set("seed", obs::Json(seed));
+  req.set("count", obs::Json(count));
+  req.set("finish", obs::Json(true));
+  if (!send(req) || !await_response(reader, 3, &resp)) return 1;
+  serve::get_bool(resp, "ok", false, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "client: generation failed: %s\n",
+                 resp.dump().c_str());
+    return 1;
+  }
+  const obs::Json* pats = resp.find("patterns");
+  const obs::Json* legal = resp.find("legal");
+  for (std::size_t i = 0; pats && i < pats->size(); ++i) {
+    Raster r;
+    if (!serve::raster_from_json(pats->at(i), &r)) continue;
+    bool lg = legal && i < legal->size() && legal->at(i).as_bool();
+    std::printf("pattern %zu (%dx%d, %s):\n%s\n", i, r.width(), r.height(),
+                lg ? "DR-clean" : "has violations", r.to_ascii().c_str());
+  }
+  double e2e = 0.0, wait = 0.0;
+  serve::get_double(resp, "e2e_ms", 0.0, &e2e);
+  serve::get_double(resp, "wait_ms", 0.0, &wait);
+  std::printf("round-trip ok: %zu patterns, wait %.1f ms, e2e %.1f ms\n",
+              pats ? pats->size() : 0, wait, e2e);
+
+  // 4. polite shutdown of a spawned server (socket servers keep running).
+  if (conn.child > 0) {
+    req = obs::Json::object();
+    req.set("id", obs::Json(4));
+    req.set("op", obs::Json("shutdown"));
+    send(req);
+    await_response(reader, 4, &resp);
+  }
+  return 0;
+}
+
 int cmd_convert(const std::vector<std::string>& args) {
   auto lib = load_any(args.at(0));
   save_any(lib, args.at(1));
@@ -124,6 +313,8 @@ void usage() {
       "  ppaint_cli check <lib.{txt|gds}> [ruleset]\n"
       "  ppaint_cli stats <lib.{txt|gds}> [ruleset]\n"
       "  ppaint_cli convert <in.{txt|gds}> <out.{txt|gds|dir}>\n"
+      "  ppaint_cli client <socket|spawn:/path/to/ppaint_serve> "
+      "[count] [seed]\n"
       "rule sets: default | complex | complex-discrete (append /2 for the\n"
       "32px half-scale variant, e.g. complex-discrete/2)\n");
 }
@@ -143,6 +334,7 @@ int main(int argc, char** argv) {
     if (cmd == "check") return cmd_check(args);
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "convert") return cmd_convert(args);
+    if (cmd == "client") return cmd_client(args);
     usage();
     return 2;
   } catch (const std::exception& e) {

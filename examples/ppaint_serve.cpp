@@ -1,0 +1,179 @@
+// ppaint_serve — the pattern-generation service frontend.
+//
+//   ppaint_serve pipe   [options]            # NDJSON on stdin/stdout
+//   ppaint_serve socket <path> [options]     # NDJSON per UDS connection
+//
+// Options:
+//   --max-queue N   admission bound on pending requests   (default 64)
+//   --max-batch N   micro-batch coalescing cap, in samples (default 16)
+//   --stats PATH    write the serve stats dump (JSON) on exit, atomically
+//
+// Models are registered at runtime with {"op":"load", ...} requests; see
+// src/serve/protocol.hpp for the full NDJSON schema. Pipe mode serves one
+// client stream and drains on EOF or {"op":"shutdown"}. Socket mode serves
+// each accepted connection on its own thread against the SAME server and
+// registry (so clients share the queue and coalesce into common
+// micro-batches); it exits on SIGINT/SIGTERM or a shutdown op from any
+// connection, draining in-flight work first. All logs go to stderr;
+// stdout carries only NDJSON responses in pipe mode.
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "serve/transport.hpp"
+
+namespace {
+
+using namespace pp;
+
+volatile std::sig_atomic_t g_signalled = 0;
+
+void on_signal(int) { g_signalled = 1; }
+
+struct Options {
+  std::string mode;
+  std::string socket_path;
+  std::string stats_path;
+  serve::ServerConfig server;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "ppaint_serve — PatternPaint generation service\n"
+               "  ppaint_serve pipe   [--max-queue N] [--max-batch N] "
+               "[--stats PATH]\n"
+               "  ppaint_serve socket <path> [--max-queue N] [--max-batch N] "
+               "[--stats PATH]\n"
+               "Requests are NDJSON (one JSON object per line); see "
+               "src/serve/protocol.hpp.\n");
+}
+
+bool parse_options(int argc, char** argv, Options* opt) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return false;
+  opt->mode = args[0];
+  std::size_t i = 1;
+  if (opt->mode == "socket") {
+    if (args.size() < 2) return false;
+    opt->socket_path = args[1];
+    i = 2;
+  } else if (opt->mode != "pipe") {
+    return false;
+  }
+  for (; i < args.size(); ++i) {
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "ppaint_serve: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (args[i] == "--max-queue") {
+      opt->server.max_queue =
+          static_cast<std::size_t>(std::stoul(next("--max-queue")));
+    } else if (args[i] == "--max-batch") {
+      opt->server.max_batch_samples = std::stoi(next("--max-batch"));
+    } else if (args[i] == "--stats") {
+      opt->stats_path = next("--stats");
+    } else {
+      std::fprintf(stderr, "ppaint_serve: unknown option '%s'\n",
+                   args[i].c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_pipe(serve::GenerationServer& server, serve::ModelRegistry& registry) {
+  serve::StreamResult res =
+      serve::serve_stream(STDIN_FILENO, STDOUT_FILENO, server, registry);
+  std::fprintf(stderr, "ppaint_serve: pipe session done, %d requests%s\n",
+               res.handled, res.shutdown ? " (shutdown op)" : " (EOF)");
+  return 0;
+}
+
+int run_socket(const Options& opt, serve::GenerationServer& server,
+               serve::ModelRegistry& registry) {
+  int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("ppaint_serve: socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opt.socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "ppaint_serve: socket path too long\n");
+    return 1;
+  }
+  std::strncpy(addr.sun_path, opt.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(opt.socket_path.c_str());
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 8) < 0) {
+    std::perror("ppaint_serve: bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  server.start();
+  std::fprintf(stderr, "ppaint_serve: listening on %s\n",
+               opt.socket_path.c_str());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> sessions;
+  serve::TransportOptions topt;
+  topt.shutdown_on_eof = false;  // connections come and go; server stays up
+  while (!stop.load() && !g_signalled) {
+    pollfd pfd{listener, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, 200);
+    if (rc <= 0) continue;  // timeout or EINTR: re-check the stop flags
+    int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) continue;
+    sessions.emplace_back([conn, topt, &server, &registry, &stop] {
+      serve::StreamResult res =
+          serve::serve_stream(conn, conn, server, registry, topt);
+      if (res.shutdown) stop.store(true);
+      ::close(conn);
+    });
+  }
+  ::close(listener);
+  for (std::thread& t : sessions) t.join();
+  ::unlink(opt.socket_path.c_str());
+  server.shutdown();
+  std::fprintf(stderr, "ppaint_serve: drained, exiting\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_options(argc, argv, &opt)) {
+    usage();
+    return argc <= 1 ? 0 : 2;
+  }
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);  // client gone: write() errors are handled
+
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  serve::GenerationServer server(registry, opt.server);
+
+  int rc = opt.mode == "pipe" ? run_pipe(server, *registry)
+                              : run_socket(opt, server, *registry);
+  if (!opt.stats_path.empty() && server.write_stats(opt.stats_path))
+    std::fprintf(stderr, "ppaint_serve: stats -> %s\n", opt.stats_path.c_str());
+  return rc;
+}

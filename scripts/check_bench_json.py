@@ -27,6 +27,8 @@ import sys
 HIST_FIELDS = {"count", "sum", "mean", "p50", "p95"}
 SPAN_FIELDS = {"name", "count", "total_ms", "p50_ms", "p95_ms"}
 CORE_KEYS = {"schema_version", "tool", "wall_ms", "metrics", "spans", "trace"}
+SERVE_FIELDS = ("rps", "p50_ms", "p95_ms", "clients", "requests",
+                "rejected", "timeouts")
 
 
 def _num(v):
@@ -108,6 +110,15 @@ def validate_bench_line(doc):
         errs.append("gflops must be a non-negative number")
     if "isa" in doc and doc["isa"] not in ("scalar", "avx2"):
         errs.append('isa must be "scalar" or "avx2"')
+    # Serving-bench fields (bench_serve): all non-negative numbers, and the
+    # closed-loop line must carry the full throughput/latency triple.
+    for key in SERVE_FIELDS:
+        if key in doc and (not _num(doc[key]) or doc[key] < 0):
+            errs.append(f"{key} must be a non-negative number")
+    if doc.get("bench") == "serve_closed_loop":
+        missing = {"rps", "p50_ms", "p95_ms"} - set(doc)
+        if missing:
+            errs.append(f"serve_closed_loop line missing {sorted(missing)}")
     for key, v in doc.items():
         if not isinstance(v, (str, int, float)) or isinstance(v, bool):
             errs.append(f"field '{key}' must be a scalar")
@@ -184,6 +195,9 @@ def selfcheck():
          "isa": "avx2"},
         {"bench": "conv_stem_32px_gemm_scalar", "ms": 1.5, "gflops": 4.1,
          "isa": "scalar"},
+        {"bench": "serve_closed_loop", "ms": 23.4, "rps": 853.5,
+         "p50_ms": 4.6, "p95_ms": 5.9, "clients": 4, "requests": 20},
+        {"bench": "serve_overload", "ms": 7.6, "rejected": 4, "timeouts": 2},
     ]
     bad_lines = [
         {"ms": 1.0},
@@ -194,6 +208,10 @@ def selfcheck():
         {"bench": "x", "ms": 1, "gflops": -2.0},
         {"bench": "x", "ms": 1, "gflops": "fast"},
         {"bench": "x", "ms": 1, "isa": "avx512"},
+        {"bench": "serve_closed_loop", "ms": 1.0, "rps": 10.0},
+        {"bench": "serve_closed_loop", "ms": 1.0, "rps": 10.0,
+         "p50_ms": -1.0, "p95_ms": 2.0},
+        {"bench": "serve_overload", "ms": 1.0, "rejected": "many"},
     ]
 
     failures = []

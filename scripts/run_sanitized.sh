@@ -25,3 +25,12 @@ PP_FORCE_ISA=scalar ctest --test-dir "$BUILD_DIR" -L tier1 \
     --output-on-failure -j "$JOBS" "$@"
 echo "=== tier-1 under native ISA dispatch ==="
 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$JOBS" "$@"
+
+# Serve smoke: a real client/server round-trip (fork/exec + NDJSON pipes +
+# executor thread + graceful shutdown) under the sanitizers. The tier-1
+# label covers serve_test/serve_pipe_smoke; this adds the ppaint_cli
+# client path.
+echo "=== serve pipe round-trip ==="
+"$BUILD_DIR"/examples/ppaint_cli client \
+    "spawn:$BUILD_DIR/examples/ppaint_serve" 1 7 > /dev/null
+echo "serve round-trip OK"

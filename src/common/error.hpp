@@ -16,6 +16,16 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown by the config validate() entry points when a configuration value
+/// is outside its documented domain (clip_size <= 0, zero timesteps, a
+/// negative learning rate, ...). A distinct type so request-driven callers
+/// (the serve layer) can map it to a structured "invalid_config" error
+/// instead of a generic internal failure.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void require_failed(const char* expr, const char* file,
                                         int line, const std::string& msg) {

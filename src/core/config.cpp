@@ -1,8 +1,35 @@
 #include "core/config.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 
 namespace pp {
+
+void PatternPaintConfig::validate() const {
+  auto fail = [this](const std::string& msg) {
+    throw ConfigError("PatternPaintConfig '" + name + "': " + msg);
+  };
+  auto positive_lr = [](float lr) { return std::isfinite(lr) && lr > 0.0f; };
+  if (clip_size < 16 || clip_size % 4 != 0)
+    fail("clip_size must be a multiple of 4 and at least 16");
+  if (pretrain_corpus < 1) fail("pretrain_corpus must be positive");
+  if (pretrain_steps < 0) fail("pretrain_steps must be non-negative");
+  if (pretrain_batch < 1) fail("pretrain_batch must be positive");
+  if (!positive_lr(pretrain_lr)) fail("pretrain_lr must be finite and positive");
+  if (finetune_steps < 0) fail("finetune_steps must be non-negative");
+  if (finetune_batch < 1) fail("finetune_batch must be positive");
+  if (!positive_lr(finetune_lr)) fail("finetune_lr must be finite and positive");
+  if (!(lambda_prior >= 0.0f) || !std::isfinite(lambda_prior))
+    fail("lambda_prior must be finite and non-negative");
+  if (prior_samples < 1) fail("prior_samples must be positive");
+  if (variations_per_mask < 1) fail("variations_per_mask must be positive");
+  if (representatives < 1) fail("representatives must be positive");
+  if (!(max_density > 0.0 && max_density <= 1.0))
+    fail("max_density must be in (0, 1]");
+  if (samples_per_iteration < 1) fail("samples_per_iteration must be positive");
+  ddpm.validate();
+}
 
 PatternPaintConfig sd1_config() {
   PatternPaintConfig cfg;

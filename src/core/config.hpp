@@ -41,6 +41,13 @@ struct PatternPaintConfig {
   int representatives = 12;        ///< k layouts per iteration (paper: 100)
   double max_density = 0.4;        ///< density constraint C
   int samples_per_iteration = 60;  ///< generated per iteration (paper: 5000)
+
+  /// Throws pp::ConfigError on any out-of-domain value (clip_size not a
+  /// multiple of 4, non-positive batch sizes, negative or non-finite
+  /// learning rates, ...). Also validates the nested DdpmConfig. Checked by
+  /// the PatternPaint constructor and by the serve layer's model loader so
+  /// a bad request becomes a structured error, not a crash in the UNet.
+  void validate() const;
 };
 
 /// Preset mirroring stablediffusion1.5-inpaint: smaller UNet, linear betas.

@@ -44,8 +44,7 @@ PatternPaint::PatternPaint(PatternPaintConfig cfg, RuleSet rules,
       rng_(seed),
       model_(cfg.ddpm, rng_),
       masks_(all_masks(cfg.clip_size, cfg.clip_size)) {
-  PP_REQUIRE(cfg_.clip_size % 4 == 0 && cfg_.clip_size >= 16);
-  PP_REQUIRE(cfg_.variations_per_mask >= 1);
+  cfg_.validate();
 }
 
 void PatternPaint::pretrain(const std::string& cache_path) {
@@ -184,15 +183,21 @@ GenerationRecord PatternPaint::finish_sample(const Raster& raw,
 
 std::vector<GenerationRecord> PatternPaint::finish_samples(
     const std::vector<Raster>& raws, const std::vector<Raster>& tmpls) {
-  PP_TRACE_SPAN("pp.finish");
-  PP_REQUIRE(raws.size() == tmpls.size());
-  static obs::Counter& par_chunks =
-      obs::metrics().counter("pp.finish.par_chunks");
   // Stream bases are drawn serially, in sample order, BEFORE the fan-out:
   // the parallel region then only reads per-sample state and writes
   // disjoint slots, so the records are bitwise independent of PP_THREADS.
   std::vector<std::uint64_t> bases(raws.size());
   for (auto& b : bases) b = rng_.draw_seed();
+  return finish_samples(raws, tmpls, bases);
+}
+
+std::vector<GenerationRecord> PatternPaint::finish_samples(
+    const std::vector<Raster>& raws, const std::vector<Raster>& tmpls,
+    const std::vector<std::uint64_t>& bases) const {
+  PP_TRACE_SPAN("pp.finish");
+  PP_REQUIRE(raws.size() == tmpls.size() && raws.size() == bases.size());
+  static obs::Counter& par_chunks =
+      obs::metrics().counter("pp.finish.par_chunks");
   std::vector<GenerationRecord> records(raws.size());
   parallel_for_chunks(0, raws.size(), [&](std::size_t lo, std::size_t hi) {
     par_chunks.add(1);

@@ -111,6 +111,15 @@ class PatternPaint {
   std::vector<GenerationRecord> finish_samples(const std::vector<Raster>& raws,
                                                const std::vector<Raster>& tmpls);
 
+  /// Explicit-stream variant: bases[i] is sample i's RNG stream base (what
+  /// the overload above draws from the instance Rng). Const and pure — no
+  /// library/counter/RNG mutation — so the serve layer can batch the finish
+  /// tail of many independent requests through one shared model with
+  /// per-request seeds, bitwise identical to finishing each request alone.
+  std::vector<GenerationRecord> finish_samples(
+      const std::vector<Raster>& raws, const std::vector<Raster>& tmpls,
+      const std::vector<std::uint64_t>& bases) const;
+
   /// Cumulative counters across all generation calls.
   std::size_t total_generated() const { return total_generated_; }
   std::size_t total_legal() const { return total_legal_; }

@@ -16,16 +16,28 @@ namespace pp {
 using nn::Tensor;
 using nn::Var;
 
+void DdpmConfig::validate() const {
+  auto fail = [](const std::string& msg) {
+    throw ConfigError("DdpmConfig: " + msg);
+  };
+  if (unet.in_channels != 3)
+    fail("unet.in_channels must be 3 (x_t, mask, known)");
+  if (unet.out_channels != 1) fail("unet.out_channels must be 1 (epsilon)");
+  if (unet.base_channels <= 0) fail("unet.base_channels must be positive");
+  if (unet.time_dim <= 0) fail("unet.time_dim must be positive");
+  if (unet.groups <= 0 || unet.base_channels % unet.groups != 0)
+    fail("unet.groups must be positive and divide base_channels");
+  if (T <= 0) fail("timesteps T must be positive");
+  if (sample_steps < 2 || sample_steps > T)
+    fail("sample_steps must be in [2, T]");
+  if (!(eta >= 0.0f && eta <= 1.0f)) fail("eta must be in [0, 1]");
+}
+
 Ddpm::Ddpm(DdpmConfig cfg, Rng& rng)
-    : cfg_(cfg),
+    : cfg_((cfg.validate(), cfg)),
       sched_(cfg.cosine ? DiffusionSchedule::cosine(cfg.T)
                         : DiffusionSchedule::linear(cfg.T)),
-      net_(cfg.unet, rng) {
-  PP_REQUIRE(cfg_.sample_steps >= 2 && cfg_.sample_steps <= cfg_.T);
-  PP_REQUIRE(cfg_.eta >= 0.0f && cfg_.eta <= 1.0f);
-  PP_REQUIRE_MSG(cfg_.unet.in_channels == 3,
-                 "inpainting DDPM needs 3 input channels (x_t, mask, known)");
-}
+      net_(cfg.unet, rng) {}
 
 Tensor Ddpm::compose_input(const Tensor& x_t, const Tensor& mask,
                            const Tensor& known) const {
@@ -140,15 +152,24 @@ float Ddpm::finetune_step(const Tensor& x0, const Tensor& mask,
 
 nn::Tensor Ddpm::inpaint(const Tensor& known, const Tensor& mask,
                          Rng& rng) const {
+  return inpaint(known, mask, sample_bases(known.dim(0), rng));
+}
+
+nn::Tensor Ddpm::inpaint(const Tensor& known, const Tensor& mask,
+                         const std::vector<std::uint64_t>& bases,
+                         const std::function<bool()>& abort) const {
   PP_TRACE_SPAN("ddpm.inpaint");
   static obs::Counter& calls = obs::metrics().counter("ddpm.inpaint.calls");
   static obs::Counter& steps = obs::metrics().counter("ddpm.inpaint.steps");
   static obs::Counter& samples = obs::metrics().counter("ddpm.inpaint.samples");
+  static obs::Counter& aborted = obs::metrics().counter("ddpm.inpaint.aborted");
   calls.add(1);
   PP_REQUIRE_MSG(known.ndim() == 4 && known.dim(1) == 1,
                  "inpaint: known {N,1,H,W}");
   PP_REQUIRE(known.same_shape(mask));
   int N = known.dim(0);
+  PP_REQUIRE_MSG(bases.size() == static_cast<std::size_t>(N),
+                 "inpaint: one stream base per sample");
   samples.add(static_cast<std::uint64_t>(N));
   std::size_t per = known.numel() / static_cast<std::size_t>(N);
 
@@ -165,7 +186,6 @@ nn::Tensor Ddpm::inpaint(const Tensor& known, const Tensor& mask,
   // consumed in a fixed per-sample order, so the output for a given sample
   // is a pure function of its base seed, making the batch bitwise identical
   // under any batch split and any thread count.
-  std::vector<std::uint64_t> bases = sample_bases(N, rng);
   std::vector<Rng> renoise, sigma_rng;
   renoise.reserve(static_cast<std::size_t>(N));
   sigma_rng.reserve(static_cast<std::size_t>(N));
@@ -187,6 +207,10 @@ nn::Tensor Ddpm::inpaint(const Tensor& known, const Tensor& mask,
 
   for (int step = 0; step < K; ++step) {
     PP_TRACE_SPAN("ddpm.inpaint.step");
+    if (abort && abort()) {
+      aborted.add(1);
+      return Tensor();
+    }
     steps.add(1);
     int t = ts[static_cast<std::size_t>(step)];
     int t_prev = step + 1 < K ? ts[static_cast<std::size_t>(step + 1)] : -1;

@@ -17,6 +17,8 @@
 // model before finetuning starts.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,12 @@ struct DdpmConfig {
   bool cosine = false;    ///< cosine vs linear beta schedule
   int sample_steps = 18;  ///< strided steps at inference
   float eta = 0.4f;       ///< DDIM stochasticity (0 = deterministic)
+
+  /// Throws pp::ConfigError on any out-of-domain value (zero timesteps,
+  /// sample_steps outside [2, T], eta outside [0, 1], non-positive UNet
+  /// widths, ...) so misconfiguration fails at the API boundary instead of
+  /// crashing deep inside the UNet.
+  void validate() const;
 };
 
 class Ddpm {
@@ -66,6 +74,19 @@ class Ddpm {
   /// (1xN == Nx1) and whatever PP_THREADS is.
   nn::Tensor inpaint(const nn::Tensor& known, const nn::Tensor& mask,
                      Rng& rng) const;
+
+  /// Explicit-stream variant: bases[i] (one entry per sample) is sample i's
+  /// RNG stream base, exactly what the Rng overload derives via one
+  /// draw_seed() per sample. Because each sample's noise is a pure function
+  /// of its base, concatenating the bases of several logical requests into
+  /// one call yields bitwise the same per-sample output as running each
+  /// request alone — the contract the serve layer's micro-batching relies
+  /// on. `abort`, when non-empty, is polled between denoising steps
+  /// (cooperative cancellation); returning true abandons the batch and
+  /// makes inpaint return an empty (default-constructed) tensor.
+  nn::Tensor inpaint(const nn::Tensor& known, const nn::Tensor& mask,
+                     const std::vector<std::uint64_t>& bases,
+                     const std::function<bool()>& abort = {}) const;
 
   /// Unconditional generation of n images ({n,1,H,W}): inpainting with a
   /// full mask and a blank known image.

@@ -1,7 +1,9 @@
 #include "obs/report.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <system_error>
 #include <utility>
 #include <vector>
 
@@ -62,11 +64,32 @@ Json build_run_report(const std::string& tool) {
   return report;
 }
 
+bool write_text_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.good()) return false;
+    out << content;
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    return false;
+  }
+  return true;
+}
+
 bool write_run_report(const std::string& path, const std::string& tool) {
-  std::ofstream out(path);
-  if (!out.good()) return false;
-  out << build_run_report(tool).dump(2) << "\n";
-  return out.good();
+  return write_text_atomic(path, build_run_report(tool).dump(2) + "\n");
 }
 
 namespace {

@@ -34,7 +34,15 @@ void register_report_section(const std::string& key,
 Json build_run_report(const std::string& tool);
 
 /// Builds and writes (pretty-printed). Returns false on I/O failure.
+/// Atomic: the document is staged to `<path>.tmp` and renamed into place,
+/// so a killed process never leaves a truncated report behind.
 bool write_run_report(const std::string& path, const std::string& tool);
+
+/// Tmp+rename file write shared by every observability artifact (run
+/// reports, serve stats dumps): writes `<path>.tmp`, fsync-free but
+/// all-or-nothing via std::filesystem::rename. Returns false on failure,
+/// leaving any previous file at `path` untouched.
+bool write_text_atomic(const std::string& path, const std::string& content);
 
 /// Structural validation against the version-1 schema. On failure returns
 /// false and stores a message in `err` (when non-null).

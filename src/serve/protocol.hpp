@@ -1,0 +1,110 @@
+// Wire protocol of the pattern-generation service: newline-delimited JSON
+// (NDJSON), one request object per line in, one response object per line
+// out, matched by the client-chosen `id` (responses may arrive out of
+// order — the server completes micro-batches as they finish).
+//
+// Request ops:
+//   load     {"id", "op":"load", "model":<key>, "preset":"sd1|sd2",
+//             "clip", "rules", "checkpoint", "timesteps", "sample_steps",
+//             "eta", "base_channels", "time_dim", "seed"}
+//   sample   {"id", "op":"sample", "model", "seed", "count", "finish",
+//             "deadline_ms"}
+//   inpaint  {"id", "op":"inpaint", "model", "seed", "count", "finish",
+//             "deadline_ms", "template":<ascii>, "mask":<ascii>|"mask_id":k}
+//   cancel   {"id", "op":"cancel", "target":<id>}
+//   ping / stats / shutdown {"id", "op":...}
+//
+// Rasters travel as the '.'/'#' ASCII art of Raster::to_ascii (rows joined
+// by '\n'), so the protocol needs no binary framing and diffs readably.
+//
+// Determinism contract (the reason micro-batching is safe): a generation
+// request's result is a pure function of (model weights, op inputs, seed).
+// The reference semantics are sequential execution —
+//   Rng rng(seed);
+//   out   = ddpm.inpaint(known x count, mask x count, rng);   // count draws
+//   bases = {rng.draw_seed() x count};                        // finish tail
+//   recs  = finish_samples(out, templates, bases);
+// — and the server reproduces exactly those per-sample stream bases when it
+// coalesces requests, so batched output is bitwise identical (serve_test).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/raster.hpp"
+#include "obs/json.hpp"
+
+namespace pp::serve {
+
+/// Structured request-error taxonomy; the wire form is
+/// {"error": {"code": <name>, "message": ...}}.
+enum class ErrorCode {
+  kNone,
+  kBadRequest,     ///< malformed JSON / missing or ill-typed fields
+  kUnknownModel,   ///< model key not present in the registry
+  kInvalidConfig,  ///< load spec failed PatternPaintConfig::validate()
+  kQueueFull,      ///< admission control: bounded queue at capacity
+  kDraining,       ///< server is shutting down, admission closed
+  kTimeout,        ///< deadline expired before the work ran (or finished)
+  kCancelled,      ///< cancelled by an explicit cancel op
+  kInternal,       ///< unexpected exception while executing
+};
+
+const char* error_code_name(ErrorCode code);
+
+/// A generation request (ops "sample" and "inpaint").
+struct GenRequest {
+  enum class Op { kSample, kInpaint };
+
+  std::uint64_t id = 0;
+  Op op = Op::kSample;
+  std::string model;         ///< registry key
+  std::uint64_t seed = 0;    ///< request RNG seed (see determinism contract)
+  int count = 1;             ///< samples to generate
+  bool finish = true;        ///< run the template-denoise + DRC tail
+  double deadline_ms = 0.0;  ///< relative deadline; 0 = none
+  Raster tmpl;               ///< inpaint only: template pattern
+  Raster mask;               ///< inpaint only: 1 = region to regenerate
+  int mask_id = -1;          ///< inpaint alternative: predefined mask index
+};
+
+/// Result of one generation request.
+struct GenResponse {
+  std::uint64_t id = 0;
+  ErrorCode error = ErrorCode::kNone;
+  std::string message;            ///< human-readable error detail
+  std::vector<Raster> patterns;   ///< denoised when finished, else raw
+  std::vector<bool> legal;        ///< DRC verdicts (finish only)
+  double wait_ms = 0.0;           ///< enqueue -> dequeue
+  double e2e_ms = 0.0;            ///< enqueue -> completion
+  int batch_samples = 0;          ///< size of the micro-batch that served it
+
+  bool ok() const { return error == ErrorCode::kNone; }
+
+  static GenResponse fail(std::uint64_t id, ErrorCode code,
+                          std::string message);
+
+  obs::Json to_json() const;
+};
+
+/// Parses a generation request object (op already known to be
+/// sample/inpaint). Returns false and fills `err` on malformed input.
+bool gen_request_from_json(const obs::Json& j, GenRequest* out,
+                           std::string* err);
+
+/// Raster <-> wire form.
+obs::Json raster_to_json(const Raster& r);
+bool raster_from_json(const obs::Json& j, Raster* out);
+
+/// Field helpers shared by the transport (strict: wrong type = error).
+bool get_u64(const obs::Json& j, const char* key, std::uint64_t fallback,
+             std::uint64_t* out);
+bool get_int(const obs::Json& j, const char* key, int fallback, int* out);
+bool get_double(const obs::Json& j, const char* key, double fallback,
+                double* out);
+bool get_bool(const obs::Json& j, const char* key, bool fallback, bool* out);
+std::string get_string(const obs::Json& j, const char* key,
+                       const std::string& fallback);
+
+}  // namespace pp::serve

@@ -1,0 +1,493 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+#include "diffusion/convert.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace pp::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+struct ServeMetrics {
+  obs::Counter& accepted = obs::metrics().counter("serve.accepted");
+  obs::Counter& rejected = obs::metrics().counter("serve.rejected");
+  obs::Counter& timeouts = obs::metrics().counter("serve.timeouts");
+  obs::Counter& cancelled = obs::metrics().counter("serve.cancelled");
+  obs::Counter& completed = obs::metrics().counter("serve.completed");
+  obs::Counter& batches = obs::metrics().counter("serve.batches");
+  obs::Counter& coalesced = obs::metrics().counter("serve.coalesced");
+  obs::Counter& samples = obs::metrics().counter("serve.samples");
+  obs::Gauge& queue_depth = obs::metrics().gauge("serve.queue_depth");
+  obs::Histogram& wait_ms = obs::metrics().histogram("serve.wait_ms");
+  obs::Histogram& e2e_ms = obs::metrics().histogram("serve.e2e_ms");
+  obs::Histogram& batch_samples = obs::metrics().histogram("serve.batch_samples");
+};
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics* m = new ServeMetrics;
+  return *m;
+}
+
+/// "serve" section of the run report: a structured snapshot of the serve.*
+/// metrics so scrapers need not reach into the flat metrics map.
+/// Registered once per process, values aggregate across server instances.
+void register_serve_section() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    obs::register_report_section("serve", [] {
+      ServeMetrics& m = serve_metrics();
+      obs::Json o = obs::Json::object();
+      o.set("accepted", obs::Json(m.accepted.value()));
+      o.set("rejected", obs::Json(m.rejected.value()));
+      o.set("timeouts", obs::Json(m.timeouts.value()));
+      o.set("cancelled", obs::Json(m.cancelled.value()));
+      o.set("completed", obs::Json(m.completed.value()));
+      o.set("batches", obs::Json(m.batches.value()));
+      o.set("coalesced_requests", obs::Json(m.coalesced.value()));
+      o.set("samples", obs::Json(m.samples.value()));
+      o.set("queue_depth", obs::Json(m.queue_depth.value()));
+      o.set("e2e_p50_ms", obs::Json(m.e2e_ms.percentile(0.5)));
+      o.set("e2e_p95_ms", obs::Json(m.e2e_ms.percentile(0.95)));
+      return o;
+    });
+  });
+}
+
+}  // namespace
+
+GenerationServer::GenerationServer(std::shared_ptr<ModelRegistry> registry,
+                                   ServerConfig cfg)
+    : registry_(std::move(registry)), cfg_(cfg) {
+  PP_REQUIRE(registry_ != nullptr);
+  PP_REQUIRE(cfg_.max_queue >= 1);
+  PP_REQUIRE(cfg_.max_batch_samples >= 1);
+  register_serve_section();
+}
+
+GenerationServer::~GenerationServer() {
+  stop_hard_.store(true);
+  draining_.store(true);
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  // Fail whatever is still queued (worker never started, or hard stop).
+  std::deque<PendingPtr> leftover;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    leftover.swap(queue_);
+    serve_metrics().queue_depth.set(0.0);
+  }
+  for (const PendingPtr& p : leftover)
+    finish_response(p, GenResponse::fail(p->req.id, ErrorCode::kDraining,
+                                         "server stopped"));
+}
+
+void GenerationServer::start() {
+  std::lock_guard<std::mutex> lk(m_);
+  if (worker_started_) return;
+  worker_started_ = true;
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+void GenerationServer::shutdown() {
+  draining_.store(true);
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (!worker_started_ && !queue_.empty()) {
+      // Never ran: start it now so queued work still completes (graceful).
+      worker_started_ = true;
+      worker_ = std::thread([this] { worker_loop(); });
+    }
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+bool GenerationServer::expired(const PendingPtr& p, Clock::time_point now) {
+  return p->has_deadline && now >= p->deadline;
+}
+
+void GenerationServer::finish_response(const PendingPtr& p, GenResponse resp) {
+  ServeMetrics& m = serve_metrics();
+  resp.e2e_ms = ms_between(p->enqueue, Clock::now());
+  switch (resp.error) {
+    case ErrorCode::kTimeout:
+      timeouts_.fetch_add(1);
+      m.timeouts.add(1);
+      break;
+    case ErrorCode::kCancelled:
+      cancelled_.fetch_add(1);
+      m.cancelled.add(1);
+      break;
+    case ErrorCode::kNone:
+      completed_.fetch_add(1);
+      m.completed.add(1);
+      m.e2e_ms.observe(resp.e2e_ms);
+      break;
+    default:
+      break;
+  }
+  if (p->done) p->done(std::move(resp));
+}
+
+void GenerationServer::submit(GenRequest req,
+                              std::function<void(GenResponse)> done) {
+  ServeMetrics& m = serve_metrics();
+  auto reject = [&](ErrorCode code, const std::string& msg) {
+    rejected_.fetch_add(1);
+    m.rejected.add(1);
+    if (done) done(GenResponse::fail(req.id, code, msg));
+  };
+  if (!accepting()) {
+    reject(ErrorCode::kDraining, "server is draining, admission closed");
+    return;
+  }
+  ModelRegistry::EntryPtr entry = registry_->get(req.model);
+  if (!entry) {
+    reject(ErrorCode::kUnknownModel, "no model '" + req.model +
+                                         "' in the registry (load it first)");
+    return;
+  }
+  const int clip = entry->cfg.clip_size;
+  if (req.op == GenRequest::Op::kInpaint) {
+    if (req.mask.empty() && req.mask_id >= 0) {
+      if (static_cast<std::size_t>(req.mask_id) >= entry->masks.size()) {
+        reject(ErrorCode::kBadRequest,
+               "mask_id out of range (have " +
+                   std::to_string(entry->masks.size()) + " predefined masks)");
+        return;
+      }
+      req.mask = entry->masks[static_cast<std::size_t>(req.mask_id)];
+    }
+    if (req.tmpl.width() != clip || req.tmpl.height() != clip ||
+        req.mask.width() != clip || req.mask.height() != clip) {
+      reject(ErrorCode::kBadRequest,
+             "template/mask must be " + std::to_string(clip) + "x" +
+                 std::to_string(clip) + " for model '" + req.model + "'");
+      return;
+    }
+  }
+
+  auto p = std::make_shared<Pending>();
+  p->req = std::move(req);
+  p->done = std::move(done);
+  p->entry = std::move(entry);
+  p->enqueue = Clock::now();
+  if (p->req.deadline_ms > 0) {
+    p->has_deadline = true;
+    p->deadline = p->enqueue + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double, std::milli>(
+                                       p->req.deadline_ms));
+  }
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (queue_.size() < cfg_.max_queue) {
+      queue_.push_back(p);
+      accepted_.fetch_add(1);
+      m.accepted.add(1);
+      m.queue_depth.set(static_cast<double>(queue_.size()));
+      cv_.notify_one();
+      return;
+    }
+  }
+  // Queue full. The callback already moved into `p`, so reject through it
+  // (outside the lock).
+  rejected_.fetch_add(1);
+  m.rejected.add(1);
+  if (p->done)
+    p->done(GenResponse::fail(
+        p->req.id, ErrorCode::kQueueFull,
+        "queue full (" + std::to_string(cfg_.max_queue) + " pending)"));
+}
+
+std::future<GenResponse> GenerationServer::submit(GenRequest req) {
+  auto prom = std::make_shared<std::promise<GenResponse>>();
+  std::future<GenResponse> fut = prom->get_future();
+  submit(std::move(req),
+         [prom](GenResponse r) { prom->set_value(std::move(r)); });
+  return fut;
+}
+
+bool GenerationServer::cancel(std::uint64_t id) {
+  PendingPtr victim;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if ((*it)->req.id == id) {
+        victim = *it;
+        queue_.erase(it);
+        serve_metrics().queue_depth.set(static_cast<double>(queue_.size()));
+        break;
+      }
+    }
+    if (!victim) {
+      for (const PendingPtr& p : inflight_) {
+        if (p->req.id == id) {
+          p->cancelled.store(true);
+          return true;  // executor delivers the cancelled response
+        }
+      }
+    }
+  }
+  if (!victim) return false;
+  victim->cancelled.store(true);
+  finish_response(victim, GenResponse::fail(id, ErrorCode::kCancelled,
+                                            "cancelled while queued"));
+  return true;
+}
+
+std::size_t GenerationServer::queue_depth() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return queue_.size();
+}
+
+void GenerationServer::worker_loop() {
+  for (;;) {
+    std::vector<PendingPtr> expired_now;
+    std::vector<PendingPtr> batch;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_.wait(lk, [&] {
+        return stop_hard_.load() || draining_.load() || !queue_.empty();
+      });
+      if (queue_.empty()) {
+        if (draining_.load() || stop_hard_.load()) break;
+        continue;
+      }
+      if (stop_hard_.load()) break;  // destructor flushes the queue
+
+      // Deadline pass: anything already expired completes as "timeout"
+      // without touching the model.
+      const Clock::time_point now = Clock::now();
+      for (auto it = queue_.begin(); it != queue_.end();) {
+        if (expired(*it, now)) {
+          expired_now.push_back(*it);
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+
+      // Coalesce: the head defines the micro-batch key (registry entry
+      // identity = same preset + checkpoint + clip size + weight
+      // generation); later compatible requests join until the sample cap.
+      if (!queue_.empty()) {
+        const ModelRegistry::Entry* key = queue_.front()->entry.get();
+        int samples = 0;
+        for (auto it = queue_.begin(); it != queue_.end();) {
+          const PendingPtr& p = *it;
+          bool fits = batch.empty() ||
+                      samples + p->req.count <= cfg_.max_batch_samples;
+          if (p->entry.get() == key && fits) {
+            samples += p->req.count;
+            batch.push_back(p);
+            it = queue_.erase(it);
+            if (samples >= cfg_.max_batch_samples) break;
+          } else {
+            ++it;
+          }
+        }
+        inflight_ = batch;
+      }
+      serve_metrics().queue_depth.set(static_cast<double>(queue_.size()));
+    }
+
+    for (const PendingPtr& p : expired_now)
+      finish_response(p, GenResponse::fail(p->req.id, ErrorCode::kTimeout,
+                                           "deadline expired in queue"));
+    if (!batch.empty()) {
+      execute_batch(batch);
+      std::lock_guard<std::mutex> lk(m_);
+      inflight_.clear();
+    }
+  }
+}
+
+void GenerationServer::execute_batch(std::vector<PendingPtr>& batch) {
+  PP_TRACE_SPAN("serve.batch");
+  ServeMetrics& m = serve_metrics();
+  const Clock::time_point exec_start = Clock::now();
+  const ModelRegistry::EntryPtr entry = batch.front()->entry;
+  const int clip = entry->cfg.clip_size;
+  const std::size_t plane = static_cast<std::size_t>(clip) * clip;
+
+  int total = 0;
+  for (const PendingPtr& p : batch) total += p->req.count;
+  batches_.fetch_add(1);
+  batched_samples_.fetch_add(static_cast<std::uint64_t>(total));
+  m.batches.add(1);
+  m.samples.add(static_cast<std::uint64_t>(total));
+  m.batch_samples.observe(static_cast<double>(total));
+  if (batch.size() > 1) m.coalesced.add(batch.size());
+  for (const PendingPtr& p : batch) {
+    p->wait_ms_snapshot = ms_between(p->enqueue, exec_start);
+    m.wait_ms.observe(p->wait_ms_snapshot);
+  }
+
+  // Per-request RNG stream bases, exactly the sequential reference
+  // semantics: Rng(seed) yields `count` inpaint bases then `count` finish
+  // bases (see serve/protocol.hpp). Pure per request, so batch composition
+  // cannot shift anyone's streams.
+  std::vector<std::uint64_t> gen_bases;
+  gen_bases.reserve(static_cast<std::size_t>(total));
+  std::vector<std::vector<std::uint64_t>> finish_bases(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Rng rng(batch[i]->req.seed);
+    for (int k = 0; k < batch[i]->req.count; ++k)
+      gen_bases.push_back(rng.draw_seed());
+    finish_bases[i].resize(static_cast<std::size_t>(batch[i]->req.count));
+    for (auto& b : finish_bases[i]) b = rng.draw_seed();
+  }
+
+  // Assemble the micro-batch tensors: each request contributes `count`
+  // copies of its own (known, mask) planes.
+  nn::Tensor known({total, 1, clip, clip});
+  nn::Tensor mask({total, 1, clip, clip});
+  int cursor = 0;
+  for (const PendingPtr& p : batch) {
+    nn::Tensor kt, mt;
+    if (p->req.op == GenRequest::Op::kInpaint) {
+      kt = raster_to_tensor(p->req.tmpl);
+      mt = mask_to_tensor(p->req.mask);
+    } else {
+      kt = nn::Tensor::full({1, 1, clip, clip}, -1.0f);  // empty layout
+      mt = nn::Tensor::full({1, 1, clip, clip}, 1.0f);   // regenerate all
+    }
+    for (int k = 0; k < p->req.count; ++k, ++cursor) {
+      std::copy_n(kt.data(), plane,
+                  known.data() + static_cast<std::size_t>(cursor) * plane);
+      std::copy_n(mt.data(), plane,
+                  mask.data() + static_cast<std::size_t>(cursor) * plane);
+    }
+  }
+
+  // Cooperative cancellation: abandon the batch between denoising steps
+  // once nobody is left wanting the result.
+  auto abort = [this, &batch] {
+    if (stop_hard_.load()) return true;
+    const Clock::time_point now = Clock::now();
+    for (const PendingPtr& p : batch)
+      if (!p->cancelled.load() && !expired(p, now)) return false;
+    return true;
+  };
+
+  nn::Tensor out;
+  try {
+    out = entry->pp->model().inpaint(known, mask, gen_bases, abort);
+  } catch (const std::exception& e) {
+    for (const PendingPtr& p : batch)
+      finish_response(p, GenResponse::fail(p->req.id, ErrorCode::kInternal,
+                                           e.what()));
+    return;
+  }
+  if (out.numel() == 0) {  // aborted mid-flight
+    for (const PendingPtr& p : batch) {
+      ErrorCode code =
+          p->cancelled.load() ? ErrorCode::kCancelled : ErrorCode::kTimeout;
+      if (stop_hard_.load() && !p->cancelled.load() &&
+          !expired(p, Clock::now()))
+        code = ErrorCode::kDraining;
+      finish_response(p, GenResponse::fail(p->req.id, code,
+                                           "batch abandoned mid-flight"));
+    }
+    return;
+  }
+  std::vector<Raster> raws = tensor_to_rasters(out);
+
+  // Finish tail (template denoise + DRC), batched across every member that
+  // asked for it. finish_samples is per-sample pure, so one flat call is
+  // bitwise the same as per-request calls.
+  std::vector<Raster> fin_raws, fin_tmpls;
+  std::vector<std::uint64_t> fin_bases;
+  std::vector<std::size_t> fin_offset(batch.size(), 0);
+  cursor = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const PendingPtr& p = batch[i];
+    if (p->req.finish) {
+      fin_offset[i] = fin_raws.size();
+      const Raster tmpl = p->req.op == GenRequest::Op::kInpaint
+                              ? p->req.tmpl
+                              : Raster(clip, clip, 0);
+      for (int k = 0; k < p->req.count; ++k) {
+        fin_raws.push_back(raws[static_cast<std::size_t>(cursor + k)]);
+        fin_tmpls.push_back(tmpl);
+      }
+      fin_bases.insert(fin_bases.end(), finish_bases[i].begin(),
+                       finish_bases[i].end());
+    }
+    cursor += p->req.count;
+  }
+  std::vector<GenerationRecord> finished;
+  if (!fin_raws.empty()) {
+    try {
+      finished = entry->pp->finish_samples(fin_raws, fin_tmpls, fin_bases);
+    } catch (const std::exception& e) {
+      for (const PendingPtr& p : batch)
+        finish_response(p, GenResponse::fail(p->req.id, ErrorCode::kInternal,
+                                             e.what()));
+      return;
+    }
+  }
+
+  cursor = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const PendingPtr& p = batch[i];
+    if (p->cancelled.load()) {
+      finish_response(p, GenResponse::fail(p->req.id, ErrorCode::kCancelled,
+                                           "cancelled while executing"));
+      cursor += p->req.count;
+      continue;
+    }
+    GenResponse resp;
+    resp.id = p->req.id;
+    resp.wait_ms = p->wait_ms_snapshot;
+    resp.batch_samples = total;
+    if (p->req.finish) {
+      for (int k = 0; k < p->req.count; ++k) {
+        const GenerationRecord& rec =
+            finished[fin_offset[i] + static_cast<std::size_t>(k)];
+        resp.patterns.push_back(rec.denoised);
+        resp.legal.push_back(rec.legal);
+      }
+    } else {
+      for (int k = 0; k < p->req.count; ++k)
+        resp.patterns.push_back(raws[static_cast<std::size_t>(cursor + k)]);
+    }
+    cursor += p->req.count;
+    finish_response(p, std::move(resp));
+  }
+}
+
+obs::Json GenerationServer::stats_json() const {
+  obs::Json o = obs::Json::object();
+  o.set("accepted", obs::Json(accepted_.load()));
+  o.set("rejected", obs::Json(rejected_.load()));
+  o.set("timeouts", obs::Json(timeouts_.load()));
+  o.set("cancelled", obs::Json(cancelled_.load()));
+  o.set("completed", obs::Json(completed_.load()));
+  o.set("batches", obs::Json(batches_.load()));
+  o.set("batched_samples", obs::Json(batched_samples_.load()));
+  o.set("queue_depth", obs::Json(queue_depth()));
+  o.set("accepting", obs::Json(accepting()));
+  o.set("max_queue", obs::Json(cfg_.max_queue));
+  o.set("max_batch_samples", obs::Json(cfg_.max_batch_samples));
+  o.set("models", registry_->to_json());
+  return o;
+}
+
+bool GenerationServer::write_stats(const std::string& path) const {
+  return obs::write_text_atomic(path, stats_json().dump(2) + "\n");
+}
+
+}  // namespace pp::serve

@@ -1,0 +1,133 @@
+// GenerationServer: the request-driven layer over the PatternPaint
+// pipeline.
+//
+// Requests enter a bounded, deadline-aware FIFO queue (admission control:
+// reject-with-reason when full or draining). A single executor thread pops
+// the head and coalesces every queued request that resolved to the SAME
+// registry entry — same preset + checkpoint + clip size, by pointer
+// identity, so weights can never mix across hot-swap generations — into
+// one dynamic micro-batch, bounded by max_batch_samples. The batch runs
+// through Ddpm::inpaint (explicit per-sample RNG stream bases derived from
+// each request's seed) and PatternPaint::finish_samples, so every
+// request's bits are identical to what sequential, one-request-at-a-time
+// execution would produce (see serve/protocol.hpp, "Determinism
+// contract"); batching is purely a throughput decision.
+//
+// Deadlines are enforced at dequeue (expired requests complete with
+// "timeout" without touching the model). Cooperative cancellation is
+// polled between denoising steps: when every member of the running batch
+// has been cancelled or has expired, the batch is abandoned mid-flight.
+// shutdown() drains gracefully — admission closes, queued work completes,
+// then the executor exits. Destruction without shutdown() aborts in-flight
+// work at the next step boundary and fails queued requests with
+// "draining".
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+
+namespace pp::serve {
+
+struct ServerConfig {
+  std::size_t max_queue = 64;  ///< pending-request bound (admission control)
+  int max_batch_samples = 16;  ///< micro-batch coalescing cap, in samples
+};
+
+class GenerationServer {
+ public:
+  GenerationServer(std::shared_ptr<ModelRegistry> registry,
+                   ServerConfig cfg = {});
+  ~GenerationServer();
+
+  GenerationServer(const GenerationServer&) = delete;
+  GenerationServer& operator=(const GenerationServer&) = delete;
+
+  /// Launches the executor thread (idempotent). Requests submitted before
+  /// start() queue up and are served once it runs — tests use this window
+  /// to force coalescing deterministically.
+  void start();
+
+  /// Graceful drain: closes admission, starts the executor if it never
+  /// ran, waits until every queued and in-flight request has completed,
+  /// then stops the executor. Idempotent.
+  void shutdown();
+
+  /// Asynchronous submit. `done` runs exactly once: inline (on the calling
+  /// thread) when admission rejects the request, on the executor thread
+  /// otherwise. Admission resolves the model handle, validates shapes and
+  /// applies the queue bound; every failure is a structured GenResponse,
+  /// never an exception.
+  void submit(GenRequest req, std::function<void(GenResponse)> done);
+
+  /// Future-returning convenience wrapper over the callback form.
+  std::future<GenResponse> submit(GenRequest req);
+
+  /// Cancels a request by id. Queued: removed and completed with
+  /// "cancelled" immediately. In-flight: flagged; the executor abandons the
+  /// batch at the next denoising step once every member is cancelled or
+  /// expired, and the response carries "cancelled" either way. Returns
+  /// false when the id is not pending.
+  bool cancel(std::uint64_t id);
+
+  bool accepting() const { return !draining_.load(); }
+  std::size_t queue_depth() const;
+
+  /// Lifetime serve statistics: queue/admission counters, latency
+  /// histograms and the model registry ("serve stats dump").
+  obs::Json stats_json() const;
+
+  /// stats_json() to disk via the atomic tmp+rename discipline.
+  bool write_stats(const std::string& path) const;
+
+ private:
+  struct Pending {
+    GenRequest req;
+    std::function<void(GenResponse)> done;
+    ModelRegistry::EntryPtr entry;
+    std::chrono::steady_clock::time_point enqueue;
+    std::chrono::steady_clock::time_point deadline;  ///< valid iff has_deadline
+    bool has_deadline = false;
+    double wait_ms_snapshot = 0.0;  ///< enqueue -> batch pop (executor only)
+    std::atomic<bool> cancelled{false};
+  };
+  using PendingPtr = std::shared_ptr<Pending>;
+
+  void worker_loop();
+  void execute_batch(std::vector<PendingPtr>& batch);
+  void finish_response(const PendingPtr& p, GenResponse resp);
+  static bool expired(const PendingPtr& p,
+                      std::chrono::steady_clock::time_point now);
+
+  std::shared_ptr<ModelRegistry> registry_;
+  ServerConfig cfg_;
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<PendingPtr> queue_;
+  std::vector<PendingPtr> inflight_;
+  std::thread worker_;
+  bool worker_started_ = false;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_hard_{false};
+
+  // Instance-lifetime stats (also mirrored into the process metrics
+  // registry as serve.* counters/histograms and the "serve" report
+  // section).
+  std::atomic<std::uint64_t> accepted_{0}, rejected_{0}, timeouts_{0},
+      cancelled_{0}, completed_{0}, batches_{0}, batched_samples_{0};
+};
+
+}  // namespace pp::serve

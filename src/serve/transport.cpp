@@ -1,0 +1,212 @@
+#include "serve/transport.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace pp::serve {
+
+bool write_line_fd(int fd, const std::string& line) {
+  std::string framed = line;
+  framed += '\n';
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    ssize_t n = ::write(fd, framed.data() + off, framed.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool LineReader::next(std::string& line) {
+  for (;;) {
+    std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      return true;
+    }
+    if (eof_) {
+      if (buf_.empty()) return false;
+      line.swap(buf_);
+      buf_.clear();
+      return true;
+    }
+    char chunk[4096];
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      eof_ = true;
+    } else if (n == 0) {
+      eof_ = true;
+    } else {
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+}
+
+namespace {
+
+/// Shared, mutex-serialized response sink. Held via shared_ptr by every
+/// in-flight generation callback so late executor-thread completions stay
+/// valid even while serve_stream is draining. Tracks outstanding async
+/// responses so a closing connection can wait for its own work.
+struct ResponseWriter {
+  explicit ResponseWriter(int fd) : fd(fd) {}
+  void write(const obs::Json& j) {
+    std::lock_guard<std::mutex> lk(m);
+    if (!write_line_fd(fd, j.dump())) failed = true;
+  }
+  void begin_async() {
+    std::lock_guard<std::mutex> lk(m);
+    ++outstanding;
+  }
+  void end_async(const obs::Json& j) {
+    std::lock_guard<std::mutex> lk(m);
+    if (!write_line_fd(fd, j.dump())) failed = true;
+    --outstanding;
+    idle.notify_all();
+  }
+  void wait_idle() {
+    std::unique_lock<std::mutex> lk(m);
+    idle.wait(lk, [this] { return outstanding == 0; });
+  }
+  int fd;
+  std::mutex m;
+  std::condition_variable idle;
+  int outstanding = 0;
+  bool failed = false;
+};
+
+obs::Json error_response(std::uint64_t id, ErrorCode code,
+                         const std::string& message) {
+  return GenResponse::fail(id, code, message).to_json();
+}
+
+obs::Json ok_response(std::uint64_t id) {
+  obs::Json o = obs::Json::object();
+  o.set("id", obs::Json(id));
+  o.set("ok", obs::Json(true));
+  return o;
+}
+
+}  // namespace
+
+StreamResult serve_stream(int in_fd, int out_fd, GenerationServer& server,
+                          ModelRegistry& registry,
+                          const TransportOptions& opt) {
+  auto writer = std::make_shared<ResponseWriter>(out_fd);
+  LineReader reader(in_fd);
+  server.start();
+
+  int handled = 0;
+  std::string line;
+  bool shutdown_requested = false;
+  std::uint64_t shutdown_id = 0;
+  while (!shutdown_requested && reader.next(line)) {
+    if (line.empty()) continue;
+    ++handled;
+    std::string perr;
+    obs::Json j = obs::Json::parse(line, &perr);
+    if (!j.is_object()) {
+      writer->write(error_response(0, ErrorCode::kBadRequest,
+                                   "unparseable request: " + perr));
+      continue;
+    }
+    std::uint64_t id = 0;
+    if (!get_u64(j, "id", 0, &id)) {
+      writer->write(error_response(0, ErrorCode::kBadRequest,
+                                   "id must be a whole number"));
+      continue;
+    }
+    const std::string op = get_string(j, "op", "");
+
+    if (op == "ping") {
+      obs::Json o = ok_response(id);
+      o.set("pong", obs::Json(true));
+      writer->write(o);
+    } else if (op == "stats") {
+      obs::Json o = ok_response(id);
+      o.set("stats", server.stats_json());
+      writer->write(o);
+    } else if (op == "load") {
+      if (!opt.allow_load) {
+        writer->write(error_response(id, ErrorCode::kBadRequest,
+                                     "load is disabled on this transport"));
+        continue;
+      }
+      ModelSpec spec;
+      std::string err;
+      if (!ModelSpec::from_json(j, &spec, &err)) {
+        writer->write(error_response(id, ErrorCode::kBadRequest, err));
+        continue;
+      }
+      try {
+        ModelRegistry::EntryPtr entry = registry.load(spec);
+        obs::Json o = ok_response(id);
+        o.set("model", obs::Json(spec.key));
+        o.set("trained", obs::Json(entry->trained));
+        o.set("generation", obs::Json(entry->generation));
+        o.set("clip", obs::Json(entry->cfg.clip_size));
+        writer->write(o);
+      } catch (const ConfigError& e) {
+        writer->write(error_response(id, ErrorCode::kInvalidConfig, e.what()));
+      } catch (const std::exception& e) {
+        writer->write(error_response(id, ErrorCode::kBadRequest, e.what()));
+      }
+    } else if (op == "cancel") {
+      std::uint64_t target = 0;
+      if (!get_u64(j, "target", 0, &target)) {
+        writer->write(error_response(id, ErrorCode::kBadRequest,
+                                     "target must be a whole number"));
+        continue;
+      }
+      obs::Json o = ok_response(id);
+      o.set("found", obs::Json(server.cancel(target)));
+      writer->write(o);
+    } else if (op == "shutdown") {
+      if (!opt.allow_shutdown) {
+        writer->write(error_response(id, ErrorCode::kBadRequest,
+                                     "shutdown is disabled on this transport"));
+        continue;
+      }
+      shutdown_requested = true;
+      shutdown_id = id;
+    } else if (op == "sample" || op == "inpaint") {
+      GenRequest req;
+      std::string err;
+      if (!gen_request_from_json(j, &req, &err)) {
+        writer->write(error_response(id, ErrorCode::kBadRequest, err));
+        continue;
+      }
+      writer->begin_async();
+      server.submit(std::move(req), [writer](GenResponse resp) {
+        writer->end_async(resp.to_json());
+      });
+    } else {
+      writer->write(error_response(id, ErrorCode::kBadRequest,
+                                   "unknown op '" + op + "'"));
+    }
+  }
+
+  // Graceful drain: every accepted request's response is written (from the
+  // executor thread) before the loop returns; the shutdown ack goes last.
+  if (shutdown_requested || opt.shutdown_on_eof) server.shutdown();
+  writer->wait_idle();
+  if (shutdown_requested) {
+    obs::Json o = ok_response(shutdown_id);
+    o.set("draining", obs::Json(true));
+    writer->write(o);
+  }
+  return {handled, shutdown_requested};
+}
+
+}  // namespace pp::serve

@@ -1,0 +1,61 @@
+// NDJSON transport over file descriptors — the one loop behind both the
+// pipe (stdin/stdout) mode and each Unix-domain-socket connection, so
+// tests and CI exercise the real server path without any networking.
+//
+// serve_stream reads one JSON request per line from `in_fd` until EOF or a
+// {"op":"shutdown"} request. Control ops (load/ping/stats/cancel/shutdown)
+// are answered inline; generation ops are submitted asynchronously and
+// their responses are written from the executor thread as micro-batches
+// complete — out of order, matched by id. Every response is a single
+// write() of one '\n'-terminated line, serialized by an internal mutex, so
+// concurrent clients can share one pipe pair (writes up to PIPE_BUF are
+// atomic) and demultiplex by id.
+#pragma once
+
+#include <string>
+
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+
+namespace pp::serve {
+
+struct TransportOptions {
+  bool allow_load = true;      ///< permit "load" (model registration) ops
+  bool allow_shutdown = true;  ///< permit "shutdown" ops
+  /// Pipe mode: EOF drains the whole server. Socket connections set this
+  /// false — EOF only waits for THIS connection's in-flight responses, the
+  /// server keeps running for other connections.
+  bool shutdown_on_eof = true;
+};
+
+struct StreamResult {
+  int handled = 0;        ///< request lines processed
+  bool shutdown = false;  ///< a shutdown op ended the loop
+};
+
+/// Runs the request loop until EOF or a shutdown op. Every accepted
+/// request's response is written before the call returns: on shutdown (or
+/// EOF with shutdown_on_eof) the server is fully drained; otherwise the
+/// call waits until this connection's outstanding requests complete.
+StreamResult serve_stream(int in_fd, int out_fd, GenerationServer& server,
+                          ModelRegistry& registry,
+                          const TransportOptions& opt = {});
+
+/// One '\n'-terminated line in a single write() call (clients, tests).
+/// Returns false on a write error.
+bool write_line_fd(int fd, const std::string& line);
+
+/// Incremental line reader over read(2); next() strips the trailing '\n'
+/// and returns false on EOF (a final unterminated line is delivered first).
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+  bool next(std::string& line);
+
+ private:
+  int fd_;
+  std::string buf_;
+  bool eof_ = false;
+};
+
+}  // namespace pp::serve

@@ -4,12 +4,20 @@
 // and PP_THREADS=8 — and requires byte-identical output: the pool width
 // must never leak into generated patterns (per-sample RNG streams, ordered
 // merge). Any stdout difference is a determinism regression.
+//
+// A second round pushes coalesced requests through the GenerationServer so
+// the serving layer's micro-batching is held to the same bar: batched
+// output must be a pure function of each request's seed, bitwise invariant
+// across thread counts.
 #include <cinttypes>
 #include <cstdio>
+#include <future>
 
 #include "core/config.hpp"
 #include "core/patternpaint.hpp"
 #include "patterngen/track_generator.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
 
 int main() {
   using namespace pp;
@@ -48,5 +56,38 @@ int main() {
               pp.total_legal(), pp.library().size());
   for (const Raster& c : pp.library().clips())
     std::printf("%016" PRIx64 "\n", c.hash());
+
+  // Serve round: three requests coalesced into one micro-batch (submitted
+  // before start() so they queue together).
+  serve::ModelSpec spec;
+  spec.key = "probe";
+  spec.preset = "sd1";
+  spec.clip_size = 16;
+  spec.timesteps = 40;
+  spec.sample_steps = 4;
+  spec.base_channels = 6;
+  spec.time_dim = 16;
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  registry->load(spec);
+  serve::GenerationServer server(registry);
+  std::vector<std::future<serve::GenResponse>> futs;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    serve::GenRequest req;
+    req.id = i + 1;
+    req.op = serve::GenRequest::Op::kSample;
+    req.model = "probe";
+    req.seed = 0xAB00 + i;
+    req.count = 2;
+    futs.push_back(server.submit(std::move(req)));
+  }
+  server.start();
+  for (auto& f : futs) {
+    serve::GenResponse resp = f.get();
+    std::printf("serve id %" PRIu64 " batch %d ok %d\n", resp.id,
+                resp.batch_samples, resp.ok());
+    for (const Raster& p : resp.patterns)
+      std::printf("%016" PRIx64 "\n", p.hash());
+  }
+  server.shutdown();
   return 0;
 }

@@ -1,0 +1,420 @@
+// Tier-1 tests for the serving layer (src/serve): micro-batch coalescing
+// must be bitwise invisible, admission control must reject with structured
+// reasons, shutdown must drain gracefully, and the NDJSON pipe transport
+// must serve concurrent clients.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/config.hpp"
+#include "diffusion/convert.hpp"
+#include "obs/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "serve/transport.hpp"
+
+namespace pp::serve {
+namespace {
+
+/// Tiny untrained model: weights are a pure function of the init seed, so
+/// generation is deterministic and fast enough for unit tests.
+ModelSpec tiny_spec(const std::string& key = "t") {
+  ModelSpec spec;
+  spec.key = key;
+  spec.preset = "sd1";
+  spec.clip_size = 16;
+  spec.timesteps = 40;
+  spec.sample_steps = 4;
+  spec.base_channels = 6;
+  spec.time_dim = 16;
+  return spec;
+}
+
+std::shared_ptr<ModelRegistry> tiny_registry() {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->load(tiny_spec());
+  return registry;
+}
+
+GenRequest sample_req(std::uint64_t id, std::uint64_t seed, int count = 1,
+                      bool finish = true) {
+  GenRequest req;
+  req.id = id;
+  req.op = GenRequest::Op::kSample;
+  req.model = "t";
+  req.seed = seed;
+  req.count = count;
+  req.finish = finish;
+  return req;
+}
+
+Raster bar_template(int clip) {
+  Raster t(clip, clip, 0);
+  t.fill_rect(Rect{2, 4, clip - 2, 8}, 1);
+  return t;
+}
+
+/// The sequential reference semantics from serve/protocol.hpp: one request,
+/// alone, straight through the model. What every batched response must
+/// match bitwise.
+std::vector<Raster> sequential_reference(const ModelRegistry::EntryPtr& entry,
+                                         const GenRequest& req) {
+  const int clip = entry->cfg.clip_size;
+  const std::size_t plane = static_cast<std::size_t>(clip) * clip;
+  nn::Tensor known({req.count, 1, clip, clip});
+  nn::Tensor mask({req.count, 1, clip, clip});
+  nn::Tensor kt, mt;
+  if (req.op == GenRequest::Op::kInpaint) {
+    kt = raster_to_tensor(req.tmpl);
+    mt = mask_to_tensor(req.mask);
+  } else {
+    kt = nn::Tensor::full({1, 1, clip, clip}, -1.0f);
+    mt = nn::Tensor::full({1, 1, clip, clip}, 1.0f);
+  }
+  for (int k = 0; k < req.count; ++k) {
+    std::copy_n(kt.data(), plane, known.data() + k * plane);
+    std::copy_n(mt.data(), plane, mask.data() + k * plane);
+  }
+  Rng rng(req.seed);
+  nn::Tensor out = entry->pp->model().inpaint(known, mask, rng);
+  std::vector<Raster> raws = tensor_to_rasters(out);
+  if (!req.finish) return raws;
+  std::vector<std::uint64_t> bases(static_cast<std::size_t>(req.count));
+  for (auto& b : bases) b = rng.draw_seed();
+  const Raster tmpl = req.op == GenRequest::Op::kInpaint ? req.tmpl
+                                                         : Raster(clip, clip, 0);
+  std::vector<Raster> tmpls(static_cast<std::size_t>(req.count), tmpl);
+  std::vector<Raster> result;
+  for (const GenerationRecord& rec :
+       entry->pp->finish_samples(raws, tmpls, bases))
+    result.push_back(rec.denoised);
+  return result;
+}
+
+// (a) Coalescing a mixed micro-batch must be bitwise identical to serving
+// each request alone. Submitting before start() guarantees every request
+// sits in the queue together, so the executor coalesces them all.
+TEST(Serve, BatchedEqualsSequential) {
+  auto registry = tiny_registry();
+  ModelRegistry::EntryPtr entry = registry->get("t");
+  ServerConfig cfg;
+  cfg.max_batch_samples = 16;
+  GenerationServer server(registry, cfg);
+
+  std::vector<GenRequest> reqs;
+  reqs.push_back(sample_req(1, 11, 1));
+  reqs.push_back(sample_req(2, 22, 3));
+  reqs.push_back(sample_req(3, 33, 2, /*finish=*/false));
+  GenRequest inpaint = sample_req(4, 44, 2);
+  inpaint.op = GenRequest::Op::kInpaint;
+  inpaint.tmpl = bar_template(entry->cfg.clip_size);
+  inpaint.mask_id = 0;
+  reqs.push_back(inpaint);
+
+  std::vector<std::future<GenResponse>> futs;
+  for (const GenRequest& r : reqs) futs.push_back(server.submit(r));
+  server.start();
+
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    GenResponse resp = futs[i].get();
+    ASSERT_TRUE(resp.ok()) << resp.message;
+    // All four requests fit the 16-sample cap: one coalesced batch.
+    EXPECT_EQ(resp.batch_samples, 8);
+    GenRequest ref_req = reqs[i];
+    if (ref_req.op == GenRequest::Op::kInpaint && ref_req.mask.empty())
+      ref_req.mask = entry->masks[0];  // what admission resolves mask_id to
+    std::vector<Raster> ref = sequential_reference(entry, ref_req);
+    ASSERT_EQ(resp.patterns.size(), ref.size());
+    for (std::size_t k = 0; k < ref.size(); ++k)
+      EXPECT_EQ(resp.patterns[k], ref[k])
+          << "request " << reqs[i].id << " sample " << k
+          << " differs from sequential execution";
+  }
+  server.shutdown();
+}
+
+// Batch composition must not leak either: the same request must produce
+// the same bits no matter which neighbours share its micro-batch.
+TEST(Serve, BatchCompositionInvariant) {
+  auto registry = tiny_registry();
+  auto run_with = [&](std::vector<GenRequest> reqs, std::uint64_t want_id) {
+    GenerationServer server(registry);
+    std::vector<std::future<GenResponse>> futs;
+    for (auto& r : reqs) futs.push_back(server.submit(std::move(r)));
+    server.start();
+    std::vector<Raster> got;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      GenResponse resp = futs[i].get();
+      EXPECT_TRUE(resp.ok()) << resp.message;
+      if (resp.id == want_id) got = resp.patterns;
+    }
+    server.shutdown();
+    return got;
+  };
+  std::vector<Raster> alone = run_with({sample_req(7, 99, 2)}, 7);
+  std::vector<Raster> crowded = run_with(
+      {sample_req(5, 1, 1), sample_req(7, 99, 2), sample_req(6, 2, 2)}, 7);
+  ASSERT_EQ(alone.size(), 2u);
+  ASSERT_EQ(alone, crowded);
+}
+
+// (b) Bounded queue: admission rejects with a structured reason once full.
+TEST(Serve, QueueFullRejects) {
+  auto registry = tiny_registry();
+  ServerConfig cfg;
+  cfg.max_queue = 2;
+  GenerationServer server(registry, cfg);  // executor not started: queue holds
+  auto f1 = server.submit(sample_req(1, 1));
+  auto f2 = server.submit(sample_req(2, 2));
+  auto f3 = server.submit(sample_req(3, 3));
+  GenResponse rejected = f3.get();  // inline: resolves without the executor
+  EXPECT_EQ(rejected.error, ErrorCode::kQueueFull);
+  EXPECT_FALSE(rejected.ok());
+  server.shutdown();  // drains the two accepted requests
+  EXPECT_TRUE(f1.get().ok());
+  EXPECT_TRUE(f2.get().ok());
+}
+
+// (b) Deadlines: a request whose deadline lapses in the queue completes as
+// "timeout" without touching the model.
+TEST(Serve, DeadlineExpiresInQueue) {
+  auto registry = tiny_registry();
+  GenerationServer server(registry);
+  GenRequest doomed = sample_req(1, 1);
+  doomed.deadline_ms = 0.01;
+  auto f_doomed = server.submit(std::move(doomed));
+  auto f_fine = server.submit(sample_req(2, 2));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  server.shutdown();  // starts the executor; the deadline has long expired
+  GenResponse timed_out = f_doomed.get();
+  EXPECT_EQ(timed_out.error, ErrorCode::kTimeout);
+  EXPECT_TRUE(f_fine.get().ok());
+}
+
+// Unknown model and bad shapes are structured admission errors.
+TEST(Serve, AdmissionValidates) {
+  auto registry = tiny_registry();
+  GenerationServer server(registry);
+  GenRequest req = sample_req(1, 1);
+  req.model = "nope";
+  EXPECT_EQ(server.submit(std::move(req)).get().error,
+            ErrorCode::kUnknownModel);
+
+  GenRequest bad_shape = sample_req(2, 2);
+  bad_shape.op = GenRequest::Op::kInpaint;
+  bad_shape.tmpl = Raster(8, 8, 0);  // model is 16x16
+  bad_shape.mask = Raster(8, 8, 1);
+  EXPECT_EQ(server.submit(std::move(bad_shape)).get().error,
+            ErrorCode::kBadRequest);
+
+  GenRequest bad_mask = sample_req(3, 3);
+  bad_mask.op = GenRequest::Op::kInpaint;
+  bad_mask.tmpl = bar_template(16);
+  bad_mask.mask_id = 9999;
+  EXPECT_EQ(server.submit(std::move(bad_mask)).get().error,
+            ErrorCode::kBadRequest);
+}
+
+// (c) Graceful drain: shutdown() completes everything already accepted,
+// then admission rejects with "draining".
+TEST(Serve, GracefulDrainCompletesAccepted) {
+  auto registry = tiny_registry();
+  GenerationServer server(registry);
+  std::vector<std::future<GenResponse>> futs;
+  for (int i = 0; i < 3; ++i)
+    futs.push_back(server.submit(sample_req(1 + i, 10 + i)));
+  server.shutdown();
+  for (auto& f : futs) {
+    GenResponse resp = f.get();
+    EXPECT_TRUE(resp.ok()) << resp.message;
+    EXPECT_EQ(resp.patterns.size(), 1u);
+  }
+  EXPECT_FALSE(server.accepting());
+  EXPECT_EQ(server.submit(sample_req(9, 9)).get().error, ErrorCode::kDraining);
+}
+
+// Cancelling a queued request resolves it immediately; the rest proceed.
+TEST(Serve, CancelQueued) {
+  auto registry = tiny_registry();
+  GenerationServer server(registry);  // not started: both stay queued
+  auto f1 = server.submit(sample_req(1, 1));
+  auto f2 = server.submit(sample_req(2, 2));
+  EXPECT_TRUE(server.cancel(2));
+  EXPECT_FALSE(server.cancel(42));  // unknown id
+  EXPECT_EQ(f2.get().error, ErrorCode::kCancelled);
+  server.shutdown();
+  EXPECT_TRUE(f1.get().ok());
+}
+
+// Registry hot-swap: reloading a key bumps the generation; handles taken
+// before the swap stay valid (in-flight batches keep their weights).
+TEST(Serve, RegistryHotSwap) {
+  auto registry = tiny_registry();
+  ModelRegistry::EntryPtr old_entry = registry->get("t");
+  ASSERT_EQ(old_entry->generation, 1);
+  ModelSpec spec = tiny_spec();
+  spec.init_seed = 0xBEEF;  // different weights
+  registry->load(spec);
+  ModelRegistry::EntryPtr new_entry = registry->get("t");
+  EXPECT_EQ(new_entry->generation, 2);
+  EXPECT_NE(old_entry.get(), new_entry.get());
+  EXPECT_EQ(old_entry->cfg.clip_size, 16);  // old handle still usable
+}
+
+// Satellite: config validation rejects nonsense with typed errors.
+TEST(Serve, ConfigValidation) {
+  PatternPaintConfig cfg = sd1_config();
+  cfg.clip_size = 0;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg = sd1_config();
+  cfg.ddpm.T = 0;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg = sd1_config();
+  cfg.pretrain_lr = -1.0f;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  EXPECT_NO_THROW(sd1_config().validate());
+
+  ModelSpec spec = tiny_spec();
+  spec.clip_size = 3;  // not a multiple of 4
+  ModelRegistry registry;
+  EXPECT_THROW(registry.load(spec), ConfigError);
+}
+
+// Satellite: the stats dump is written atomically (no .tmp left behind,
+// and the file is complete, parseable JSON).
+TEST(Serve, StatsDumpAtomic) {
+  auto registry = tiny_registry();
+  GenerationServer server(registry);
+  server.submit(sample_req(1, 1));
+  server.shutdown();
+  std::string path = ::testing::TempDir() + "serve_stats.json";
+  ASSERT_TRUE(server.write_stats(path));
+  std::string text;
+  {
+    FILE* f = fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    std::size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    fclose(f);
+  }
+  std::string err;
+  obs::Json j = obs::Json::parse(text, &err);
+  ASSERT_TRUE(j.is_object()) << err;
+  EXPECT_DOUBLE_EQ(j.find("completed")->as_number(), 1.0);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+}
+
+// (d) The NDJSON pipe transport with two concurrent clients sharing one
+// pipe pair: responses are single atomic line writes demultiplexed by id,
+// and each client's patterns match its solo sequential reference.
+TEST(Serve, PipeTransportConcurrentClients) {
+  auto registry = tiny_registry();
+  ModelRegistry::EntryPtr entry = registry->get("t");
+  GenerationServer server(registry);
+
+  int c2s[2], s2c[2];  // client->server requests, server->client responses
+  ASSERT_EQ(pipe(c2s), 0);
+  ASSERT_EQ(pipe(s2c), 0);
+  std::thread serve_thread([&] {
+    serve_stream(c2s[0], s2c[1], server, *registry);
+    ::close(c2s[0]);
+    ::close(s2c[1]);
+  });
+
+  const int per_client = 3;
+  auto client = [&](std::uint64_t base) {
+    for (int i = 0; i < per_client; ++i) {
+      obs::Json req = obs::Json::object();
+      req.set("id", obs::Json(base + i));
+      req.set("op", obs::Json("sample"));
+      req.set("model", obs::Json("t"));
+      req.set("seed", obs::Json(base + i));
+      ASSERT_TRUE(write_line_fd(c2s[1], req.dump()));
+    }
+  };
+  std::thread a(client, 100), b(client, 200);
+  a.join();
+  b.join();
+  ::close(c2s[1]);  // EOF: transport drains the server and exits
+
+  LineReader reader(s2c[0]);
+  std::string line;
+  std::map<std::uint64_t, Raster> got;
+  while (reader.next(line)) {
+    if (line.empty()) continue;
+    obs::Json j = obs::Json::parse(line);
+    ASSERT_TRUE(j.is_object()) << line;
+    std::uint64_t id = 0;
+    ASSERT_TRUE(get_u64(j, "id", 0, &id));
+    ASSERT_TRUE(j.find("ok")->as_bool()) << line;
+    Raster r;
+    ASSERT_TRUE(raster_from_json(j.find("patterns")->at(0), &r));
+    got[id] = r;
+  }
+  serve_thread.join();
+  ::close(s2c[0]);
+
+  ASSERT_EQ(got.size(), 2u * per_client);
+  for (const auto& kv : got) {
+    std::vector<Raster> ref =
+        sequential_reference(entry, sample_req(kv.first, kv.first));
+    EXPECT_EQ(kv.second, ref.at(0)) << "id " << kv.first;
+  }
+}
+
+// The transport maps malformed requests and invalid load specs to
+// structured error responses instead of dying.
+TEST(Serve, TransportStructuredErrors) {
+  auto registry = std::make_shared<ModelRegistry>();
+  GenerationServer server(registry);
+  int c2s[2], s2c[2];
+  ASSERT_EQ(pipe(c2s), 0);
+  ASSERT_EQ(pipe(s2c), 0);
+  std::thread serve_thread([&] {
+    serve_stream(c2s[0], s2c[1], server, *registry);
+    ::close(c2s[0]);
+    ::close(s2c[1]);
+  });
+  write_line_fd(c2s[1], "this is not json");
+  write_line_fd(c2s[1],
+                R"({"id":1,"op":"load","model":"x","clip":3})");  // clip%4!=0
+  write_line_fd(c2s[1], R"({"id":2,"op":"sample","model":"ghost"})");
+  write_line_fd(c2s[1], R"({"id":3,"op":"frobnicate"})");
+  ::close(c2s[1]);
+
+  LineReader reader(s2c[0]);
+  std::map<std::uint64_t, std::string> codes;
+  std::string line;
+  while (reader.next(line)) {
+    obs::Json j = obs::Json::parse(line);
+    ASSERT_TRUE(j.is_object()) << line;
+    std::uint64_t id = 0;
+    get_u64(j, "id", 0, &id);
+    const obs::Json* err = j.find("error");
+    ASSERT_NE(err, nullptr) << line;
+    codes[id] = err->find("code")->as_string();
+  }
+  serve_thread.join();
+  ::close(s2c[0]);
+  EXPECT_EQ(codes[0], "bad_request");      // unparseable line
+  EXPECT_EQ(codes[1], "invalid_config");   // failed validate()
+  EXPECT_EQ(codes[2], "unknown_model");
+  EXPECT_EQ(codes[3], "bad_request");      // unknown op
+}
+
+}  // namespace
+}  // namespace pp::serve
