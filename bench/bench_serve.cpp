@@ -6,21 +6,37 @@
 //
 // Output (grep '^{"bench"'):
 //   {"bench": "serve_closed_loop", "ms": ..., "rps": ..., "p50_ms": ...,
-//    "p95_ms": ..., "clients": ..., "requests": ...}
+//    "p95_ms": ..., "p99_ms": ..., "clients": ..., "requests": ...}
+//   {"bench": "serve_open_loop_fixed", "ms": ..., "offered_rps": ...,
+//    "rps": ..., "p50_ms": ..., "p95_ms": ..., "p99_ms": ...,
+//    "queue_p50_ms": ..., "queue_p95_ms": ..., "queue_p99_ms": ...,
+//    "requests": ...}
+//   {"bench": "serve_open_loop_cont", ... same fields ...}
 //   {"bench": "serve_overload", "ms": ..., "rejected": ..., "timeouts": ...}
+//
+// The open-loop pair is the tail-latency A/B for step-level continuous
+// batching: Poisson arrivals (PP_SERVE_RPS overrides the offered rate) with
+// three mixed sampler classes (short steps 2 / 4 plus rare steps-32 heavies)
+// driving the SAME precomputed workload through both executors.
+// Fixed batching head-of-line-blocks short requests behind long schedules
+// (and cannot coalesce across steps classes at all); continuous batching
+// joins every arrival at the next step boundary, so its p95/p99 collapse.
 //
 // The model is a tiny untrained sd1 (weights from the init seed): the
 // serving costs measured here — queueing, batching, denoising-step compute,
 // finish tail — are identical in kind to a trained model's.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "benchutil.hpp"
+#include "common/rng.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
 
@@ -56,6 +72,86 @@ serve::GenRequest sample_req(std::uint64_t id, std::uint64_t seed) {
   req.count = 1;
   req.finish = true;
   return req;
+}
+
+/// One open-loop arrival: when it fires (ms after phase start) and which
+/// sampler class it belongs to. Precomputed once so both executors replay
+/// the identical workload.
+struct Arrival {
+  double at_ms = 0.0;
+  int steps = 0;
+  int count = 1;
+};
+
+struct OpenLoopStats {
+  double wall_ms = 0.0;
+  double rps = 0.0;
+  std::vector<double> e2e_ms;    ///< server-reported enqueue -> completion
+  std::vector<double> queue_ms;  ///< server-reported enqueue -> batch join
+};
+
+/// Replays the arrival schedule against one executor flavour. A single
+/// dispatcher thread sleeps to each Poisson arrival and fires the submit;
+/// latencies are the server's own e2e_ms / wait_ms, so client-side clock
+/// jitter does not pollute the comparison.
+OpenLoopStats run_open_loop(const std::shared_ptr<serve::ModelRegistry>& reg,
+                            const std::vector<Arrival>& arrivals,
+                            bool continuous) {
+  using Clock = std::chrono::steady_clock;
+  serve::ServerConfig cfg;
+  cfg.max_queue = 1024;  // open loop must never bounce off admission
+  cfg.max_batch_samples = 8;
+  cfg.continuous = continuous;
+  serve::GenerationServer server(reg, cfg);
+  server.start();
+  std::vector<std::future<serve::GenResponse>> futs;
+  futs.reserve(arrivals.size());
+  const Clock::time_point t0 = Clock::now();
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    std::this_thread::sleep_until(
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double, std::milli>(arrivals[i].at_ms)));
+    serve::GenRequest req = sample_req(i + 1, 0x5EED + i);
+    req.steps = arrivals[i].steps;
+    req.count = arrivals[i].count;
+    futs.push_back(server.submit(std::move(req)));
+  }
+  OpenLoopStats out;
+  for (auto& f : futs) {
+    serve::GenResponse resp = f.get();
+    if (!resp.ok()) continue;
+    out.e2e_ms.push_back(resp.e2e_ms);
+    out.queue_ms.push_back(resp.wait_ms);
+  }
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  server.shutdown();
+  out.rps = out.e2e_ms.empty() ? 0.0
+                               : static_cast<double>(out.e2e_ms.size()) /
+                                     (out.wall_ms / 1000.0);
+  return out;
+}
+
+void emit_open_loop(const char* name, const OpenLoopStats& s,
+                    double offered_rps) {
+  std::printf(
+      "%s: %zu requests in %.1f ms (offered %.1f rps, achieved %.1f): "
+      "e2e p50 %.1f p95 %.1f p99 %.1f ms, queue p50 %.1f p95 %.1f p99 %.1f ms\n",
+      name, s.e2e_ms.size(), s.wall_ms, offered_rps, s.rps,
+      percentile(s.e2e_ms, 0.50), percentile(s.e2e_ms, 0.95),
+      percentile(s.e2e_ms, 0.99), percentile(s.queue_ms, 0.50),
+      percentile(s.queue_ms, 0.95), percentile(s.queue_ms, 0.99));
+  bench::emit_json_summary(
+      name, s.wall_ms,
+      {{"offered_rps", offered_rps},
+       {"rps", s.rps},
+       {"p50_ms", percentile(s.e2e_ms, 0.50)},
+       {"p95_ms", percentile(s.e2e_ms, 0.95)},
+       {"p99_ms", percentile(s.e2e_ms, 0.99)},
+       {"queue_p50_ms", percentile(s.queue_ms, 0.50)},
+       {"queue_p95_ms", percentile(s.queue_ms, 0.95)},
+       {"queue_p99_ms", percentile(s.queue_ms, 0.99)},
+       {"requests", static_cast<double>(s.e2e_ms.size())}});
 }
 
 }  // namespace
@@ -112,17 +208,84 @@ int main() {
   const double rps = total / (wall_ms / 1000.0);
   const double p50 = percentile(latencies, 0.50);
   const double p95 = percentile(latencies, 0.95);
+  const double p99 = percentile(latencies, 0.99);
   std::printf("completed %zu/%d requests in %.1f ms: %.2f req/s, "
-              "p50 %.1f ms, p95 %.1f ms\n",
-              latencies.size(), total, wall_ms, rps, p50, p95);
+              "p50 %.1f ms, p95 %.1f ms, p99 %.1f ms\n",
+              latencies.size(), total, wall_ms, rps, p50, p95, p99);
   emit_json_summary("serve_closed_loop", wall_ms,
                     {{"rps", rps},
                      {"p50_ms", p50},
                      {"p95_ms", p95},
+                     {"p99_ms", p99},
                      {"clients", static_cast<double>(clients)},
                      {"requests", static_cast<double>(total)}});
 
-  // Phase 2: overload. A small queue with the executor held back: two
+  // Phase 2: open loop, the continuous-batching A/B. The traffic shape is
+  // the one continuous batching exists for: a stream of short interactive
+  // requests (steps 2 / 4, one sample) with an occasional heavy request
+  // (steps 32, four samples) mixed in. Under the fixed executor a short
+  // request that arrives while a heavy batch runs waits for the WHOLE
+  // generation (and cannot even coalesce with neighbours of a different
+  // steps class); under the continuous executor it joins at the next step
+  // boundary and leaves after its own 2-4 steps. The offered rate is
+  // calibrated off the short class's solo latency so the server is busy
+  // but not saturated (~35% of the one-at-a-time short-class service
+  // rate); PP_SERVE_RPS overrides it.
+  double solo_ms = 0.0;
+  {
+    serve::GenerationServer server(registry);
+    server.start();
+    for (int steps : {32, 2, 4}) {  // warm-up + calibration sweep
+      serve::GenRequest req = sample_req(900 + steps, 900 + steps);
+      req.steps = steps;
+      const Clock::time_point s = Clock::now();
+      server.submit(std::move(req)).get();
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - s).count();
+      if (steps == 4) solo_ms = ms;
+    }
+    server.shutdown();
+  }
+  double offered_rps = 0.35 * 1000.0 / std::max(solo_ms, 0.1);
+  if (const char* env = std::getenv("PP_SERVE_RPS")) {
+    const double forced = std::atof(env);
+    if (forced > 0) offered_rps = forced;
+  }
+  const int open_n = scale.full ? 150 : 60;
+  std::printf("=== serve: open-loop Poisson %d requests at %.1f rps, "
+              "steps classes {2,4,32} (solo p50 %.1f ms) ===\n",
+              open_n, offered_rps, solo_ms);
+  std::vector<Arrival> arrivals(static_cast<std::size_t>(open_n));
+  {
+    Rng arrival_rng(20260808);
+    double t = 0.0;
+    for (int i = 0; i < open_n; ++i) {
+      // Exponential inter-arrival gap: -ln(U)/rate.
+      t += -std::log(1.0 - arrival_rng.uniform()) * 1000.0 / offered_rps;
+      Arrival& a = arrivals[static_cast<std::size_t>(i)];
+      a.at_ms = t;
+      if (i % 20 == 10) {  // heavy background request, ~5% of traffic
+        a.steps = 32;
+        a.count = 4;
+      } else {
+        a.steps = (i % 2 == 0) ? 2 : 4;
+        a.count = 1;
+      }
+    }
+  }
+  const OpenLoopStats fixed_stats =
+      run_open_loop(registry, arrivals, /*continuous=*/false);
+  const OpenLoopStats cont_stats =
+      run_open_loop(registry, arrivals, /*continuous=*/true);
+  emit_open_loop("serve_open_loop_fixed", fixed_stats, offered_rps);
+  emit_open_loop("serve_open_loop_cont", cont_stats, offered_rps);
+  std::printf("continuous vs fixed: p95 %.2fx, p99 %.2fx lower\n",
+              percentile(fixed_stats.e2e_ms, 0.95) /
+                  std::max(percentile(cont_stats.e2e_ms, 0.95), 1e-9),
+              percentile(fixed_stats.e2e_ms, 0.99) /
+                  std::max(percentile(cont_stats.e2e_ms, 0.99), 1e-9));
+
+  // Phase 3: overload. A small queue with the executor held back: two
   // no-deadline requests fill it, two short-deadline requests queue behind
   // them, the rest bounce off admission control. shutdown() then runs the
   // queue dry — the deadline pair expires before execution.

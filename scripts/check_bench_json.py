@@ -27,8 +27,15 @@ import sys
 HIST_FIELDS = {"count", "sum", "mean", "p50", "p95"}
 SPAN_FIELDS = {"name", "count", "total_ms", "p50_ms", "p95_ms"}
 CORE_KEYS = {"schema_version", "tool", "wall_ms", "metrics", "spans", "trace"}
-SERVE_FIELDS = ("rps", "p50_ms", "p95_ms", "clients", "requests",
-                "rejected", "timeouts")
+SERVE_FIELDS = ("rps", "p50_ms", "p95_ms", "p99_ms", "clients", "requests",
+                "rejected", "timeouts", "offered_rps", "queue_p50_ms",
+                "queue_p95_ms", "queue_p99_ms")
+# Open-loop A/B lines (bench_serve): the full latency evidence must be
+# present on BOTH executor flavours or the comparison is meaningless.
+OPEN_LOOP_BENCHES = ("serve_open_loop_fixed", "serve_open_loop_cont")
+OPEN_LOOP_REQUIRED = {"offered_rps", "rps", "p50_ms", "p95_ms", "p99_ms",
+                      "queue_p50_ms", "queue_p95_ms", "queue_p99_ms",
+                      "requests"}
 
 
 def _num(v):
@@ -116,9 +123,13 @@ def validate_bench_line(doc):
         if key in doc and (not _num(doc[key]) or doc[key] < 0):
             errs.append(f"{key} must be a non-negative number")
     if doc.get("bench") == "serve_closed_loop":
-        missing = {"rps", "p50_ms", "p95_ms"} - set(doc)
+        missing = {"rps", "p50_ms", "p95_ms", "p99_ms"} - set(doc)
         if missing:
             errs.append(f"serve_closed_loop line missing {sorted(missing)}")
+    if doc.get("bench") in OPEN_LOOP_BENCHES:
+        missing = OPEN_LOOP_REQUIRED - set(doc)
+        if missing:
+            errs.append(f"{doc['bench']} line missing {sorted(missing)}")
     for key, v in doc.items():
         if not isinstance(v, (str, int, float)) or isinstance(v, bool):
             errs.append(f"field '{key}' must be a scalar")
@@ -196,7 +207,16 @@ def selfcheck():
         {"bench": "conv_stem_32px_gemm_scalar", "ms": 1.5, "gflops": 4.1,
          "isa": "scalar"},
         {"bench": "serve_closed_loop", "ms": 23.4, "rps": 853.5,
-         "p50_ms": 4.6, "p95_ms": 5.9, "clients": 4, "requests": 20},
+         "p50_ms": 4.6, "p95_ms": 5.9, "p99_ms": 6.3, "clients": 4,
+         "requests": 20},
+        {"bench": "serve_open_loop_fixed", "ms": 270.3, "offered_rps": 293.6,
+         "rps": 222.0, "p50_ms": 8.8, "p95_ms": 43.6, "p99_ms": 44.0,
+         "queue_p50_ms": 2.5, "queue_p95_ms": 35.3, "queue_p99_ms": 39.9,
+         "requests": 60},
+        {"bench": "serve_open_loop_cont", "ms": 270.0, "offered_rps": 293.6,
+         "rps": 222.2, "p50_ms": 4.0, "p95_ms": 8.8, "p99_ms": 47.4,
+         "queue_p50_ms": 0.1, "queue_p95_ms": 1.3, "queue_p99_ms": 1.7,
+         "requests": 60},
         {"bench": "serve_overload", "ms": 7.6, "rejected": 4, "timeouts": 2},
     ]
     bad_lines = [
@@ -211,7 +231,21 @@ def selfcheck():
         {"bench": "serve_closed_loop", "ms": 1.0, "rps": 10.0},
         {"bench": "serve_closed_loop", "ms": 1.0, "rps": 10.0,
          "p50_ms": -1.0, "p95_ms": 2.0},
+        {"bench": "serve_closed_loop", "ms": 1.0, "rps": 10.0,
+         "p50_ms": 1.0, "p95_ms": 2.0},  # p99 now mandatory
         {"bench": "serve_overload", "ms": 1.0, "rejected": "many"},
+        # Open-loop lines without the queue percentiles / p99 are evidence
+        # gaps, not optional extras.
+        {"bench": "serve_open_loop_fixed", "ms": 1.0, "offered_rps": 10.0,
+         "rps": 9.0, "p50_ms": 1.0, "p95_ms": 2.0, "p99_ms": 3.0,
+         "requests": 5},
+        {"bench": "serve_open_loop_cont", "ms": 1.0, "offered_rps": 10.0,
+         "rps": 9.0, "p50_ms": 1.0, "p95_ms": 2.0, "queue_p50_ms": 0.1,
+         "queue_p95_ms": 0.2, "queue_p99_ms": 0.3, "requests": 5},
+        {"bench": "serve_open_loop_cont", "ms": 1.0, "offered_rps": 10.0,
+         "rps": 9.0, "p50_ms": 1.0, "p95_ms": 2.0, "p99_ms": 3.0,
+         "queue_p50_ms": 0.1, "queue_p95_ms": -0.2, "queue_p99_ms": 0.3,
+         "requests": 5},
     ]
 
     failures = []

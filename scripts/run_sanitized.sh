@@ -34,3 +34,33 @@ echo "=== serve pipe round-trip ==="
 "$BUILD_DIR"/examples/ppaint_cli client \
     "spawn:$BUILD_DIR/examples/ppaint_serve" 1 7 > /dev/null
 echo "serve round-trip OK"
+
+# Continuous-batching round-trip: a canned NDJSON session with mixed
+# per-request sampler schedules (steps 2 / default / 8, mixed eta) that
+# join/leave one running batch at step boundaries, plus an out-of-domain
+# steps knob that must come back as a structured bad_request — all under
+# the sanitizers, where a stale pointer in the latent re-pack would burn.
+echo "=== serve continuous-batching round-trip ==="
+cont_out=$("$BUILD_DIR"/examples/ppaint_serve pipe <<'NDJSON'
+{"id":1,"op":"load","model":"cb","preset":"sd1","clip":16,"timesteps":40,"sample_steps":4,"base_channels":6,"time_dim":16}
+{"id":2,"op":"sample","model":"cb","seed":11,"count":2,"steps":8,"eta":0.8}
+{"id":3,"op":"sample","model":"cb","seed":12,"count":1,"steps":2,"eta":0.0}
+{"id":4,"op":"sample","model":"cb","seed":13,"count":1}
+{"id":5,"op":"sample","model":"cb","seed":14,"steps":1}
+{"id":6,"op":"shutdown"}
+NDJSON
+)
+for marker in '"patterns":' '"code":"bad_request"' '"draining":true'; do
+  if ! grep -qF "$marker" <<<"$cont_out"; then
+    echo "continuous round-trip missing $marker:" >&2
+    echo "$cont_out" >&2
+    exit 1
+  fi
+done
+ok_count=$(grep -cF '"ok":true' <<<"$cont_out")
+if [ "$ok_count" -lt 4 ]; then  # load ack + 3 generations
+  echo "continuous round-trip: expected >=4 ok responses, got $ok_count:" >&2
+  echo "$cont_out" >&2
+  exit 1
+fi
+echo "serve continuous-batching round-trip OK"

@@ -158,111 +158,273 @@ nn::Tensor Ddpm::inpaint(const Tensor& known, const Tensor& mask,
 nn::Tensor Ddpm::inpaint(const Tensor& known, const Tensor& mask,
                          const std::vector<std::uint64_t>& bases,
                          const std::function<bool()>& abort) const {
+  return inpaint(known, mask, bases, SamplerParams{}, abort);
+}
+
+SamplerParams Ddpm::resolve_sampler(const SamplerParams& params) const {
+  SamplerParams r;
+  r.steps = params.steps > 0 ? params.steps : cfg_.sample_steps;
+  r.eta = params.eta >= 0.0f ? params.eta : cfg_.eta;
+  if (r.steps < 2 || r.steps > cfg_.T)
+    throw ConfigError("SamplerParams: steps must be in [2, " +
+                      std::to_string(cfg_.T) + "]");
+  if (!(r.eta >= 0.0f && r.eta <= 1.0f))
+    throw ConfigError("SamplerParams: eta must be in [0, 1]");
+  return r;
+}
+
+namespace {
+
+/// Strided timestep subsequence T-1 = ts[0] > ts[1] > ... > ts[K-1] = 0.
+std::vector<int> strided_schedule(int K, int T) {
+  std::vector<int> ts(static_cast<std::size_t>(K));
+  for (int i = 0; i < K; ++i)
+    ts[static_cast<std::size_t>(i)] = static_cast<int>(
+        std::lround((1.0 - static_cast<double>(i) / (K - 1)) * (T - 1)));
+  return ts;
+}
+
+/// Copies the packed {1,H,W} rows listed in `keep` of `src` into a fresh
+/// {keep.size(),1,H,W} tensor (the re-pack primitive).
+nn::Tensor pack_rows(const Tensor& src, const std::vector<int>& keep,
+                     std::size_t per) {
+  Tensor dst({static_cast<int>(keep.size()), 1, src.dim(2), src.dim(3)});
+  for (std::size_t w = 0; w < keep.size(); ++w)
+    std::copy_n(src.data() + static_cast<std::size_t>(keep[w]) * per, per,
+                dst.data() + w * per);
+  return dst;
+}
+
+}  // namespace
+
+void Ddpm::join(InpaintState& st, const Tensor& known, const Tensor& mask,
+                const std::vector<std::uint64_t>& bases,
+                const std::vector<std::uint64_t>& tags,
+                const SamplerParams& params) const {
+  PP_REQUIRE_MSG(known.ndim() == 4 && known.dim(1) == 1,
+                 "join: known {N,1,H,W}");
+  PP_REQUIRE(known.same_shape(mask));
+  const int M = known.dim(0);
+  PP_REQUIRE_MSG(bases.size() == static_cast<std::size_t>(M) &&
+                     tags.size() == static_cast<std::size_t>(M),
+                 "join: one stream base and one tag per sample");
+  const SamplerParams p = resolve_sampler(params);
+  const int H = known.dim(2), W = known.dim(3);
+  if (st.h_ == 0 && st.w_ == 0) {
+    st.h_ = H;
+    st.w_ = W;
+  }
+  PP_REQUIRE_MSG(H == st.h_ && W == st.w_,
+                 "join: sample shape differs from the running state");
+  const std::size_t per = static_cast<std::size_t>(H) * W;
+  const int N0 = st.active();
+  const std::vector<int> ts = strided_schedule(p.steps, sched_.T);
+
+  // Re-pack with the new rows appended. The latent of each new sample is
+  // initialized from its own kInit stream, exactly as a fresh inpaint()
+  // would — a join at step boundary b>0 only means the newcomer's first
+  // steps run beside older samples, which cannot see it.
+  Tensor nx({N0 + M, 1, H, W}), nk({N0 + M, 1, H, W}), nm({N0 + M, 1, H, W});
+  if (N0 > 0) {
+    std::copy_n(st.x_.data(), static_cast<std::size_t>(N0) * per, nx.data());
+    std::copy_n(st.known_.data(), static_cast<std::size_t>(N0) * per,
+                nk.data());
+    std::copy_n(st.mask_.data(), static_cast<std::size_t>(N0) * per,
+                nm.data());
+  }
+  std::copy_n(known.data(), static_cast<std::size_t>(M) * per,
+              nk.data() + static_cast<std::size_t>(N0) * per);
+  std::copy_n(mask.data(), static_cast<std::size_t>(M) * per,
+              nm.data() + static_cast<std::size_t>(N0) * per);
+  parallel_for(0, static_cast<std::size_t>(M), [&](std::size_t i) {
+    Rng init = Rng::stream(bases[i], kInitStream);
+    float* xs = nx.data() + (static_cast<std::size_t>(N0) + i) * per;
+    for (std::size_t k = 0; k < per; ++k)
+      xs[k] = static_cast<float>(init.normal());
+  });
+  st.x_ = std::move(nx);
+  st.known_ = std::move(nk);
+  st.mask_ = std::move(nm);
+
+  st.slots_.reserve(static_cast<std::size_t>(N0 + M));
+  for (int i = 0; i < M; ++i) {
+    InpaintState::Slot s;
+    s.tag = tags[static_cast<std::size_t>(i)];
+    s.step = 0;
+    s.ts = ts;
+    s.eta = p.eta;
+    s.renoise = Rng::stream(bases[static_cast<std::size_t>(i)], kRenoiseStream);
+    s.sigma = Rng::stream(bases[static_cast<std::size_t>(i)], kSigmaStream);
+    st.slots_.push_back(std::move(s));
+  }
+}
+
+std::vector<FinishedSample> Ddpm::step(InpaintState& st) const {
+  if (st.empty()) return {};
+  PP_TRACE_SPAN("ddpm.inpaint.step");
+  static obs::Counter& steps = obs::metrics().counter("ddpm.inpaint.steps");
+  steps.add(1);
+  const int N = st.active();
+  const std::size_t per = static_cast<std::size_t>(st.h_) * st.w_;
+  Tensor& x = st.x_;
+  const Tensor& known = st.known_;
+  const Tensor& mask = st.mask_;
+
+  // Per-sample DDIM coefficients: each sample sits at its own (t, t_prev)
+  // pair of its own schedule, with its own eta. The float expressions are
+  // exactly the monolithic inpaint loop's, evaluated per row, so a batch of
+  // identical schedules is bitwise the old fixed-batch path.
+  struct Coef {
+    float sa_t, sb_t, sigma, sa_p, dir;
+  };
+  std::vector<Coef> co(static_cast<std::size_t>(N));
+  std::vector<float> t_frac(static_cast<std::size_t>(N));
+  for (int n = 0; n < N; ++n) {
+    const InpaintState::Slot& s = st.slots_[static_cast<std::size_t>(n)];
+    const int K = static_cast<int>(s.ts.size());
+    const int t = s.ts[static_cast<std::size_t>(s.step)];
+    const int t_prev =
+        s.step + 1 < K ? s.ts[static_cast<std::size_t>(s.step + 1)] : -1;
+    const float ab_t = sched_.alpha_bar_at(t);
+    const float ab_prev = sched_.alpha_bar_at(t_prev);
+    Coef& c = co[static_cast<std::size_t>(n)];
+    c.sa_t = std::sqrt(ab_t);
+    c.sb_t = std::sqrt(1.0f - ab_t);
+    c.sigma = 0.0f;
+    if (t_prev >= 0 && s.eta > 0.0f) {
+      float v = (1.0f - ab_prev) / (1.0f - ab_t) * (1.0f - ab_t / ab_prev);
+      c.sigma = s.eta * std::sqrt(std::max(0.0f, v));
+    }
+    c.sa_p = std::sqrt(ab_prev);
+    c.dir = std::sqrt(std::max(0.0f, 1.0f - ab_prev - c.sigma * c.sigma));
+    t_frac[static_cast<std::size_t>(n)] =
+        static_cast<float>(t) / static_cast<float>(sched_.T - 1);
+  }
+
+  // RePaint conditioning: overwrite the known region of x_t with the
+  // forward-noised ground truth at each sample's own level t.
+  parallel_for(0, static_cast<std::size_t>(N), [&](std::size_t n) {
+    const Coef& c = co[n];
+    Rng& rn = st.slots_[n].renoise;
+    for (std::size_t i = 0; i < per; ++i) {
+      std::size_t k = n * per + i;
+      if (mask[k] == 0.0f) {
+        float e = static_cast<float>(rn.normal());
+        x[k] = c.sa_t * known[k] + c.sb_t * e;
+      }
+    }
+  });
+
+  Tensor in = compose_input(x, mask, known);
+  // Graph-free fast path: sampling never backprops, so skip autograd
+  // entirely (no Node allocation — asserted by diffusion_test). t_frac is
+  // genuinely per-row here; the UNet's time MLP embeds each row separately.
+  Tensor eps = net_.infer(in, t_frac);
+
+  // DDIM update with per-sample stochasticity.
+  parallel_for(0, static_cast<std::size_t>(N), [&](std::size_t n) {
+    const Coef& c = co[n];
+    Rng& sr = st.slots_[n].sigma;
+    for (std::size_t i = 0; i < per; ++i) {
+      std::size_t k = n * per + i;
+      float x0_hat = (x[k] - c.sb_t * eps[k]) / c.sa_t;
+      x0_hat = std::clamp(x0_hat, -1.0f, 1.0f);
+      float noise =
+          c.sigma > 0.0f ? c.sigma * static_cast<float>(sr.normal()) : 0.0f;
+      x[k] = c.sa_p * x0_hat + c.dir * eps[k] + noise;
+    }
+  });
+
+  // Advance cursors; samples whose schedule completed are composited
+  // (known pixels kept exactly) and leave; the remainder re-packs.
+  std::vector<FinishedSample> out;
+  std::vector<int> keep;
+  keep.reserve(static_cast<std::size_t>(N));
+  for (int n = 0; n < N; ++n) {
+    InpaintState::Slot& s = st.slots_[static_cast<std::size_t>(n)];
+    if (++s.step < static_cast<int>(s.ts.size())) {
+      keep.push_back(n);
+      continue;
+    }
+    FinishedSample f;
+    f.tag = s.tag;
+    f.x = Tensor({1, 1, st.h_, st.w_});
+    const float* xs = x.data() + static_cast<std::size_t>(n) * per;
+    const float* ks = known.data() + static_cast<std::size_t>(n) * per;
+    const float* ms = mask.data() + static_cast<std::size_t>(n) * per;
+    for (std::size_t i = 0; i < per; ++i)
+      f.x[i] = ms[i] == 0.0f ? ks[i] : xs[i];
+    out.push_back(std::move(f));
+  }
+  if (!out.empty()) st.compact(keep, per);
+  return out;
+}
+
+std::size_t Ddpm::leave(InpaintState& st,
+                        const std::vector<std::uint64_t>& tags) const {
+  if (st.empty() || tags.empty()) return 0;
+  const std::size_t per = static_cast<std::size_t>(st.h_) * st.w_;
+  std::vector<int> keep;
+  keep.reserve(st.slots_.size());
+  for (int n = 0; n < st.active(); ++n) {
+    const std::uint64_t tag = st.slots_[static_cast<std::size_t>(n)].tag;
+    if (std::find(tags.begin(), tags.end(), tag) == tags.end())
+      keep.push_back(n);
+  }
+  const std::size_t removed = st.slots_.size() - keep.size();
+  if (removed > 0) st.compact(keep, per);
+  return removed;
+}
+
+void InpaintState::compact(const std::vector<int>& keep, std::size_t per) {
+  std::vector<Slot> slots;
+  slots.reserve(keep.size());
+  for (int n : keep) slots.push_back(std::move(slots_[static_cast<std::size_t>(n)]));
+  slots_ = std::move(slots);
+  if (keep.empty()) {
+    // Empty state (h_/w_ stay: a later join must match the same shape).
+    x_ = known_ = mask_ = nn::Tensor();
+    return;
+  }
+  x_ = pack_rows(x_, keep, per);
+  known_ = pack_rows(known_, keep, per);
+  mask_ = pack_rows(mask_, keep, per);
+}
+
+nn::Tensor Ddpm::inpaint(const Tensor& known, const Tensor& mask,
+                         const std::vector<std::uint64_t>& bases,
+                         const SamplerParams& params,
+                         const std::function<bool()>& abort) const {
   PP_TRACE_SPAN("ddpm.inpaint");
   static obs::Counter& calls = obs::metrics().counter("ddpm.inpaint.calls");
-  static obs::Counter& steps = obs::metrics().counter("ddpm.inpaint.steps");
   static obs::Counter& samples = obs::metrics().counter("ddpm.inpaint.samples");
   static obs::Counter& aborted = obs::metrics().counter("ddpm.inpaint.aborted");
   calls.add(1);
   PP_REQUIRE_MSG(known.ndim() == 4 && known.dim(1) == 1,
                  "inpaint: known {N,1,H,W}");
   PP_REQUIRE(known.same_shape(mask));
-  int N = known.dim(0);
+  const int N = known.dim(0);
   PP_REQUIRE_MSG(bases.size() == static_cast<std::size_t>(N),
                  "inpaint: one stream base per sample");
   samples.add(static_cast<std::uint64_t>(N));
-  std::size_t per = known.numel() / static_cast<std::size_t>(N);
+  const std::size_t per = known.numel() / static_cast<std::size_t>(N);
 
-  // Strided timestep subsequence T-1 = ts[0] > ts[1] > ... > ts[K-1] = 0.
-  int K = cfg_.sample_steps;
-  std::vector<int> ts(static_cast<std::size_t>(K));
-  for (int i = 0; i < K; ++i)
-    ts[static_cast<std::size_t>(i)] =
-        static_cast<int>(std::lround((1.0 - static_cast<double>(i) / (K - 1)) *
-                                     (sched_.T - 1)));
+  InpaintState st;
+  std::vector<std::uint64_t> tags(static_cast<std::size_t>(N));
+  for (int n = 0; n < N; ++n) tags[static_cast<std::size_t>(n)] =
+      static_cast<std::uint64_t>(n);
+  join(st, known, mask, bases, tags, params);
 
-  // Per-sample RNG streams (see sample_bases): each sample owns three
-  // independent streams — init noise, RePaint re-noising, DDIM sigma —
-  // consumed in a fixed per-sample order, so the output for a given sample
-  // is a pure function of its base seed, making the batch bitwise identical
-  // under any batch split and any thread count.
-  std::vector<Rng> renoise, sigma_rng;
-  renoise.reserve(static_cast<std::size_t>(N));
-  sigma_rng.reserve(static_cast<std::size_t>(N));
-  for (int n = 0; n < N; ++n) {
-    renoise.push_back(Rng::stream(bases[static_cast<std::size_t>(n)],
-                                  kRenoiseStream));
-    sigma_rng.push_back(Rng::stream(bases[static_cast<std::size_t>(n)],
-                                    kSigmaStream));
-  }
-
-  // x starts as pure noise.
-  Tensor x = known.zeros_like();
-  parallel_for(0, static_cast<std::size_t>(N), [&](std::size_t n) {
-    Rng init = Rng::stream(bases[n], kInitStream);
-    float* xs = x.data() + n * per;
-    for (std::size_t i = 0; i < per; ++i)
-      xs[i] = static_cast<float>(init.normal());
-  });
-
-  for (int step = 0; step < K; ++step) {
-    PP_TRACE_SPAN("ddpm.inpaint.step");
+  Tensor out = known.zeros_like();
+  while (!st.empty()) {
     if (abort && abort()) {
       aborted.add(1);
       return Tensor();
     }
-    steps.add(1);
-    int t = ts[static_cast<std::size_t>(step)];
-    int t_prev = step + 1 < K ? ts[static_cast<std::size_t>(step + 1)] : -1;
-    float ab_t = sched_.alpha_bar_at(t);
-    float ab_prev = sched_.alpha_bar_at(t_prev);
-    float sa_t = std::sqrt(ab_t), sb_t = std::sqrt(1.0f - ab_t);
-
-    // RePaint conditioning: overwrite the known region of x_t with the
-    // forward-noised ground truth at level t.
-    parallel_for(0, static_cast<std::size_t>(N), [&](std::size_t n) {
-      for (std::size_t i = 0; i < per; ++i) {
-        std::size_t k = n * per + i;
-        if (mask[k] == 0.0f) {
-          float e = static_cast<float>(renoise[n].normal());
-          x[k] = sa_t * known[k] + sb_t * e;
-        }
-      }
-    });
-
-    std::vector<float> t_frac(
-        static_cast<std::size_t>(N),
-        static_cast<float>(t) / static_cast<float>(sched_.T - 1));
-    Tensor in = compose_input(x, mask, known);
-    // Graph-free fast path: sampling never backprops, so skip autograd
-    // entirely (no Node allocation — asserted by diffusion_test).
-    Tensor eps = net_.infer(in, t_frac);
-
-    // DDIM update with stochasticity eta.
-    float sigma = 0.0f;
-    if (t_prev >= 0 && cfg_.eta > 0.0f) {
-      float v = (1.0f - ab_prev) / (1.0f - ab_t) * (1.0f - ab_t / ab_prev);
-      sigma = cfg_.eta * std::sqrt(std::max(0.0f, v));
-    }
-    float sa_p = std::sqrt(ab_prev);
-    float dir = std::sqrt(std::max(0.0f, 1.0f - ab_prev - sigma * sigma));
-    parallel_for(0, static_cast<std::size_t>(N), [&](std::size_t n) {
-      for (std::size_t i = 0; i < per; ++i) {
-        std::size_t k = n * per + i;
-        float x0_hat = (x[k] - sb_t * eps[k]) / sa_t;
-        x0_hat = std::clamp(x0_hat, -1.0f, 1.0f);
-        float noise = sigma > 0.0f
-                          ? sigma * static_cast<float>(sigma_rng[n].normal())
-                          : 0.0f;
-        x[k] = sa_p * x0_hat + dir * eps[k] + noise;
-      }
-    });
+    for (const FinishedSample& f : step(st))
+      std::copy_n(f.x.data(), per, out.data() + f.tag * per);
   }
-
-  // Final compositing: keep known pixels exactly.
-  for (std::size_t k = 0; k < x.numel(); ++k)
-    if (mask[k] == 0.0f) x[k] = known[k];
-  return x;
+  return out;
 }
 
 nn::Tensor Ddpm::sample(int n, int height, int width, Rng& rng) const {

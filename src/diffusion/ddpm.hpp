@@ -43,6 +43,51 @@ struct DdpmConfig {
   void validate() const;
 };
 
+/// Per-request sampler schedule: continuous batching lets every request
+/// trade quality for latency, so the strided step count and DDIM
+/// stochasticity are per-sample knobs rather than model constants.
+struct SamplerParams {
+  int steps = 0;      ///< strided sampling steps; 0 = DdpmConfig::sample_steps
+  float eta = -1.0f;  ///< DDIM stochasticity in [0,1]; < 0 = DdpmConfig::eta
+};
+
+/// A sample that completed its schedule inside Ddpm::step: `tag` is the
+/// caller's identifier from join(), `x` the composited {1,1,H,W} result.
+struct FinishedSample {
+  std::uint64_t tag = 0;
+  nn::Tensor x;
+};
+
+/// Resumable per-sample inpainting state for step-level continuous
+/// batching: each packed row carries its own latent, RNG streams, timestep
+/// schedule and step cursor, so samples join at any step boundary, leave
+/// the moment they finish (or are cancelled) and the tensor is re-packed
+/// in between — all without perturbing any other sample's bits. Opaque:
+/// mutate only through Ddpm::join / Ddpm::step / Ddpm::leave.
+class InpaintState {
+ public:
+  bool empty() const { return slots_.empty(); }
+  int active() const { return static_cast<int>(slots_.size()); }
+  int height() const { return h_; }
+  int width() const { return w_; }
+
+ private:
+  friend class Ddpm;
+  /// Re-pack: keeps the listed row indices (in order), drops the rest.
+  void compact(const std::vector<int>& keep, std::size_t per);
+  struct Slot {
+    std::uint64_t tag = 0;
+    int step = 0;         ///< next schedule index to execute
+    std::vector<int> ts;  ///< per-sample strided timestep subsequence
+    float eta = 0.0f;
+    Rng renoise;  ///< RePaint known-region re-noising stream
+    Rng sigma;    ///< DDIM stochasticity stream
+  };
+  std::vector<Slot> slots_;      ///< one per packed row, row order
+  nn::Tensor x_, known_, mask_;  ///< packed {N,1,H,W}, N == slots_.size()
+  int h_ = 0, w_ = 0;
+};
+
 class Ddpm {
  public:
   Ddpm(DdpmConfig cfg, Rng& rng);
@@ -87,6 +132,51 @@ class Ddpm {
   nn::Tensor inpaint(const nn::Tensor& known, const nn::Tensor& mask,
                      const std::vector<std::uint64_t>& bases,
                      const std::function<bool()>& abort = {}) const;
+
+  /// Per-request sampler schedule variant: same contract as above, with
+  /// `params` overriding sample_steps / eta for every sample in the call.
+  /// Implemented on the step-level API below, so a monolithic call is
+  /// bitwise identical to the same samples run through join()/step() under
+  /// any interleaving with other samples.
+  nn::Tensor inpaint(const nn::Tensor& known, const nn::Tensor& mask,
+                     const std::vector<std::uint64_t>& bases,
+                     const SamplerParams& params,
+                     const std::function<bool()>& abort = {}) const;
+
+  /// --- Step-level (continuous-batching) API -------------------------------
+  ///
+  /// join/step/leave decompose inpaint() into resumable per-sample steps.
+  /// Because every sample's noise comes only from its own stream base and
+  /// its own step index (never from batch composition), any interleaving of
+  /// joins and leaves produces per-sample output bitwise identical to
+  /// running each sample alone through inpaint() with the same params.
+
+  /// Appends samples to `st`: known/mask {M,1,H,W}, one stream base and one
+  /// caller tag per sample (tags must be unique among in-flight samples).
+  /// Initializes each new latent row from its kInit stream. Validates
+  /// `params` against the schedule (throws pp::ConfigError out of domain).
+  void join(InpaintState& st, const nn::Tensor& known, const nn::Tensor& mask,
+            const std::vector<std::uint64_t>& bases,
+            const std::vector<std::uint64_t>& tags,
+            const SamplerParams& params = {}) const;
+
+  /// Runs ONE denoising step for every active sample (one UNet batch with
+  /// per-sample timestep conditioning and per-sample DDIM coefficients).
+  /// Samples whose schedule completes are composited (known pixels kept
+  /// exactly), removed from the state — the remaining rows re-pack — and
+  /// returned. No-op on an empty state.
+  std::vector<FinishedSample> step(InpaintState& st) const;
+
+  /// Removes the samples whose tags are listed (cancellation / deadline
+  /// expiry) without producing output; remaining rows re-pack. Returns how
+  /// many samples actually left.
+  std::size_t leave(InpaintState& st,
+                    const std::vector<std::uint64_t>& tags) const;
+
+  /// Resolves `params` against the config (0 / negative = model default)
+  /// and validates domains; throws pp::ConfigError on steps outside [2, T]
+  /// or eta outside [0, 1].
+  SamplerParams resolve_sampler(const SamplerParams& params) const;
 
   /// Unconditional generation of n images ({n,1,H,W}): inpainting with a
   /// full mask and a blank known image.

@@ -152,6 +152,11 @@ bool gen_request_from_json(const obs::Json& j, GenRequest* out,
   if (!get_double(j, "deadline_ms", 0.0, &out->deadline_ms) ||
       out->deadline_ms < 0)
     return fail("deadline_ms must be a non-negative number");
+  if (!get_int(j, "steps", 0, &out->steps) || out->steps < 0)
+    return fail("steps must be a non-negative integer (0 = model default)");
+  if (!get_double(j, "eta", -1.0, &out->eta) ||
+      (j.find("eta") && !(out->eta >= 0.0 && out->eta <= 1.0)))
+    return fail("eta must be a number in [0, 1]");
   if (out->op == GenRequest::Op::kInpaint) {
     const obs::Json* tmpl = j.find("template");
     if (!tmpl || !raster_from_json(*tmpl, &out->tmpl))

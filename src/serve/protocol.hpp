@@ -8,9 +8,15 @@
 //             "clip", "rules", "checkpoint", "timesteps", "sample_steps",
 //             "eta", "base_channels", "time_dim", "seed"}
 //   sample   {"id", "op":"sample", "model", "seed", "count", "finish",
-//             "deadline_ms"}
+//             "deadline_ms", "steps", "eta"}
 //   inpaint  {"id", "op":"inpaint", "model", "seed", "count", "finish",
-//             "deadline_ms", "template":<ascii>, "mask":<ascii>|"mask_id":k}
+//             "deadline_ms", "steps", "eta",
+//             "template":<ascii>, "mask":<ascii>|"mask_id":k}
+//
+// "steps" / "eta" are per-request sampler knobs (quality-vs-latency): the
+// strided denoising step count in [2, model T] (0 / absent = model default)
+// and the DDIM stochasticity in [0, 1] (absent = model default). Out-of-
+// domain values are rejected at admission as "bad_request".
 //   cancel   {"id", "op":"cancel", "target":<id>}
 //   ping / stats / shutdown {"id", "op":...}
 //
@@ -64,6 +70,11 @@ struct GenRequest {
   int count = 1;             ///< samples to generate
   bool finish = true;        ///< run the template-denoise + DRC tail
   double deadline_ms = 0.0;  ///< relative deadline; 0 = none
+  int steps = 0;             ///< sampler steps override; 0 = model default.
+                             ///< Validated against the model's [2, T] at
+                             ///< admission ("bad_request" on the wire).
+  double eta = -1.0;         ///< DDIM stochasticity override in [0, 1];
+                             ///< negative = model default
   Raster tmpl;               ///< inpaint only: template pattern
   Raster mask;               ///< inpaint only: 1 = region to regenerate
   int mask_id = -1;          ///< inpaint alternative: predefined mask index

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "diffusion/convert.hpp"
+#include "diffusion/ddpm.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -29,6 +30,13 @@ struct ServeMetrics {
   obs::Counter& batches = obs::metrics().counter("serve.batches");
   obs::Counter& coalesced = obs::metrics().counter("serve.coalesced");
   obs::Counter& samples = obs::metrics().counter("serve.samples");
+  // Continuous batching: samples that joined an already-running batch at a
+  // step boundary, samples that left early (cancel / mid-flight deadline),
+  // and latent-tensor re-pack events (a join/leave/finish that left other
+  // samples still running).
+  obs::Counter& joins = obs::metrics().counter("serve.joins");
+  obs::Counter& leaves = obs::metrics().counter("serve.leaves");
+  obs::Counter& repacks = obs::metrics().counter("serve.repacks");
   obs::Gauge& queue_depth = obs::metrics().gauge("serve.queue_depth");
   obs::Histogram& wait_ms = obs::metrics().histogram("serve.wait_ms");
   obs::Histogram& e2e_ms = obs::metrics().histogram("serve.e2e_ms");
@@ -57,9 +65,13 @@ void register_serve_section() {
       o.set("batches", obs::Json(m.batches.value()));
       o.set("coalesced_requests", obs::Json(m.coalesced.value()));
       o.set("samples", obs::Json(m.samples.value()));
+      o.set("joins", obs::Json(m.joins.value()));
+      o.set("leaves", obs::Json(m.leaves.value()));
+      o.set("repacks", obs::Json(m.repacks.value()));
       o.set("queue_depth", obs::Json(m.queue_depth.value()));
       o.set("e2e_p50_ms", obs::Json(m.e2e_ms.percentile(0.5)));
       o.set("e2e_p95_ms", obs::Json(m.e2e_ms.percentile(0.95)));
+      o.set("e2e_p99_ms", obs::Json(m.e2e_ms.percentile(0.99)));
       return o;
     });
   });
@@ -159,6 +171,20 @@ void GenerationServer::submit(GenRequest req,
                                          "' in the registry (load it first)");
     return;
   }
+  // Per-request sampler knobs are validated against THIS model's schedule
+  // at admission, so a bad value is a structured bad_request on the wire
+  // instead of an executor-side ConfigError.
+  const int T = entry->cfg.ddpm.T;
+  if (req.steps != 0 && (req.steps < 2 || req.steps > T)) {
+    reject(ErrorCode::kBadRequest,
+           "steps must be 0 (model default) or in [2, " + std::to_string(T) +
+               "] for model '" + req.model + "'");
+    return;
+  }
+  if (req.eta > 1.0) {
+    reject(ErrorCode::kBadRequest, "eta must be in [0, 1]");
+    return;
+  }
   const int clip = entry->cfg.clip_size;
   if (req.op == GenRequest::Op::kInpaint) {
     if (req.mask.empty() && req.mask_id >= 0) {
@@ -253,6 +279,13 @@ std::size_t GenerationServer::queue_depth() const {
 }
 
 void GenerationServer::worker_loop() {
+  if (cfg_.continuous)
+    worker_loop_continuous();
+  else
+    worker_loop_fixed();
+}
+
+void GenerationServer::worker_loop_fixed() {
   for (;;) {
     std::vector<PendingPtr> expired_now;
     std::vector<PendingPtr> batch;
@@ -281,15 +314,21 @@ void GenerationServer::worker_loop() {
 
       // Coalesce: the head defines the micro-batch key (registry entry
       // identity = same preset + checkpoint + clip size + weight
-      // generation); later compatible requests join until the sample cap.
+      // generation, PLUS the sampler schedule — a frozen batch runs every
+      // member in lockstep, so steps/eta must match); later compatible
+      // requests join until the sample cap.
       if (!queue_.empty()) {
-        const ModelRegistry::Entry* key = queue_.front()->entry.get();
+        const PendingPtr& head = queue_.front();
+        const ModelRegistry::Entry* key = head->entry.get();
+        const int key_steps = head->req.steps;
+        const double key_eta = head->req.eta;
         int samples = 0;
         for (auto it = queue_.begin(); it != queue_.end();) {
           const PendingPtr& p = *it;
           bool fits = batch.empty() ||
                       samples + p->req.count <= cfg_.max_batch_samples;
-          if (p->entry.get() == key && fits) {
+          if (p->entry.get() == key && p->req.steps == key_steps &&
+              p->req.eta == key_eta && fits) {
             samples += p->req.count;
             batch.push_back(p);
             it = queue_.erase(it);
@@ -310,6 +349,318 @@ void GenerationServer::worker_loop() {
       execute_batch(batch);
       std::lock_guard<std::mutex> lk(m_);
       inflight_.clear();
+    }
+  }
+}
+
+void GenerationServer::worker_loop_continuous() {
+  ServeMetrics& m = serve_metrics();
+
+  // One running request inside the continuous batch. `mid` namespaces its
+  // sample tags (tag = mid * kTagStride + sample index), `remaining` counts
+  // samples still inside the InpaintState, `raws` collects finished samples
+  // at their request-order position the moment each one's schedule ends.
+  struct Member {
+    PendingPtr p;
+    std::uint64_t mid = 0;
+    int remaining = 0;
+    int peak_batch = 0;  ///< max co-resident samples while this request ran
+    std::vector<Raster> raws;
+    std::vector<std::uint64_t> finish_bases;
+  };
+  constexpr std::uint64_t kTagStride = 1ull << 32;
+
+  ModelRegistry::EntryPtr entry;  ///< the running batch's registry entry
+  InpaintState st;
+  std::vector<Member> members;
+  std::uint64_t next_mid = 0;
+
+  auto drop_inflight = [&](const PendingPtr& p) {
+    std::lock_guard<std::mutex> lk(m_);
+    inflight_.erase(std::remove(inflight_.begin(), inflight_.end(), p),
+                    inflight_.end());
+  };
+  auto member_tags = [](std::uint64_t mid, int count) {
+    std::vector<std::uint64_t> tags;
+    tags.reserve(static_cast<std::size_t>(count));
+    for (int k = 0; k < count; ++k)
+      tags.push_back(mid * kTagStride + static_cast<std::uint64_t>(k));
+    return tags;
+  };
+  // Abandon the whole running batch (internal error / hard stop): every
+  // member completes with `code` — cancelled/expired members keep their own
+  // verdict — and the state resets.
+  auto fail_all = [&](ErrorCode code, const std::string& msg) {
+    for (Member& mem : members) {
+      drop_inflight(mem.p);
+      ErrorCode c = code;
+      if (mem.p->cancelled.load())
+        c = ErrorCode::kCancelled;
+      else if (expired(mem.p, Clock::now()))
+        c = ErrorCode::kTimeout;
+      finish_response(mem.p, GenResponse::fail(mem.p->req.id, c, msg));
+    }
+    members.clear();
+    st = InpaintState();
+    entry.reset();
+  };
+  // Finish tail + response for a member whose every sample completed.
+  auto complete_member = [&](Member& mem) {
+    const PendingPtr& p = mem.p;
+    if (p->cancelled.load()) {
+      finish_response(p, GenResponse::fail(p->req.id, ErrorCode::kCancelled,
+                                           "cancelled while executing"));
+      return;
+    }
+    GenResponse resp;
+    resp.id = p->req.id;
+    resp.wait_ms = p->wait_ms_snapshot;
+    resp.batch_samples = mem.peak_batch;
+    if (p->req.finish) {
+      const int clip = entry->cfg.clip_size;
+      const Raster tmpl = p->req.op == GenRequest::Op::kInpaint
+                              ? p->req.tmpl
+                              : Raster(clip, clip, 0);
+      std::vector<Raster> tmpls(mem.raws.size(), tmpl);
+      std::vector<GenerationRecord> recs;
+      try {
+        recs = entry->pp->finish_samples(mem.raws, tmpls, mem.finish_bases);
+      } catch (const std::exception& e) {
+        finish_response(
+            p, GenResponse::fail(p->req.id, ErrorCode::kInternal, e.what()));
+        return;
+      }
+      for (const GenerationRecord& rec : recs) {
+        resp.patterns.push_back(rec.denoised);
+        resp.legal.push_back(rec.legal);
+      }
+    } else {
+      resp.patterns = mem.raws;
+    }
+    finish_response(p, std::move(resp));
+  };
+
+  for (;;) {
+    std::vector<PendingPtr> expired_now;
+    std::vector<PendingPtr> joined;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      if (members.empty()) {
+        entry.reset();
+        cv_.wait(lk, [&] {
+          return stop_hard_.load() || draining_.load() || !queue_.empty();
+        });
+        if (queue_.empty()) {
+          if (draining_.load() || stop_hard_.load()) break;
+          continue;
+        }
+        if (stop_hard_.load()) break;  // destructor flushes the queue
+      }
+
+      // Deadline pass: anything already expired completes as "timeout"
+      // without touching the model.
+      const Clock::time_point now = Clock::now();
+      for (auto it = queue_.begin(); it != queue_.end();) {
+        if (expired(*it, now)) {
+          expired_now.push_back(*it);
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+
+      // Join pass (the step boundary): when idle, the first queued request
+      // fixes the batch's registry entry; every queued same-entry request
+      // then joins until the sample cap. steps/eta need NOT match — the
+      // sampler schedule is per-sample state, not a batch property.
+      if (!stop_hard_.load()) {
+        int active = st.active();
+        for (auto it = queue_.begin(); it != queue_.end();) {
+          const PendingPtr& p = *it;
+          if (!entry) entry = p->entry;
+          const bool fits =
+              active == 0 || active + p->req.count <= cfg_.max_batch_samples;
+          if (p->entry.get() == entry.get() && fits) {
+            active += p->req.count;
+            joined.push_back(p);
+            inflight_.push_back(p);
+            it = queue_.erase(it);
+            if (active >= cfg_.max_batch_samples) break;
+          } else {
+            ++it;
+          }
+        }
+      }
+      m.queue_depth.set(static_cast<double>(queue_.size()));
+    }
+
+    for (const PendingPtr& p : expired_now)
+      finish_response(p, GenResponse::fail(p->req.id, ErrorCode::kTimeout,
+                                           "deadline expired in queue"));
+
+    if (stop_hard_.load()) {
+      for (const PendingPtr& p : joined) {
+        drop_inflight(p);
+        finish_response(p, GenResponse::fail(p->req.id, ErrorCode::kDraining,
+                                             "server stopped"));
+      }
+      if (!members.empty())
+        fail_all(ErrorCode::kDraining, "batch abandoned mid-flight");
+      break;
+    }
+
+    // Execute the joins: derive each request's stream bases per the
+    // sequential reference semantics (Rng(seed) -> count gen bases, then
+    // count finish bases; serve/protocol.hpp), assemble its planes and
+    // extend the running state. Per-sample noise is a pure function of
+    // (base, step index), so joining late cannot shift anyone's bits.
+    if (!joined.empty()) {
+      const Clock::time_point now = Clock::now();
+      const int clip = entry->cfg.clip_size;
+      const std::size_t plane = static_cast<std::size_t>(clip) * clip;
+      const bool was_running = !members.empty();
+      int joined_samples = 0;
+      for (const PendingPtr& p : joined) {
+        p->wait_ms_snapshot = ms_between(p->enqueue, now);
+        m.wait_ms.observe(p->wait_ms_snapshot);
+        const int count = p->req.count;
+        Member mem;
+        mem.p = p;
+        mem.mid = next_mid++;
+        mem.remaining = count;
+        mem.raws.resize(static_cast<std::size_t>(count));
+        mem.finish_bases.resize(static_cast<std::size_t>(count));
+        Rng rng(p->req.seed);
+        std::vector<std::uint64_t> gen_bases(static_cast<std::size_t>(count));
+        for (auto& b : gen_bases) b = rng.draw_seed();
+        for (auto& b : mem.finish_bases) b = rng.draw_seed();
+
+        nn::Tensor known({count, 1, clip, clip});
+        nn::Tensor mask({count, 1, clip, clip});
+        nn::Tensor kt, mt;
+        if (p->req.op == GenRequest::Op::kInpaint) {
+          kt = raster_to_tensor(p->req.tmpl);
+          mt = mask_to_tensor(p->req.mask);
+        } else {
+          kt = nn::Tensor::full({1, 1, clip, clip}, -1.0f);  // empty layout
+          mt = nn::Tensor::full({1, 1, clip, clip}, 1.0f);   // regenerate all
+        }
+        for (int k = 0; k < count; ++k) {
+          std::copy_n(kt.data(), plane,
+                      known.data() + static_cast<std::size_t>(k) * plane);
+          std::copy_n(mt.data(), plane,
+                      mask.data() + static_cast<std::size_t>(k) * plane);
+        }
+        try {
+          entry->pp->model().join(
+              st, known, mask, gen_bases, member_tags(mem.mid, count),
+              SamplerParams{p->req.steps, static_cast<float>(p->req.eta)});
+        } catch (const std::exception& e) {
+          drop_inflight(p);
+          finish_response(
+              p, GenResponse::fail(p->req.id, ErrorCode::kInternal, e.what()));
+          continue;
+        }
+        if (!members.empty()) {  // joined a batch that already had samples
+          joins_.fetch_add(static_cast<std::uint64_t>(count));
+          m.joins.add(static_cast<std::uint64_t>(count));
+        }
+        joined_samples += count;
+        members.push_back(std::move(mem));
+      }
+      if (joined_samples > 0) {
+        if (!was_running) {
+          batches_.fetch_add(1);
+          m.batches.add(1);
+        }
+        batched_samples_.fetch_add(static_cast<std::uint64_t>(joined_samples));
+        m.samples.add(static_cast<std::uint64_t>(joined_samples));
+        m.batch_samples.observe(static_cast<double>(st.active()));
+        if (members.size() > 1)
+          m.coalesced.add(static_cast<std::uint64_t>(joined.size()));
+      }
+    }
+
+    // Leave pass: cancelled or deadline-expired members exit NOW, at the
+    // step boundary, instead of holding their rows to the end — the
+    // remaining latents re-pack and everyone else's bits are untouched.
+    if (!members.empty()) {
+      const Clock::time_point now = Clock::now();
+      std::vector<std::uint64_t> leave_tags;
+      for (auto it = members.begin(); it != members.end();) {
+        Member& mem = *it;
+        const bool cancel = mem.p->cancelled.load();
+        const bool late = !cancel && expired(mem.p, now);
+        if (!cancel && !late) {
+          ++it;
+          continue;
+        }
+        const std::vector<std::uint64_t> tags =
+            member_tags(mem.mid, mem.p->req.count);
+        leave_tags.insert(leave_tags.end(), tags.begin(), tags.end());
+        leaves_.fetch_add(static_cast<std::uint64_t>(mem.remaining));
+        m.leaves.add(static_cast<std::uint64_t>(mem.remaining));
+        drop_inflight(mem.p);
+        finish_response(
+            mem.p,
+            cancel ? GenResponse::fail(mem.p->req.id, ErrorCode::kCancelled,
+                                       "cancelled while executing")
+                   : GenResponse::fail(mem.p->req.id, ErrorCode::kTimeout,
+                                       "deadline expired mid-batch"));
+        it = members.erase(it);
+      }
+      if (!leave_tags.empty()) {
+        entry->pp->model().leave(st, leave_tags);
+        if (!st.empty()) {
+          repacks_.fetch_add(1);
+          m.repacks.add(1);
+        }
+      }
+    }
+    if (members.empty()) {
+      st = InpaintState();
+      entry.reset();
+      continue;
+    }
+
+    // One denoising step for every active sample; completed samples come
+    // back composited and the state re-packs underneath them.
+    const int cur = st.active();
+    for (Member& mem : members)
+      mem.peak_batch = std::max(mem.peak_batch, cur);
+    std::vector<FinishedSample> done;
+    try {
+      PP_TRACE_SPAN("serve.step_batch");
+      done = entry->pp->model().step(st);
+    } catch (const std::exception& e) {
+      fail_all(ErrorCode::kInternal, e.what());
+      continue;
+    }
+    if (!done.empty() && !st.empty()) {
+      repacks_.fetch_add(1);
+      m.repacks.add(1);
+    }
+
+    // Route finished samples home; a member whose last sample just landed
+    // responds immediately — it does not wait for the batch to drain.
+    for (const FinishedSample& f : done) {
+      const std::uint64_t mid = f.tag / kTagStride;
+      const std::size_t k = static_cast<std::size_t>(f.tag % kTagStride);
+      for (Member& mem : members) {
+        if (mem.mid != mid) continue;
+        mem.raws[k] = tensor_to_rasters(f.x)[0];
+        --mem.remaining;
+        break;
+      }
+    }
+    for (auto it = members.begin(); it != members.end();) {
+      if (it->remaining > 0) {
+        ++it;
+        continue;
+      }
+      complete_member(*it);
+      drop_inflight(it->p);
+      it = members.erase(it);
     }
   }
 }
@@ -382,9 +733,11 @@ void GenerationServer::execute_batch(std::vector<PendingPtr>& batch) {
     return true;
   };
 
+  const SamplerParams sampler{batch.front()->req.steps,
+                              static_cast<float>(batch.front()->req.eta)};
   nn::Tensor out;
   try {
-    out = entry->pp->model().inpaint(known, mask, gen_bases, abort);
+    out = entry->pp->model().inpaint(known, mask, gen_bases, sampler, abort);
   } catch (const std::exception& e) {
     for (const PendingPtr& p : batch)
       finish_response(p, GenResponse::fail(p->req.id, ErrorCode::kInternal,
@@ -478,10 +831,14 @@ obs::Json GenerationServer::stats_json() const {
   o.set("completed", obs::Json(completed_.load()));
   o.set("batches", obs::Json(batches_.load()));
   o.set("batched_samples", obs::Json(batched_samples_.load()));
+  o.set("joins", obs::Json(joins_.load()));
+  o.set("leaves", obs::Json(leaves_.load()));
+  o.set("repacks", obs::Json(repacks_.load()));
   o.set("queue_depth", obs::Json(queue_depth()));
   o.set("accepting", obs::Json(accepting()));
   o.set("max_queue", obs::Json(cfg_.max_queue));
   o.set("max_batch_samples", obs::Json(cfg_.max_batch_samples));
+  o.set("continuous", obs::Json(cfg_.continuous));
   o.set("models", registry_->to_json());
   return o;
 }

@@ -2,25 +2,35 @@
 // pipeline.
 //
 // Requests enter a bounded, deadline-aware FIFO queue (admission control:
-// reject-with-reason when full or draining). A single executor thread pops
-// the head and coalesces every queued request that resolved to the SAME
-// registry entry — same preset + checkpoint + clip size, by pointer
-// identity, so weights can never mix across hot-swap generations — into
-// one dynamic micro-batch, bounded by max_batch_samples. The batch runs
-// through Ddpm::inpaint (explicit per-sample RNG stream bases derived from
-// each request's seed) and PatternPaint::finish_samples, so every
-// request's bits are identical to what sequential, one-request-at-a-time
-// execution would produce (see serve/protocol.hpp, "Determinism
-// contract"); batching is purely a throughput decision.
+// reject-with-reason when full or draining). A single executor thread
+// serves them with STEP-LEVEL CONTINUOUS BATCHING (LLM-serving style): it
+// keeps one running batch of per-sample denoising state (Ddpm::InpaintState)
+// for one registry entry — same preset + checkpoint + clip + weight
+// generation, by pointer identity, so weights can never mix across
+// hot-swap generations. At every denoising-step boundary, queued requests
+// for the same entry JOIN the running batch (up to max_batch_samples),
+// cancelled or deadline-expired samples LEAVE immediately, samples whose
+// per-request schedule (`steps`/`eta` knobs) completes are delivered the
+// moment their last step runs, and the latent tensor RE-PACKS. A late
+// request therefore waits one step, not one whole generation.
 //
-// Deadlines are enforced at dequeue (expired requests complete with
-// "timeout" without touching the model). Cooperative cancellation is
-// polled between denoising steps: when every member of the running batch
-// has been cancelled or has expired, the batch is abandoned mid-flight.
-// shutdown() drains gracefully — admission closes, queued work completes,
-// then the executor exits. Destruction without shutdown() aborts in-flight
-// work at the next step boundary and fails queued requests with
-// "draining".
+// Determinism: every sample's noise is a pure function of its own RNG
+// stream base (derived from the request seed) and its own step index, and
+// the UNet conditions on a per-sample timestep, so ANY interleaving of
+// joins/leaves produces output bitwise identical to sequential
+// one-request-at-a-time execution (see serve/protocol.hpp, "Determinism
+// contract"); batching is purely a latency/throughput decision.
+//
+// Deadlines are enforced both in the queue and mid-flight (expired samples
+// complete with "timeout"); cancellation takes effect at the next step
+// boundary. shutdown() drains gracefully — admission closes, queued work
+// completes, then the executor exits. Destruction without shutdown()
+// abandons in-flight work at the next step boundary and fails queued
+// requests with "draining".
+//
+// ServerConfig::continuous = false selects the legacy fixed-batch
+// executor (micro-batch frozen at dequeue, runs to completion), kept so
+// bench_serve can A/B the tail-latency win on identical workloads.
 #pragma once
 
 #include <atomic>
@@ -43,7 +53,14 @@ namespace pp::serve {
 
 struct ServerConfig {
   std::size_t max_queue = 64;  ///< pending-request bound (admission control)
-  int max_batch_samples = 16;  ///< micro-batch coalescing cap, in samples
+  int max_batch_samples = 16;  ///< running-batch cap, in samples
+  /// Step-level continuous batching (the default): the executor keeps ONE
+  /// running batch, new same-entry requests join at the next denoising-step
+  /// boundary, finished/cancelled/expired samples leave immediately and the
+  /// latent tensor re-packs between steps. false = the legacy fixed-batch
+  /// executor (batch frozen at dequeue, runs to completion) — kept for A/B
+  /// latency benchmarking in bench_serve.
+  bool continuous = true;
 };
 
 class GenerationServer {
@@ -106,6 +123,11 @@ class GenerationServer {
   using PendingPtr = std::shared_ptr<Pending>;
 
   void worker_loop();
+  /// Legacy fixed-batch executor: batch frozen at dequeue (coalescing key =
+  /// registry entry + sampler schedule), runs every step to completion.
+  void worker_loop_fixed();
+  /// Step-level continuous-batching executor (see class comment).
+  void worker_loop_continuous();
   void execute_batch(std::vector<PendingPtr>& batch);
   void finish_response(const PendingPtr& p, GenResponse resp);
   static bool expired(const PendingPtr& p,
@@ -127,7 +149,8 @@ class GenerationServer {
   // registry as serve.* counters/histograms and the "serve" report
   // section).
   std::atomic<std::uint64_t> accepted_{0}, rejected_{0}, timeouts_{0},
-      cancelled_{0}, completed_{0}, batches_{0}, batched_samples_{0};
+      cancelled_{0}, completed_{0}, batches_{0}, batched_samples_{0},
+      joins_{0}, leaves_{0}, repacks_{0};
 };
 
 }  // namespace pp::serve

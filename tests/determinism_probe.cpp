@@ -88,6 +88,35 @@ int main() {
     for (const Raster& p : resp.patterns)
       std::printf("%016" PRIx64 "\n", p.hash());
   }
+
+  // Continuous-batching round: mixed per-request sampler schedules in one
+  // running batch, plus a request submitted only after the batch is in
+  // flight (a genuine late join). Pattern hashes must not depend on WHEN a
+  // sample joined or how many neighbours it shared steps with, so only id
+  // and hashes are printed — batch composition is timing, bits are not.
+  std::vector<std::future<serve::GenResponse>> cfuts;
+  auto submit_steps = [&](std::uint64_t id, int steps, double eta, int count) {
+    serve::GenRequest req;
+    req.id = id;
+    req.op = serve::GenRequest::Op::kSample;
+    req.model = "probe";
+    req.seed = 0xCD00 + id;
+    req.count = count;
+    req.steps = steps;
+    req.eta = eta;
+    cfuts.push_back(server.submit(std::move(req)));
+  };
+  submit_steps(11, 40, -1.0, 2);  // the full schedule: the long pole
+  submit_steps(12, 2, 0.0, 1);    // leaves 38 steps early
+  submit_steps(13, 8, 1.0, 1);
+  while (server.queue_depth() > 0) {}  // wait until the batch is running
+  submit_steps(14, 4, -1.0, 2);        // joins mid-generation
+  for (auto& f : cfuts) {
+    serve::GenResponse resp = f.get();
+    std::printf("cont id %" PRIu64 " ok %d\n", resp.id, resp.ok());
+    for (const Raster& p : resp.patterns)
+      std::printf("%016" PRIx64 "\n", p.hash());
+  }
   server.shutdown();
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <map>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -356,6 +357,138 @@ TEST(Ddpm, InpaintBatchSplitInvariant) {
       ASSERT_EQ(single[i], batched[static_cast<std::size_t>(s) * per + i])
           << "sample " << s << " pixel " << i;
   }
+}
+
+TEST(UNet, InferMixedTimestepsRowwise) {
+  // Continuous batching puts samples at DIFFERENT denoising steps into one
+  // UNet batch: row i conditioned on t_frac[i] must be bitwise the row a
+  // solo call would produce — the time MLP embeds per row and nothing
+  // leaks across the batch dimension.
+  Rng rng(63);
+  UNet net(tiny_unet(), rng);
+  nn::Adam opt(net.parameters(), 1e-2f);
+  nn::Tensor x = nn::Tensor::randn({3, 3, 16, 16}, rng);
+  nn::Tensor tgt = nn::Tensor::randn({3, 1, 16, 16}, rng);
+  for (int i = 0; i < 2; ++i) {
+    opt.zero_grad();
+    nn::backward(nn::mse_loss(net.forward(x, {0.1f, 0.5f, 0.9f}),
+                              nn::make_input(tgt)));
+    opt.step();
+  }
+  const std::vector<float> ts = {0.9f, 0.3f, 0.05f};
+  nn::Tensor mixed = net.infer(x, ts);
+  const std::size_t per = static_cast<std::size_t>(16) * 16;
+  for (int s = 0; s < 3; ++s) {
+    nn::Tensor row({1, 3, 16, 16});
+    std::copy_n(x.data() + static_cast<std::size_t>(s) * 3 * per, 3 * per,
+                row.data());
+    nn::Tensor solo = net.infer(row, {ts[static_cast<std::size_t>(s)]});
+    for (std::size_t i = 0; i < per; ++i)
+      ASSERT_EQ(solo[i], mixed[static_cast<std::size_t>(s) * per + i])
+          << "row " << s << " pixel " << i;
+  }
+}
+
+TEST(Ddpm, SamplerParamsValidated) {
+  Rng rng(71);
+  Ddpm model(tiny_ddpm(), rng);  // T = 50
+  nn::Tensor known = nn::Tensor::full({1, 1, 16, 16}, -1.0f);
+  nn::Tensor mask = nn::Tensor::full({1, 1, 16, 16}, 1.0f);
+  const std::vector<std::uint64_t> bases = {7};
+  EXPECT_THROW(model.inpaint(known, mask, bases, SamplerParams{1, -1.0f}),
+               ConfigError);
+  EXPECT_THROW(model.inpaint(known, mask, bases, SamplerParams{51, -1.0f}),
+               ConfigError);
+  EXPECT_THROW(model.inpaint(known, mask, bases, SamplerParams{0, 1.5f}),
+               ConfigError);
+  EXPECT_NO_THROW(model.inpaint(known, mask, bases, SamplerParams{2, 1.0f}));
+}
+
+TEST(Ddpm, StepApiMatchesMonolithicUnderAdversarialSchedules) {
+  // The continuous-batching invariant at the Ddpm layer: ANY interleaving
+  // of join / step / leave produces per-sample bits identical to a
+  // monolithic inpaint() of the same (base, params). The schedule below
+  // packs three sampler schedules into one state, joins one group two
+  // steps late and removes one sample mid-flight.
+  Rng init(67);
+  Ddpm model(tiny_ddpm(), init);  // default schedule: 8 steps
+  const int hw = 16;
+  const std::size_t per = static_cast<std::size_t>(hw) * hw;
+
+  auto make_known = [&](int bar) {
+    Raster r(hw, hw);
+    r.fill_rect(Rect{bar, 0, bar + 3, hw}, 1);
+    return raster_to_tensor(r);
+  };
+  Raster m(hw, hw);
+  m.fill_rect(Rect{0, 0, hw / 2, hw}, 1);  // half mask: both RePaint paths
+  nn::Tensor mask1 = mask_to_tensor(m);
+
+  auto pack = [&](const std::vector<nn::Tensor>& knowns, nn::Tensor* known,
+                  nn::Tensor* mask) {
+    const int n = static_cast<int>(knowns.size());
+    *known = nn::Tensor({n, 1, hw, hw});
+    *mask = nn::Tensor({n, 1, hw, hw});
+    for (int s = 0; s < n; ++s) {
+      std::copy_n(knowns[static_cast<std::size_t>(s)].data(), per,
+                  known->data() + static_cast<std::size_t>(s) * per);
+      std::copy_n(mask1.data(), per,
+                  mask->data() + static_cast<std::size_t>(s) * per);
+    }
+  };
+  auto group_ref = [&](const std::vector<nn::Tensor>& knowns,
+                       const std::vector<std::uint64_t>& bases,
+                       SamplerParams params) {
+    nn::Tensor known, mask;
+    pack(knowns, &known, &mask);
+    return model.inpaint(known, mask, bases, params);
+  };
+
+  const SamplerParams kDefault{};
+  const SamplerParams kFast{3, 0.0f};
+  const SamplerParams kSlow{12, 1.0f};
+  nn::Tensor refA =
+      group_ref({make_known(2), make_known(4)}, {101, 102}, kDefault);
+  nn::Tensor refB = group_ref({make_known(6), make_known(8)}, {201, 202}, kFast);
+  nn::Tensor refC = group_ref({make_known(10)}, {301}, kSlow);
+
+  InpaintState st;
+  auto join_group = [&](const std::vector<nn::Tensor>& knowns,
+                        const std::vector<std::uint64_t>& bases,
+                        const std::vector<std::uint64_t>& tags,
+                        SamplerParams params) {
+    nn::Tensor known, mask;
+    pack(knowns, &known, &mask);
+    model.join(st, known, mask, bases, tags, params);
+  };
+  std::map<std::uint64_t, nn::Tensor> done;
+  auto run_step = [&] {
+    for (FinishedSample& f : model.step(st)) done.emplace(f.tag, std::move(f.x));
+  };
+
+  join_group({make_known(2), make_known(4)}, {101, 102}, {10, 11}, kDefault);
+  join_group({make_known(6), make_known(8)}, {201, 202}, {20, 21}, kFast);
+  run_step();
+  run_step();                            // two mixed-schedule steps...
+  EXPECT_EQ(model.leave(st, {11}), 1u);  // ...then A1 cancels mid-flight...
+  join_group({make_known(10)}, {301}, {30}, kSlow);  // ...and C joins late
+  int guard = 0;
+  while (!st.empty() && ++guard < 64) run_step();
+  EXPECT_TRUE(st.empty());
+
+  ASSERT_EQ(done.size(), 4u);
+  EXPECT_EQ(done.count(11), 0u);  // the leaver never produced output
+  auto expect_rows = [&](std::uint64_t tag, const nn::Tensor& ref, int row) {
+    ASSERT_EQ(done.count(tag), 1u);
+    const nn::Tensor& got = done[tag];
+    for (std::size_t i = 0; i < per; ++i)
+      ASSERT_EQ(got[i], ref[static_cast<std::size_t>(row) * per + i])
+          << "tag " << tag << " pixel " << i;
+  };
+  expect_rows(10, refA, 0);
+  expect_rows(20, refB, 0);
+  expect_rows(21, refB, 1);
+  expect_rows(30, refC, 0);
 }
 
 namespace {

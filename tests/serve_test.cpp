@@ -89,7 +89,11 @@ std::vector<Raster> sequential_reference(const ModelRegistry::EntryPtr& entry,
     std::copy_n(mt.data(), plane, mask.data() + k * plane);
   }
   Rng rng(req.seed);
-  nn::Tensor out = entry->pp->model().inpaint(known, mask, rng);
+  std::vector<std::uint64_t> gen_bases(static_cast<std::size_t>(req.count));
+  for (auto& b : gen_bases) b = rng.draw_seed();
+  nn::Tensor out = entry->pp->model().inpaint(
+      known, mask, gen_bases,
+      SamplerParams{req.steps, static_cast<float>(req.eta)});
   std::vector<Raster> raws = tensor_to_rasters(out);
   if (!req.finish) return raws;
   std::vector<std::uint64_t> bases(static_cast<std::size_t>(req.count));
@@ -169,6 +173,196 @@ TEST(Serve, BatchCompositionInvariant) {
       {sample_req(5, 1, 1), sample_req(7, 99, 2), sample_req(6, 2, 2)}, 7);
   ASSERT_EQ(alone.size(), 2u);
   ASSERT_EQ(alone, crowded);
+}
+
+/// Spin until the queue has drained into the running batch, i.e. every
+/// already-submitted request is in flight. Lets tests place a LATE request
+/// mid-generation deterministically.
+void wait_until_inflight(const GenerationServer& server) {
+  while (server.queue_depth() > 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+}
+
+// Tentpole: requests with DIFFERENT sampler schedules share one continuous
+// batch (steps/eta are per-sample state, not a batch key) and each comes
+// out bitwise identical to running it alone.
+TEST(Serve, ContinuousMixedSchedulesEqualSequential) {
+  auto registry = tiny_registry();
+  ModelRegistry::EntryPtr entry = registry->get("t");
+  GenerationServer server(registry);
+
+  std::vector<GenRequest> reqs;
+  reqs.push_back(sample_req(1, 11, 2));  // model default: 4 steps
+  GenRequest fast = sample_req(2, 22, 2);
+  fast.steps = 2;  // leaves the batch two steps early
+  reqs.push_back(fast);
+  GenRequest slow = sample_req(3, 33, 1);
+  slow.steps = 9;
+  slow.eta = 0.0;  // deterministic DDIM for this member only
+  reqs.push_back(slow);
+  GenRequest stochastic = sample_req(4, 44, 1);
+  stochastic.eta = 1.0;
+  reqs.push_back(stochastic);
+
+  std::vector<std::future<GenResponse>> futs;
+  for (const GenRequest& r : reqs) futs.push_back(server.submit(r));
+  server.start();  // all four queued together: one formation join pass
+
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    GenResponse resp = futs[i].get();
+    ASSERT_TRUE(resp.ok()) << resp.message;
+    EXPECT_EQ(resp.batch_samples, 6);  // all co-resident at step 0
+    std::vector<Raster> ref = sequential_reference(entry, reqs[i]);
+    ASSERT_EQ(resp.patterns.size(), ref.size());
+    for (std::size_t k = 0; k < ref.size(); ++k)
+      EXPECT_EQ(resp.patterns[k], ref[k])
+          << "request " << reqs[i].id << " sample " << k
+          << " differs from sequential execution";
+  }
+  server.shutdown();
+  // The 2-step member left 6 steps before the 9-step member: the state
+  // re-packed at least once with survivors.
+  const obs::Json stats = server.stats_json();
+  EXPECT_GE(stats.find("repacks")->as_number(), 1.0);
+}
+
+// Tentpole: a request submitted while another generation is mid-flight
+// JOINS it at the next step boundary — and both still match their solo
+// sequential reference bitwise.
+TEST(Serve, ContinuousLateJoinBitwise) {
+  auto registry = tiny_registry();
+  ModelRegistry::EntryPtr entry = registry->get("t");
+  GenerationServer server(registry);
+
+  GenRequest long_req = sample_req(1, 77, 6);
+  long_req.steps = 40;  // the full schedule: plenty of boundaries to join at
+  auto f_long = server.submit(long_req);
+  server.start();
+  wait_until_inflight(server);
+
+  GenRequest late = sample_req(2, 88, 2);
+  late.steps = 4;
+  auto f_late = server.submit(late);
+
+  GenResponse r_late = f_late.get();
+  GenResponse r_long = f_long.get();
+  server.shutdown();
+  ASSERT_TRUE(r_long.ok()) << r_long.message;
+  ASSERT_TRUE(r_late.ok()) << r_late.message;
+  EXPECT_EQ(sequential_reference(entry, long_req), r_long.patterns);
+  EXPECT_EQ(sequential_reference(entry, late), r_late.patterns);
+  // The late request joined the running batch (a 40-step generation of 6
+  // samples cannot have drained before a submit issued at step ~0) and
+  // finished 36 steps before it.
+  const obs::Json stats = server.stats_json();
+  EXPECT_GE(stats.find("joins")->as_number(), 2.0);
+  EXPECT_GE(stats.find("repacks")->as_number(), 1.0);
+  EXPECT_GE(r_late.batch_samples, 8);  // saw the long request's 6 samples
+}
+
+// Tentpole: cancelling a member mid-flight makes it LEAVE at the next step
+// boundary; the survivors' bits are untouched.
+TEST(Serve, ContinuousCancelMidFlightLeaves) {
+  auto registry = tiny_registry();
+  ModelRegistry::EntryPtr entry = registry->get("t");
+  GenerationServer server(registry);
+
+  GenRequest victim = sample_req(1, 5, 6);
+  victim.steps = 40;
+  GenRequest survivor = sample_req(2, 6, 2);
+  survivor.steps = 40;
+  auto f_victim = server.submit(victim);
+  auto f_survivor = server.submit(survivor);
+  server.start();
+  wait_until_inflight(server);
+  ASSERT_TRUE(server.cancel(1));
+
+  GenResponse r_victim = f_victim.get();
+  GenResponse r_survivor = f_survivor.get();
+  server.shutdown();
+  EXPECT_EQ(r_victim.error, ErrorCode::kCancelled);
+  ASSERT_TRUE(r_survivor.ok()) << r_survivor.message;
+  EXPECT_EQ(sequential_reference(entry, survivor), r_survivor.patterns);
+  const obs::Json stats = server.stats_json();
+  EXPECT_GE(stats.find("leaves")->as_number(), 1.0);
+}
+
+// Tentpole: a deadline that lapses mid-generation expires that member at
+// the next step boundary ("timeout"), without dooming its batch-mates.
+TEST(Serve, ContinuousDeadlineExpiresMidBatch) {
+  auto registry = tiny_registry();
+  ModelRegistry::EntryPtr entry = registry->get("t");
+  GenerationServer server(registry);
+
+  GenRequest doomed = sample_req(1, 15, 6);
+  doomed.steps = 40;
+  doomed.deadline_ms = 10;  // lapses well inside a 40-step generation
+  GenRequest fine = sample_req(2, 16, 2);
+  fine.steps = 40;
+  auto f_doomed = server.submit(doomed);
+  auto f_fine = server.submit(fine);
+  server.start();
+
+  GenResponse r_doomed = f_doomed.get();
+  GenResponse r_fine = f_fine.get();
+  server.shutdown();
+  EXPECT_EQ(r_doomed.error, ErrorCode::kTimeout);
+  ASSERT_TRUE(r_fine.ok()) << r_fine.message;
+  EXPECT_EQ(sequential_reference(entry, fine), r_fine.patterns);
+}
+
+// Per-request sampler knobs are validated against the model's schedule at
+// admission: out-of-domain values are structured bad_request errors.
+TEST(Serve, SamplerKnobAdmission) {
+  auto registry = tiny_registry();  // T = 40
+  GenerationServer server(registry);
+  GenRequest too_few = sample_req(1, 1);
+  too_few.steps = 1;
+  EXPECT_EQ(server.submit(std::move(too_few)).get().error,
+            ErrorCode::kBadRequest);
+  GenRequest too_many = sample_req(2, 2);
+  too_many.steps = 41;  // > T
+  EXPECT_EQ(server.submit(std::move(too_many)).get().error,
+            ErrorCode::kBadRequest);
+  GenRequest bad_eta = sample_req(3, 3);
+  bad_eta.eta = 1.5;
+  EXPECT_EQ(server.submit(std::move(bad_eta)).get().error,
+            ErrorCode::kBadRequest);
+  GenRequest ok = sample_req(4, 4);
+  ok.steps = 2;
+  ok.eta = 0.0;
+  auto f_ok = server.submit(std::move(ok));
+  server.shutdown();
+  EXPECT_TRUE(f_ok.get().ok());
+}
+
+// Wire-level parse of the sampler knobs: type/domain errors are rejected
+// before admission ever sees them.
+TEST(Serve, ProtocolSamplerKnobs) {
+  GenRequest req;
+  std::string err;
+  obs::Json good = obs::Json::parse(
+      R"({"id":1,"op":"sample","model":"t","steps":8,"eta":0.25})");
+  ASSERT_TRUE(gen_request_from_json(good, &req, &err)) << err;
+  EXPECT_EQ(req.steps, 8);
+  EXPECT_DOUBLE_EQ(req.eta, 0.25);
+
+  obs::Json defaults =
+      obs::Json::parse(R"({"id":1,"op":"sample","model":"t"})");
+  ASSERT_TRUE(gen_request_from_json(defaults, &req, &err)) << err;
+  EXPECT_EQ(req.steps, 0);
+  EXPECT_DOUBLE_EQ(req.eta, -1.0);
+
+  for (const char* bad : {
+           R"({"id":1,"op":"sample","model":"t","steps":-3})",
+           R"({"id":1,"op":"sample","model":"t","steps":2.5})",
+           R"({"id":1,"op":"sample","model":"t","eta":-0.1})",
+           R"({"id":1,"op":"sample","model":"t","eta":1.01})",
+           R"({"id":1,"op":"sample","model":"t","eta":"hot"})",
+       }) {
+    EXPECT_FALSE(gen_request_from_json(obs::Json::parse(bad), &req, &err))
+        << bad;
+  }
 }
 
 // (b) Bounded queue: admission rejects with a structured reason once full.
