@@ -181,8 +181,11 @@ void GenerationServer::submit(GenRequest req,
                "] for model '" + req.model + "'");
     return;
   }
-  if (req.eta > 1.0) {
-    reject(ErrorCode::kBadRequest, "eta must be in [0, 1]");
+  if (req.eta > 1.0 || (req.eta < 0.0 && req.eta != -1.0)) {
+    // -1.0 is the "model default" sentinel (protocol.hpp); any other
+    // negative value is an embedded-caller bug, not a default request.
+    reject(ErrorCode::kBadRequest,
+           "eta must be in [0, 1], or -1 for the model default");
     return;
   }
   const int clip = entry->cfg.clip_size;
@@ -447,6 +450,10 @@ void GenerationServer::worker_loop_continuous() {
       std::unique_lock<std::mutex> lk(m_);
       if (members.empty()) {
         entry.reset();
+        // Also drop the drained InpaintState: compact() keeps the clip
+        // shape (h_/w_) after the last member completes, and a stale shape
+        // would fail every join for a model with a different clip size.
+        st = InpaintState();
         cv_.wait(lk, [&] {
           return stop_hard_.load() || draining_.load() || !queue_.empty();
         });
@@ -473,7 +480,13 @@ void GenerationServer::worker_loop_continuous() {
       // fixes the batch's registry entry; every queued same-entry request
       // then joins until the sample cap. steps/eta need NOT match — the
       // sampler schedule is per-sample state, not a batch property.
-      if (!stop_hard_.load()) {
+      // Fairness: once the queue head waits on a DIFFERENT entry than the
+      // running batch, stop admitting new joins so the batch drains and
+      // the head gets served — otherwise sustained same-entry traffic
+      // starves cross-entry requests unboundedly.
+      const bool head_blocked = !members.empty() && !queue_.empty() &&
+                                queue_.front()->entry.get() != entry.get();
+      if (!stop_hard_.load() && !head_blocked) {
         int active = st.active();
         for (auto it = queue_.begin(); it != queue_.end();) {
           const PendingPtr& p = *it;

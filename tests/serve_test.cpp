@@ -311,6 +311,71 @@ TEST(Serve, ContinuousDeadlineExpiresMidBatch) {
   EXPECT_EQ(sequential_reference(entry, fine), r_fine.patterns);
 }
 
+// Regression: the continuous executor must forget the drained batch's clip
+// shape. Serving model A (clip 16) then model B (clip 20) back-to-back used
+// to trip the shape check in Ddpm::join against A's stale InpaintState and
+// fail every B request with kInternal from then on.
+TEST(Serve, ContinuousClipSizeSwitch) {
+  auto registry = tiny_registry();
+  ModelSpec small = tiny_spec("s");
+  small.clip_size = 20;
+  registry->load(small);
+  GenerationServer server(registry);
+  server.start();
+
+  GenResponse r_big = server.submit(sample_req(1, 10, 2)).get();
+  ASSERT_TRUE(r_big.ok()) << r_big.message;
+
+  GenRequest small_req = sample_req(2, 20, 2);
+  small_req.model = "s";
+  GenResponse r_small = server.submit(small_req).get();
+  ASSERT_TRUE(r_small.ok()) << r_small.message;
+  EXPECT_EQ(sequential_reference(registry->get("s"), small_req),
+            r_small.patterns);
+
+  // ...and back to the first clip size again.
+  GenResponse r_back = server.submit(sample_req(3, 30, 1)).get();
+  ASSERT_TRUE(r_back.ok()) << r_back.message;
+  server.shutdown();
+}
+
+// Fairness: while a batch for model A runs, a queued model-B request at the
+// head must not be overtaken indefinitely by later-arriving A requests —
+// new same-entry joins stop once the head waits on a different entry.
+TEST(Serve, ContinuousCrossEntryFairness) {
+  auto registry = tiny_registry();
+  ModelSpec small = tiny_spec("s");
+  small.clip_size = 20;
+  registry->load(small);
+  GenerationServer server(registry);
+
+  GenRequest long_a = sample_req(1, 1, 4);
+  long_a.steps = 40;
+  auto f_long = server.submit(long_a);
+  server.start();
+  wait_until_inflight(server);
+
+  std::mutex order_m;
+  std::vector<std::uint64_t> order;
+  auto record = [&](GenResponse r) {
+    std::lock_guard<std::mutex> lk(order_m);
+    EXPECT_TRUE(r.ok()) << r.message;
+    order.push_back(r.id);
+  };
+  GenRequest cross = sample_req(2, 2, 1);  // heads the queue, model "s"
+  cross.model = "s";
+  server.submit(std::move(cross), record);
+  GenRequest late_a = sample_req(3, 3, 1);  // would love to join the batch
+  late_a.steps = 2;
+  server.submit(std::move(late_a), record);
+
+  ASSERT_TRUE(f_long.get().ok());
+  server.shutdown();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2u) << "cross-entry head was starved by a later join";
+  EXPECT_EQ(order[1], 3u);
+}
+
 // Per-request sampler knobs are validated against the model's schedule at
 // admission: out-of-domain values are structured bad_request errors.
 TEST(Serve, SamplerKnobAdmission) {
@@ -327,6 +392,10 @@ TEST(Serve, SamplerKnobAdmission) {
   GenRequest bad_eta = sample_req(3, 3);
   bad_eta.eta = 1.5;
   EXPECT_EQ(server.submit(std::move(bad_eta)).get().error,
+            ErrorCode::kBadRequest);
+  GenRequest neg_eta = sample_req(5, 5);
+  neg_eta.eta = -0.5;  // negative but not the -1.0 "model default" sentinel
+  EXPECT_EQ(server.submit(std::move(neg_eta)).get().error,
             ErrorCode::kBadRequest);
   GenRequest ok = sample_req(4, 4);
   ok.steps = 2;
