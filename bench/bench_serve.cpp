@@ -12,7 +12,19 @@
 //    "queue_p50_ms": ..., "queue_p95_ms": ..., "queue_p99_ms": ...,
 //    "requests": ...}
 //   {"bench": "serve_open_loop_cont", ... same fields ...}
+//   {"bench": "serve_telemetry", "ms": ..., "mid_p95_ms": ...,
+//    "final_rolling_p95_ms": ..., "final_p95_ms": ..., "bucket_ratio": ...,
+//    "within_bucket": 0|1, "request_log_lines": ..., "requests": ...,
+//    "log_complete": 0|1, "health_ok": 0|1}
 //   {"bench": "serve_overload", "ms": ..., "rejected": ..., "timeouts": ...}
+//
+// The serve_telemetry line is the live-telemetry acceptance probe: during
+// the continuous open-loop phase the dispatcher scrapes the server's
+// rolling-window metrics mid-run (the same payload the `metrics` wire op
+// returns) and the bench asserts (a) the mid-run rolling p95 lands within
+// one histogram bucket ratio of the server's final rolling p95, and (b)
+// the wide-event request log accounts for 100% of accepted + rejected
+// requests.
 //
 // The open-loop pair is the tail-latency A/B for step-level continuous
 // batching: Poisson arrivals (PP_SERVE_RPS overrides the offered rate) with
@@ -37,12 +49,40 @@
 
 #include "benchutil.hpp"
 #include "common/rng.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
 
 namespace {
 
 using namespace pp;
+
+/// Walks nested objects; returns nullptr when any hop is missing.
+const obs::Json* json_path(const obs::Json& j,
+                          std::initializer_list<const char*> keys) {
+  const obs::Json* cur = &j;
+  for (const char* k : keys) {
+    if (!cur->is_object()) return nullptr;
+    cur = cur->find(k);
+    if (!cur) return nullptr;
+  }
+  return cur;
+}
+
+double json_num(const obs::Json* j) {
+  return j && j->is_number() ? j->as_number() : 0.0;
+}
+
+/// Mid-run telemetry scrape results from the continuous open-loop phase.
+struct TelemetryProbe {
+  double mid_p95_ms = 0.0;    ///< rolling long-window e2e p95 at ~85% dispatched
+  double mid_count = 0.0;     ///< window sample count behind mid_p95_ms
+  double final_p95_ms = 0.0;  ///< same rolling estimator after the last reply
+  bool health_ok = false;     ///< mid-run health op said status=ok, accepting
+  std::uint64_t reqlog_lines = 0;   ///< wide-event request-log lines written
+  std::uint64_t reqlog_expected = 0;  ///< accepted + rejected = all arrivals
+};
 
 double percentile(std::vector<double> v, double q) {
   if (v.empty()) return 0.0;
@@ -96,16 +136,28 @@ struct OpenLoopStats {
 /// jitter does not pollute the comparison.
 OpenLoopStats run_open_loop(const std::shared_ptr<serve::ModelRegistry>& reg,
                             const std::vector<Arrival>& arrivals,
-                            bool continuous) {
+                            bool continuous, TelemetryProbe* probe = nullptr) {
   using Clock = std::chrono::steady_clock;
   serve::ServerConfig cfg;
   cfg.max_queue = 1024;  // open loop must never bounce off admission
   cfg.max_batch_samples = 8;
   cfg.continuous = continuous;
+  if (probe)
+    cfg.request_log.path = bench::results_dir() + "/bench_serve_requests.ndjson";
   serve::GenerationServer server(reg, cfg);
   server.start();
   std::vector<std::future<serve::GenResponse>> futs;
   futs.reserve(arrivals.size());
+  // Scrape at ~85% of the arrival schedule: far enough in that the window
+  // holds a representative sample, still mid-load.
+  const std::size_t scrape_at = arrivals.size() * 17 / 20;
+  auto rolling_e2e = [&server](double* p95, double* count) {
+    obs::Json m = server.metrics_json();
+    const obs::Json* h =
+        json_path(m, {"rolling", "long", "histograms", "serve.e2e_ms"});
+    if (p95) *p95 = json_num(h ? h->find("p95") : nullptr);
+    if (count) *count = json_num(h ? h->find("count") : nullptr);
+  };
   const Clock::time_point t0 = Clock::now();
   for (std::size_t i = 0; i < arrivals.size(); ++i) {
     std::this_thread::sleep_until(
@@ -115,6 +167,15 @@ OpenLoopStats run_open_loop(const std::shared_ptr<serve::ModelRegistry>& reg,
     req.steps = arrivals[i].steps;
     req.count = arrivals[i].count;
     futs.push_back(server.submit(std::move(req)));
+    if (probe && i == scrape_at) {
+      rolling_e2e(&probe->mid_p95_ms, &probe->mid_count);
+      obs::Json h = server.health_json();
+      const obs::Json* status = h.find("status");
+      const obs::Json* accepting = h.find("accepting");
+      probe->health_ok = status && status->is_string() &&
+                         status->as_string() == "ok" && accepting &&
+                         accepting->is_bool() && accepting->as_bool();
+    }
   }
   OpenLoopStats out;
   for (auto& f : futs) {
@@ -125,6 +186,13 @@ OpenLoopStats run_open_loop(const std::shared_ptr<serve::ModelRegistry>& reg,
   }
   out.wall_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  if (probe) {
+    // Every response has been delivered (the request log line is written
+    // before the promise is fulfilled), so both reads are final.
+    rolling_e2e(&probe->final_p95_ms, nullptr);
+    probe->reqlog_lines = server.request_log().lines_written();
+    probe->reqlog_expected = arrivals.size();
+  }
   server.shutdown();
   out.rps = out.e2e_ms.empty() ? 0.0
                                : static_cast<double>(out.e2e_ms.size()) /
@@ -275,8 +343,9 @@ int main() {
   }
   const OpenLoopStats fixed_stats =
       run_open_loop(registry, arrivals, /*continuous=*/false);
+  TelemetryProbe probe;
   const OpenLoopStats cont_stats =
-      run_open_loop(registry, arrivals, /*continuous=*/true);
+      run_open_loop(registry, arrivals, /*continuous=*/true, &probe);
   emit_open_loop("serve_open_loop_fixed", fixed_stats, offered_rps);
   emit_open_loop("serve_open_loop_cont", cont_stats, offered_rps);
   std::printf("continuous vs fixed: p95 %.2fx, p99 %.2fx lower\n",
@@ -284,6 +353,43 @@ int main() {
                   std::max(percentile(cont_stats.e2e_ms, 0.95), 1e-9),
               percentile(fixed_stats.e2e_ms, 0.99) /
                   std::max(percentile(cont_stats.e2e_ms, 0.99), 1e-9));
+
+  // Telemetry acceptance probe: the mid-run rolling p95 must land within
+  // one histogram bucket ratio of the final rolling p95 (both use the same
+  // log-bucketed estimator, so same-bucket = ratio 1, adjacent = kRatio;
+  // 10% fuzz absorbs the geometric-midpoint rounding), and the request log
+  // must account for every accepted + rejected request.
+  const double bucket_ratio = obs::Histogram::bucket_ratio();
+  const double hi = std::max(probe.mid_p95_ms, probe.final_p95_ms);
+  const double lo = std::min(probe.mid_p95_ms, probe.final_p95_ms);
+  const bool within_bucket =
+      probe.mid_count < 10 || lo <= 0.0 || hi / lo <= bucket_ratio * 1.10;
+  const bool log_complete = probe.reqlog_lines == probe.reqlog_expected;
+  std::printf(
+      "telemetry: mid-run p95 %.2f ms (n=%.0f) vs final %.2f ms "
+      "(bucket ratio %.2f, %s), request log %llu/%llu lines, health %s\n",
+      probe.mid_p95_ms, probe.mid_count, probe.final_p95_ms, bucket_ratio,
+      within_bucket ? "within one bucket" : "OUT OF BAND",
+      static_cast<unsigned long long>(probe.reqlog_lines),
+      static_cast<unsigned long long>(probe.reqlog_expected),
+      probe.health_ok ? "ok" : "NOT OK");
+  emit_json_summary(
+      "serve_telemetry", cont_stats.wall_ms,
+      {{"mid_p95_ms", probe.mid_p95_ms},
+       {"mid_count", probe.mid_count},
+       {"final_rolling_p95_ms", probe.final_p95_ms},
+       {"final_p95_ms", percentile(cont_stats.e2e_ms, 0.95)},
+       {"bucket_ratio", bucket_ratio},
+       {"within_bucket", within_bucket ? 1.0 : 0.0},
+       {"request_log_lines", static_cast<double>(probe.reqlog_lines)},
+       {"requests", static_cast<double>(probe.reqlog_expected)},
+       {"log_complete", log_complete ? 1.0 : 0.0},
+       {"health_ok", probe.health_ok ? 1.0 : 0.0}});
+  bool telemetry_failed = false;
+  if (!within_bucket || !log_complete || !probe.health_ok) {
+    std::fprintf(stderr, "bench_serve: telemetry acceptance FAILED\n");
+    telemetry_failed = true;
+  }
 
   // Phase 3: overload. A small queue with the executor held back: two
   // no-deadline requests fill it, two short-deadline requests queue behind
@@ -323,5 +429,5 @@ int main() {
                      {"timeouts", static_cast<double>(timeouts)}});
 
   finalize_observability("serve");
-  return 0;
+  return telemetry_failed ? 1 : 0;
 }

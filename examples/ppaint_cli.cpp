@@ -7,6 +7,7 @@
 //   ppaint_cli stats <lib.{txt|gds}> [ruleset]
 //   ppaint_cli convert <in.{txt|gds}> <out.{txt|gds|dir}>
 //   ppaint_cli client <socket|spawn:/path/to/ppaint_serve> [count] [seed]
+//   ppaint_cli top <socket|spawn:/path/to/ppaint_serve> [iters] [interval]
 //
 // Rule sets: default | complex | complex-discrete (optionally "/2" suffix
 // for the half-scaled 32px variant, e.g. "complex-discrete/2").
@@ -15,7 +16,9 @@
 // `client` round-trips one generation against a running ppaint_serve:
 // connect to a Unix socket (or spawn a pipe-mode server child), load a
 // tiny model, submit a sample request, and print the returned patterns
-// with their DRC verdicts.
+// with their DRC verdicts. `top` is a watch-mode dashboard over the
+// server's `health` + `metrics` ops: rolling-window rate and p50/p95/p99
+// latency, queue depth and overload state, refreshed in-terminal.
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <sys/wait.h>
@@ -298,6 +301,116 @@ int cmd_client(const std::vector<std::string>& args) {
   return 0;
 }
 
+// ---- live serve dashboard ----------------------------------------------
+
+const obs::Json* child_of(const obs::Json* o, const char* key) {
+  return o ? o->find(key) : nullptr;
+}
+
+double num_of(const obs::Json* o, const char* key) {
+  const obs::Json* v = child_of(o, key);
+  return v && v->is_number() ? v->as_number() : 0.0;
+}
+
+std::string str_of(const obs::Json* o, const char* key) {
+  const obs::Json* v = child_of(o, key);
+  return v && v->is_string() ? v->as_string() : "?";
+}
+
+void render_top_frame(int frame, const obs::Json& health_resp,
+                      const obs::Json& metrics_resp) {
+  const obs::Json* health = health_resp.find("health");
+  const obs::Json* metrics = metrics_resp.find("metrics");
+  const obs::Json* rolling = child_of(metrics, "rolling");
+
+  if (::isatty(STDOUT_FILENO)) std::printf("\x1b[H\x1b[2J");
+  std::printf("ppaint top — frame %d\n", frame);
+  std::printf("health: %-10s queue %d/%d  error_rate %.2f  req/s %.2f"
+              "  trace_dropped %.0f\n",
+              str_of(health, "status").c_str(),
+              static_cast<int>(num_of(health, "queue_depth")),
+              static_cast<int>(num_of(health, "max_queue")),
+              num_of(health, "error_rate"), num_of(health, "requests_per_s"),
+              num_of(health, "trace_dropped_spans"));
+  for (const char* win : {"short", "long"}) {
+    const obs::Json* w = child_of(rolling, win);
+    const obs::Json* hists = child_of(w, "histograms");
+    const obs::Json* e2e = child_of(hists, "serve.e2e_ms");
+    const obs::Json* wait = child_of(hists, "serve.wait_ms");
+    const obs::Json* ctrs = child_of(w, "counters");
+    std::printf(
+        "%-5s (%3.0fs covered %4.1fs)  e2e p50/p95/p99 %.1f/%.1f/%.1f ms"
+        "  wait p95 %.1f ms  rate %.2f/s\n",
+        win, num_of(w, "window_s"), num_of(w, "covered_s"),
+        num_of(e2e, "p50"), num_of(e2e, "p95"), num_of(e2e, "p99"),
+        num_of(wait, "p95"), num_of(e2e, "rate_per_s"));
+    std::printf(
+        "      accepted %.0f  completed %.0f  rejected %.0f  timeouts %.0f"
+        "  cancelled %.0f\n",
+        num_of(child_of(ctrs, "serve.accepted"), "count"),
+        num_of(child_of(ctrs, "serve.completed"), "count"),
+        num_of(child_of(ctrs, "serve.rejected"), "count"),
+        num_of(child_of(ctrs, "serve.timeouts"), "count"),
+        num_of(child_of(ctrs, "serve.cancelled"), "count"));
+  }
+  std::fflush(stdout);
+}
+
+/// `ppaint_cli top <target> [iterations] [interval_ms]` — watch-mode
+/// rendering of the server's rolling SLO stats via the `health` and
+/// `metrics` wire ops. iterations 0 = until the connection drops.
+int cmd_top(const std::vector<std::string>& args) {
+  const std::string target = args.at(0);
+  const int iterations = args.size() > 1 ? std::stoi(args[1]) : 0;
+  const int interval_ms = args.size() > 2 ? std::stoi(args[2]) : 1000;
+
+  ServeConn conn;
+  const std::string spawn_prefix = "spawn:";
+  if (target.rfind(spawn_prefix, 0) == 0) {
+    if (!spawn_pipe_server(target.substr(spawn_prefix.size()), &conn)) {
+      std::fprintf(stderr, "top: failed to spawn '%s'\n", target.c_str());
+      return 1;
+    }
+  } else if (!connect_socket(target, &conn)) {
+    std::fprintf(stderr, "top: cannot connect to socket '%s'\n",
+                 target.c_str());
+    return 1;
+  }
+  serve::LineReader reader(conn.in_fd);
+  auto send = [&](const obs::Json& j) {
+    return serve::write_line_fd(conn.out_fd, j.dump());
+  };
+
+  std::uint64_t id = 1;
+  for (int frame = 1; iterations == 0 || frame <= iterations; ++frame) {
+    obs::Json req = obs::Json::object();
+    req.set("id", obs::Json(id));
+    req.set("op", obs::Json("health"));
+    obs::Json health_resp;
+    if (!send(req) || !await_response(reader, id, &health_resp)) return 1;
+    ++id;
+    req = obs::Json::object();
+    req.set("id", obs::Json(id));
+    req.set("op", obs::Json("metrics"));
+    obs::Json metrics_resp;
+    if (!send(req) || !await_response(reader, id, &metrics_resp)) return 1;
+    ++id;
+    render_top_frame(frame, health_resp, metrics_resp);
+    if (iterations != 0 && frame == iterations) break;
+    ::usleep(static_cast<useconds_t>(interval_ms) * 1000);
+  }
+
+  if (conn.child > 0) {
+    obs::Json req = obs::Json::object();
+    req.set("id", obs::Json(id));
+    req.set("op", obs::Json("shutdown"));
+    send(req);
+    obs::Json resp;
+    await_response(reader, id, &resp);
+  }
+  return 0;
+}
+
 int cmd_convert(const std::vector<std::string>& args) {
   auto lib = load_any(args.at(0));
   save_any(lib, args.at(1));
@@ -315,6 +428,8 @@ void usage() {
       "  ppaint_cli convert <in.{txt|gds}> <out.{txt|gds|dir}>\n"
       "  ppaint_cli client <socket|spawn:/path/to/ppaint_serve> "
       "[count] [seed]\n"
+      "  ppaint_cli top <socket|spawn:/path/to/ppaint_serve> "
+      "[iterations] [interval_ms]\n"
       "rule sets: default | complex | complex-discrete (append /2 for the\n"
       "32px half-scale variant, e.g. complex-discrete/2)\n");
 }
@@ -335,6 +450,7 @@ int main(int argc, char** argv) {
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "convert") return cmd_convert(args);
     if (cmd == "client") return cmd_client(args);
+    if (cmd == "top") return cmd_top(args);
     usage();
     return 2;
   } catch (const std::exception& e) {

@@ -4,9 +4,19 @@
 //   ppaint_serve socket <path> [options]     # NDJSON per UDS connection
 //
 // Options:
-//   --max-queue N   admission bound on pending requests   (default 64)
-//   --max-batch N   micro-batch coalescing cap, in samples (default 16)
-//   --stats PATH    write the serve stats dump (JSON) on exit, atomically
+//   --max-queue N      admission bound on pending requests   (default 64)
+//   --max-batch N      micro-batch coalescing cap, in samples (default 16)
+//   --stats PATH       write the serve stats dump (JSON) on exit, atomically
+//   --publish PATH     periodic live metrics snapshot (atomic tmp+rename
+//                      JSON: registry + rolling windows), refreshed every
+//                      --publish-ms
+//   --publish-ms N     publisher cadence (default PP_PUBLISH_MS or 1000)
+//   --request-log PATH wide-event NDJSON request log (default PP_REQLOG;
+//                      rotation at PP_REQLOG_ROTATE_BYTES)
+//
+// Live scraping without the file: send {"op":"metrics"} or {"op":"health"}
+// on any connection (UDS or pipe) — both read without stopping the
+// executor.
 //
 // Models are registered at runtime with {"op":"load", ...} requests; see
 // src/serve/protocol.hpp for the full NDJSON schema. Pipe mode serves one
@@ -22,6 +32,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/report.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
 #include "serve/transport.hpp"
@@ -47,16 +59,27 @@ struct Options {
   std::string mode;
   std::string socket_path;
   std::string stats_path;
+  std::string publish_path;
+  int publish_ms = 0;  // 0 = PP_PUBLISH_MS or 1000
   serve::ServerConfig server;
 };
+
+int default_publish_ms() {
+  if (const char* env = std::getenv("PP_PUBLISH_MS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) return static_cast<int>(v);
+  }
+  return 1000;
+}
 
 void usage() {
   std::fprintf(stderr,
                "ppaint_serve — PatternPaint generation service\n"
-               "  ppaint_serve pipe   [--max-queue N] [--max-batch N] "
-               "[--stats PATH]\n"
-               "  ppaint_serve socket <path> [--max-queue N] [--max-batch N] "
-               "[--stats PATH]\n"
+               "  ppaint_serve pipe   [options]\n"
+               "  ppaint_serve socket <path> [options]\n"
+               "Options: --max-queue N  --max-batch N  --stats PATH\n"
+               "         --publish PATH  --publish-ms N  --request-log PATH\n"
                "Requests are NDJSON (one JSON object per line); see "
                "src/serve/protocol.hpp.\n");
 }
@@ -88,6 +111,12 @@ bool parse_options(int argc, char** argv, Options* opt) {
       opt->server.max_batch_samples = std::stoi(next("--max-batch"));
     } else if (args[i] == "--stats") {
       opt->stats_path = next("--stats");
+    } else if (args[i] == "--publish") {
+      opt->publish_path = next("--publish");
+    } else if (args[i] == "--publish-ms") {
+      opt->publish_ms = std::stoi(next("--publish-ms"));
+    } else if (args[i] == "--request-log") {
+      opt->server.request_log.path = next("--request-log");
     } else {
       std::fprintf(stderr, "ppaint_serve: unknown option '%s'\n",
                    args[i].c_str());
@@ -171,8 +200,36 @@ int main(int argc, char** argv) {
   auto registry = std::make_shared<serve::ModelRegistry>();
   serve::GenerationServer server(registry, opt.server);
 
+  // Snapshot publisher: a sidecar thread refreshing an atomic (tmp+rename)
+  // JSON file with the live registry + rolling windows, so dashboards can
+  // scrape without holding a connection.
+  std::atomic<bool> publish_stop{false};
+  std::thread publisher;
+  if (!opt.publish_path.empty()) {
+    const int interval_ms =
+        opt.publish_ms > 0 ? opt.publish_ms : default_publish_ms();
+    publisher = std::thread([&server, &publish_stop, interval_ms,
+                             path = opt.publish_path] {
+      do {
+        pp::obs::write_text_atomic(path,
+                                   server.metrics_json().dump(2) + "\n");
+        for (int waited = 0; waited < interval_ms && !publish_stop.load();
+             waited += 20)
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      } while (!publish_stop.load());
+      // One last snapshot so the file reflects the final state on exit.
+      pp::obs::write_text_atomic(path, server.metrics_json().dump(2) + "\n");
+    });
+    std::fprintf(stderr, "ppaint_serve: publishing metrics -> %s every %dms\n",
+                 opt.publish_path.c_str(), interval_ms);
+  }
+
   int rc = opt.mode == "pipe" ? run_pipe(server, *registry)
                               : run_socket(opt, server, *registry);
+  if (publisher.joinable()) {
+    publish_stop.store(true);
+    publisher.join();
+  }
   if (!opt.stats_path.empty() && server.write_stats(opt.stats_path))
     std::fprintf(stderr, "ppaint_serve: stats -> %s\n", opt.stats_path.c_str());
   return rc;

@@ -1,19 +1,23 @@
 #!/usr/bin/env python3
 """Validate PatternPaint observability artifacts.
 
-Checks two kinds of files against the same rules the C++ side enforces
-(src/obs/report.cpp):
+Checks three kinds of files against the same rules the C++ side enforces
+(src/obs/report.cpp, src/serve/reqlog.cpp):
 
   * run reports (results/run_report_<tool>.json) — the version-1 schema:
     schema_version/tool/wall_ms/metrics/spans/trace core keys, histogram
     and span field lists, and object-or-array extra sections;
   * bench logs — stdout captures containing '{"bench": ..., "ms": ...}'
-    summary lines (grep '^{"bench"' compatible).
+    summary lines (grep '^{"bench"' compatible);
+  * wide-event request logs — the serve tier's NDJSON request log (one
+    "serve.request" event per completed/rejected request), schema-checked
+    line by line.
 
 Usage:
   check_bench_json.py --selfcheck
   check_bench_json.py report.json [more.json ...]
   check_bench_json.py --bench-log bench_stdout.txt [...]
+  check_bench_json.py --request-log results/requests.ndjson [...]
 
 Exit status 0 when every input validates, 1 otherwise. --selfcheck runs the
 built-in fixtures (wired as a ctest so CI exercises the validator without
@@ -24,18 +28,36 @@ import argparse
 import json
 import sys
 
-HIST_FIELDS = {"count", "sum", "mean", "p50", "p95"}
+# Must stay in lockstep with kHistFields in src/obs/report.cpp.
+HIST_FIELDS = {"count", "sum", "mean", "p50", "p95", "p99", "min", "max"}
 SPAN_FIELDS = {"name", "count", "total_ms", "p50_ms", "p95_ms"}
 CORE_KEYS = {"schema_version", "tool", "wall_ms", "metrics", "spans", "trace"}
 SERVE_FIELDS = ("rps", "p50_ms", "p95_ms", "p99_ms", "clients", "requests",
                 "rejected", "timeouts", "offered_rps", "queue_p50_ms",
-                "queue_p95_ms", "queue_p99_ms")
+                "queue_p95_ms", "queue_p99_ms", "mid_p95_ms", "mid_count",
+                "final_rolling_p95_ms", "final_p95_ms", "bucket_ratio",
+                "within_bucket", "request_log_lines", "log_complete",
+                "health_ok")
 # Open-loop A/B lines (bench_serve): the full latency evidence must be
 # present on BOTH executor flavours or the comparison is meaningless.
 OPEN_LOOP_BENCHES = ("serve_open_loop_fixed", "serve_open_loop_cont")
 OPEN_LOOP_REQUIRED = {"offered_rps", "rps", "p50_ms", "p95_ms", "p99_ms",
                       "queue_p50_ms", "queue_p95_ms", "queue_p99_ms",
                       "requests"}
+# Telemetry acceptance line (bench_serve): the mid-run scrape comparison and
+# the request-log accounting must both be present, and both checks must
+# have PASSED — a line recording a failed probe fails validation too.
+TELEMETRY_REQUIRED = {"mid_p95_ms", "mid_count", "final_rolling_p95_ms",
+                      "final_p95_ms", "bucket_ratio", "within_bucket",
+                      "request_log_lines", "requests", "log_complete",
+                      "health_ok"}
+# Wide-event request-log schema (src/serve/server.cpp request_event).
+REQLOG_STR_FIELDS = ("event", "op", "model", "outcome", "code")
+REQLOG_NUM_FIELDS = ("ts_ms", "id", "seed", "count", "steps", "eta",
+                     "queue_ms", "run_ms", "e2e_ms", "step_batches",
+                     "batch_peak")
+REQLOG_OUTCOMES = ("ok", "rejected", "timeout", "cancelled", "error")
+REQLOG_OPS = ("sample", "inpaint")
 
 
 def _num(v):
@@ -94,7 +116,7 @@ def validate_report(doc):
     else:
         if not isinstance(trace.get("enabled"), bool):
             errs.append("trace.enabled must be a bool")
-        for k in ("events", "dropped"):
+        for k in ("events", "dropped", "dropped_spans"):
             if not _num(trace.get(k)) or trace.get(k, -1) < 0:
                 errs.append(f"trace.{k} must be a non-negative number")
 
@@ -130,9 +152,42 @@ def validate_bench_line(doc):
         missing = OPEN_LOOP_REQUIRED - set(doc)
         if missing:
             errs.append(f"{doc['bench']} line missing {sorted(missing)}")
+    if doc.get("bench") == "serve_telemetry":
+        missing = TELEMETRY_REQUIRED - set(doc)
+        if missing:
+            errs.append(f"serve_telemetry line missing {sorted(missing)}")
+        for flag in ("within_bucket", "log_complete", "health_ok"):
+            if doc.get(flag) == 0:
+                errs.append(f"serve_telemetry probe failed: {flag} = 0")
     for key, v in doc.items():
         if not isinstance(v, (str, int, float)) or isinstance(v, bool):
             errs.append(f"field '{key}' must be a scalar")
+    return errs
+
+
+def validate_request_event(doc):
+    """Validates one wide-event request-log line (serve.request schema)."""
+    errs = []
+    if not isinstance(doc, dict):
+        return ["line is not a JSON object"]
+    for key in REQLOG_STR_FIELDS:
+        if not isinstance(doc.get(key), str) or not doc.get(key):
+            errs.append(f"{key} must be a non-empty string")
+    for key in REQLOG_NUM_FIELDS:
+        if not _num(doc.get(key)):
+            errs.append(f"{key} must be a number")
+    if isinstance(doc.get("event"), str) and doc["event"] != "serve.request":
+        errs.append(f'event must be "serve.request", got "{doc["event"]}"')
+    if isinstance(doc.get("op"), str) and doc["op"] not in REQLOG_OPS:
+        errs.append(f"op must be one of {list(REQLOG_OPS)}")
+    if (isinstance(doc.get("outcome"), str)
+            and doc["outcome"] not in REQLOG_OUTCOMES):
+        errs.append(f"outcome must be one of {list(REQLOG_OUTCOMES)}")
+    if not isinstance(doc.get("joined_running"), bool):
+        errs.append("joined_running must be a bool")
+    for key in ("queue_ms", "run_ms", "e2e_ms", "step_batches", "batch_peak"):
+        if _num(doc.get(key)) and doc[key] < 0:
+            errs.append(f"{key} must be non-negative")
     return errs
 
 
@@ -167,6 +222,29 @@ def check_bench_log(path):
     return errs
 
 
+def check_request_log(path):
+    errs = []
+    lines = 0
+    try:
+        with open(path) as f:
+            for lineno, raw in enumerate(f, 1):
+                if not raw.strip():
+                    continue
+                lines += 1
+                try:
+                    doc = json.loads(raw)
+                except json.JSONDecodeError as e:
+                    errs.append(f"{path}:{lineno}: {e}")
+                    continue
+                errs += [f"{path}:{lineno}: {e}"
+                         for e in validate_request_event(doc)]
+    except OSError as e:
+        return [f"{path}: {e}"]
+    if lines == 0:
+        errs.append(f"{path}: request log is empty")
+    return errs
+
+
 def selfcheck():
     good_report = {
         "schema_version": 1,
@@ -177,12 +255,14 @@ def selfcheck():
             "gauges": {"trace.pipeline_coverage": 0.99},
             "histograms": {
                 "pool.job_ns": {"count": 2, "sum": 10.0, "mean": 5.0,
-                                "p50": 4.0, "p95": 6.0}
+                                "p50": 4.0, "p95": 6.0, "p99": 6.0,
+                                "min": 3.9, "max": 6.2}
             },
         },
         "spans": [{"name": "ddpm.inpaint", "count": 1, "total_ms": 9.0,
                    "p50_ms": 9.0, "p95_ms": 9.0}],
-        "trace": {"enabled": True, "events": 1, "dropped": 0},
+        "trace": {"enabled": True, "events": 1, "dropped": 0,
+                  "dropped_spans": 0},
         "pool": {"threads": 4, "busy_fraction": [0.5]},
     }
     bad_reports = []
@@ -191,8 +271,11 @@ def selfcheck():
         lambda d: d.update(tool=7),
         lambda d: d.pop("wall_ms"),
         lambda d: d["metrics"]["histograms"]["pool.job_ns"].pop("p95"),
+        lambda d: d["metrics"]["histograms"]["pool.job_ns"].pop("min"),
+        lambda d: d["metrics"]["histograms"]["pool.job_ns"].pop("p99"),
         lambda d: d["spans"].append({"name": "x"}),
         lambda d: d["trace"].update(enabled="yes"),
+        lambda d: d["trace"].pop("dropped_spans"),
         lambda d: d.update(rogue=3),
     ):
         doc = json.loads(json.dumps(good_report))
@@ -218,6 +301,10 @@ def selfcheck():
          "queue_p50_ms": 0.1, "queue_p95_ms": 1.3, "queue_p99_ms": 1.7,
          "requests": 60},
         {"bench": "serve_overload", "ms": 7.6, "rejected": 4, "timeouts": 2},
+        {"bench": "serve_telemetry", "ms": 270.0, "mid_p95_ms": 14.0,
+         "mid_count": 50, "final_rolling_p95_ms": 14.0, "final_p95_ms": 16.1,
+         "bucket_ratio": 1.5, "within_bucket": 1, "request_log_lines": 60,
+         "requests": 60, "log_complete": 1, "health_ok": 1},
     ]
     bad_lines = [
         {"ms": 1.0},
@@ -246,6 +333,38 @@ def selfcheck():
          "rps": 9.0, "p50_ms": 1.0, "p95_ms": 2.0, "p99_ms": 3.0,
          "queue_p50_ms": 0.1, "queue_p95_ms": -0.2, "queue_p99_ms": 0.3,
          "requests": 5},
+        # Telemetry line with a failed probe (within_bucket = 0) or missing
+        # accounting fields is a FAIL, not an accepted degraded mode.
+        {"bench": "serve_telemetry", "ms": 1.0, "mid_p95_ms": 14.0,
+         "mid_count": 50, "final_rolling_p95_ms": 40.0, "final_p95_ms": 40.0,
+         "bucket_ratio": 1.5, "within_bucket": 0, "request_log_lines": 60,
+         "requests": 60, "log_complete": 1, "health_ok": 1},
+        {"bench": "serve_telemetry", "ms": 1.0, "mid_p95_ms": 14.0,
+         "mid_count": 50, "bucket_ratio": 1.5, "within_bucket": 1,
+         "health_ok": 1},
+    ]
+
+    good_events = [
+        {"event": "serve.request", "ts_ms": 12.5, "id": 7, "op": "sample",
+         "model": "bench", "seed": 7, "count": 1, "steps": 4, "eta": -1.0,
+         "outcome": "ok", "code": "none", "queue_ms": 0.4, "run_ms": 3.1,
+         "e2e_ms": 3.6, "step_batches": 4, "batch_peak": 2,
+         "joined_running": True},
+        {"event": "serve.request", "ts_ms": 13.0, "id": 8, "op": "inpaint",
+         "model": "bench", "seed": 8, "count": 2, "steps": 0, "eta": 0.5,
+         "outcome": "rejected", "code": "queue_full", "queue_ms": 0.0,
+         "run_ms": 0.0, "e2e_ms": 0.0, "step_batches": 0, "batch_peak": 0,
+         "joined_running": False},
+    ]
+    bad_events = [
+        {},
+        {**good_events[0], "event": "serve.step"},
+        {**good_events[0], "op": "train"},
+        {**good_events[0], "outcome": "maybe"},
+        {**good_events[0], "joined_running": 1},
+        {**good_events[0], "e2e_ms": "fast"},
+        {**good_events[0], "run_ms": -1.0},
+        {k: v for k, v in good_events[0].items() if k != "step_batches"},
     ]
 
     failures = []
@@ -260,6 +379,13 @@ def selfcheck():
     for i, doc in enumerate(bad_lines):
         if not validate_bench_line(doc):
             failures.append(f"bad line #{i} accepted")
+    for doc in good_events:
+        if validate_request_event(doc):
+            failures.append(
+                f"good event rejected: {validate_request_event(doc)}")
+    for i, doc in enumerate(bad_events):
+        if not validate_request_event(doc):
+            failures.append(f"bad event #{i} accepted")
 
     for msg in failures:
         print(f"selfcheck FAIL: {msg}", file=sys.stderr)
@@ -274,24 +400,29 @@ def main():
     ap.add_argument("reports", nargs="*", help="run_report JSON files")
     ap.add_argument("--bench-log", action="append", default=[],
                     help="stdout capture with {\"bench\"...} summary lines")
+    ap.add_argument("--request-log", action="append", default=[],
+                    help="wide-event NDJSON request log (serve.request lines)")
     ap.add_argument("--selfcheck", action="store_true",
                     help="run built-in fixtures instead of reading files")
     args = ap.parse_args()
 
     if args.selfcheck:
         return selfcheck()
-    if not args.reports and not args.bench_log:
-        ap.error("nothing to check: pass report files, --bench-log, or --selfcheck")
+    if not args.reports and not args.bench_log and not args.request_log:
+        ap.error("nothing to check: pass report files, --bench-log, "
+                 "--request-log, or --selfcheck")
 
     errs = []
     for path in args.reports:
         errs += check_report_file(path)
     for path in args.bench_log:
         errs += check_bench_log(path)
+    for path in args.request_log:
+        errs += check_request_log(path)
     for e in errs:
         print(f"FAIL: {e}", file=sys.stderr)
     if not errs:
-        n = len(args.reports) + len(args.bench_log)
+        n = len(args.reports) + len(args.bench_log) + len(args.request_log)
         print(f"OK: {n} file(s) validated")
     return 0 if not errs else 1
 

@@ -40,17 +40,23 @@ echo "serve round-trip OK"
 # join/leave one running batch at step boundaries, plus an out-of-domain
 # steps knob that must come back as a structured bad_request — all under
 # the sanitizers, where a stale pointer in the latent re-pack would burn.
+# The metrics/health ops are sent mid-load (between generation requests)
+# so the rolling-window scrape path runs concurrently with the executor.
 echo "=== serve continuous-batching round-trip ==="
-cont_out=$("$BUILD_DIR"/examples/ppaint_serve pipe <<'NDJSON'
+reqlog=$(mktemp /tmp/pp_reqlog.XXXXXX)
+cont_out=$("$BUILD_DIR"/examples/ppaint_serve pipe --request-log "$reqlog" <<'NDJSON'
 {"id":1,"op":"load","model":"cb","preset":"sd1","clip":16,"timesteps":40,"sample_steps":4,"base_channels":6,"time_dim":16}
 {"id":2,"op":"sample","model":"cb","seed":11,"count":2,"steps":8,"eta":0.8}
 {"id":3,"op":"sample","model":"cb","seed":12,"count":1,"steps":2,"eta":0.0}
+{"id":7,"op":"metrics"}
 {"id":4,"op":"sample","model":"cb","seed":13,"count":1}
+{"id":8,"op":"health"}
 {"id":5,"op":"sample","model":"cb","seed":14,"steps":1}
 {"id":6,"op":"shutdown"}
 NDJSON
 )
-for marker in '"patterns":' '"code":"bad_request"' '"draining":true'; do
+for marker in '"patterns":' '"code":"bad_request"' '"draining":true' \
+    '"snapshot":"pp.metrics.v1"' '"rolling":' '"status":' '"accepting":'; do
   if ! grep -qF "$marker" <<<"$cont_out"; then
     echo "continuous round-trip missing $marker:" >&2
     echo "$cont_out" >&2
@@ -58,9 +64,19 @@ for marker in '"patterns":' '"code":"bad_request"' '"draining":true'; do
   fi
 done
 ok_count=$(grep -cF '"ok":true' <<<"$cont_out")
-if [ "$ok_count" -lt 4 ]; then  # load ack + 3 generations
-  echo "continuous round-trip: expected >=4 ok responses, got $ok_count:" >&2
+if [ "$ok_count" -lt 6 ]; then  # load ack + 3 generations + metrics + health
+  echo "continuous round-trip: expected >=6 ok responses, got $ok_count:" >&2
   echo "$cont_out" >&2
   exit 1
 fi
-echo "serve continuous-batching round-trip OK"
+# The wide-event request log must account for all 4 generation requests
+# (3 ok + 1 bad-steps reject) and schema-validate.
+python3 scripts/check_bench_json.py --request-log "$reqlog"
+reqlog_lines=$(grep -c . "$reqlog")
+if [ "$reqlog_lines" -ne 4 ]; then
+  echo "request log: expected 4 lines, got $reqlog_lines:" >&2
+  cat "$reqlog" >&2
+  exit 1
+fi
+rm -f "$reqlog"
+echo "serve continuous-batching round-trip OK (telemetry scraped mid-load)"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -23,15 +24,46 @@ int bucket_index(double v) {
 }  // namespace
 
 double Histogram::bucket_bound(int i) { return std::pow(kRatio, i); }
+double Histogram::bucket_ratio() { return kRatio; }
+
+namespace {
+
+// Monotone update via CAS: keeps the extremum exact without promoting the
+// hot path beyond relaxed atomics. Contention is bounded — the loop only
+// retries while the extremum is actually moving.
+void update_extremum(std::atomic<double>& slot, double v, bool want_min) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (want_min ? v < cur : v > cur) {
+    if (slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) return;
+  }
+}
+
+}  // namespace
 
 void Histogram::observe(double v) {
   buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  update_extremum(min_, v, /*want_min=*/true);
+  update_extremum(max_, v, /*want_min=*/false);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(v, std::memory_order_relaxed);
 }
 
-double Histogram::percentile(double q) const {
-  std::uint64_t n = count();
+double Histogram::min() const {
+  if (count() == 0) return 0.0;
+  double v = min_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+double Histogram::max() const {
+  if (count() == 0) return 0.0;
+  double v = max_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+double Histogram::percentile_of(const std::uint64_t counts[kBuckets],
+                                double q) {
+  std::uint64_t n = 0;
+  for (int i = 0; i < kBuckets; ++i) n += counts[i];
   if (n == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   // Rank of the q-quantile among n sorted samples (1-based, nearest-rank).
@@ -39,7 +71,7 @@ double Histogram::percentile(double q) const {
   if (rank == 0) rank = 1;
   std::uint64_t seen = 0;
   for (int i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i].load(std::memory_order_relaxed);
+    seen += counts[i];
     if (seen >= rank) {
       double hi = bucket_bound(i);
       double lo = i == 0 ? hi / kRatio : bucket_bound(i - 1);
@@ -49,10 +81,21 @@ double Histogram::percentile(double q) const {
   return bucket_bound(kBuckets - 1);
 }
 
+double Histogram::percentile(double q) const {
+  std::uint64_t counts[kBuckets];
+  for (int i = 0; i < kBuckets; ++i)
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  return percentile_of(counts, q);
+}
+
 void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
 }
 
 struct MetricsRegistry::Impl {
@@ -119,6 +162,9 @@ Json MetricsRegistry::to_json() const {
     o.set("mean", Json(h.mean()));
     o.set("p50", Json(h.percentile(0.50)));
     o.set("p95", Json(h.percentile(0.95)));
+    o.set("p99", Json(h.percentile(0.99)));
+    o.set("min", Json(h.min()));
+    o.set("max", Json(h.max()));
     hists.set(kv.first, std::move(o));
   }
   Json out = Json::object();

@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -56,13 +57,29 @@ class Histogram {
     std::uint64_t n = count();
     return n ? sum() / static_cast<double>(n) : 0.0;
   }
+  /// Exact smallest / largest observed value; 0 when empty.
+  double min() const;
+  double max() const;
 
   /// Percentile estimate, q in [0, 1]; 0 when empty. Within one bucket
   /// ratio of the true value.
   double percentile(double q) const;
 
+  /// Relaxed read of one bucket's count (rolling-window snapshots).
+  std::uint64_t bucket_count(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Percentile over an externally supplied bucket-count array (the rolling
+  /// layer feeds bucket DELTAS between two snapshots through this so
+  /// windowed and lifetime percentiles share one estimator).
+  static double percentile_of(const std::uint64_t counts[kBuckets], double q);
+
   /// Upper bound of bucket i (exposed for tests).
   static double bucket_bound(int i);
+  /// Geometric growth factor between adjacent bucket bounds (the "one
+  /// bucket ratio" that bounds percentile error).
+  static double bucket_ratio();
 
   void reset();
 
@@ -70,6 +87,9 @@ class Histogram {
   std::atomic<std::uint64_t> buckets_[kBuckets] = {};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  // +/-inf sentinels mean "no observation yet"; min()/max() report 0 then.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
 /// Named-metric registry. Lookup interns by name: the first caller creates
@@ -86,7 +106,7 @@ class MetricsRegistry {
   void reset();
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {name:
-  /// {count,sum,mean,p50,p95}}}, names sorted.
+  /// {count,sum,mean,p50,p95,p99,min,max}}}, names sorted.
   Json to_json() const;
 
  private:

@@ -50,6 +50,10 @@ Json build_run_report(const std::string& tool) {
   trace.set("enabled", Json(trace_enabled()));
   trace.set("events", Json(trace_event_count()));
   trace.set("dropped", Json(trace_dropped()));
+  // Canonical name for buffer-overflow loss ("dropped" kept for older
+  // scrapers): non-zero means PP_TRACE_BUF was too small and the exported
+  // trace is truncated.
+  trace.set("dropped_spans", Json(trace_dropped()));
   report.set("trace", std::move(trace));
 
   // Copy the callbacks out so a section building a report (it shouldn't,
@@ -135,9 +139,9 @@ bool validate_run_report(const Json& report, std::string* err) {
       if (std::string(group) == "histograms") {
         if (!kv.second.is_object())
           return fail(err, "histogram '" + kv.first + "': not an object");
-        static const char* const kHistFields[] = {"count", "sum", "mean",
-                                                  "p50", "p95"};
-        if (!check_number_fields(kv.second, kHistFields, 5,
+        static const char* const kHistFields[] = {
+            "count", "sum", "mean", "p50", "p95", "p99", "min", "max"};
+        if (!check_number_fields(kv.second, kHistFields, 8,
                                  "histogram '" + kv.first + "'", err))
           return false;
       } else if (!kv.second.is_number()) {
@@ -166,8 +170,9 @@ bool validate_run_report(const Json& report, std::string* err) {
   const Json* enabled = trace->find("enabled");
   if (!enabled || !enabled->is_bool())
     return fail(err, "trace: 'enabled' must be a bool");
-  static const char* const kTraceFields[] = {"events", "dropped"};
-  if (!check_number_fields(*trace, kTraceFields, 2, "trace", err)) return false;
+  static const char* const kTraceFields[] = {"events", "dropped",
+                                             "dropped_spans"};
+  if (!check_number_fields(*trace, kTraceFields, 3, "trace", err)) return false;
 
   // Extra sections (e.g. "pool"): any remaining key must be a container,
   // so downstream scrapers can rely on flat core keys only.

@@ -21,7 +21,9 @@ struct RawEvent {
   const char* name;
   std::uint64_t start_ns;
   std::uint64_t dur_ns;
+  std::uint64_t corr;  // correlation id, 0 = none
   std::int32_t depth;
+  std::uint8_t kind;  // 0 = span, 1 = instant flow point
 };
 
 std::size_t buffer_capacity() {
@@ -85,16 +87,36 @@ std::uint64_t now_ns() {
           .count());
 }
 
-void record_span(const char* name, std::uint64_t start_ns,
-                 std::uint64_t end_ns) {
+namespace {
+
+void append_event(const char* name, std::uint64_t start_ns,
+                  std::uint64_t dur_ns, std::uint64_t corr,
+                  std::uint8_t kind) {
   ThreadBuffer& buf = local_buffer();
   std::size_t slot = buf.count.load(std::memory_order_relaxed);
   if (slot >= buffer_capacity()) {
     buf.dropped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  buf.events[slot] = {name, start_ns, end_ns - start_ns, t_span_depth};
+  buf.events[slot] = {name, start_ns, dur_ns, corr, t_span_depth, kind};
   buf.count.store(slot + 1, std::memory_order_release);
+}
+
+}  // namespace
+
+void record_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t end_ns) {
+  append_event(name, start_ns, end_ns - start_ns, 0, 0);
+}
+
+void record_span_corr(const char* name, std::uint64_t start_ns,
+                      std::uint64_t end_ns, std::uint64_t corr) {
+  append_event(name, start_ns, end_ns - start_ns, corr, 0);
+}
+
+void record_flow_point(const char* name, std::uint64_t corr) {
+  std::uint64_t t = now_ns();
+  append_event(name, t, 0, corr, 1);
 }
 
 }  // namespace detail
@@ -145,7 +167,8 @@ std::vector<TraceEventView> trace_events() {
     std::size_t n = b->count.load(std::memory_order_acquire);
     for (std::size_t i = 0; i < n; ++i) {
       const auto& e = b->events[i];
-      out.push_back({e.name, e.start_ns, e.dur_ns, b->tid, e.depth});
+      out.push_back(
+          {e.name, e.start_ns, e.dur_ns, b->tid, e.depth, e.corr, e.kind == 1});
     }
   }
   return out;
@@ -153,6 +176,11 @@ std::vector<TraceEventView> trace_events() {
 
 std::vector<SpanStat> span_summary() {
   std::vector<TraceEventView> events = trace_events();
+  // Instant flow points are markers, not spans — their zero durations
+  // would poison the per-name percentiles.
+  events.erase(std::remove_if(events.begin(), events.end(),
+                              [](const TraceEventView& e) { return e.flow_point; }),
+               events.end());
   // Group durations by name. Event volume is bench-scale (<= buffer caps),
   // so sort-based grouping is plenty.
   std::sort(events.begin(), events.end(),
@@ -208,8 +236,12 @@ bool write_span_summary_jsonl(const std::string& path) {
 }
 
 Json chrome_trace_json() {
+  std::vector<TraceEventView> all = trace_events();
   Json events = Json::array();
-  for (const TraceEventView& e : trace_events()) {
+  // Duration slices first (tests and scrapers rely on events[0].ph == "X");
+  // instant flow points only appear through the flow chains below.
+  for (const TraceEventView& e : all) {
+    if (e.flow_point) continue;
     Json o = Json::object();
     o.set("name", Json(e.name));
     o.set("ph", Json("X"));
@@ -218,6 +250,39 @@ Json chrome_trace_json() {
     o.set("pid", Json(1));
     o.set("tid", Json(static_cast<std::size_t>(e.tid)));
     events.push_back(std::move(o));
+  }
+  // Correlated events become flow arrows: per corr id, chain every event
+  // chronologically with start ("s") / step ("t") / end ("f") phases. The
+  // viewer binds each to the slice enclosing its ts on that tid, drawing
+  // request -> step-batch arrows across threads.
+  std::vector<const TraceEventView*> flows;
+  for (const TraceEventView& e : all)
+    if (e.corr != 0) flows.push_back(&e);
+  std::sort(flows.begin(), flows.end(),
+            [](const TraceEventView* a, const TraceEventView* b) {
+              if (a->corr != b->corr) return a->corr < b->corr;
+              return a->start_ns < b->start_ns;
+            });
+  std::size_t i = 0;
+  while (i < flows.size()) {
+    std::size_t j = i;
+    while (j < flows.size() && flows[j]->corr == flows[i]->corr) ++j;
+    if (j - i >= 2) {  // a chain needs two ends
+      for (std::size_t k = i; k < j; ++k) {
+        const TraceEventView& e = *flows[k];
+        Json o = Json::object();
+        o.set("name", Json("serve.flow"));
+        o.set("cat", Json("flow"));
+        o.set("ph", Json(k == i ? "s" : k + 1 == j ? "f" : "t"));
+        if (k + 1 == j) o.set("bp", Json("e"));
+        o.set("id", Json(e.corr));
+        o.set("ts", Json(static_cast<double>(e.start_ns) / 1e3));
+        o.set("pid", Json(1));
+        o.set("tid", Json(static_cast<std::size_t>(e.tid)));
+        events.push_back(std::move(o));
+      }
+    }
+    i = j;
   }
   Json doc = Json::object();
   doc.set("traceEvents", std::move(events));

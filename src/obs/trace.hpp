@@ -44,6 +44,9 @@ bool init_trace_state();                // reads PP_TRACE
 std::uint64_t now_ns();  // monotonic, relative to process trace epoch
 void record_span(const char* name, std::uint64_t start_ns,
                  std::uint64_t end_ns);
+void record_span_corr(const char* name, std::uint64_t start_ns,
+                      std::uint64_t end_ns, std::uint64_t corr);
+void record_flow_point(const char* name, std::uint64_t corr);
 
 extern thread_local int t_span_depth;
 
@@ -53,6 +56,28 @@ inline bool trace_enabled() {
   int s = detail::g_trace_state.load(std::memory_order_relaxed);
   if (s < 0) return detail::init_trace_state();
   return s != 0;
+}
+
+/// Current trace-epoch timestamp, for callers recording manual spans
+/// (e.g. a request span whose start was captured on another thread).
+inline std::uint64_t trace_now_ns() { return detail::now_ns(); }
+
+/// Records a completed span carrying a correlation id (trace id). In the
+/// chrome export, every event sharing a non-zero `corr` is chained into one
+/// flow (arrows across threads); serve uses corr = request id to link a
+/// `serve.request` span to the step batches it rode. No-op when tracing is
+/// disabled.
+inline void record_span_with_corr(const char* name, std::uint64_t start_ns,
+                                  std::uint64_t end_ns, std::uint64_t corr) {
+  if (trace_enabled()) detail::record_span_corr(name, start_ns, end_ns, corr);
+}
+
+/// Records an instant flow point at now: a zero-duration marker that joins
+/// the corr chain from inside whatever span is open on this thread (serve
+/// emits one per request per step batch). Excluded from span_summary().
+/// No-op when tracing is disabled.
+inline void record_flow_point(const char* name, std::uint64_t corr) {
+  if (trace_enabled()) detail::record_flow_point(name, corr);
 }
 
 void set_trace_enabled(bool on);
@@ -101,6 +126,8 @@ struct TraceEventView {
   std::uint64_t dur_ns = 0;
   std::uint32_t tid = 0;
   int depth = 0;
+  std::uint64_t corr = 0;  ///< correlation id, 0 = not part of a flow
+  bool flow_point = false;  ///< instant marker, not a duration span
 };
 std::vector<TraceEventView> trace_events();
 

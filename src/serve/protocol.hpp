@@ -19,6 +19,14 @@
 // domain values are rejected at admission as "bad_request".
 //   cancel   {"id", "op":"cancel", "target":<id>}
 //   ping / stats / shutdown {"id", "op":...}
+//   metrics  {"id", "op":"metrics"} -> {"metrics": {"snapshot", "uptime_ms",
+//            "metrics" (full registry), "trace", "rolling" (windowed SLO
+//            stats: short/long windows of rate + p50/p95/p99)}}
+//   health   {"id", "op":"health"} -> {"health": {"status":
+//            "ok|overloaded|draining", "accepting", "overloaded",
+//            "queue_depth", "max_queue", "error_rate" (rolling short
+//            window, with hysteresis on the overload latch),
+//            "requests_per_s", "window_s", "trace_dropped_spans"}}
 //
 // Rasters travel as the '.'/'#' ASCII art of Raster::to_ascii (rows joined
 // by '\n'), so the protocol needs no binary framing and diffs readably.

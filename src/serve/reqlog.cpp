@@ -1,0 +1,62 @@
+#include "serve/reqlog.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+
+#include "obs/json.hpp"
+
+namespace pp::serve {
+
+RequestLogConfig RequestLogConfig::from_env() {
+  RequestLogConfig cfg;
+  if (const char* env = std::getenv("PP_REQLOG")) cfg.path = env;
+  if (const char* env = std::getenv("PP_REQLOG_ROTATE_BYTES")) {
+    char* end = nullptr;
+    long long v = std::strtoll(env, &end, 10);
+    if (end != env && v > 0)
+      cfg.rotate_bytes =
+          std::max<std::uint64_t>(static_cast<std::uint64_t>(v), 4096);
+  }
+  return cfg;
+}
+
+RequestLog::RequestLog(RequestLogConfig cfg) : cfg_(std::move(cfg)) {
+  if (enabled()) {
+    std::lock_guard<std::mutex> lk(m_);
+    open_locked();
+  }
+}
+
+void RequestLog::open_locked() {
+  out_.open(cfg_.path, std::ios::trunc);
+  bytes_ = 0;
+}
+
+void RequestLog::rotate_locked() {
+  out_.close();
+  std::error_code ignored;
+  std::filesystem::rename(cfg_.path, cfg_.path + ".1", ignored);
+  open_locked();
+}
+
+void RequestLog::write(const obs::Json& line) {
+  if (!enabled()) return;
+  std::string text = line.dump();
+  text += '\n';
+  std::lock_guard<std::mutex> lk(m_);
+  if (bytes_ > 0 && bytes_ + text.size() > cfg_.rotate_bytes) rotate_locked();
+  if (!out_.good()) return;
+  out_ << text;
+  out_.flush();
+  bytes_ += text.size();
+  ++lines_;
+}
+
+std::uint64_t RequestLog::lines_written() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return lines_;
+}
+
+}  // namespace pp::serve

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "diffusion/convert.hpp"
 #include "diffusion/ddpm.hpp"
+#include "obs/expo.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -72,20 +73,83 @@ void register_serve_section() {
       o.set("e2e_p50_ms", obs::Json(m.e2e_ms.percentile(0.5)));
       o.set("e2e_p95_ms", obs::Json(m.e2e_ms.percentile(0.95)));
       o.set("e2e_p99_ms", obs::Json(m.e2e_ms.percentile(0.99)));
+      o.set("trace_dropped_spans", obs::Json(obs::trace_dropped()));
       return o;
     });
   });
+}
+
+const char* op_name(GenRequest::Op op) {
+  return op == GenRequest::Op::kInpaint ? "inpaint" : "sample";
+}
+
+/// Wide-event outcome taxonomy: every request story ends in exactly one of
+/// ok / rejected (never ran) / timeout / cancelled / error.
+const char* outcome_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone:
+      return "ok";
+    case ErrorCode::kTimeout:
+      return "timeout";
+    case ErrorCode::kCancelled:
+      return "cancelled";
+    case ErrorCode::kBadRequest:
+    case ErrorCode::kUnknownModel:
+    case ErrorCode::kInvalidConfig:
+    case ErrorCode::kQueueFull:
+    case ErrorCode::kDraining:
+      return "rejected";
+    default:
+      return "error";
+  }
+}
+
+obs::Json request_event(const GenRequest& req, ErrorCode code,
+                        double queue_ms, double run_ms, double e2e_ms,
+                        int step_batches, int batch_peak,
+                        bool joined_running) {
+  obs::Json o = obs::Json::object();
+  o.set("event", obs::Json("serve.request"));
+  o.set("ts_ms", obs::Json(static_cast<double>(obs::trace_now_ns()) / 1e6));
+  o.set("id", obs::Json(req.id));
+  o.set("op", obs::Json(op_name(req.op)));
+  o.set("model", obs::Json(req.model));
+  o.set("seed", obs::Json(req.seed));
+  o.set("count", obs::Json(req.count));
+  o.set("steps", obs::Json(req.steps));
+  o.set("eta", obs::Json(req.eta));
+  o.set("outcome", obs::Json(outcome_name(code)));
+  o.set("code", obs::Json(error_code_name(code)));
+  o.set("queue_ms", obs::Json(queue_ms));
+  o.set("run_ms", obs::Json(run_ms));
+  o.set("e2e_ms", obs::Json(e2e_ms));
+  o.set("step_batches", obs::Json(step_batches));
+  o.set("batch_peak", obs::Json(batch_peak));
+  o.set("joined_running", obs::Json(joined_running));
+  return o;
 }
 
 }  // namespace
 
 GenerationServer::GenerationServer(std::shared_ptr<ModelRegistry> registry,
                                    ServerConfig cfg)
-    : registry_(std::move(registry)), cfg_(cfg) {
+    : registry_(std::move(registry)),
+      cfg_(std::move(cfg)),
+      rolling_(cfg_.rolling),
+      reqlog_(cfg_.request_log) {
   PP_REQUIRE(registry_ != nullptr);
   PP_REQUIRE(cfg_.max_queue >= 1);
   PP_REQUIRE(cfg_.max_batch_samples >= 1);
   register_serve_section();
+  // The serve.* metrics are process-global; tracking them here baselines
+  // this instance's rolling windows at its own construction.
+  rolling_.track_counter("serve.accepted");
+  rolling_.track_counter("serve.rejected");
+  rolling_.track_counter("serve.completed");
+  rolling_.track_counter("serve.timeouts");
+  rolling_.track_counter("serve.cancelled");
+  rolling_.track_histogram("serve.e2e_ms");
+  rolling_.track_histogram("serve.wait_ms");
 }
 
 GenerationServer::~GenerationServer() {
@@ -132,7 +196,8 @@ bool GenerationServer::expired(const PendingPtr& p, Clock::time_point now) {
 
 void GenerationServer::finish_response(const PendingPtr& p, GenResponse resp) {
   ServeMetrics& m = serve_metrics();
-  resp.e2e_ms = ms_between(p->enqueue, Clock::now());
+  const Clock::time_point now = Clock::now();
+  resp.e2e_ms = ms_between(p->enqueue, now);
   switch (resp.error) {
     case ErrorCode::kTimeout:
       timeouts_.fetch_add(1);
@@ -150,7 +215,23 @@ void GenerationServer::finish_response(const PendingPtr& p, GenResponse resp) {
     default:
       break;
   }
+  // Request-scoped telemetry: the serve.request span carries corr = request
+  // id, chaining it to the serve.step flow points its step batches emitted.
+  if (p->trace_start_ns != 0)
+    obs::record_span_with_corr("serve.request", p->trace_start_ns,
+                               obs::trace_now_ns(), p->req.id);
+  if (reqlog_.enabled()) {
+    const double run_ms = p->started ? ms_between(p->exec_start, now) : 0.0;
+    reqlog_.write(request_event(p->req, resp.error, p->wait_ms_snapshot,
+                                run_ms, resp.e2e_ms, p->step_batches,
+                                resp.batch_samples, p->joined_running));
+  }
   if (p->done) p->done(std::move(resp));
+}
+
+void GenerationServer::log_reject(const GenRequest& req, ErrorCode code) {
+  if (reqlog_.enabled())
+    reqlog_.write(request_event(req, code, 0.0, 0.0, 0.0, 0, 0, false));
 }
 
 void GenerationServer::submit(GenRequest req,
@@ -159,6 +240,7 @@ void GenerationServer::submit(GenRequest req,
   auto reject = [&](ErrorCode code, const std::string& msg) {
     rejected_.fetch_add(1);
     m.rejected.add(1);
+    log_reject(req, code);
     if (done) done(GenResponse::fail(req.id, code, msg));
   };
   if (!accepting()) {
@@ -213,6 +295,7 @@ void GenerationServer::submit(GenRequest req,
   p->done = std::move(done);
   p->entry = std::move(entry);
   p->enqueue = Clock::now();
+  if (obs::trace_enabled()) p->trace_start_ns = obs::trace_now_ns();
   if (p->req.deadline_ms > 0) {
     p->has_deadline = true;
     p->deadline = p->enqueue + std::chrono::duration_cast<Clock::duration>(
@@ -234,6 +317,7 @@ void GenerationServer::submit(GenRequest req,
   // (outside the lock).
   rejected_.fetch_add(1);
   m.rejected.add(1);
+  log_reject(p->req, ErrorCode::kQueueFull);
   if (p->done)
     p->done(GenResponse::fail(
         p->req.id, ErrorCode::kQueueFull,
@@ -536,6 +620,9 @@ void GenerationServer::worker_loop_continuous() {
       for (const PendingPtr& p : joined) {
         p->wait_ms_snapshot = ms_between(p->enqueue, now);
         m.wait_ms.observe(p->wait_ms_snapshot);
+        p->exec_start = now;
+        p->started = true;
+        p->joined_running = !members.empty();
         const int count = p->req.count;
         Member mem;
         mem.p = p;
@@ -644,6 +731,13 @@ void GenerationServer::worker_loop_continuous() {
     std::vector<FinishedSample> done;
     try {
       PP_TRACE_SPAN("serve.step_batch");
+      // Flow points emitted INSIDE the open step-batch span bind the
+      // request's flow chain to this slice in the chrome export.
+      for (Member& mem : members) {
+        ++mem.p->step_batches;
+        if (mem.p->trace_start_ns != 0)
+          obs::record_flow_point("serve.step", mem.p->req.id);
+      }
       done = entry->pp->model().step(st);
     } catch (const std::exception& e) {
       fail_all(ErrorCode::kInternal, e.what());
@@ -697,6 +791,14 @@ void GenerationServer::execute_batch(std::vector<PendingPtr>& batch) {
   for (const PendingPtr& p : batch) {
     p->wait_ms_snapshot = ms_between(p->enqueue, exec_start);
     m.wait_ms.observe(p->wait_ms_snapshot);
+    p->exec_start = exec_start;
+    p->started = true;
+    p->joined_running = batch.size() > 1;
+    // The frozen batch runs the whole schedule as one unit: one step-batch
+    // participation per request in the wide-event log.
+    p->step_batches = 1;
+    if (p->trace_start_ns != 0)
+      obs::record_flow_point("serve.step", p->req.id);
   }
 
   // Per-request RNG stream bases, exactly the sequential reference
@@ -852,12 +954,62 @@ obs::Json GenerationServer::stats_json() const {
   o.set("max_queue", obs::Json(cfg_.max_queue));
   o.set("max_batch_samples", obs::Json(cfg_.max_batch_samples));
   o.set("continuous", obs::Json(cfg_.continuous));
+  o.set("trace_dropped_spans", obs::Json(obs::trace_dropped()));
+  o.set("request_log_lines", obs::Json(reqlog_.lines_written()));
+  o.set("rolling", rolling_.snapshot_json(obs::trace_now_ns()));
   o.set("models", registry_->to_json());
   return o;
 }
 
 bool GenerationServer::write_stats(const std::string& path) const {
   return obs::write_text_atomic(path, stats_json().dump(2) + "\n");
+}
+
+obs::Json GenerationServer::metrics_json() const {
+  obs::Json o = obs::metrics_snapshot_json();
+  o.set("rolling", rolling_.snapshot_json(obs::trace_now_ns()));
+  return o;
+}
+
+obs::Json GenerationServer::health_json() const {
+  const std::uint64_t now = obs::trace_now_ns();
+  const std::uint64_t win = rolling_.config().short_window_ns;
+  const obs::WindowStats acc =
+      rolling_.counter_window("serve.accepted", win, now);
+  const obs::WindowStats rej =
+      rolling_.counter_window("serve.rejected", win, now);
+  const obs::WindowStats tmo =
+      rolling_.counter_window("serve.timeouts", win, now);
+  const double total = static_cast<double>(acc.count + rej.count);
+  const double errors = static_cast<double>(rej.count + tmo.count);
+  const double err_rate = total > 0 ? std::min(errors / total, 1.0) : 0.0;
+
+  const std::size_t depth = queue_depth();
+  const double qfrac =
+      static_cast<double>(depth) / static_cast<double>(cfg_.max_queue);
+  // Hysteretic overload latch: trip high, release low, so scrapers see a
+  // stable verdict instead of flapping around one threshold.
+  bool over = overloaded_.load(std::memory_order_relaxed);
+  if (!over && (qfrac >= 0.8 || err_rate >= 0.5))
+    over = true;
+  else if (over && qfrac < 0.5 && err_rate < 0.25)
+    over = false;
+  overloaded_.store(over, std::memory_order_relaxed);
+
+  obs::Json o = obs::Json::object();
+  const bool draining = !accepting();
+  o.set("status", obs::Json(draining ? "draining"
+                            : over   ? "overloaded"
+                                     : "ok"));
+  o.set("accepting", obs::Json(!draining));
+  o.set("overloaded", obs::Json(over));
+  o.set("queue_depth", obs::Json(depth));
+  o.set("max_queue", obs::Json(cfg_.max_queue));
+  o.set("error_rate", obs::Json(err_rate));
+  o.set("requests_per_s", obs::Json(acc.rate_per_s + rej.rate_per_s));
+  o.set("window_s", obs::Json(acc.window_s));
+  o.set("trace_dropped_spans", obs::Json(obs::trace_dropped()));
+  return o;
 }
 
 }  // namespace pp::serve

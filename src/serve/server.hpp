@@ -46,8 +46,10 @@
 #include <thread>
 #include <vector>
 
+#include "obs/rolling.hpp"
 #include "serve/protocol.hpp"
 #include "serve/registry.hpp"
+#include "serve/reqlog.hpp"
 
 namespace pp::serve {
 
@@ -61,6 +63,12 @@ struct ServerConfig {
   /// executor (batch frozen at dequeue, runs to completion) — kept for A/B
   /// latency benchmarking in bench_serve.
   bool continuous = true;
+  /// Wide-event request log (one NDJSON line per finished/rejected
+  /// request). Defaults honor PP_REQLOG / PP_REQLOG_ROTATE_BYTES; an empty
+  /// path disables logging.
+  RequestLogConfig request_log = RequestLogConfig::from_env();
+  /// Rolling-window sizing for live SLO stats (PP_ROLL_WINDOW_S).
+  obs::RollingConfig rolling = obs::RollingConfig::from_env();
 };
 
 class GenerationServer {
@@ -103,11 +111,28 @@ class GenerationServer {
   std::size_t queue_depth() const;
 
   /// Lifetime serve statistics: queue/admission counters, latency
-  /// histograms and the model registry ("serve stats dump").
+  /// histograms, rolling-window stats and the model registry ("serve stats
+  /// dump").
   obs::Json stats_json() const;
 
   /// stats_json() to disk via the atomic tmp+rename discipline.
   bool write_stats(const std::string& path) const;
+
+  /// Live scrape payload for the `metrics` wire op: the registry snapshot
+  /// (expo.hpp) plus this server's rolling windows. Reads without stopping
+  /// writers.
+  obs::Json metrics_json() const;
+
+  /// Health verdict for the `health` wire op: "ok" / "overloaded" /
+  /// "draining", rolling error rate, queue depth and trace loss. The
+  /// overload flag has hysteresis — it trips at queue >= 80% of max_queue
+  /// or a short-window error rate >= 0.5, and only clears below 50% /
+  /// 0.25 — so a scraper polling at any cadence sees a stable signal, not
+  /// a strobe.
+  obs::Json health_json() const;
+
+  /// The wide-event request log (ServerConfig::request_log / PP_REQLOG).
+  const RequestLog& request_log() const { return reqlog_; }
 
  private:
   struct Pending {
@@ -119,6 +144,13 @@ class GenerationServer {
     bool has_deadline = false;
     double wait_ms_snapshot = 0.0;  ///< enqueue -> batch pop (executor only)
     std::atomic<bool> cancelled{false};
+    // Request-scoped telemetry (written by admission / the executor, read
+    // at completion on the same thread that last wrote them).
+    std::uint64_t trace_start_ns = 0;  ///< trace-epoch submit time (0 = off)
+    std::chrono::steady_clock::time_point exec_start;  ///< first join/pop
+    bool started = false;       ///< exec_start is valid
+    int step_batches = 0;       ///< denoising step-batches participated in
+    bool joined_running = false;  ///< joined a batch that was already going
   };
   using PendingPtr = std::shared_ptr<Pending>;
 
@@ -130,6 +162,9 @@ class GenerationServer {
   void worker_loop_continuous();
   void execute_batch(std::vector<PendingPtr>& batch);
   void finish_response(const PendingPtr& p, GenResponse resp);
+  /// One wide-event line for an admission reject (accepted requests log
+  /// from finish_response).
+  void log_reject(const GenRequest& req, ErrorCode code);
   static bool expired(const PendingPtr& p,
                       std::chrono::steady_clock::time_point now);
 
@@ -151,6 +186,13 @@ class GenerationServer {
   std::atomic<std::uint64_t> accepted_{0}, rejected_{0}, timeouts_{0},
       cancelled_{0}, completed_{0}, batches_{0}, batched_samples_{0},
       joins_{0}, leaves_{0}, repacks_{0};
+
+  // Live telemetry plane: rolling windows baseline at THIS instance's
+  // construction (the underlying serve.* metrics are process-global), the
+  // wide-event log, and the hysteretic overload latch (health_json).
+  obs::RollingCollector rolling_;
+  RequestLog reqlog_;
+  mutable std::atomic<bool> overloaded_{false};
 };
 
 }  // namespace pp::serve

@@ -137,6 +137,16 @@ StreamResult serve_stream(int in_fd, int out_fd, GenerationServer& server,
       obs::Json o = ok_response(id);
       o.set("stats", server.stats_json());
       writer->write(o);
+    } else if (op == "metrics") {
+      // Live scrape: registry snapshot + this server's rolling windows.
+      // Reads lock-free against writers, so scraping mid-load is safe.
+      obs::Json o = ok_response(id);
+      o.set("metrics", server.metrics_json());
+      writer->write(o);
+    } else if (op == "health") {
+      obs::Json o = ok_response(id);
+      o.set("health", server.health_json());
+      writer->write(o);
     } else if (op == "load") {
       if (!opt.allow_load) {
         writer->write(error_response(id, ErrorCode::kBadRequest,

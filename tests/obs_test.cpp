@@ -12,10 +12,12 @@
 #include <vector>
 
 #include "common/parallel.hpp"
+#include "obs/expo.hpp"
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/rolling.hpp"
 #include "obs/trace.hpp"
 
 namespace pp::obs {
@@ -203,6 +205,265 @@ TEST(Metrics, BucketBoundsGrowGeometrically) {
     EXPECT_GT(Histogram::bucket_bound(i), Histogram::bucket_bound(i - 1));
 }
 
+TEST(Metrics, HistogramMinMaxExact) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);  // empty: no observation yet
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  h.observe(7.5);
+  EXPECT_DOUBLE_EQ(h.min(), 7.5);
+  EXPECT_DOUBLE_EQ(h.max(), 7.5);
+  h.observe(0.25);
+  h.observe(300.0);
+  // Extremes are exact, not bucketized.
+  EXPECT_DOUBLE_EQ(h.min(), 0.25);
+  EXPECT_DOUBLE_EQ(h.max(), 300.0);
+  h.reset();
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  // A legitimate 0.0 minimum survives (the empty sentinel is +inf, not 0).
+  h.observe(0.0);
+  h.observe(5.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+}
+
+TEST(Metrics, HistogramMinMaxConcurrentWriters) {
+  Histogram h;
+  constexpr int kThreads = 4, kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.observe(1.0 + t * kPerThread + i);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), kThreads * kPerThread);
+}
+
+TEST(Metrics, HistogramP99AndJsonFields) {
+  Histogram& h = metrics().histogram("obs_test.hist_p99");
+  for (int i = 1; i <= 1000; ++i) h.observe(i);
+  double p99 = h.percentile(0.99);
+  EXPECT_GT(p99, 990.0 / 1.5);
+  EXPECT_LT(p99, 990.0 * 1.5);
+  EXPECT_LE(h.percentile(0.95), p99 * 1.0001);
+
+  Json doc = metrics().to_json();
+  const Json* hj = doc.find("histograms")->find("obs_test.hist_p99");
+  ASSERT_NE(hj, nullptr);
+  for (const char* key :
+       {"count", "sum", "mean", "p50", "p95", "p99", "min", "max"})
+    EXPECT_TRUE(hj->has(key)) << key;
+  EXPECT_DOUBLE_EQ(hj->find("min")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(hj->find("max")->as_number(), 1000.0);
+  h.reset();
+}
+
+TEST(Metrics, PercentileOfMatchesPercentile) {
+  Histogram h;
+  for (int i = 1; i <= 500; ++i) h.observe(i * 0.5);
+  std::uint64_t counts[Histogram::kBuckets];
+  for (int i = 0; i < Histogram::kBuckets; ++i) counts[i] = h.bucket_count(i);
+  for (double q : {0.5, 0.95, 0.99})
+    EXPECT_DOUBLE_EQ(Histogram::percentile_of(counts, q), h.percentile(q));
+  std::uint64_t empty[Histogram::kBuckets] = {};
+  EXPECT_DOUBLE_EQ(Histogram::percentile_of(empty, 0.5), 0.0);
+}
+
+// --- Rolling windows --------------------------------------------------------
+
+TEST(Rolling, CounterWindowAndRollover) {
+  RollingConfig cfg;  // 1 s sub-windows, 10 s short, 60 s long
+  Counter live;
+  const std::uint64_t t0 = 1'000'000'000ull * 1000;  // arbitrary epoch
+  RollingCounter view(live, cfg, t0);
+
+  live.add(5);
+  WindowStats w = view.window(cfg.short_window_ns, t0 + 500'000'000ull);
+  EXPECT_EQ(w.count, 5u);
+  EXPECT_GT(w.rate_per_s, 0.0);
+
+  // 3 s later another 10 events land; the 10 s window sees all 15.
+  live.add(10);
+  w = view.window(cfg.short_window_ns, t0 + 3'500'000'000ull);
+  EXPECT_EQ(w.count, 15u);
+  EXPECT_NEAR(w.window_s, 3.5, 0.01);
+
+  // 30 s later the 10 s window has rolled past everything...
+  w = view.window(cfg.short_window_ns, t0 + 33'000'000'000ull);
+  EXPECT_EQ(w.count, 0u);
+  // ...but the 60 s window still covers the metric's whole life.
+  w = view.window(cfg.long_window_ns, t0 + 33'000'000'000ull);
+  EXPECT_EQ(w.count, 15u);
+}
+
+TEST(Rolling, ReaderGapAgesEventsSlowerNeverFaster) {
+  RollingConfig cfg;
+  Counter live;
+  const std::uint64_t t0 = 1'000'000'000ull * 2000;
+  RollingCounter view(live, cfg, t0);
+
+  // Events land right away, but NO reader looks for 8 s. The boundaries
+  // crossed during the gap are stamped with the value at the previous look
+  // (0 events), so the gap's events attribute to the newest sub-window and
+  // are still fully visible in the short window.
+  live.add(20);
+  WindowStats w = view.window(cfg.short_window_ns, t0 + 8'000'000'000ull);
+  EXPECT_EQ(w.count, 20u);
+
+  // 5 s later (13 s after the events actually happened) they are STILL in
+  // the 10 s window — aged slower, never dropped early.
+  w = view.window(cfg.short_window_ns, t0 + 13'000'000'000ull);
+  EXPECT_EQ(w.count, 20u);
+
+  // Once the window rolls past the sub-window they were stamped into, they
+  // finally age out.
+  w = view.window(cfg.short_window_ns, t0 + 20'000'000'000ull);
+  EXPECT_EQ(w.count, 0u);
+}
+
+TEST(Rolling, HistogramWindowPercentiles) {
+  RollingConfig cfg;
+  Histogram live;
+  const std::uint64_t t0 = 1'000'000'000ull * 3000;
+  RollingHistogram view(live, cfg, t0);
+
+  // First second: slow requests. Stamp the boundary by querying.
+  for (int i = 0; i < 100; ++i) live.observe(100.0);
+  (void)view.window(cfg.short_window_ns, t0 + 1'500'000'000ull);
+
+  // 12 s later: only fast requests in the short window; the old slow batch
+  // has aged out, so the windowed p95 reflects ONLY the recent regime.
+  for (int i = 0; i < 100; ++i) live.observe(1.0);
+  WindowStats w =
+      view.window(cfg.short_window_ns, t0 + 13'000'000'000ull);
+  EXPECT_EQ(w.count, 100u);
+  EXPECT_LT(w.p95, 100.0 / 1.5);  // slow batch invisible
+  EXPECT_GT(w.p50, 1.0 / 1.5);
+  EXPECT_LT(w.p50, 1.0 * 1.5);
+  EXPECT_NEAR(w.mean, 1.0, 0.5);
+
+  // The lifetime histogram still sees both regimes.
+  EXPECT_EQ(live.count(), 200u);
+}
+
+TEST(Rolling, ConcurrentWritersDuringScrapes) {
+  RollingConfig cfg;
+  Histogram live;
+  const std::uint64_t t0 = 1'000'000'000ull * 4000;
+  RollingHistogram view(live, cfg, t0);
+
+  constexpr int kWriters = 4, kPerWriter = 5000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    // Scrapes hammer the same simulated instant so the ring never rolls
+    // past the final assertion's window; the point is reads racing writes.
+    while (!stop.load()) {
+      WindowStats w = view.window(cfg.long_window_ns, t0 + 5'000'000'000ull);
+      EXPECT_LE(w.count, static_cast<std::uint64_t>(kWriters * kPerWriter));
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t)
+    writers.emplace_back([&live] {
+      for (int i = 0; i < kPerWriter; ++i) live.observe(i % 50 + 1.0);
+    });
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+
+  // Final scrape (simulated well within the long window) sees everything.
+  WindowStats w = view.window(cfg.long_window_ns, t0 + 30'000'000'000ull);
+  EXPECT_EQ(w.count, static_cast<std::uint64_t>(kWriters * kPerWriter));
+  EXPECT_GT(w.p50, 0.0);
+}
+
+TEST(Rolling, CollectorSnapshotJsonShape) {
+  RollingConfig cfg;
+  RollingCollector collector(cfg);
+  collector.track_counter("obs_test.roll_counter");
+  collector.track_histogram("obs_test.roll_hist");
+  collector.track_counter("obs_test.roll_counter");  // idempotent
+
+  metrics().counter("obs_test.roll_counter").add(3);
+  metrics().histogram("obs_test.roll_hist").observe(2.0);
+
+  Json snap = collector.snapshot_json(detail::now_ns());
+  EXPECT_TRUE(snap.find("sub_window_s")->is_number());
+  for (const char* win : {"short", "long"}) {
+    const Json* w = snap.find(win);
+    ASSERT_NE(w, nullptr) << win;
+    EXPECT_TRUE(w->find("window_s")->is_number());
+    EXPECT_TRUE(w->find("covered_s")->is_number());
+    const Json* c = w->find("counters")->find("obs_test.roll_counter");
+    ASSERT_NE(c, nullptr);
+    EXPECT_DOUBLE_EQ(c->find("count")->as_number(), 3.0);
+    const Json* h = w->find("histograms")->find("obs_test.roll_hist");
+    ASSERT_NE(h, nullptr);
+    for (const char* key :
+         {"count", "rate_per_s", "mean", "p50", "p95", "p99"})
+      EXPECT_TRUE(h->has(key)) << key;
+  }
+  // Round-trips through dump/parse.
+  std::string err;
+  Json back = Json::parse(snap.dump(), &err);
+  EXPECT_TRUE(err.empty()) << err;
+  metrics().counter("obs_test.roll_counter").reset();
+  metrics().histogram("obs_test.roll_hist").reset();
+}
+
+// --- Exposition -------------------------------------------------------------
+
+TEST(Expo, PrometheusNameMangling) {
+  EXPECT_EQ(prometheus_name("serve.e2e_ms"), "pp_serve_e2e_ms");
+  EXPECT_EQ(prometheus_name("a-b.c d"), "pp_a_b_c_d");
+  EXPECT_EQ(prometheus_name("already_ok9"), "pp_already_ok9");
+}
+
+TEST(Expo, PrometheusTextGolden) {
+  metrics().counter("obs_test.expo_hits").reset();
+  metrics().counter("obs_test.expo_hits").add(3);
+  metrics().gauge("obs_test.expo_depth").set(1.5);
+  Histogram& h = metrics().histogram("obs_test.expo_lat");
+  h.reset();
+  h.observe(2.0);
+  h.observe(4.0);
+
+  std::string text = prometheus_text();
+  // Exact expected exposition blocks for the fixture metrics (the registry
+  // is process-global, so assert on contained lines, not the whole text).
+  for (const char* want : {
+           "# TYPE pp_obs_test_expo_hits counter\npp_obs_test_expo_hits 3\n",
+           "# TYPE pp_obs_test_expo_depth gauge\npp_obs_test_expo_depth 1.5\n",
+           "# TYPE pp_obs_test_expo_lat summary\n",
+           "pp_obs_test_expo_lat{quantile=\"0.5\"}",
+           "pp_obs_test_expo_lat{quantile=\"0.95\"}",
+           "pp_obs_test_expo_lat{quantile=\"0.99\"}",
+           "pp_obs_test_expo_lat_sum 6\n",
+           "pp_obs_test_expo_lat_count 2\n",
+           "pp_obs_test_expo_lat_min 2\n",
+           "pp_obs_test_expo_lat_max 4\n",
+       })
+    EXPECT_NE(text.find(want), std::string::npos) << "missing: " << want;
+
+  metrics().counter("obs_test.expo_hits").reset();
+  metrics().gauge("obs_test.expo_depth").set(0.0);
+  h.reset();
+}
+
+TEST(Expo, MetricsSnapshotJsonShape) {
+  Json snap = metrics_snapshot_json();
+  EXPECT_EQ(snap.find("snapshot")->as_string(), "pp.metrics.v1");
+  EXPECT_GE(snap.find("uptime_ms")->as_number(), 0.0);
+  ASSERT_TRUE(snap.find("metrics")->is_object());
+  const Json* trace = snap.find("trace");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_TRUE(trace->find("events")->is_number());
+  EXPECT_TRUE(trace->find("dropped_spans")->is_number());
+}
+
 // --- Tracing ----------------------------------------------------------------
 
 class TraceTest : public ::testing::Test {
@@ -318,6 +579,82 @@ TEST_F(TraceTest, ChromeTraceJsonIsValid) {
   EXPECT_TRUE(e.find("dur")->is_number());
 }
 
+TEST_F(TraceTest, CorrSpansAndFlowPointsPropagate) {
+  const std::uint64_t corr = 42;
+  std::uint64_t start = trace_now_ns();
+  record_flow_point("serve.step", corr);
+  record_flow_point("serve.step", corr);
+  record_span_with_corr("serve.request", start, trace_now_ns(), corr);
+  {
+    PP_TRACE_SPAN("obs_test.plain");
+  }
+
+  int flow_points = 0, corr_spans = 0;
+  for (const TraceEventView& e : trace_events()) {
+    if (e.flow_point) {
+      ++flow_points;
+      EXPECT_EQ(e.corr, corr);
+      EXPECT_EQ(e.name, std::string("serve.step"));
+    } else if (e.corr == corr) {
+      ++corr_spans;
+      EXPECT_EQ(e.name, std::string("serve.request"));
+    }
+  }
+  EXPECT_EQ(flow_points, 2);
+  EXPECT_EQ(corr_spans, 1);
+
+  // Flow points are instants, not spans: they stay out of the summary.
+  for (const SpanStat& s : span_summary())
+    EXPECT_NE(s.name, "serve.step");
+  bool saw_request = false;
+  for (const SpanStat& s : span_summary())
+    saw_request = saw_request || s.name == "serve.request";
+  EXPECT_TRUE(saw_request);
+}
+
+TEST_F(TraceTest, ChromeExportEmitsFlowChains) {
+  const std::uint64_t corr = 7;
+  std::uint64_t start = trace_now_ns();
+  record_flow_point("serve.step", corr);
+  record_flow_point("serve.step", corr);
+  record_span_with_corr("serve.request", start, trace_now_ns(), corr);
+
+  Json doc = chrome_trace_json();
+  std::string err;
+  Json back = Json::parse(doc.dump(), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  const Json* events = back.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  // Duration slices come first (viewers expect them), flow events after.
+  EXPECT_EQ(events->at(0).find("ph")->as_string(), "X");
+  int starts = 0, steps = 0, finishes = 0;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const Json& e = events->at(i);
+    const std::string ph = e.find("ph")->as_string();
+    if (ph != "s" && ph != "t" && ph != "f") continue;
+    EXPECT_EQ(e.find("name")->as_string(), "serve.flow");
+    EXPECT_DOUBLE_EQ(e.find("id")->as_number(), 7.0);
+    if (ph == "s") ++starts;
+    if (ph == "t") ++steps;
+    if (ph == "f") {
+      ++finishes;
+      EXPECT_EQ(e.find("bp")->as_string(), "e");
+    }
+  }
+  // 3 correlated events -> one chain: s, t, f.
+  EXPECT_EQ(starts, 1);
+  EXPECT_EQ(steps, 1);
+  EXPECT_EQ(finishes, 1);
+}
+
+TEST_F(TraceTest, DisabledCorrHelpersAreNoOps) {
+  set_trace_enabled(false);
+  record_flow_point("serve.step", 1);
+  record_span_with_corr("serve.request", 0, 10, 1);
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
 TEST_F(TraceTest, ResetClearsEvents) {
   {
     PP_TRACE_SPAN("obs_test.reset");
@@ -347,6 +684,22 @@ TEST(RunReport, BuildValidateRoundTrip) {
   const Json* counters = back.find("metrics")->find("counters");
   ASSERT_NE(counters, nullptr);
   EXPECT_DOUBLE_EQ(counters->find("obs_test.report_counter")->as_number(), 7.0);
+}
+
+TEST(RunReport, TraceSectionCarriesDroppedSpans) {
+  Json report = build_run_report("obs_test");
+  const Json* trace = report.find("trace");
+  ASSERT_NE(trace, nullptr);
+  ASSERT_TRUE(trace->has("dropped_spans"));
+  EXPECT_GE(trace->find("dropped_spans")->as_number(), 0.0);
+  // The validator treats a missing dropped_spans as a broken report.
+  Json broken = Json::parse(report.dump());
+  Json slim = Json::object();
+  for (const auto& [k, v] : broken.find("trace")->items())
+    if (k != "dropped_spans") slim.set(k, v);
+  broken.set("trace", std::move(slim));
+  std::string err;
+  EXPECT_FALSE(validate_run_report(broken, &err));
 }
 
 TEST(RunReport, RegisteredSectionAppears) {

@@ -21,6 +21,7 @@
 #include "core/config.hpp"
 #include "diffusion/convert.hpp"
 #include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "serve/protocol.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
@@ -637,6 +638,214 @@ TEST(Serve, PipeTransportConcurrentClients) {
         sequential_reference(entry, sample_req(kv.first, kv.first));
     EXPECT_EQ(kv.second, ref.at(0)) << "id " << kv.first;
   }
+}
+
+// --- Live telemetry ---------------------------------------------------------
+
+// The metrics/health wire ops return the live-scrape payloads: a tagged
+// registry snapshot with this server's rolling windows, and the rolling
+// health verdict. Sent mid-session over the same pipe as generation work.
+TEST(Serve, MetricsAndHealthWireOps) {
+  auto registry = tiny_registry();
+  GenerationServer server(registry);
+  int c2s[2], s2c[2];
+  ASSERT_EQ(pipe(c2s), 0);
+  ASSERT_EQ(pipe(s2c), 0);
+  std::thread serve_thread([&] {
+    serve_stream(c2s[0], s2c[1], server, *registry);
+    ::close(c2s[0]);
+    ::close(s2c[1]);
+  });
+  write_line_fd(c2s[1], R"({"id":1,"op":"sample","model":"t","seed":9})");
+  write_line_fd(c2s[1], R"({"id":2,"op":"metrics"})");
+  write_line_fd(c2s[1], R"({"id":3,"op":"health"})");
+  ::close(c2s[1]);
+
+  LineReader reader(s2c[0]);
+  std::map<std::uint64_t, obs::Json> by_id;
+  std::string line;
+  while (reader.next(line)) {
+    obs::Json j = obs::Json::parse(line);
+    ASSERT_TRUE(j.is_object()) << line;
+    std::uint64_t id = 0;
+    get_u64(j, "id", 0, &id);
+    by_id[id] = std::move(j);
+  }
+  serve_thread.join();
+  ::close(s2c[0]);
+
+  ASSERT_EQ(by_id.size(), 3u);
+  const obs::Json* metrics = by_id[2].find("metrics");
+  ASSERT_NE(metrics, nullptr) << by_id[2].dump();
+  EXPECT_EQ(metrics->find("snapshot")->as_string(), "pp.metrics.v1");
+  EXPECT_TRUE(metrics->find("metrics")->is_object());
+  EXPECT_TRUE(metrics->find("trace")->find("dropped_spans")->is_number());
+  const obs::Json* rolling = metrics->find("rolling");
+  ASSERT_NE(rolling, nullptr);
+  for (const char* win : {"short", "long"}) {
+    const obs::Json* w = rolling->find(win);
+    ASSERT_NE(w, nullptr) << win;
+    EXPECT_TRUE(w->find("histograms")->find("serve.e2e_ms")->is_object());
+    EXPECT_TRUE(w->find("counters")->find("serve.accepted")->is_object());
+  }
+
+  const obs::Json* health = by_id[3].find("health");
+  ASSERT_NE(health, nullptr) << by_id[3].dump();
+  EXPECT_EQ(health->find("status")->as_string(), "ok");
+  EXPECT_TRUE(health->find("accepting")->as_bool());
+  EXPECT_FALSE(health->find("overloaded")->as_bool());
+  EXPECT_TRUE(health->find("queue_depth")->is_number());
+  EXPECT_TRUE(health->find("max_queue")->is_number());
+  EXPECT_TRUE(health->find("error_rate")->is_number());
+  EXPECT_TRUE(health->find("requests_per_s")->is_number());
+}
+
+// The overload latch trips when the queue crosses 80% of max_queue and the
+// server stops being "ok"; draining wins once shutdown begins.
+TEST(Serve, HealthOverloadLatchAndDraining) {
+  auto registry = tiny_registry();
+  ServerConfig cfg;
+  cfg.max_queue = 5;
+  GenerationServer server(registry, cfg);  // not started: requests pile up
+  std::vector<std::future<GenResponse>> futs;
+  for (int i = 0; i < 4; ++i)  // 4/5 = 80% -> trips the latch
+    futs.push_back(server.submit(sample_req(i + 1, i + 1)));
+  obs::Json h = server.health_json();
+  EXPECT_EQ(h.find("status")->as_string(), "overloaded");
+  EXPECT_TRUE(h.find("overloaded")->as_bool());
+  EXPECT_TRUE(h.find("accepting")->as_bool());  // still admitting
+  EXPECT_DOUBLE_EQ(h.find("queue_depth")->as_number(), 4.0);
+
+  server.shutdown();  // runs the queue dry
+  for (auto& f : futs) EXPECT_TRUE(f.get().ok());
+  h = server.health_json();
+  EXPECT_EQ(h.find("status")->as_string(), "draining");
+  EXPECT_FALSE(h.find("accepting")->as_bool());
+  // Queue back under 50% and no rolling errors: the latch released.
+  EXPECT_FALSE(h.find("overloaded")->as_bool());
+}
+
+/// Reads the wide-event log back as parsed JSON lines.
+std::vector<obs::Json> read_reqlog(const std::string& path) {
+  std::vector<obs::Json> lines;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string err;
+    obs::Json j = obs::Json::parse(line, &err);
+    EXPECT_TRUE(j.is_object()) << err << ": " << line;
+    lines.push_back(std::move(j));
+  }
+  return lines;
+}
+
+// Every request that enters submit() gets exactly one wide-event line —
+// completions AND admission rejects — with the full schema.
+TEST(Serve, RequestLogAccountsEveryRequest) {
+  const std::string path = ::testing::TempDir() + "serve_reqlog.ndjson";
+  std::remove(path.c_str());
+  auto registry = tiny_registry();
+  ServerConfig cfg;
+  cfg.max_queue = 2;
+  cfg.request_log.path = path;
+  GenerationServer server(registry, cfg);  // not started: queue fills
+
+  std::vector<std::future<GenResponse>> futs;
+  futs.push_back(server.submit(sample_req(1, 1)));
+  futs.push_back(server.submit(sample_req(2, 2)));
+  futs.push_back(server.submit(sample_req(3, 3)));  // queue_full
+  GenRequest ghost = sample_req(4, 4);
+  ghost.model = "ghost";                            // unknown_model
+  futs.push_back(server.submit(std::move(ghost)));
+  server.shutdown();
+  for (auto& f : futs) f.get();
+
+  EXPECT_EQ(server.request_log().lines_written(), 4u);
+  std::vector<obs::Json> lines = read_reqlog(path);
+  ASSERT_EQ(lines.size(), 4u);
+  std::map<std::string, int> outcomes;
+  for (const obs::Json& j : lines) {
+    EXPECT_EQ(j.find("event")->as_string(), "serve.request");
+    for (const char* key : {"ts_ms", "id", "seed", "count", "steps", "eta",
+                            "queue_ms", "run_ms", "e2e_ms", "step_batches",
+                            "batch_peak"})
+      EXPECT_TRUE(j.find(key) && j.find(key)->is_number()) << key;
+    for (const char* key : {"op", "model", "outcome", "code"})
+      EXPECT_TRUE(j.find(key) && j.find(key)->is_string()) << key;
+    EXPECT_TRUE(j.find("joined_running")->is_bool());
+    ++outcomes[j.find("outcome")->as_string()];
+  }
+  EXPECT_EQ(outcomes["ok"], 2);
+  EXPECT_EQ(outcomes["rejected"], 2);  // queue_full + unknown_model
+  std::remove(path.c_str());
+}
+
+// Size rotation: the active file rolls to .1 when it would exceed
+// rotate_bytes; lines_written() counts across rotations.
+TEST(Serve, RequestLogRotation) {
+  const std::string path = ::testing::TempDir() + "serve_reqlog_rot.ndjson";
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+  RequestLogConfig cfg;
+  cfg.path = path;
+  cfg.rotate_bytes = 600;  // ~2 wide events per file
+  RequestLog log(cfg);
+  obs::Json line = obs::Json::object();
+  line.set("event", obs::Json("serve.request"));
+  line.set("pad", obs::Json(std::string(200, 'x')));
+  for (int i = 0; i < 7; ++i) log.write(line);
+  EXPECT_EQ(log.lines_written(), 7u);
+  std::vector<obs::Json> active = read_reqlog(path);
+  std::vector<obs::Json> rotated = read_reqlog(path + ".1");
+  EXPECT_GE(active.size(), 1u);
+  EXPECT_GE(rotated.size(), 1u);
+  // Disk footprint stays bounded at ~2x rotate_bytes (active + one old).
+  EXPECT_LE(active.size() + rotated.size(), 5u);
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+}
+
+// Request-scoped tracing: each request's serve.request span carries
+// corr = request id, and its step batches emit serve.step flow points with
+// the same corr — one per step batch the request participated in.
+TEST(Serve, TracePropagatesRequestContext) {
+  obs::set_trace_enabled(true);
+  obs::reset_trace();
+  const std::string path = ::testing::TempDir() + "serve_trace_reqlog.ndjson";
+  std::remove(path.c_str());
+  auto registry = tiny_registry();
+  ServerConfig cfg;
+  cfg.continuous = true;
+  cfg.request_log.path = path;
+  GenerationServer server(registry, cfg);
+  server.start();
+  GenRequest req = sample_req(77, 5);
+  req.steps = 4;
+  EXPECT_TRUE(server.submit(std::move(req)).get().ok());
+  server.shutdown();
+
+  int request_spans = 0, flow_points = 0;
+  for (const obs::TraceEventView& e : obs::trace_events()) {
+    if (e.flow_point && e.corr == 77) {
+      ++flow_points;
+      EXPECT_EQ(e.name, std::string("serve.step"));
+    }
+    if (!e.flow_point && e.corr == 77) {
+      ++request_spans;
+      EXPECT_EQ(e.name, std::string("serve.request"));
+    }
+  }
+  EXPECT_EQ(request_spans, 1);
+  std::vector<obs::Json> lines = read_reqlog(path);
+  ASSERT_EQ(lines.size(), 1u);
+  // One flow point per step batch, as accounted by the wide event.
+  EXPECT_EQ(flow_points,
+            static_cast<int>(lines[0].find("step_batches")->as_number()));
+  EXPECT_GE(flow_points, 4);  // a 4-step solo request steps >= 4 times
+  obs::set_trace_enabled(false);
+  obs::reset_trace();
+  std::remove(path.c_str());
 }
 
 // The transport maps malformed requests and invalid load specs to
