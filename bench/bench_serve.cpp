@@ -17,6 +17,16 @@
 //    "within_bucket": 0|1, "request_log_lines": ..., "requests": ...,
 //    "log_complete": 0|1, "health_ok": 0|1}
 //   {"bench": "serve_overload", "ms": ..., "rejected": ..., "timeouts": ...}
+//   {"bench": "serve_tcp", "ms": ..., "clients": ..., "requests": ...,
+//    "ok": ..., "rejected": ..., "cache_hits": ..., "cache_misses": ...,
+//    "hit_bitwise": ..., "hit_expected": ..., "shards_active": ...}
+//
+// The serve_tcp line is the network-tier acceptance probe: 1000+ REAL TCP
+// clients connect concurrently to the epoll loop, stampede a small
+// admission queue (every request is answered — ok or a structured
+// queue_full reject, never a dropped connection), then a replay wave
+// proves every cache hit is BITWISE identical to the cold generation it
+// shadows and that both executor shards served traffic.
 //
 // The serve_telemetry line is the live-telemetry acceptance probe: during
 // the continuous open-loop phase the dispatcher scrapes the server's
@@ -37,12 +47,22 @@
 // The model is a tiny untrained sd1 (weights from the init seed): the
 // serving costs measured here — queueing, batching, denoising-step compute,
 // finish tail — are identical in kind to a trained model's.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -51,8 +71,10 @@
 #include "common/rng.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "serve/net.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
+#include "serve/transport.hpp"
 
 namespace {
 
@@ -112,6 +134,38 @@ serve::GenRequest sample_req(std::uint64_t id, std::uint64_t seed) {
   req.count = 1;
   req.finish = true;
   return req;
+}
+
+int tcp_connect_port(int port) {
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10 << attempt));
+  }
+  return -1;
+}
+
+/// Raises RLIMIT_NOFILE toward its hard cap so 1000+ sockets fit; best
+/// effort (the default soft limit of 1024 is the only common blocker).
+void raise_fd_limit() {
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return;
+  rlim_t want = 16384;
+  if (rl.rlim_max != RLIM_INFINITY && want > rl.rlim_max) want = rl.rlim_max;
+  if (rl.rlim_cur < want) {
+    rl.rlim_cur = want;
+    ::setrlimit(RLIMIT_NOFILE, &rl);
+  }
 }
 
 /// One open-loop arrival: when it fires (ms after phase start) and which
@@ -428,6 +482,194 @@ int main() {
                     {{"rejected", static_cast<double>(rejected)},
                      {"timeouts", static_cast<double>(timeouts)}});
 
+  // Phase 4: the network tier under a real TCP stampede. 1000+ client
+  // threads each open a connection, all wait until every connection is
+  // established (so the epoll loop genuinely multiplexes them
+  // concurrently), then fire one sample request at a 64-deep admission
+  // queue: a few dozen generate, the rest get structured queue_full
+  // rejects, and NOBODY gets a dropped connection. Seeds repeat mod 32 so
+  // the generation cache fills; a replay wave then proves every hit is
+  // bitwise identical to the cold generation and that both executor
+  // shards (model "bench" -> shard 0, "bench2" -> shard 1) did work.
+  raise_fd_limit();
+  const int tcp_clients = scale.full ? 1200 : 1050;
+  std::printf("=== serve: TCP stampede, %d concurrent clients ===\n",
+              tcp_clients);
+  bool tcp_failed = false;
+  double tcp_wall_ms = 0.0;
+  int tcp_ok = 0, tcp_rejected = 0, tcp_other = 0;
+  int hit_bitwise = 0, hit_expected = 0, shards_active = 0;
+  double cache_hits = 0.0, cache_misses = 0.0;
+  {
+    serve::ModelSpec second = tiny_spec();
+    second.key = "bench2";
+    registry->load(second);
+    serve::ServerConfig cfg;
+    cfg.max_queue = 64;
+    cfg.max_batch_samples = 8;
+    cfg.shards = 2;
+    cfg.cache_entries = 512;
+    serve::GenerationServer server(registry, cfg);
+    server.start();
+    serve::NetServerConfig ncfg;
+    ncfg.backlog = 2048;
+    ncfg.max_connections = 4096;
+    serve::NetServer net(server, *registry, ncfg);
+    std::string err;
+    int port = 0;
+    if (!net.add_tcp_listener("127.0.0.1", 0, &err, &port)) {
+      std::fprintf(stderr, "bench_serve: tcp listen failed: %s\n",
+                   err.c_str());
+      return 1;
+    }
+    std::atomic<bool> stop{false};
+    std::thread loop([&] { net.run([&] { return stop.load(); }); });
+
+    std::atomic<int> connected{0}, conn_failed{0};
+    // A real barrier, not a sleep-poll spin: 1000+ threads polling every
+    // millisecond starves the epoll/executor threads on small machines.
+    std::mutex go_m;
+    std::condition_variable go_cv;
+    bool go = false;
+    std::atomic<int> ok_n{0}, rejected_n{0}, other_n{0};
+    std::mutex pat_m;
+    std::map<std::string, std::string> cold_patterns;  // "model/seed" -> json
+    const Clock::time_point t2 = Clock::now();
+    std::vector<std::thread> cthreads;
+    cthreads.reserve(static_cast<std::size_t>(tcp_clients));
+    for (int i = 0; i < tcp_clients; ++i) {
+      cthreads.emplace_back([&, i] {
+        int fd = tcp_connect_port(port);
+        if (fd < 0) {
+          conn_failed.fetch_add(1);
+          return;
+        }
+        connected.fetch_add(1);
+        {
+          std::unique_lock<std::mutex> lk(go_m);
+          go_cv.wait(lk, [&] { return go; });
+        }
+        const char* model = (i % 2 != 0) ? "bench2" : "bench";
+        const int seed = i % 32;
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "{\"op\":\"sample\",\"id\":%d,\"model\":\"%s\","
+                      "\"seed\":%d,\"count\":1,\"steps\":2,\"finish\":true}",
+                      i + 1, model, seed);
+        serve::LineReader reader(fd);
+        std::string resp_line;
+        if (!serve::write_line_fd(fd, line) || !reader.next(resp_line)) {
+          other_n.fetch_add(1);
+          ::close(fd);
+          return;
+        }
+        obs::Json resp = obs::Json::parse(resp_line);
+        bool ok = false;
+        serve::get_bool(resp, "ok", false, &ok);
+        if (ok) {
+          ok_n.fetch_add(1);
+          const obs::Json* pats = resp.find("patterns");
+          if (pats) {
+            std::lock_guard<std::mutex> lk(pat_m);
+            cold_patterns.emplace(
+                std::string(model) + "/" + std::to_string(seed),
+                pats->dump());
+          }
+        } else {
+          const obs::Json* code = json_path(resp, {"error", "code"});
+          if (code && code->is_string() && code->as_string() == "queue_full")
+            rejected_n.fetch_add(1);
+          else
+            other_n.fetch_add(1);
+        }
+        ::close(fd);
+      });
+    }
+    // Release the stampede only once every surviving client is connected:
+    // that instant is the concurrency high-water mark the phase claims.
+    while (connected.load() + conn_failed.load() < tcp_clients)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      std::lock_guard<std::mutex> lk(go_m);
+      go = true;
+    }
+    go_cv.notify_all();
+    for (std::thread& t : cthreads) t.join();
+    tcp_wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t2).count();
+    tcp_ok = ok_n.load();
+    tcp_rejected = rejected_n.load();
+    tcp_other = other_n.load() + conn_failed.load();
+
+    // Replay wave: one well-behaved connection re-requests every key that
+    // generated cold. Each must come back cached AND bitwise identical.
+    int fd = tcp_connect_port(port);
+    if (fd < 0) {
+      tcp_failed = true;
+    } else {
+      serve::LineReader reader(fd);
+      std::uint64_t rid = 1000000;
+      for (const auto& [key, cold] : cold_patterns) {
+        ++hit_expected;
+        const std::size_t slash = key.find('/');
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "{\"op\":\"sample\",\"id\":%llu,\"model\":\"%s\","
+                      "\"seed\":%s,\"count\":1,\"steps\":2,\"finish\":true}",
+                      static_cast<unsigned long long>(++rid),
+                      key.substr(0, slash).c_str(),
+                      key.substr(slash + 1).c_str());
+        std::string resp_line;
+        if (!serve::write_line_fd(fd, line) || !reader.next(resp_line))
+          continue;
+        obs::Json resp = obs::Json::parse(resp_line);
+        bool ok = false, cached = false;
+        serve::get_bool(resp, "ok", false, &ok);
+        serve::get_bool(resp, "cached", false, &cached);
+        const obs::Json* pats = resp.find("patterns");
+        if (ok && cached && pats && pats->dump() == cold) ++hit_bitwise;
+      }
+      // Scrape cache + shard accounting over the wire.
+      std::string resp_line;
+      if (serve::write_line_fd(fd, "{\"op\":\"stats\",\"id\":2000000}") &&
+          reader.next(resp_line)) {
+        obs::Json resp = obs::Json::parse(resp_line);
+        cache_hits = json_num(json_path(resp, {"stats", "cache", "hits"}));
+        cache_misses = json_num(json_path(resp, {"stats", "cache", "misses"}));
+        const obs::Json* shard_state =
+            json_path(resp, {"stats", "shard_state"});
+        for (std::size_t s = 0; shard_state && s < shard_state->size(); ++s)
+          shards_active += json_num(shard_state->at(s).find("served")) > 0;
+      }
+      ::close(fd);
+    }
+    stop.store(true);
+    loop.join();
+    server.shutdown();
+  }
+  std::printf(
+      "tcp stampede: %d clients -> %d ok, %d queue_full, %d other in %.1f ms; "
+      "replay %d/%d bitwise cache hits; cache %.0f hits / %.0f misses; "
+      "%d/2 shards active\n",
+      tcp_clients, tcp_ok, tcp_rejected, tcp_other, tcp_wall_ms, hit_bitwise,
+      hit_expected, cache_hits, cache_misses, shards_active);
+  if (tcp_ok + tcp_rejected != tcp_clients || tcp_other != 0 ||
+      hit_expected == 0 || hit_bitwise != hit_expected || shards_active < 2) {
+    std::fprintf(stderr, "bench_serve: tcp acceptance FAILED\n");
+    tcp_failed = true;
+  }
+  emit_json_summary("serve_tcp", tcp_wall_ms,
+                    {{"clients", static_cast<double>(tcp_clients)},
+                     {"requests",
+                      static_cast<double>(tcp_ok + tcp_rejected + tcp_other)},
+                     {"ok", static_cast<double>(tcp_ok)},
+                     {"rejected", static_cast<double>(tcp_rejected)},
+                     {"cache_hits", cache_hits},
+                     {"cache_misses", cache_misses},
+                     {"hit_bitwise", static_cast<double>(hit_bitwise)},
+                     {"hit_expected", static_cast<double>(hit_expected)},
+                     {"shards_active", static_cast<double>(shards_active)}});
+
   finalize_observability("serve");
-  return telemetry_failed ? 1 : 0;
+  return telemetry_failed || tcp_failed ? 1 : 0;
 }

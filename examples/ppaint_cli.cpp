@@ -6,8 +6,12 @@
 //   ppaint_cli check <lib.{txt|gds}> [ruleset]
 //   ppaint_cli stats <lib.{txt|gds}> [ruleset]
 //   ppaint_cli convert <in.{txt|gds}> <out.{txt|gds|dir}>
-//   ppaint_cli client <socket|spawn:/path/to/ppaint_serve> [count] [seed]
-//   ppaint_cli top <socket|spawn:/path/to/ppaint_serve> [iters] [interval]
+//   ppaint_cli client <target> [count] [seed]
+//   ppaint_cli top <target> [iters] [interval]
+//
+// Serve targets: a Unix socket path, tcp:host:port, spawn:<serve_binary>
+// (pipe-mode child) or spawntcp:<serve_binary> (tcp-mode child on a
+// kernel-assigned port — full network-tier round trip).
 //
 // Rule sets: default | complex | complex-discrete (optionally "/2" suffix
 // for the half-scaled 32px variant, e.g. "complex-discrete/2").
@@ -19,10 +23,15 @@
 // with their DRC verdicts. `top` is a watch-mode dashboard over the
 // server's `health` + `metrics` ops: rolling-window rate and p50/p95/p99
 // latency, queue depth and overload state, refreshed in-terminal.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
+
+#include <csignal>
 
 #include <cstdio>
 #include <cstring>
@@ -128,17 +137,26 @@ int cmd_stats(const std::vector<std::string>& args) {
 
 // ---- serve client -------------------------------------------------------
 
-/// Connection to a generation service: either a Unix socket to a running
-/// ppaint_serve, or a child spawned in pipe mode ("spawn:<binary>").
+/// Connection to a generation service. Targets:
+///   <path>              Unix socket of a running ppaint_serve
+///   tcp:<host>:<port>   TCP endpoint of a running ppaint_serve
+///   spawn:<binary>      child server in pipe mode (stdin/stdout)
+///   spawntcp:<binary>   child server in tcp mode on a kernel-chosen port
 struct ServeConn {
   int in_fd = -1;   ///< responses from the server
   int out_fd = -1;  ///< requests to the server
   pid_t child = -1;
+  bool term_child = false;  ///< tcp child: SIGTERM before reaping
 
   ~ServeConn() {
     if (out_fd >= 0) ::close(out_fd);
     if (in_fd >= 0 && in_fd != out_fd) ::close(in_fd);
-    if (child > 0) ::waitpid(child, nullptr, 0);
+    if (child > 0) {
+      // A tcp-mode child does not exit on client EOF: nudge it. (A polite
+      // shutdown op normally got there first; the signal is the backstop.)
+      if (term_child) ::kill(child, SIGTERM);
+      ::waitpid(child, nullptr, 0);
+    }
   }
 };
 
@@ -158,6 +176,37 @@ bool connect_socket(const std::string& path, ServeConn* conn) {
   }
   conn->in_fd = conn->out_fd = fd;
   return true;
+}
+
+bool connect_tcp(const std::string& host, int port, ServeConn* conn) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const char* ip = (host.empty() || host == "localhost") ? "127.0.0.1"
+                                                         : host.c_str();
+  if (::inet_pton(AF_INET, ip, &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  conn->in_fd = conn->out_fd = fd;
+  return true;
+}
+
+/// "tcp:host:port" — the host may itself contain no colon, so split on the
+/// LAST one.
+bool connect_tcp_target(const std::string& hostport, ServeConn* conn) {
+  const std::size_t colon = hostport.rfind(':');
+  if (colon == std::string::npos) return false;
+  char* end = nullptr;
+  const long port = std::strtol(hostport.c_str() + colon + 1, &end, 10);
+  if (end != hostport.c_str() + hostport.size() || port < 1 || port > 65535)
+    return false;
+  return connect_tcp(hostport.substr(0, colon), static_cast<int>(port), conn);
 }
 
 bool spawn_pipe_server(const std::string& binary, ServeConn* conn) {
@@ -186,6 +235,65 @@ bool spawn_pipe_server(const std::string& binary, ServeConn* conn) {
   conn->in_fd = from_child[0];
   conn->child = pid;
   return true;
+}
+
+/// Spawns `binary tcp 127.0.0.1:0 --port-file <tmp>` and connects to the
+/// kernel-assigned port once the server publishes it — exercises the full
+/// epoll network tier instead of the pipe transport.
+bool spawn_tcp_server(const std::string& binary, ServeConn* conn) {
+  char tmpl[] = "/tmp/ppaint_cli_port_XXXXXX";
+  int tmp_fd = ::mkstemp(tmpl);
+  if (tmp_fd < 0) return false;
+  ::close(tmp_fd);
+  ::unlink(tmpl);  // server recreates it atomically once bound
+  pid_t pid = ::fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    ::execl(binary.c_str(), binary.c_str(), "tcp", "127.0.0.1:0",
+            "--port-file", tmpl, static_cast<char*>(nullptr));
+    std::_Exit(127);
+  }
+  conn->child = pid;
+  conn->term_child = true;
+  for (int tries = 0; tries < 200; ++tries) {  // up to ~10 s for slow CI
+    std::FILE* f = std::fopen(tmpl, "r");
+    if (f) {
+      int port = 0;
+      const bool got = std::fscanf(f, "%d", &port) == 1 && port > 0;
+      std::fclose(f);
+      if (got) {
+        ::unlink(tmpl);
+        return connect_tcp("127.0.0.1", port, conn);
+      }
+    }
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) {  // child died early
+      conn->child = -1;
+      ::unlink(tmpl);
+      return false;
+    }
+    ::usleep(50 * 1000);
+  }
+  ::unlink(tmpl);
+  return false;
+}
+
+/// Resolves any of the documented serve targets into an open connection.
+bool open_target(const char* who, const std::string& target, ServeConn* conn) {
+  auto has_prefix = [&](const char* p) { return target.rfind(p, 0) == 0; };
+  bool ok;
+  if (has_prefix("spawntcp:"))
+    ok = spawn_tcp_server(target.substr(9), conn);
+  else if (has_prefix("spawn:"))
+    ok = spawn_pipe_server(target.substr(6), conn);
+  else if (has_prefix("tcp:"))
+    ok = connect_tcp_target(target.substr(4), conn);
+  else
+    ok = connect_socket(target, conn);
+  if (!ok)
+    std::fprintf(stderr, "%s: cannot reach server at '%s'\n", who,
+                 target.c_str());
+  return ok;
 }
 
 /// Reads responses until the one with `id` arrives (responses may be out of
@@ -217,17 +325,7 @@ int cmd_client(const std::vector<std::string>& args) {
   const std::uint64_t seed = args.size() > 2 ? std::stoull(args[2]) : 7;
 
   ServeConn conn;
-  const std::string spawn_prefix = "spawn:";
-  if (target.rfind(spawn_prefix, 0) == 0) {
-    if (!spawn_pipe_server(target.substr(spawn_prefix.size()), &conn)) {
-      std::fprintf(stderr, "client: failed to spawn '%s'\n", target.c_str());
-      return 1;
-    }
-  } else if (!connect_socket(target, &conn)) {
-    std::fprintf(stderr, "client: cannot connect to socket '%s'\n",
-                 target.c_str());
-    return 1;
-  }
+  if (!open_target("client", target, &conn)) return 1;
   serve::LineReader reader(conn.in_fd);
   auto send = [&](const obs::Json& j) {
     return serve::write_line_fd(conn.out_fd, j.dump());
@@ -365,17 +463,7 @@ int cmd_top(const std::vector<std::string>& args) {
   const int interval_ms = args.size() > 2 ? std::stoi(args[2]) : 1000;
 
   ServeConn conn;
-  const std::string spawn_prefix = "spawn:";
-  if (target.rfind(spawn_prefix, 0) == 0) {
-    if (!spawn_pipe_server(target.substr(spawn_prefix.size()), &conn)) {
-      std::fprintf(stderr, "top: failed to spawn '%s'\n", target.c_str());
-      return 1;
-    }
-  } else if (!connect_socket(target, &conn)) {
-    std::fprintf(stderr, "top: cannot connect to socket '%s'\n",
-                 target.c_str());
-    return 1;
-  }
+  if (!open_target("top", target, &conn)) return 1;
   serve::LineReader reader(conn.in_fd);
   auto send = [&](const obs::Json& j) {
     return serve::write_line_fd(conn.out_fd, j.dump());
@@ -426,10 +514,10 @@ void usage() {
       "  ppaint_cli check <lib.{txt|gds}> [ruleset]\n"
       "  ppaint_cli stats <lib.{txt|gds}> [ruleset]\n"
       "  ppaint_cli convert <in.{txt|gds}> <out.{txt|gds|dir}>\n"
-      "  ppaint_cli client <socket|spawn:/path/to/ppaint_serve> "
-      "[count] [seed]\n"
-      "  ppaint_cli top <socket|spawn:/path/to/ppaint_serve> "
-      "[iterations] [interval_ms]\n"
+      "  ppaint_cli client <target> [count] [seed]\n"
+      "  ppaint_cli top <target> [iterations] [interval_ms]\n"
+      "serve targets: <uds-path> | tcp:host:port | spawn:<serve_binary> |\n"
+      "spawntcp:<serve_binary>\n"
       "rule sets: default | complex | complex-discrete (append /2 for the\n"
       "32px half-scale variant, e.g. complex-discrete/2)\n");
 }

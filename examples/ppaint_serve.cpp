@@ -1,11 +1,26 @@
 // ppaint_serve — the pattern-generation service frontend.
 //
-//   ppaint_serve pipe   [options]            # NDJSON on stdin/stdout
-//   ppaint_serve socket <path> [options]     # NDJSON per UDS connection
+//   ppaint_serve pipe   [options]              # NDJSON on stdin/stdout
+//   ppaint_serve socket <path> [options]       # epoll tier, UDS listener
+//   ppaint_serve tcp <host:port> [options]     # epoll tier, TCP listener
+//
+// The socket and tcp modes run the SAME nonblocking epoll event loop
+// (serve/net.hpp): thousands of concurrent NDJSON connections multiplex
+// onto the sharded executor, responses never block behind a slow client
+// (bounded per-connection output buffers), and a Unix socket path is
+// probed before bind so two instances cannot clobber each other.
+// `--tcp host:port` adds a TCP listener alongside the UDS one in socket
+// mode, serving both families from one loop.
 //
 // Options:
 //   --max-queue N      admission bound on pending requests   (default 64)
 //   --max-batch N      micro-batch coalescing cap, in samples (default 16)
+//   --shards N         executor shards (same-model affinity)  (default 1)
+//   --cache N          generation-cache entries, 0 = off      (default 256)
+//   --tcp HOST:PORT    additional TCP listener (socket mode)
+//   --backlog N        listen(2) backlog                      (default 512)
+//   --max-conns N      concurrent-connection cap              (default 4096)
+//   --port-file PATH   write the bound TCP port (atomic), for port 0
 //   --stats PATH       write the serve stats dump (JSON) on exit, atomically
 //   --publish PATH     periodic live metrics snapshot (atomic tmp+rename
 //                      JSON: registry + rolling windows), refreshed every
@@ -15,23 +30,18 @@
 //                      rotation at PP_REQLOG_ROTATE_BYTES)
 //
 // Live scraping without the file: send {"op":"metrics"} or {"op":"health"}
-// on any connection (UDS or pipe) — both read without stopping the
-// executor.
+// on any connection — both read without stopping the executors.
 //
 // Models are registered at runtime with {"op":"load", ...} requests; see
 // src/serve/protocol.hpp for the full NDJSON schema. Pipe mode serves one
-// client stream and drains on EOF or {"op":"shutdown"}. Socket mode serves
-// each accepted connection on its own thread against the SAME server and
-// registry (so clients share the queue and coalesce into common
-// micro-batches); it exits on SIGINT/SIGTERM or a shutdown op from any
-// connection, draining in-flight work first. All logs go to stderr;
-// stdout carries only NDJSON responses in pipe mode.
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
+// client stream and drains on EOF or {"op":"shutdown"}. The epoll modes
+// exit on SIGINT/SIGTERM or a shutdown op from any connection, draining
+// in-flight work first. All logs go to stderr; stdout carries only NDJSON
+// responses in pipe mode.
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -43,6 +53,7 @@
 #include <vector>
 
 #include "obs/report.hpp"
+#include "serve/net.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
 #include "serve/transport.hpp"
@@ -58,9 +69,14 @@ void on_signal(int) { g_signalled = 1; }
 struct Options {
   std::string mode;
   std::string socket_path;
+  std::string tcp_host;
+  int tcp_port = -1;  ///< -1 = no TCP listener
+  std::string port_file;
   std::string stats_path;
   std::string publish_path;
   int publish_ms = 0;  // 0 = PP_PUBLISH_MS or 1000
+  int backlog = 512;
+  std::size_t max_conns = 4096;
   serve::ServerConfig server;
 };
 
@@ -78,20 +94,64 @@ void usage() {
                "ppaint_serve — PatternPaint generation service\n"
                "  ppaint_serve pipe   [options]\n"
                "  ppaint_serve socket <path> [options]\n"
-               "Options: --max-queue N  --max-batch N  --stats PATH\n"
+               "  ppaint_serve tcp <host:port> [options]\n"
+               "Options: --max-queue N  --max-batch N  --shards N  --cache N\n"
+               "         --tcp HOST:PORT  --backlog N  --max-conns N\n"
+               "         --port-file PATH  --stats PATH\n"
                "         --publish PATH  --publish-ms N  --request-log PATH\n"
                "Requests are NDJSON (one JSON object per line); see "
                "src/serve/protocol.hpp.\n");
+}
+
+/// Strict numeric flag parsing: the WHOLE value must be an integer inside
+/// [lo, hi]. "--max-queue banana" is a usage error on stderr, never an
+/// uncaught std::invalid_argument aborting the process.
+bool parse_num(const char* flag, const std::string& v, long long lo,
+               long long hi, long long* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long x = std::strtoll(v.c_str(), &end, 10);
+  if (v.empty() || errno != 0 || end != v.c_str() + v.size() || x < lo ||
+      x > hi) {
+    std::fprintf(stderr,
+                 "ppaint_serve: %s needs an integer in [%lld, %lld], got "
+                 "'%s'\n",
+                 flag, lo, hi, v.c_str());
+    return false;
+  }
+  *out = x;
+  return true;
+}
+
+bool parse_hostport(const char* flag, const std::string& v, std::string* host,
+                    int* port) {
+  const std::size_t colon = v.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "ppaint_serve: %s needs HOST:PORT, got '%s'\n", flag,
+                 v.c_str());
+    return false;
+  }
+  long long p = 0;
+  if (!parse_num(flag, v.substr(colon + 1), 0, 65535, &p)) return false;
+  *host = v.substr(0, colon);
+  *port = static_cast<int>(p);
+  return true;
 }
 
 bool parse_options(int argc, char** argv, Options* opt) {
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) return false;
   opt->mode = args[0];
+  opt->server.cache_entries = 256;  // repeat traffic is free by default
   std::size_t i = 1;
   if (opt->mode == "socket") {
     if (args.size() < 2) return false;
     opt->socket_path = args[1];
+    i = 2;
+  } else if (opt->mode == "tcp") {
+    if (args.size() < 2 ||
+        !parse_hostport("tcp", args[1], &opt->tcp_host, &opt->tcp_port))
+      return false;
     i = 2;
   } else if (opt->mode != "pipe") {
     return false;
@@ -104,17 +164,43 @@ bool parse_options(int argc, char** argv, Options* opt) {
       }
       return args[++i];
     };
+    long long n = 0;
     if (args[i] == "--max-queue") {
-      opt->server.max_queue =
-          static_cast<std::size_t>(std::stoul(next("--max-queue")));
+      if (!parse_num("--max-queue", next("--max-queue"), 1, 1 << 20, &n))
+        return false;
+      opt->server.max_queue = static_cast<std::size_t>(n);
     } else if (args[i] == "--max-batch") {
-      opt->server.max_batch_samples = std::stoi(next("--max-batch"));
+      if (!parse_num("--max-batch", next("--max-batch"), 1, 4096, &n))
+        return false;
+      opt->server.max_batch_samples = static_cast<int>(n);
+    } else if (args[i] == "--shards") {
+      if (!parse_num("--shards", next("--shards"), 1, 256, &n)) return false;
+      opt->server.shards = static_cast<std::size_t>(n);
+    } else if (args[i] == "--cache") {
+      if (!parse_num("--cache", next("--cache"), 0, 1 << 24, &n)) return false;
+      opt->server.cache_entries = static_cast<std::size_t>(n);
+    } else if (args[i] == "--tcp") {
+      if (!parse_hostport("--tcp", next("--tcp"), &opt->tcp_host,
+                          &opt->tcp_port))
+        return false;
+    } else if (args[i] == "--backlog") {
+      if (!parse_num("--backlog", next("--backlog"), 1, 65535, &n))
+        return false;
+      opt->backlog = static_cast<int>(n);
+    } else if (args[i] == "--max-conns") {
+      if (!parse_num("--max-conns", next("--max-conns"), 1, 1 << 20, &n))
+        return false;
+      opt->max_conns = static_cast<std::size_t>(n);
+    } else if (args[i] == "--port-file") {
+      opt->port_file = next("--port-file");
     } else if (args[i] == "--stats") {
       opt->stats_path = next("--stats");
     } else if (args[i] == "--publish") {
       opt->publish_path = next("--publish");
     } else if (args[i] == "--publish-ms") {
-      opt->publish_ms = std::stoi(next("--publish-ms"));
+      if (!parse_num("--publish-ms", next("--publish-ms"), 1, 1 << 30, &n))
+        return false;
+      opt->publish_ms = static_cast<int>(n);
     } else if (args[i] == "--request-log") {
       opt->server.request_log.path = next("--request-log");
     } else {
@@ -122,6 +208,10 @@ bool parse_options(int argc, char** argv, Options* opt) {
                    args[i].c_str());
       return false;
     }
+  }
+  if (opt->mode != "pipe" && opt->socket_path.empty() && opt->tcp_port < 0) {
+    std::fprintf(stderr, "ppaint_serve: no listener configured\n");
+    return false;
   }
   return true;
 }
@@ -134,54 +224,44 @@ int run_pipe(serve::GenerationServer& server, serve::ModelRegistry& registry) {
   return 0;
 }
 
-int run_socket(const Options& opt, serve::GenerationServer& server,
-               serve::ModelRegistry& registry) {
-  int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::perror("ppaint_serve: socket");
-    return 1;
+int run_net(const Options& opt, serve::GenerationServer& server,
+            serve::ModelRegistry& registry) {
+  serve::NetServerConfig ncfg;
+  ncfg.backlog = opt.backlog;
+  ncfg.max_connections = opt.max_conns;
+  ncfg.transport.shutdown_on_eof = false;  // connections come and go
+  serve::NetServer net(server, registry, ncfg);
+  std::string err;
+  if (!opt.socket_path.empty()) {
+    if (!net.add_uds_listener(opt.socket_path, &err)) {
+      std::fprintf(stderr, "ppaint_serve: %s\n", err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "ppaint_serve: listening on %s\n",
+                 opt.socket_path.c_str());
   }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (opt.socket_path.size() >= sizeof(addr.sun_path)) {
-    std::fprintf(stderr, "ppaint_serve: socket path too long\n");
-    return 1;
+  if (opt.tcp_port >= 0) {
+    int bound = opt.tcp_port;
+    if (!net.add_tcp_listener(opt.tcp_host, opt.tcp_port, &err, &bound)) {
+      std::fprintf(stderr, "ppaint_serve: %s\n", err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "ppaint_serve: listening on %s:%d\n",
+                 opt.tcp_host.empty() ? "0.0.0.0" : opt.tcp_host.c_str(),
+                 bound);
+    // Port 0 asks the kernel: publish the real port so clients/tests can
+    // find it without a race.
+    if (!opt.port_file.empty())
+      pp::obs::write_text_atomic(opt.port_file, std::to_string(bound) + "\n");
   }
-  std::strncpy(addr.sun_path, opt.socket_path.c_str(),
-               sizeof(addr.sun_path) - 1);
-  ::unlink(opt.socket_path.c_str());
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(listener, 8) < 0) {
-    std::perror("ppaint_serve: bind/listen");
-    ::close(listener);
-    return 1;
-  }
-  server.start();
-  std::fprintf(stderr, "ppaint_serve: listening on %s\n",
-               opt.socket_path.c_str());
-
-  std::atomic<bool> stop{false};
-  std::vector<std::thread> sessions;
-  serve::TransportOptions topt;
-  topt.shutdown_on_eof = false;  // connections come and go; server stays up
-  while (!stop.load() && !g_signalled) {
-    pollfd pfd{listener, POLLIN, 0};
-    int rc = ::poll(&pfd, 1, 200);
-    if (rc <= 0) continue;  // timeout or EINTR: re-check the stop flags
-    int conn = ::accept(listener, nullptr, nullptr);
-    if (conn < 0) continue;
-    sessions.emplace_back([conn, topt, &server, &registry, &stop] {
-      serve::StreamResult res =
-          serve::serve_stream(conn, conn, server, registry, topt);
-      if (res.shutdown) stop.store(true);
-      ::close(conn);
-    });
-  }
-  ::close(listener);
-  for (std::thread& t : sessions) t.join();
-  ::unlink(opt.socket_path.c_str());
+  serve::NetRunResult res = net.run([] { return g_signalled != 0; });
   server.shutdown();
-  std::fprintf(stderr, "ppaint_serve: drained, exiting\n");
+  std::fprintf(stderr,
+               "ppaint_serve: drained, exiting (%llu requests, %llu "
+               "connections%s)\n",
+               static_cast<unsigned long long>(res.handled),
+               static_cast<unsigned long long>(res.accepted),
+               res.shutdown ? ", shutdown op" : "");
   return 0;
 }
 
@@ -225,7 +305,7 @@ int main(int argc, char** argv) {
   }
 
   int rc = opt.mode == "pipe" ? run_pipe(server, *registry)
-                              : run_socket(opt, server, *registry);
+                              : run_net(opt, server, *registry);
   if (publisher.joinable()) {
     publish_stop.store(true);
     publisher.join();

@@ -37,7 +37,8 @@ SERVE_FIELDS = ("rps", "p50_ms", "p95_ms", "p99_ms", "clients", "requests",
                 "queue_p95_ms", "queue_p99_ms", "mid_p95_ms", "mid_count",
                 "final_rolling_p95_ms", "final_p95_ms", "bucket_ratio",
                 "within_bucket", "request_log_lines", "log_complete",
-                "health_ok")
+                "health_ok", "ok", "cache_hits", "cache_misses",
+                "hit_bitwise", "hit_expected", "shards_active")
 # Open-loop A/B lines (bench_serve): the full latency evidence must be
 # present on BOTH executor flavours or the comparison is meaningless.
 OPEN_LOOP_BENCHES = ("serve_open_loop_fixed", "serve_open_loop_cont")
@@ -56,6 +57,12 @@ REQLOG_STR_FIELDS = ("event", "op", "model", "outcome", "code")
 REQLOG_NUM_FIELDS = ("ts_ms", "id", "seed", "count", "steps", "eta",
                      "queue_ms", "run_ms", "e2e_ms", "step_batches",
                      "batch_peak")
+# Network-tier acceptance line (bench_serve serve_tcp): every client must
+# be accounted for (ok + rejected = clients, no drops) and every cache-hit
+# replay must have come back bitwise identical to its cold generation.
+SERVE_TCP_REQUIRED = {"clients", "requests", "ok", "rejected", "cache_hits",
+                      "cache_misses", "hit_bitwise", "hit_expected",
+                      "shards_active"}
 REQLOG_OUTCOMES = ("ok", "rejected", "timeout", "cancelled", "error")
 REQLOG_OPS = ("sample", "inpaint")
 
@@ -159,6 +166,20 @@ def validate_bench_line(doc):
         for flag in ("within_bucket", "log_complete", "health_ok"):
             if doc.get(flag) == 0:
                 errs.append(f"serve_telemetry probe failed: {flag} = 0")
+    if doc.get("bench") == "serve_tcp":
+        missing = SERVE_TCP_REQUIRED - set(doc)
+        if missing:
+            errs.append(f"serve_tcp line missing {sorted(missing)}")
+        elif all(_num(doc[k]) for k in SERVE_TCP_REQUIRED):
+            if doc["ok"] + doc["rejected"] != doc["clients"]:
+                errs.append("serve_tcp dropped clients: "
+                            "ok + rejected != clients")
+            if doc["hit_expected"] < 1:
+                errs.append("serve_tcp replayed no cache hits")
+            if doc["hit_bitwise"] != doc["hit_expected"]:
+                errs.append("serve_tcp cache hit was not bitwise identical")
+            if doc["shards_active"] < 1:
+                errs.append("serve_tcp: no executor shard served traffic")
     for key, v in doc.items():
         if not isinstance(v, (str, int, float)) or isinstance(v, bool):
             errs.append(f"field '{key}' must be a scalar")
@@ -185,6 +206,8 @@ def validate_request_event(doc):
         errs.append(f"outcome must be one of {list(REQLOG_OUTCOMES)}")
     if not isinstance(doc.get("joined_running"), bool):
         errs.append("joined_running must be a bool")
+    if not isinstance(doc.get("cached"), bool):
+        errs.append("cached must be a bool")
     for key in ("queue_ms", "run_ms", "e2e_ms", "step_batches", "batch_peak"):
         if _num(doc.get(key)) and doc[key] < 0:
             errs.append(f"{key} must be non-negative")
@@ -301,6 +324,9 @@ def selfcheck():
          "queue_p50_ms": 0.1, "queue_p95_ms": 1.3, "queue_p99_ms": 1.7,
          "requests": 60},
         {"bench": "serve_overload", "ms": 7.6, "rejected": 4, "timeouts": 2},
+        {"bench": "serve_tcp", "ms": 250.1, "clients": 1050, "requests": 1050,
+         "ok": 571, "rejected": 479, "cache_hits": 467, "cache_misses": 615,
+         "hit_bitwise": 32, "hit_expected": 32, "shards_active": 2},
         {"bench": "serve_telemetry", "ms": 270.0, "mid_p95_ms": 14.0,
          "mid_count": 50, "final_rolling_p95_ms": 14.0, "final_p95_ms": 16.1,
          "bucket_ratio": 1.5, "within_bucket": 1, "request_log_lines": 60,
@@ -342,6 +368,19 @@ def selfcheck():
         {"bench": "serve_telemetry", "ms": 1.0, "mid_p95_ms": 14.0,
          "mid_count": 50, "bucket_ratio": 1.5, "within_bucket": 1,
          "health_ok": 1},
+        # serve_tcp lines that drop clients, miss the bitwise check, or
+        # omit the accounting fields are failures, not partial evidence.
+        {"bench": "serve_tcp", "ms": 1.0, "clients": 100, "requests": 100,
+         "ok": 50, "rejected": 49, "cache_hits": 1, "cache_misses": 99,
+         "hit_bitwise": 5, "hit_expected": 5, "shards_active": 2},
+        {"bench": "serve_tcp", "ms": 1.0, "clients": 100, "requests": 100,
+         "ok": 50, "rejected": 50, "cache_hits": 1, "cache_misses": 99,
+         "hit_bitwise": 4, "hit_expected": 5, "shards_active": 2},
+        {"bench": "serve_tcp", "ms": 1.0, "clients": 100, "requests": 100,
+         "ok": 50, "rejected": 50, "cache_hits": 1, "cache_misses": 99,
+         "hit_bitwise": 0, "hit_expected": 0, "shards_active": 2},
+        {"bench": "serve_tcp", "ms": 1.0, "clients": 100, "ok": 50,
+         "rejected": 50},
     ]
 
     good_events = [
@@ -349,12 +388,17 @@ def selfcheck():
          "model": "bench", "seed": 7, "count": 1, "steps": 4, "eta": -1.0,
          "outcome": "ok", "code": "none", "queue_ms": 0.4, "run_ms": 3.1,
          "e2e_ms": 3.6, "step_batches": 4, "batch_peak": 2,
-         "joined_running": True},
+         "joined_running": True, "cached": False},
+        {"event": "serve.request", "ts_ms": 14.0, "id": 9, "op": "sample",
+         "model": "bench", "seed": 7, "count": 1, "steps": 4, "eta": -1.0,
+         "outcome": "ok", "code": "none", "queue_ms": 0.0, "run_ms": 0.0,
+         "e2e_ms": 0.1, "step_batches": 0, "batch_peak": 0,
+         "joined_running": False, "cached": True},
         {"event": "serve.request", "ts_ms": 13.0, "id": 8, "op": "inpaint",
          "model": "bench", "seed": 8, "count": 2, "steps": 0, "eta": 0.5,
          "outcome": "rejected", "code": "queue_full", "queue_ms": 0.0,
          "run_ms": 0.0, "e2e_ms": 0.0, "step_batches": 0, "batch_peak": 0,
-         "joined_running": False},
+         "joined_running": False, "cached": False},
     ]
     bad_events = [
         {},
@@ -362,9 +406,11 @@ def selfcheck():
         {**good_events[0], "op": "train"},
         {**good_events[0], "outcome": "maybe"},
         {**good_events[0], "joined_running": 1},
+        {**good_events[0], "cached": 1},
         {**good_events[0], "e2e_ms": "fast"},
         {**good_events[0], "run_ms": -1.0},
         {k: v for k, v in good_events[0].items() if k != "step_batches"},
+        {k: v for k, v in good_events[0].items() if k != "cached"},
     ]
 
     failures = []

@@ -80,3 +80,47 @@ if [ "$reqlog_lines" -ne 4 ]; then
 fi
 rm -f "$reqlog"
 echo "serve continuous-batching round-trip OK (telemetry scraped mid-load)"
+
+# Network-tier round-trip: ppaint_cli spawns ppaint_serve in tcp mode on a
+# kernel-assigned port and drives a generation through the epoll loop —
+# accept, nonblocking line framing, async response sink, graceful shutdown
+# — all under the sanitizers, where a use-after-close on a connection
+# buffer or a data race between the loop and an executor thread would burn.
+echo "=== serve tcp round-trip ==="
+"$BUILD_DIR"/examples/ppaint_cli client \
+    "spawntcp:$BUILD_DIR/examples/ppaint_serve" 1 7 > /dev/null
+echo "serve tcp round-trip OK"
+
+# Cache determinism over TCP: the same request twice on one connection —
+# the second response must be served from the generation cache and be
+# byte-identical to the cold one (the cache stores completed responses;
+# determinism makes that exact).
+echo "=== serve tcp cache determinism ==="
+tcp_portfile=$(mktemp /tmp/pp_port.XXXXXX)
+rm -f "$tcp_portfile"
+"$BUILD_DIR"/examples/ppaint_serve tcp 127.0.0.1:0 \
+    --port-file "$tcp_portfile" --cache 32 2>/dev/null &
+serve_pid=$!
+for _ in $(seq 1 100); do [ -s "$tcp_portfile" ] && break; sleep 0.1; done
+tcp_port=$(cat "$tcp_portfile")
+python3 - "$tcp_port" <<'PY'
+import json, socket, sys
+s = socket.create_connection(("127.0.0.1", int(sys.argv[1])))
+f = s.makefile("rw")
+def rpc(obj):
+    f.write(json.dumps(obj) + "\n"); f.flush()
+    return json.loads(f.readline())
+rpc({"id": 1, "op": "load", "model": "d", "preset": "sd1", "clip": 16,
+     "timesteps": 40, "sample_steps": 4, "base_channels": 6, "time_dim": 16})
+req = {"op": "sample", "model": "d", "seed": 21, "count": 1, "steps": 2}
+cold = rpc({**req, "id": 2})
+warm = rpc({**req, "id": 3})
+assert cold["ok"] and warm["ok"], (cold, warm)
+assert not cold["cached"] and warm["cached"], (cold["cached"], warm["cached"])
+assert cold["patterns"] == warm["patterns"], "cache hit not byte-identical"
+assert cold["legal"] == warm["legal"]
+rpc({"id": 4, "op": "shutdown"})
+PY
+wait "$serve_pid"
+rm -f "$tcp_portfile"
+echo "serve tcp cache determinism OK"

@@ -1,0 +1,78 @@
+// Content-addressed generation cache.
+//
+// Sampling is bitwise deterministic: a generation request's result is a
+// pure function of (model weights, op inputs, seed) — see the determinism
+// contract in serve/protocol.hpp. That makes caching EXACT, not
+// approximate: two requests with the same cache key produce byte-identical
+// responses, so a hit can bypass the executor entirely and repeat traffic
+// is free.
+//
+// The key covers everything the output depends on:
+//   model key + weight GENERATION  (hot-swap publishes new weights under a
+//                                   bumped generation, so stale hits are
+//                                   structurally impossible)
+//   op, seed, count, finish        (RNG stream bases + the finish tail)
+//   steps, eta                     (per-request sampler schedule)
+//   template hash, mask hash       (inpaint conditioning; two independent
+//                                   64-bit FNV streams per raster so a
+//                                   single-hash collision cannot alias)
+//
+// Eviction is LRU under one mutex; entries are whole GenResponse payloads
+// (patterns + DRC verdicts). Deadlines, wait/e2e timings and batch sizing
+// are delivery metadata, not content — the server overwrites them per hit.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+
+namespace pp::serve {
+
+/// The content address of a generation request against a resolved registry
+/// entry. Requires mask_id already resolved into req.mask (admission does
+/// this before consulting the cache).
+std::string generation_cache_key(const GenRequest& req,
+                                 const ModelRegistry::Entry& entry);
+
+class GenerationCache {
+ public:
+  /// capacity = max cached responses; 0 disables the cache entirely.
+  explicit GenerationCache(std::size_t capacity) : capacity_(capacity) {}
+
+  bool enabled() const { return capacity_ > 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// On hit, copies the cached response into *out (id/timing fields still
+  /// carry the ORIGINAL request's values — the caller rewrites them) and
+  /// refreshes recency. Returns false on a miss or when disabled.
+  bool lookup(const std::string& key, GenResponse* out);
+
+  /// Stores a completed, successful response. Replaces an existing entry
+  /// for the key (idempotent — determinism guarantees the payload matches);
+  /// evicts the least-recently-used entry beyond capacity.
+  void insert(const std::string& key, const GenResponse& resp);
+
+  std::size_t size() const;
+  std::uint64_t hits() const { return hits_.load(); }
+  std::uint64_t misses() const { return misses_.load(); }
+  std::uint64_t evictions() const { return evictions_.load(); }
+
+ private:
+  using LruList = std::list<std::pair<std::string, GenResponse>>;
+
+  std::size_t capacity_;
+  mutable std::mutex m_;
+  LruList lru_;  ///< front = most recent
+  std::unordered_map<std::string, LruList::iterator> index_;
+  std::atomic<std::uint64_t> hits_{0}, misses_{0}, evictions_{0};
+};
+
+}  // namespace pp::serve

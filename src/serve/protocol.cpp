@@ -50,6 +50,7 @@ obs::Json GenResponse::to_json() const {
   o.set("wait_ms", obs::Json(wait_ms));
   o.set("e2e_ms", obs::Json(e2e_ms));
   o.set("batch_samples", obs::Json(batch_samples));
+  o.set("cached", obs::Json(cached));
   return o;
 }
 

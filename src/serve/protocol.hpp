@@ -98,6 +98,8 @@ struct GenResponse {
   double wait_ms = 0.0;           ///< enqueue -> dequeue
   double e2e_ms = 0.0;            ///< enqueue -> completion
   int batch_samples = 0;          ///< size of the micro-batch that served it
+  bool cached = false;            ///< served from the generation cache
+                                  ///< (bitwise identical to cold execution)
 
   bool ok() const { return error == ErrorCode::kNone; }
 

@@ -82,7 +82,12 @@ ModelRegistry::EntryPtr ModelRegistry::load(const ModelSpec& spec) {
 
   std::lock_guard<std::mutex> lk(m_);
   auto it = entries_.find(spec.key);
-  if (it != entries_.end()) entry->generation = it->second->generation + 1;
+  if (it != entries_.end()) {
+    entry->generation = it->second->generation + 1;
+    entry->route = it->second->route;  // affinity survives hot-swap
+  } else {
+    entry->route = next_route_++;
+  }
   entries_[spec.key] = entry;
   loads.add(1);
   PP_LOG(Info) << "serve: model '" << spec.key << "' gen " << entry->generation

@@ -55,6 +55,11 @@ class ModelRegistry {
     std::vector<Raster> masks;  ///< predefined inpainting masks at clip size
     bool trained = false;  ///< checkpoint found and loaded
     int generation = 1;    ///< bumped on each hot-swap of this key
+    /// Executor-shard affinity: assigned round-robin at first load of the
+    /// key and STABLE across hot-swap generations, so the sharded server
+    /// routes every request for one model to one executor and continuous-
+    /// batch coalescing stays effective (shard = route % shard count).
+    std::size_t route = 0;
   };
   using EntryPtr = std::shared_ptr<Entry>;
 
@@ -76,6 +81,7 @@ class ModelRegistry {
  private:
   mutable std::mutex m_;
   std::map<std::string, EntryPtr> entries_;
+  std::size_t next_route_ = 0;  ///< round-robin shard-affinity assignment
 };
 
 }  // namespace pp::serve

@@ -38,6 +38,10 @@ struct ServeMetrics {
   obs::Counter& joins = obs::metrics().counter("serve.joins");
   obs::Counter& leaves = obs::metrics().counter("serve.leaves");
   obs::Counter& repacks = obs::metrics().counter("serve.repacks");
+  // Generation cache: hits served inline at admission (bitwise identical
+  // to cold execution), misses counted only when a cache is configured.
+  obs::Counter& cache_hits = obs::metrics().counter("serve.cache.hits");
+  obs::Counter& cache_misses = obs::metrics().counter("serve.cache.misses");
   obs::Gauge& queue_depth = obs::metrics().gauge("serve.queue_depth");
   obs::Histogram& wait_ms = obs::metrics().histogram("serve.wait_ms");
   obs::Histogram& e2e_ms = obs::metrics().histogram("serve.e2e_ms");
@@ -69,6 +73,8 @@ void register_serve_section() {
       o.set("joins", obs::Json(m.joins.value()));
       o.set("leaves", obs::Json(m.leaves.value()));
       o.set("repacks", obs::Json(m.repacks.value()));
+      o.set("cache_hits", obs::Json(m.cache_hits.value()));
+      o.set("cache_misses", obs::Json(m.cache_misses.value()));
       o.set("queue_depth", obs::Json(m.queue_depth.value()));
       o.set("e2e_p50_ms", obs::Json(m.e2e_ms.percentile(0.5)));
       o.set("e2e_p95_ms", obs::Json(m.e2e_ms.percentile(0.95)));
@@ -107,7 +113,7 @@ const char* outcome_name(ErrorCode code) {
 obs::Json request_event(const GenRequest& req, ErrorCode code,
                         double queue_ms, double run_ms, double e2e_ms,
                         int step_batches, int batch_peak,
-                        bool joined_running) {
+                        bool joined_running, bool cached) {
   obs::Json o = obs::Json::object();
   o.set("event", obs::Json("serve.request"));
   o.set("ts_ms", obs::Json(static_cast<double>(obs::trace_now_ns()) / 1e6));
@@ -126,6 +132,7 @@ obs::Json request_event(const GenRequest& req, ErrorCode code,
   o.set("step_batches", obs::Json(step_batches));
   o.set("batch_peak", obs::Json(batch_peak));
   o.set("joined_running", obs::Json(joined_running));
+  o.set("cached", obs::Json(cached));
   return o;
 }
 
@@ -135,12 +142,21 @@ GenerationServer::GenerationServer(std::shared_ptr<ModelRegistry> registry,
                                    ServerConfig cfg)
     : registry_(std::move(registry)),
       cfg_(std::move(cfg)),
+      cache_(cfg_.cache_entries),
       rolling_(cfg_.rolling),
       reqlog_(cfg_.request_log) {
   PP_REQUIRE(registry_ != nullptr);
   PP_REQUIRE(cfg_.max_queue >= 1);
   PP_REQUIRE(cfg_.max_batch_samples >= 1);
+  PP_REQUIRE(cfg_.shards >= 1);
   register_serve_section();
+  shards_.reserve(cfg_.shards);
+  for (std::size_t i = 0; i < cfg_.shards; ++i) {
+    auto sh = std::make_unique<Shard>();
+    sh->depth =
+        &obs::metrics().gauge("serve.shard." + std::to_string(i) + ".depth");
+    shards_.push_back(std::move(sh));
+  }
   // The serve.* metrics are process-global; tracking them here baselines
   // this instance's rolling windows at its own construction.
   rolling_.track_counter("serve.accepted");
@@ -155,43 +171,76 @@ GenerationServer::GenerationServer(std::shared_ptr<ModelRegistry> registry,
 GenerationServer::~GenerationServer() {
   stop_hard_.store(true);
   draining_.store(true);
-  cv_.notify_all();
-  if (worker_.joinable()) worker_.join();
-  // Fail whatever is still queued (worker never started, or hard stop).
+  for (auto& sh : shards_) sh->cv.notify_all();
+  for (auto& sh : shards_)
+    if (sh->worker.joinable()) sh->worker.join();
+  // Fail whatever is still queued (workers never started, or hard stop).
   std::deque<PendingPtr> leftover;
-  {
-    std::lock_guard<std::mutex> lk(m_);
-    leftover.swap(queue_);
-    serve_metrics().queue_depth.set(0.0);
+  for (auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->m);
+    for (PendingPtr& p : sh->queue) leftover.push_back(std::move(p));
+    sh->queue.clear();
+    sh->depth->set(0.0);
   }
+  pending_total_.store(0);
+  serve_metrics().queue_depth.set(0.0);
   for (const PendingPtr& p : leftover)
     finish_response(p, GenResponse::fail(p->req.id, ErrorCode::kDraining,
                                          "server stopped"));
 }
 
 void GenerationServer::start() {
-  std::lock_guard<std::mutex> lk(m_);
-  if (worker_started_) return;
-  worker_started_ = true;
-  worker_ = std::thread([this] { worker_loop(); });
+  std::lock_guard<std::mutex> lk(lifecycle_m_);
+  if (workers_started_) return;
+  workers_started_ = true;
+  for (auto& shp : shards_) {
+    Shard* sh = shp.get();
+    sh->worker = std::thread([this, sh] { worker_loop(*sh); });
+  }
 }
 
 void GenerationServer::shutdown() {
   draining_.store(true);
   {
-    std::lock_guard<std::mutex> lk(m_);
-    if (!worker_started_ && !queue_.empty()) {
-      // Never ran: start it now so queued work still completes (graceful).
-      worker_started_ = true;
-      worker_ = std::thread([this] { worker_loop(); });
+    std::lock_guard<std::mutex> lk(lifecycle_m_);
+    if (!workers_started_ && pending_total_.load() > 0) {
+      // Never ran: start now so queued work still completes (graceful).
+      workers_started_ = true;
+      for (auto& shp : shards_) {
+        Shard* sh = shp.get();
+        sh->worker = std::thread([this, sh] { worker_loop(*sh); });
+      }
     }
   }
-  cv_.notify_all();
-  if (worker_.joinable()) worker_.join();
+  for (auto& sh : shards_) sh->cv.notify_all();
+  for (auto& sh : shards_)
+    if (sh->worker.joinable()) sh->worker.join();
 }
 
 bool GenerationServer::expired(const PendingPtr& p, Clock::time_point now) {
   return p->has_deadline && now >= p->deadline;
+}
+
+GenerationServer::Shard& GenerationServer::shard_for(
+    const ModelRegistry::Entry* entry) {
+  return *shards_[entry->route % shards_.size()];
+}
+
+std::size_t GenerationServer::shard_depth(std::size_t shard) const {
+  const Shard& sh = *shards_.at(shard);
+  std::lock_guard<std::mutex> lk(sh.m);
+  return sh.queue.size();
+}
+
+std::deque<GenerationServer::PendingPtr>::iterator
+GenerationServer::pop_locked(Shard& sh,
+                             std::deque<PendingPtr>::iterator it) {
+  auto next = sh.queue.erase(it);
+  pending_total_.fetch_sub(1);
+  serve_metrics().queue_depth.set(
+      static_cast<double>(pending_total_.load()));
+  sh.depth->set(static_cast<double>(sh.queue.size()));
+  return next;
 }
 
 void GenerationServer::finish_response(const PendingPtr& p, GenResponse resp) {
@@ -215,6 +264,10 @@ void GenerationServer::finish_response(const PendingPtr& p, GenResponse resp) {
     default:
       break;
   }
+  // A successful cold execution is what the generation cache stores; the
+  // admission path pre-computed the key. Delivery metadata inside the
+  // stored copy (wait/e2e/batch) is rewritten per hit.
+  if (resp.ok() && !p->cache_key.empty()) cache_.insert(p->cache_key, resp);
   // Request-scoped telemetry: the serve.request span carries corr = request
   // id, chaining it to the serve.step flow points its step batches emitted.
   if (p->trace_start_ns != 0)
@@ -224,14 +277,16 @@ void GenerationServer::finish_response(const PendingPtr& p, GenResponse resp) {
     const double run_ms = p->started ? ms_between(p->exec_start, now) : 0.0;
     reqlog_.write(request_event(p->req, resp.error, p->wait_ms_snapshot,
                                 run_ms, resp.e2e_ms, p->step_batches,
-                                resp.batch_samples, p->joined_running));
+                                resp.batch_samples, p->joined_running,
+                                false));
   }
   if (p->done) p->done(std::move(resp));
 }
 
 void GenerationServer::log_reject(const GenRequest& req, ErrorCode code) {
   if (reqlog_.enabled())
-    reqlog_.write(request_event(req, code, 0.0, 0.0, 0.0, 0, 0, false));
+    reqlog_.write(
+        request_event(req, code, 0.0, 0.0, 0.0, 0, 0, false, false));
 }
 
 void GenerationServer::submit(GenRequest req,
@@ -290,10 +345,41 @@ void GenerationServer::submit(GenRequest req,
     }
   }
 
+  // Generation cache: the key is exact (determinism contract), so a hit is
+  // the cold result, served inline without touching a queue or executor.
+  std::string ckey;
+  if (cache_.enabled()) {
+    const Clock::time_point t0 = Clock::now();
+    ckey = generation_cache_key(req, *entry);
+    GenResponse hit;
+    if (cache_.lookup(ckey, &hit)) {
+      hit.id = req.id;
+      hit.cached = true;
+      hit.wait_ms = 0.0;
+      hit.batch_samples = 0;  // no micro-batch ran
+      hit.e2e_ms = ms_between(t0, Clock::now());
+      accepted_.fetch_add(1);
+      m.accepted.add(1);
+      completed_.fetch_add(1);
+      m.completed.add(1);
+      cache_hits_.fetch_add(1);
+      m.cache_hits.add(1);
+      m.e2e_ms.observe(hit.e2e_ms);
+      if (reqlog_.enabled())
+        reqlog_.write(request_event(req, ErrorCode::kNone, 0.0, 0.0,
+                                    hit.e2e_ms, 0, 0, false, true));
+      if (done) done(std::move(hit));
+      return;
+    }
+    cache_misses_.fetch_add(1);
+    m.cache_misses.add(1);
+  }
+
   auto p = std::make_shared<Pending>();
   p->req = std::move(req);
   p->done = std::move(done);
   p->entry = std::move(entry);
+  p->cache_key = std::move(ckey);
   p->enqueue = Clock::now();
   if (obs::trace_enabled()) p->trace_start_ns = obs::trace_now_ns();
   if (p->req.deadline_ms > 0) {
@@ -302,16 +388,21 @@ void GenerationServer::submit(GenRequest req,
                                    std::chrono::duration<double, std::milli>(
                                        p->req.deadline_ms));
   }
+  Shard& sh = shard_for(p->entry.get());
   {
-    std::lock_guard<std::mutex> lk(m_);
-    if (queue_.size() < cfg_.max_queue) {
-      queue_.push_back(p);
+    std::lock_guard<std::mutex> lk(sh.m);
+    // Global admission bound across shards: the atomic increment IS the
+    // slot claim, so max_queue is exact under concurrent submitters.
+    if (pending_total_.fetch_add(1) < cfg_.max_queue) {
+      sh.queue.push_back(p);
       accepted_.fetch_add(1);
       m.accepted.add(1);
-      m.queue_depth.set(static_cast<double>(queue_.size()));
-      cv_.notify_one();
+      m.queue_depth.set(static_cast<double>(pending_total_.load()));
+      sh.depth->set(static_cast<double>(sh.queue.size()));
+      sh.cv.notify_one();
       return;
     }
+    pending_total_.fetch_sub(1);
   }
   // Queue full. The callback already moved into `p`, so reject through it
   // (outside the lock).
@@ -334,24 +425,30 @@ std::future<GenResponse> GenerationServer::submit(GenRequest req) {
 
 bool GenerationServer::cancel(std::uint64_t id) {
   PendingPtr victim;
-  {
-    std::lock_guard<std::mutex> lk(m_);
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if ((*it)->req.id == id) {
-        victim = *it;
-        queue_.erase(it);
-        serve_metrics().queue_depth.set(static_cast<double>(queue_.size()));
-        break;
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    bool flagged_inflight = false;
+    {
+      std::lock_guard<std::mutex> lk(sh.m);
+      for (auto it = sh.queue.begin(); it != sh.queue.end(); ++it) {
+        if ((*it)->req.id == id) {
+          victim = *it;
+          pop_locked(sh, it);
+          break;
+        }
       }
-    }
-    if (!victim) {
-      for (const PendingPtr& p : inflight_) {
-        if (p->req.id == id) {
-          p->cancelled.store(true);
-          return true;  // executor delivers the cancelled response
+      if (!victim) {
+        for (const PendingPtr& p : sh.inflight) {
+          if (p->req.id == id) {
+            p->cancelled.store(true);
+            flagged_inflight = true;
+            break;
+          }
         }
       }
     }
+    if (flagged_inflight) return true;  // executor delivers the response
+    if (victim) break;
   }
   if (!victim) return false;
   victim->cancelled.store(true);
@@ -360,28 +457,23 @@ bool GenerationServer::cancel(std::uint64_t id) {
   return true;
 }
 
-std::size_t GenerationServer::queue_depth() const {
-  std::lock_guard<std::mutex> lk(m_);
-  return queue_.size();
-}
-
-void GenerationServer::worker_loop() {
+void GenerationServer::worker_loop(Shard& sh) {
   if (cfg_.continuous)
-    worker_loop_continuous();
+    worker_loop_continuous(sh);
   else
-    worker_loop_fixed();
+    worker_loop_fixed(sh);
 }
 
-void GenerationServer::worker_loop_fixed() {
+void GenerationServer::worker_loop_fixed(Shard& sh) {
   for (;;) {
     std::vector<PendingPtr> expired_now;
     std::vector<PendingPtr> batch;
     {
-      std::unique_lock<std::mutex> lk(m_);
-      cv_.wait(lk, [&] {
-        return stop_hard_.load() || draining_.load() || !queue_.empty();
+      std::unique_lock<std::mutex> lk(sh.m);
+      sh.cv.wait(lk, [&] {
+        return stop_hard_.load() || draining_.load() || !sh.queue.empty();
       });
-      if (queue_.empty()) {
+      if (sh.queue.empty()) {
         if (draining_.load() || stop_hard_.load()) break;
         continue;
       }
@@ -390,10 +482,10 @@ void GenerationServer::worker_loop_fixed() {
       // Deadline pass: anything already expired completes as "timeout"
       // without touching the model.
       const Clock::time_point now = Clock::now();
-      for (auto it = queue_.begin(); it != queue_.end();) {
+      for (auto it = sh.queue.begin(); it != sh.queue.end();) {
         if (expired(*it, now)) {
           expired_now.push_back(*it);
-          it = queue_.erase(it);
+          it = pop_locked(sh, it);
         } else {
           ++it;
         }
@@ -404,13 +496,13 @@ void GenerationServer::worker_loop_fixed() {
       // generation, PLUS the sampler schedule — a frozen batch runs every
       // member in lockstep, so steps/eta must match); later compatible
       // requests join until the sample cap.
-      if (!queue_.empty()) {
-        const PendingPtr& head = queue_.front();
+      if (!sh.queue.empty()) {
+        const PendingPtr& head = sh.queue.front();
         const ModelRegistry::Entry* key = head->entry.get();
         const int key_steps = head->req.steps;
         const double key_eta = head->req.eta;
         int samples = 0;
-        for (auto it = queue_.begin(); it != queue_.end();) {
+        for (auto it = sh.queue.begin(); it != sh.queue.end();) {
           const PendingPtr& p = *it;
           bool fits = batch.empty() ||
                       samples + p->req.count <= cfg_.max_batch_samples;
@@ -418,29 +510,28 @@ void GenerationServer::worker_loop_fixed() {
               p->req.eta == key_eta && fits) {
             samples += p->req.count;
             batch.push_back(p);
-            it = queue_.erase(it);
+            it = pop_locked(sh, it);
             if (samples >= cfg_.max_batch_samples) break;
           } else {
             ++it;
           }
         }
-        inflight_ = batch;
+        sh.inflight = batch;
       }
-      serve_metrics().queue_depth.set(static_cast<double>(queue_.size()));
     }
 
     for (const PendingPtr& p : expired_now)
       finish_response(p, GenResponse::fail(p->req.id, ErrorCode::kTimeout,
                                            "deadline expired in queue"));
     if (!batch.empty()) {
-      execute_batch(batch);
-      std::lock_guard<std::mutex> lk(m_);
-      inflight_.clear();
+      execute_batch(sh, batch);
+      std::lock_guard<std::mutex> lk(sh.m);
+      sh.inflight.clear();
     }
   }
 }
 
-void GenerationServer::worker_loop_continuous() {
+void GenerationServer::worker_loop_continuous(Shard& sh) {
   ServeMetrics& m = serve_metrics();
 
   // One running request inside the continuous batch. `mid` namespaces its
@@ -463,9 +554,10 @@ void GenerationServer::worker_loop_continuous() {
   std::uint64_t next_mid = 0;
 
   auto drop_inflight = [&](const PendingPtr& p) {
-    std::lock_guard<std::mutex> lk(m_);
-    inflight_.erase(std::remove(inflight_.begin(), inflight_.end(), p),
-                    inflight_.end());
+    std::lock_guard<std::mutex> lk(sh.m);
+    sh.inflight.erase(
+        std::remove(sh.inflight.begin(), sh.inflight.end(), p),
+        sh.inflight.end());
   };
   auto member_tags = [](std::uint64_t mid, int count) {
     std::vector<std::uint64_t> tags;
@@ -494,6 +586,7 @@ void GenerationServer::worker_loop_continuous() {
   // Finish tail + response for a member whose every sample completed.
   auto complete_member = [&](Member& mem) {
     const PendingPtr& p = mem.p;
+    sh.served.fetch_add(1);
     if (p->cancelled.load()) {
       finish_response(p, GenResponse::fail(p->req.id, ErrorCode::kCancelled,
                                            "cancelled while executing"));
@@ -531,17 +624,17 @@ void GenerationServer::worker_loop_continuous() {
     std::vector<PendingPtr> expired_now;
     std::vector<PendingPtr> joined;
     {
-      std::unique_lock<std::mutex> lk(m_);
+      std::unique_lock<std::mutex> lk(sh.m);
       if (members.empty()) {
         entry.reset();
         // Also drop the drained InpaintState: compact() keeps the clip
         // shape (h_/w_) after the last member completes, and a stale shape
         // would fail every join for a model with a different clip size.
         st = InpaintState();
-        cv_.wait(lk, [&] {
-          return stop_hard_.load() || draining_.load() || !queue_.empty();
+        sh.cv.wait(lk, [&] {
+          return stop_hard_.load() || draining_.load() || !sh.queue.empty();
         });
-        if (queue_.empty()) {
+        if (sh.queue.empty()) {
           if (draining_.load() || stop_hard_.load()) break;
           continue;
         }
@@ -551,10 +644,10 @@ void GenerationServer::worker_loop_continuous() {
       // Deadline pass: anything already expired completes as "timeout"
       // without touching the model.
       const Clock::time_point now = Clock::now();
-      for (auto it = queue_.begin(); it != queue_.end();) {
+      for (auto it = sh.queue.begin(); it != sh.queue.end();) {
         if (expired(*it, now)) {
           expired_now.push_back(*it);
-          it = queue_.erase(it);
+          it = pop_locked(sh, it);
         } else {
           ++it;
         }
@@ -568,11 +661,11 @@ void GenerationServer::worker_loop_continuous() {
       // running batch, stop admitting new joins so the batch drains and
       // the head gets served — otherwise sustained same-entry traffic
       // starves cross-entry requests unboundedly.
-      const bool head_blocked = !members.empty() && !queue_.empty() &&
-                                queue_.front()->entry.get() != entry.get();
+      const bool head_blocked = !members.empty() && !sh.queue.empty() &&
+                                sh.queue.front()->entry.get() != entry.get();
       if (!stop_hard_.load() && !head_blocked) {
         int active = st.active();
-        for (auto it = queue_.begin(); it != queue_.end();) {
+        for (auto it = sh.queue.begin(); it != sh.queue.end();) {
           const PendingPtr& p = *it;
           if (!entry) entry = p->entry;
           const bool fits =
@@ -580,15 +673,14 @@ void GenerationServer::worker_loop_continuous() {
           if (p->entry.get() == entry.get() && fits) {
             active += p->req.count;
             joined.push_back(p);
-            inflight_.push_back(p);
-            it = queue_.erase(it);
+            sh.inflight.push_back(p);
+            it = pop_locked(sh, it);
             if (active >= cfg_.max_batch_samples) break;
           } else {
             ++it;
           }
         }
       }
-      m.queue_depth.set(static_cast<double>(queue_.size()));
     }
 
     for (const PendingPtr& p : expired_now)
@@ -772,7 +864,8 @@ void GenerationServer::worker_loop_continuous() {
   }
 }
 
-void GenerationServer::execute_batch(std::vector<PendingPtr>& batch) {
+void GenerationServer::execute_batch(Shard& sh,
+                                     std::vector<PendingPtr>& batch) {
   PP_TRACE_SPAN("serve.batch");
   ServeMetrics& m = serve_metrics();
   const Clock::time_point exec_start = Clock::now();
@@ -780,6 +873,7 @@ void GenerationServer::execute_batch(std::vector<PendingPtr>& batch) {
   const int clip = entry->cfg.clip_size;
   const std::size_t plane = static_cast<std::size_t>(clip) * clip;
 
+  sh.served.fetch_add(batch.size());
   int total = 0;
   for (const PendingPtr& p : batch) total += p->req.count;
   batches_.fetch_add(1);
@@ -954,6 +1048,23 @@ obs::Json GenerationServer::stats_json() const {
   o.set("max_queue", obs::Json(cfg_.max_queue));
   o.set("max_batch_samples", obs::Json(cfg_.max_batch_samples));
   o.set("continuous", obs::Json(cfg_.continuous));
+  o.set("shards", obs::Json(shards_.size()));
+  obs::Json shard_arr = obs::Json::array();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    obs::Json s = obs::Json::object();
+    s.set("queue", obs::Json(shard_depth(i)));
+    s.set("served", obs::Json(shards_[i]->served.load()));
+    shard_arr.push_back(std::move(s));
+  }
+  o.set("shard_state", std::move(shard_arr));
+  obs::Json c = obs::Json::object();
+  c.set("enabled", obs::Json(cache_.enabled()));
+  c.set("capacity", obs::Json(cache_.capacity()));
+  c.set("size", obs::Json(cache_.size()));
+  c.set("hits", obs::Json(cache_.hits()));
+  c.set("misses", obs::Json(cache_.misses()));
+  c.set("evictions", obs::Json(cache_.evictions()));
+  o.set("cache", std::move(c));
   o.set("trace_dropped_spans", obs::Json(obs::trace_dropped()));
   o.set("request_log_lines", obs::Json(reqlog_.lines_written()));
   o.set("rolling", rolling_.snapshot_json(obs::trace_now_ns()));
@@ -1005,6 +1116,7 @@ obs::Json GenerationServer::health_json() const {
   o.set("overloaded", obs::Json(over));
   o.set("queue_depth", obs::Json(depth));
   o.set("max_queue", obs::Json(cfg_.max_queue));
+  o.set("shards", obs::Json(shards_.size()));
   o.set("error_rate", obs::Json(err_rate));
   o.set("requests_per_s", obs::Json(acc.rate_per_s + rej.rate_per_s));
   o.set("window_s", obs::Json(acc.window_s));

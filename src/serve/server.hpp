@@ -1,9 +1,14 @@
 // GenerationServer: the request-driven layer over the PatternPaint
 // pipeline.
 //
-// Requests enter a bounded, deadline-aware FIFO queue (admission control:
-// reject-with-reason when full or draining). A single executor thread
-// serves them with STEP-LEVEL CONTINUOUS BATCHING (LLM-serving style): it
+// Requests enter a bounded, deadline-aware queue (admission control:
+// reject-with-reason when full or draining) that is SHARDED across N
+// executor threads. Each registry entry has a stable shard affinity
+// (Entry::route, assigned round-robin at load), so all traffic for one
+// model lands on one executor and continuous-batch coalescing stays
+// effective; the admission bound (max_queue) is GLOBAL across shards, so
+// capacity behaves identically at any shard count. Each executor serves
+// its shard with STEP-LEVEL CONTINUOUS BATCHING (LLM-serving style): it
 // keeps one running batch of per-sample denoising state (Ddpm::InpaintState)
 // for one registry entry — same preset + checkpoint + clip + weight
 // generation, by pointer identity, so weights can never mix across
@@ -19,12 +24,17 @@
 // the UNet conditions on a per-sample timestep, so ANY interleaving of
 // joins/leaves produces output bitwise identical to sequential
 // one-request-at-a-time execution (see serve/protocol.hpp, "Determinism
-// contract"); batching is purely a latency/throughput decision.
+// contract"); batching is purely a latency/throughput decision. The same
+// property powers the GENERATION CACHE (serve/cache.hpp): with
+// cache_entries > 0, admission consults a content-addressed LRU keyed by
+// (model generation, op, seed, count, finish, steps, eta, template hash,
+// mask hash) and serves hits inline — bitwise identical to cold execution,
+// bypassing the executor entirely.
 //
 // Deadlines are enforced both in the queue and mid-flight (expired samples
 // complete with "timeout"); cancellation takes effect at the next step
 // boundary. shutdown() drains gracefully — admission closes, queued work
-// completes, then the executor exits. Destruction without shutdown()
+// completes, then the executors exit. Destruction without shutdown()
 // abandons in-flight work at the next step boundary and fails queued
 // requests with "draining".
 //
@@ -47,16 +57,28 @@
 #include <vector>
 
 #include "obs/rolling.hpp"
+#include "serve/cache.hpp"
 #include "serve/protocol.hpp"
 #include "serve/registry.hpp"
 #include "serve/reqlog.hpp"
 
+namespace pp::obs {
+class Gauge;
+}
+
 namespace pp::serve {
 
 struct ServerConfig {
-  std::size_t max_queue = 64;  ///< pending-request bound (admission control)
-  int max_batch_samples = 16;  ///< running-batch cap, in samples
-  /// Step-level continuous batching (the default): the executor keeps ONE
+  std::size_t max_queue = 64;  ///< GLOBAL pending bound (admission control)
+  int max_batch_samples = 16;  ///< running-batch cap per shard, in samples
+  /// Executor shard count. Each shard owns a slice of the request queue
+  /// and its own executor thread; a registry entry's traffic always lands
+  /// on shard (route % shards). 1 = the single-executor behaviour.
+  std::size_t shards = 1;
+  /// Generation-cache capacity in responses; 0 disables the cache. Hits
+  /// are served at admission, bitwise identical to cold execution.
+  std::size_t cache_entries = 0;
+  /// Step-level continuous batching (the default): each executor keeps ONE
   /// running batch, new same-entry requests join at the next denoising-step
   /// boundary, finished/cancelled/expired samples leave immediately and the
   /// latent tensor re-packs between steps. false = the legacy fixed-batch
@@ -80,21 +102,21 @@ class GenerationServer {
   GenerationServer(const GenerationServer&) = delete;
   GenerationServer& operator=(const GenerationServer&) = delete;
 
-  /// Launches the executor thread (idempotent). Requests submitted before
-  /// start() queue up and are served once it runs — tests use this window
+  /// Launches the executor threads (idempotent). Requests submitted before
+  /// start() queue up and are served once they run — tests use this window
   /// to force coalescing deterministically.
   void start();
 
-  /// Graceful drain: closes admission, starts the executor if it never
+  /// Graceful drain: closes admission, starts the executors if they never
   /// ran, waits until every queued and in-flight request has completed,
-  /// then stops the executor. Idempotent.
+  /// then stops the executors. Idempotent.
   void shutdown();
 
   /// Asynchronous submit. `done` runs exactly once: inline (on the calling
-  /// thread) when admission rejects the request, on the executor thread
-  /// otherwise. Admission resolves the model handle, validates shapes and
-  /// applies the queue bound; every failure is a structured GenResponse,
-  /// never an exception.
+  /// thread) when admission rejects the request OR the generation cache
+  /// hits, on an executor thread otherwise. Admission resolves the model
+  /// handle, validates shapes and applies the global queue bound; every
+  /// failure is a structured GenResponse, never an exception.
   void submit(GenRequest req, std::function<void(GenResponse)> done);
 
   /// Future-returning convenience wrapper over the callback form.
@@ -108,11 +130,15 @@ class GenerationServer {
   bool cancel(std::uint64_t id);
 
   bool accepting() const { return !draining_.load(); }
-  std::size_t queue_depth() const;
+  std::size_t queue_depth() const { return pending_total_.load(); }
+  std::size_t shard_count() const { return shards_.size(); }
+  /// Pending requests queued on one shard (tests/fairness probes).
+  std::size_t shard_depth(std::size_t shard) const;
+  const GenerationCache& cache() const { return cache_; }
 
   /// Lifetime serve statistics: queue/admission counters, latency
-  /// histograms, rolling-window stats and the model registry ("serve stats
-  /// dump").
+  /// histograms, shard + cache state, rolling-window stats and the model
+  /// registry ("serve stats dump").
   obs::Json stats_json() const;
 
   /// stats_json() to disk via the atomic tmp+rename discipline.
@@ -139,6 +165,7 @@ class GenerationServer {
     GenRequest req;
     std::function<void(GenResponse)> done;
     ModelRegistry::EntryPtr entry;
+    std::string cache_key;  ///< non-empty = insert the response on success
     std::chrono::steady_clock::time_point enqueue;
     std::chrono::steady_clock::time_point deadline;  ///< valid iff has_deadline
     bool has_deadline = false;
@@ -154,29 +181,50 @@ class GenerationServer {
   };
   using PendingPtr = std::shared_ptr<Pending>;
 
-  void worker_loop();
+  /// One executor shard: its queue slice, in-flight set, worker thread and
+  /// depth gauge. Guarded by its own mutex so shards never contend.
+  struct Shard {
+    mutable std::mutex m;
+    std::condition_variable cv;
+    std::deque<PendingPtr> queue;
+    std::vector<PendingPtr> inflight;
+    std::thread worker;
+    obs::Gauge* depth = nullptr;  ///< serve.shard.<i>.depth
+    std::atomic<std::uint64_t> served{0};  ///< requests this shard completed
+  };
+
+  Shard& shard_for(const ModelRegistry::Entry* entry);
+  void worker_loop(Shard& sh);
   /// Legacy fixed-batch executor: batch frozen at dequeue (coalescing key =
   /// registry entry + sampler schedule), runs every step to completion.
-  void worker_loop_fixed();
+  void worker_loop_fixed(Shard& sh);
   /// Step-level continuous-batching executor (see class comment).
-  void worker_loop_continuous();
-  void execute_batch(std::vector<PendingPtr>& batch);
+  void worker_loop_continuous(Shard& sh);
+  void execute_batch(Shard& sh, std::vector<PendingPtr>& batch);
   void finish_response(const PendingPtr& p, GenResponse resp);
   /// One wide-event line for an admission reject (accepted requests log
   /// from finish_response).
   void log_reject(const GenRequest& req, ErrorCode code);
+  /// Removes one request from a shard queue under its lock; pairs every
+  /// erase with the global pending-count decrement and gauge updates.
+  /// Returns the iterator after the erased element.
+  std::deque<PendingPtr>::iterator pop_locked(
+      Shard& sh, std::deque<PendingPtr>::iterator it);
   static bool expired(const PendingPtr& p,
                       std::chrono::steady_clock::time_point now);
 
   std::shared_ptr<ModelRegistry> registry_;
   ServerConfig cfg_;
 
-  mutable std::mutex m_;
-  std::condition_variable cv_;
-  std::deque<PendingPtr> queue_;
-  std::vector<PendingPtr> inflight_;
-  std::thread worker_;
-  bool worker_started_ = false;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Queued-request count across all shards; the admission bound is
+  /// enforced against this, so max_queue means the same thing at any
+  /// shard count.
+  std::atomic<std::size_t> pending_total_{0};
+  GenerationCache cache_;
+
+  std::mutex lifecycle_m_;  ///< guards worker start/stop transitions
+  bool workers_started_ = false;
   std::atomic<bool> draining_{false};
   std::atomic<bool> stop_hard_{false};
 
@@ -185,7 +233,7 @@ class GenerationServer {
   // section).
   std::atomic<std::uint64_t> accepted_{0}, rejected_{0}, timeouts_{0},
       cancelled_{0}, completed_{0}, batches_{0}, batched_samples_{0},
-      joins_{0}, leaves_{0}, repacks_{0};
+      joins_{0}, leaves_{0}, repacks_{0}, cache_hits_{0}, cache_misses_{0};
 
   // Live telemetry plane: rolling windows baseline at THIS instance's
   // construction (the underlying serve.* metrics are process-global), the

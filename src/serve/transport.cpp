@@ -44,7 +44,12 @@ bool LineReader::next(std::string& line) {
     ssize_t n = ::read(fd_, chunk, sizeof(chunk));
     if (n < 0) {
       if (errno == EINTR) continue;
+      // Read ERROR, not end-of-stream: the buffered tail is a half-received
+      // line that must never be parsed as a request. Drop it and surface
+      // the failure distinctly from a clean EOF via failed().
+      failed_ = true;
       eof_ = true;
+      buf_.clear();
     } else if (n == 0) {
       eof_ = true;
     } else {
@@ -55,21 +60,23 @@ bool LineReader::next(std::string& line) {
 
 namespace {
 
-/// Shared, mutex-serialized response sink. Held via shared_ptr by every
-/// in-flight generation callback so late executor-thread completions stay
-/// valid even while serve_stream is draining. Tracks outstanding async
-/// responses so a closing connection can wait for its own work.
-struct ResponseWriter {
+/// Shared, mutex-serialized response sink over one fd. Held via shared_ptr
+/// by every in-flight generation callback so late executor-thread
+/// completions stay valid even while serve_stream is draining. Tracks
+/// outstanding async responses so a closing connection can wait for its
+/// own work. (The epoll tier uses its own nonblocking sink; this one is
+/// for the pipe / thread-per-stream paths where a blocking write is fine.)
+struct ResponseWriter : ResponseSink {
   explicit ResponseWriter(int fd) : fd(fd) {}
-  void write(const obs::Json& j) {
+  void write(const obs::Json& j) override {
     std::lock_guard<std::mutex> lk(m);
     if (!write_line_fd(fd, j.dump())) failed = true;
   }
-  void begin_async() {
+  void begin_async() override {
     std::lock_guard<std::mutex> lk(m);
     ++outstanding;
   }
-  void end_async(const obs::Json& j) {
+  void end_async(const obs::Json& j) override {
     std::lock_guard<std::mutex> lk(m);
     if (!write_line_fd(fd, j.dump())) failed = true;
     --outstanding;
@@ -100,6 +107,111 @@ obs::Json ok_response(std::uint64_t id) {
 
 }  // namespace
 
+obs::Json shutdown_ack(std::uint64_t id) {
+  obs::Json o = ok_response(id);
+  o.set("draining", obs::Json(true));
+  return o;
+}
+
+DispatchResult dispatch_line(const std::string& line,
+                             GenerationServer& server, ModelRegistry& registry,
+                             const TransportOptions& opt,
+                             const std::shared_ptr<ResponseSink>& sink) {
+  DispatchResult result;
+  std::string perr;
+  obs::Json j = obs::Json::parse(line, &perr);
+  if (!j.is_object()) {
+    sink->write(error_response(0, ErrorCode::kBadRequest,
+                               "unparseable request: " + perr));
+    return result;
+  }
+  std::uint64_t id = 0;
+  if (!get_u64(j, "id", 0, &id)) {
+    sink->write(error_response(0, ErrorCode::kBadRequest,
+                               "id must be a whole number"));
+    return result;
+  }
+  const std::string op = get_string(j, "op", "");
+
+  if (op == "ping") {
+    obs::Json o = ok_response(id);
+    o.set("pong", obs::Json(true));
+    sink->write(o);
+  } else if (op == "stats") {
+    obs::Json o = ok_response(id);
+    o.set("stats", server.stats_json());
+    sink->write(o);
+  } else if (op == "metrics") {
+    // Live scrape: registry snapshot + this server's rolling windows.
+    // Reads lock-free against writers, so scraping mid-load is safe.
+    obs::Json o = ok_response(id);
+    o.set("metrics", server.metrics_json());
+    sink->write(o);
+  } else if (op == "health") {
+    obs::Json o = ok_response(id);
+    o.set("health", server.health_json());
+    sink->write(o);
+  } else if (op == "load") {
+    if (!opt.allow_load) {
+      sink->write(error_response(id, ErrorCode::kBadRequest,
+                                 "load is disabled on this transport"));
+      return result;
+    }
+    ModelSpec spec;
+    std::string err;
+    if (!ModelSpec::from_json(j, &spec, &err)) {
+      sink->write(error_response(id, ErrorCode::kBadRequest, err));
+      return result;
+    }
+    try {
+      ModelRegistry::EntryPtr entry = registry.load(spec);
+      obs::Json o = ok_response(id);
+      o.set("model", obs::Json(spec.key));
+      o.set("trained", obs::Json(entry->trained));
+      o.set("generation", obs::Json(entry->generation));
+      o.set("clip", obs::Json(entry->cfg.clip_size));
+      sink->write(o);
+    } catch (const ConfigError& e) {
+      sink->write(error_response(id, ErrorCode::kInvalidConfig, e.what()));
+    } catch (const std::exception& e) {
+      sink->write(error_response(id, ErrorCode::kBadRequest, e.what()));
+    }
+  } else if (op == "cancel") {
+    std::uint64_t target = 0;
+    if (!get_u64(j, "target", 0, &target)) {
+      sink->write(error_response(id, ErrorCode::kBadRequest,
+                                 "target must be a whole number"));
+      return result;
+    }
+    obs::Json o = ok_response(id);
+    o.set("found", obs::Json(server.cancel(target)));
+    sink->write(o);
+  } else if (op == "shutdown") {
+    if (!opt.allow_shutdown) {
+      sink->write(error_response(id, ErrorCode::kBadRequest,
+                                 "shutdown is disabled on this transport"));
+      return result;
+    }
+    result.shutdown = true;
+    result.shutdown_id = id;
+  } else if (op == "sample" || op == "inpaint") {
+    GenRequest req;
+    std::string err;
+    if (!gen_request_from_json(j, &req, &err)) {
+      sink->write(error_response(id, ErrorCode::kBadRequest, err));
+      return result;
+    }
+    sink->begin_async();
+    server.submit(std::move(req), [sink](GenResponse resp) {
+      sink->end_async(resp.to_json());
+    });
+  } else {
+    sink->write(error_response(id, ErrorCode::kBadRequest,
+                               "unknown op '" + op + "'"));
+  }
+  return result;
+}
+
 StreamResult serve_stream(int in_fd, int out_fd, GenerationServer& server,
                           ModelRegistry& registry,
                           const TransportOptions& opt) {
@@ -114,96 +226,10 @@ StreamResult serve_stream(int in_fd, int out_fd, GenerationServer& server,
   while (!shutdown_requested && reader.next(line)) {
     if (line.empty()) continue;
     ++handled;
-    std::string perr;
-    obs::Json j = obs::Json::parse(line, &perr);
-    if (!j.is_object()) {
-      writer->write(error_response(0, ErrorCode::kBadRequest,
-                                   "unparseable request: " + perr));
-      continue;
-    }
-    std::uint64_t id = 0;
-    if (!get_u64(j, "id", 0, &id)) {
-      writer->write(error_response(0, ErrorCode::kBadRequest,
-                                   "id must be a whole number"));
-      continue;
-    }
-    const std::string op = get_string(j, "op", "");
-
-    if (op == "ping") {
-      obs::Json o = ok_response(id);
-      o.set("pong", obs::Json(true));
-      writer->write(o);
-    } else if (op == "stats") {
-      obs::Json o = ok_response(id);
-      o.set("stats", server.stats_json());
-      writer->write(o);
-    } else if (op == "metrics") {
-      // Live scrape: registry snapshot + this server's rolling windows.
-      // Reads lock-free against writers, so scraping mid-load is safe.
-      obs::Json o = ok_response(id);
-      o.set("metrics", server.metrics_json());
-      writer->write(o);
-    } else if (op == "health") {
-      obs::Json o = ok_response(id);
-      o.set("health", server.health_json());
-      writer->write(o);
-    } else if (op == "load") {
-      if (!opt.allow_load) {
-        writer->write(error_response(id, ErrorCode::kBadRequest,
-                                     "load is disabled on this transport"));
-        continue;
-      }
-      ModelSpec spec;
-      std::string err;
-      if (!ModelSpec::from_json(j, &spec, &err)) {
-        writer->write(error_response(id, ErrorCode::kBadRequest, err));
-        continue;
-      }
-      try {
-        ModelRegistry::EntryPtr entry = registry.load(spec);
-        obs::Json o = ok_response(id);
-        o.set("model", obs::Json(spec.key));
-        o.set("trained", obs::Json(entry->trained));
-        o.set("generation", obs::Json(entry->generation));
-        o.set("clip", obs::Json(entry->cfg.clip_size));
-        writer->write(o);
-      } catch (const ConfigError& e) {
-        writer->write(error_response(id, ErrorCode::kInvalidConfig, e.what()));
-      } catch (const std::exception& e) {
-        writer->write(error_response(id, ErrorCode::kBadRequest, e.what()));
-      }
-    } else if (op == "cancel") {
-      std::uint64_t target = 0;
-      if (!get_u64(j, "target", 0, &target)) {
-        writer->write(error_response(id, ErrorCode::kBadRequest,
-                                     "target must be a whole number"));
-        continue;
-      }
-      obs::Json o = ok_response(id);
-      o.set("found", obs::Json(server.cancel(target)));
-      writer->write(o);
-    } else if (op == "shutdown") {
-      if (!opt.allow_shutdown) {
-        writer->write(error_response(id, ErrorCode::kBadRequest,
-                                     "shutdown is disabled on this transport"));
-        continue;
-      }
+    DispatchResult r = dispatch_line(line, server, registry, opt, writer);
+    if (r.shutdown) {
       shutdown_requested = true;
-      shutdown_id = id;
-    } else if (op == "sample" || op == "inpaint") {
-      GenRequest req;
-      std::string err;
-      if (!gen_request_from_json(j, &req, &err)) {
-        writer->write(error_response(id, ErrorCode::kBadRequest, err));
-        continue;
-      }
-      writer->begin_async();
-      server.submit(std::move(req), [writer](GenResponse resp) {
-        writer->end_async(resp.to_json());
-      });
-    } else {
-      writer->write(error_response(id, ErrorCode::kBadRequest,
-                                   "unknown op '" + op + "'"));
+      shutdown_id = r.shutdown_id;
     }
   }
 
@@ -211,11 +237,7 @@ StreamResult serve_stream(int in_fd, int out_fd, GenerationServer& server,
   // executor thread) before the loop returns; the shutdown ack goes last.
   if (shutdown_requested || opt.shutdown_on_eof) server.shutdown();
   writer->wait_idle();
-  if (shutdown_requested) {
-    obs::Json o = ok_response(shutdown_id);
-    o.set("draining", obs::Json(true));
-    writer->write(o);
-  }
+  if (shutdown_requested) writer->write(shutdown_ack(shutdown_id));
   return {handled, shutdown_requested};
 }
 
