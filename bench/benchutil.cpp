@@ -172,10 +172,11 @@ void emit_json_summary(const std::string& bench, double ms) {
 }
 
 void emit_json_summary(const std::string& bench, double ms, double gflops,
-                       const std::string& isa) {
+                       const std::string& isa, const std::string& precision) {
   std::printf(
-      "{\"bench\": \"%s\", \"ms\": %.3f, \"gflops\": %.3f, \"isa\": \"%s\"}\n",
-      bench.c_str(), ms, gflops, isa.c_str());
+      "{\"bench\": \"%s\", \"ms\": %.3f, \"gflops\": %.3f, \"isa\": \"%s\", "
+      "\"precision\": \"%s\"}\n",
+      bench.c_str(), ms, gflops, isa.c_str(), precision.c_str());
   std::fflush(stdout);
 }
 

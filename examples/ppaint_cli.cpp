@@ -8,6 +8,11 @@
 //   ppaint_cli convert <in.{txt|gds}> <out.{txt|gds|dir}>
 //   ppaint_cli client <target> [count] [seed]
 //   ppaint_cli top <target> [iters] [interval]
+//   ppaint_cli isas
+//
+// `isas` prints the kernel ISA tiers this binary compiled in AND the host
+// can execute, one name per line (scalar, avx2, avx512) — scripts loop
+// over it to run a suite once per usable tier via PP_FORCE_ISA.
 //
 // Serve targets: a Unix socket path, tcp:host:port, spawn:<serve_binary>
 // (pipe-mode child) or spawntcp:<serve_binary> (tcp-mode child on a
@@ -41,6 +46,7 @@
 
 #include "common/error.hpp"
 #include "drc/checker.hpp"
+#include "nn/simd.hpp"
 #include "io/gds_text.hpp"
 #include "io/image_io.hpp"
 #include "io/pattern_io.hpp"
@@ -416,7 +422,8 @@ std::string str_of(const obs::Json* o, const char* key) {
 }
 
 void render_top_frame(int frame, const obs::Json& health_resp,
-                      const obs::Json& metrics_resp) {
+                      const obs::Json& metrics_resp,
+                      const obs::Json& stats_resp) {
   const obs::Json* health = health_resp.find("health");
   const obs::Json* metrics = metrics_resp.find("metrics");
   const obs::Json* rolling = child_of(metrics, "rolling");
@@ -451,6 +458,18 @@ void render_top_frame(int frame, const obs::Json& health_resp,
         num_of(child_of(ctrs, "serve.timeouts"), "count"),
         num_of(child_of(ctrs, "serve.cancelled"), "count"));
   }
+  // Loaded models with their precision tiers and the memory the quantized
+  // weight tables save over a second fp32 copy.
+  const obs::Json* stats = stats_resp.find("stats");
+  const obs::Json* models = child_of(stats, "models");
+  for (std::size_t i = 0; models && i < models->size(); ++i) {
+    const obs::Json* mdl = &models->at(i);
+    std::printf(
+        "model %-10s precisions %-15s quantized tensors %.0f"
+        "  bytes saved %.0f\n",
+        str_of(mdl, "key").c_str(), str_of(mdl, "precisions").c_str(),
+        num_of(mdl, "quantized_tensors"), num_of(mdl, "quant_bytes_saved"));
+  }
   std::fflush(stdout);
 }
 
@@ -483,7 +502,13 @@ int cmd_top(const std::vector<std::string>& args) {
     obs::Json metrics_resp;
     if (!send(req) || !await_response(reader, id, &metrics_resp)) return 1;
     ++id;
-    render_top_frame(frame, health_resp, metrics_resp);
+    req = obs::Json::object();
+    req.set("id", obs::Json(id));
+    req.set("op", obs::Json("stats"));
+    obs::Json stats_resp;
+    if (!send(req) || !await_response(reader, id, &stats_resp)) return 1;
+    ++id;
+    render_top_frame(frame, health_resp, metrics_resp, stats_resp);
     if (iterations != 0 && frame == iterations) break;
     ::usleep(static_cast<useconds_t>(interval_ms) * 1000);
   }
@@ -496,6 +521,15 @@ int cmd_top(const std::vector<std::string>& args) {
     obs::Json resp;
     await_response(reader, id, &resp);
   }
+  return 0;
+}
+
+/// `ppaint_cli isas` — the usable kernel tiers of this binary on this host,
+/// one per line, widest last (matching dispatch preference). Exit 0 always:
+/// "scalar" is unconditionally usable.
+int cmd_isas(const std::vector<std::string>&) {
+  for (nn::Isa isa : {nn::Isa::kScalar, nn::Isa::kAvx2, nn::Isa::kAvx512})
+    if (nn::isa_usable(isa)) std::printf("%s\n", nn::isa_name(isa));
   return 0;
 }
 
@@ -516,6 +550,7 @@ void usage() {
       "  ppaint_cli convert <in.{txt|gds}> <out.{txt|gds|dir}>\n"
       "  ppaint_cli client <target> [count] [seed]\n"
       "  ppaint_cli top <target> [iterations] [interval_ms]\n"
+      "  ppaint_cli isas\n"
       "serve targets: <uds-path> | tcp:host:port | spawn:<serve_binary> |\n"
       "spawntcp:<serve_binary>\n"
       "rule sets: default | complex | complex-discrete (append /2 for the\n"
@@ -539,6 +574,7 @@ int main(int argc, char** argv) {
     if (cmd == "convert") return cmd_convert(args);
     if (cmd == "client") return cmd_client(args);
     if (cmd == "top") return cmd_top(args);
+    if (cmd == "isas") return cmd_isas(args);
     usage();
     return 2;
   } catch (const std::exception& e) {

@@ -18,11 +18,16 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 export ASAN_OPTIONS=${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=0}
 export UBSAN_OPTIONS=${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}
 
-# Two passes: once pinned to the portable scalar kernels, once under the
-# host's native ISA dispatch, so both kernel sets get sanitizer coverage.
-echo "=== tier-1 under PP_FORCE_ISA=scalar ==="
-PP_FORCE_ISA=scalar ctest --test-dir "$BUILD_DIR" -L tier1 \
-    --output-on-failure -j "$JOBS" "$@"
+# One tier-1 pass pinned to each kernel tier this build can actually run
+# on this host (ppaint_cli isas: scalar always, avx2/avx512 when compiled
+# in AND supported by cpuid), then one under native dispatch. Every kernel
+# set — including the AVX-512 and quantized int8 microkernels — gets
+# sanitizer coverage, and hosts without the wide tiers skip them cleanly.
+for isa in $("$BUILD_DIR"/examples/ppaint_cli isas); do
+  echo "=== tier-1 under PP_FORCE_ISA=$isa ==="
+  PP_FORCE_ISA="$isa" ctest --test-dir "$BUILD_DIR" -L tier1 \
+      --output-on-failure -j "$JOBS" "$@"
+done
 echo "=== tier-1 under native ISA dispatch ==="
 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$JOBS" "$@"
 
@@ -36,10 +41,12 @@ echo "=== serve pipe round-trip ==="
 echo "serve round-trip OK"
 
 # Continuous-batching round-trip: a canned NDJSON session with mixed
-# per-request sampler schedules (steps 2 / default / 8, mixed eta) that
-# join/leave one running batch at step boundaries, plus an out-of-domain
-# steps knob that must come back as a structured bad_request — all under
-# the sanitizers, where a stale pointer in the latent re-pack would burn.
+# per-request sampler schedules (steps 2 / default / 8, mixed eta) AND
+# mixed precision tiers (the int8 request runs the quantized GEMM path
+# through the same executor), plus an out-of-domain steps knob and an
+# unknown precision value that must both come back as structured
+# bad_request — all under the sanitizers, where a stale pointer in the
+# latent re-pack or an OOB in the quantized panel packing would burn.
 # The metrics/health ops are sent mid-load (between generation requests)
 # so the rolling-window scrape path runs concurrently with the executor.
 echo "=== serve continuous-batching round-trip ==="
@@ -52,6 +59,8 @@ cont_out=$("$BUILD_DIR"/examples/ppaint_serve pipe --request-log "$reqlog" <<'ND
 {"id":4,"op":"sample","model":"cb","seed":13,"count":1}
 {"id":8,"op":"health"}
 {"id":5,"op":"sample","model":"cb","seed":14,"steps":1}
+{"id":9,"op":"sample","model":"cb","seed":15,"count":1,"steps":2,"precision":"int8"}
+{"id":10,"op":"sample","model":"cb","seed":15,"count":1,"steps":2,"precision":"fp64"}
 {"id":6,"op":"shutdown"}
 NDJSON
 )
@@ -64,17 +73,24 @@ for marker in '"patterns":' '"code":"bad_request"' '"draining":true' \
   fi
 done
 ok_count=$(grep -cF '"ok":true' <<<"$cont_out")
-if [ "$ok_count" -lt 6 ]; then  # load ack + 3 generations + metrics + health
-  echo "continuous round-trip: expected >=6 ok responses, got $ok_count:" >&2
+if [ "$ok_count" -lt 7 ]; then  # load ack + 4 generations + metrics + health
+  echo "continuous round-trip: expected >=7 ok responses, got $ok_count:" >&2
   echo "$cont_out" >&2
   exit 1
 fi
-# The wide-event request log must account for all 4 generation requests
-# (3 ok + 1 bad-steps reject) and schema-validate.
+# The wide-event request log must account for all 6 generation requests
+# (4 ok + bad-steps reject + bad-precision reject) and schema-validate —
+# including the required per-request precision field and the
+# cross-precision cache-hit check.
 python3 scripts/check_bench_json.py --request-log "$reqlog"
 reqlog_lines=$(grep -c . "$reqlog")
-if [ "$reqlog_lines" -ne 4 ]; then
-  echo "request log: expected 4 lines, got $reqlog_lines:" >&2
+if [ "$reqlog_lines" -ne 6 ]; then
+  echo "request log: expected 6 lines, got $reqlog_lines:" >&2
+  cat "$reqlog" >&2
+  exit 1
+fi
+if ! grep -qF '"precision":"int8"' "$reqlog"; then
+  echo "request log: int8 request not logged with its precision:" >&2
   cat "$reqlog" >&2
   exit 1
 fi
@@ -119,7 +135,15 @@ assert cold["ok"] and warm["ok"], (cold, warm)
 assert not cold["cached"] and warm["cached"], (cold["cached"], warm["cached"])
 assert cold["patterns"] == warm["patterns"], "cache hit not byte-identical"
 assert cold["legal"] == warm["legal"]
-rpc({"id": 4, "op": "shutdown"})
+# Precision is part of the cache key: the identical request on the int8
+# tier must MISS (generate fresh), and its own replay must then hit.
+q_cold = rpc({**req, "id": 4, "precision": "int8"})
+q_warm = rpc({**req, "id": 5, "precision": "int8"})
+assert q_cold["ok"] and q_warm["ok"], (q_cold, q_warm)
+assert not q_cold["cached"], "cache hit crossed precision tiers"
+assert q_warm["cached"], "int8 replay missed its own cache entry"
+assert q_cold["patterns"] == q_warm["patterns"]
+rpc({"id": 6, "op": "shutdown"})
 PY
 wait "$serve_pid"
 rm -f "$tcp_portfile"

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "nn/simd_kernels.hpp"
+#include "nn/workspace.hpp"
 #include "obs/metrics.hpp"
 
 namespace pp::nn {
@@ -29,15 +30,25 @@ void note_fused_epilogue() {
   c.add(1);
 }
 
+void note_quantized_gemm() {
+  static obs::Counter& c = obs::metrics().counter("nn.gemm.quantized");
+  c.add(1);
+}
+
 // Runs inside the same chunk that produced rows [lo, hi), so the epilogue
 // touches cache-hot data. Row i's arithmetic depends only on row i —
-// chunk boundaries never change results.
+// chunk boundaries never change results. Dequantization goes first: it
+// turns raw int32-as-float dot products into real values before bias and
+// activation see them.
 void apply_epilogue_rows(const detail::KernelTable& kt,
                          const GemmEpilogue& epi, std::size_t lo,
                          std::size_t hi, int N, float* C, int ldc) {
   const std::size_t n = static_cast<std::size_t>(N);
   for (std::size_t i = lo; i < hi; ++i) {
     float* row = C + i * static_cast<std::size_t>(ldc);
+    if (epi.dequant_row)
+      kt.scale(row, epi.dequant_row[i] * epi.dequant_scale, n);
+    if (epi.dequant_col) kt.mul(row, epi.dequant_col, row, n);
     if (epi.bias) {
       const float b = epi.bias[i];
       if (b != 0.0f) kt.add_const(row, b, n);
@@ -85,6 +96,93 @@ void sgemm_tn(int M, int N, int K, const float* A, int lda, const float* B,
   rows_parallel(M, [&](std::size_t lo, std::size_t hi) {
     kt.gemm_tn(lo, hi, N, K, A, lda, B, ldb, C, ldc, accumulate);
     if (epilogue) apply_epilogue_rows(kt, *epilogue, lo, hi, N, C, ldc);
+  });
+}
+
+void pack_i8_b(const std::int16_t* B, int N, int K, I8Layout layout, int ldb,
+               std::int16_t* out) {
+  PP_REQUIRE_MSG(layout != I8Layout::kPacked,
+                 "pack_i8_b: input is already packed");
+  const int kp_n = (K + 1) / 2;
+  const int panels = (N + 15) / 16;
+  if (layout == I8Layout::kKN) {
+    // Depth pair outermost so the two source rows stream sequentially
+    // left to right; each panel-row write is one full 64-byte line.
+    const std::size_t pstride = static_cast<std::size_t>(kp_n) * 32;
+    for (int kp = 0; kp < kp_n; ++kp) {
+      const std::int16_t* r0 = B + static_cast<std::size_t>(2 * kp) * ldb;
+      const std::int16_t* r1 = r0 + ldb;  // dead when K is odd (guarded)
+      const bool pair = 2 * kp + 1 < K;
+      for (int p = 0; p < panels; ++p) {
+        std::int16_t* o = out + p * pstride + kp * 32;
+        const int j0 = 16 * p;
+        const int jn = N - j0 < 16 ? N - j0 : 16;
+        for (int jj = 0; jj < jn; ++jj) {
+          o[2 * jj] = r0[j0 + jj];
+          o[2 * jj + 1] = pair ? r1[j0 + jj] : static_cast<std::int16_t>(0);
+        }
+        for (int jj = jn; jj < 16; ++jj) {
+          o[2 * jj] = 0;
+          o[2 * jj + 1] = 0;
+        }
+      }
+    }
+    return;
+  }
+  // kNT: panel outermost, depth pair inner — the write stream is strictly
+  // sequential across the whole packed buffer, and the 16 source rows a
+  // panel gathers from stay cache-resident (their lines are revisited for
+  // 16 consecutive packed rows).
+  std::int16_t* o = out;
+  for (int p = 0; p < panels; ++p) {
+    const int j0 = 16 * p;
+    const int jn = N - j0 < 16 ? N - j0 : 16;
+    for (int kp = 0; kp < kp_n; ++kp, o += 32) {
+      const bool pair = 2 * kp + 1 < K;
+      for (int jj = 0; jj < jn; ++jj) {
+        const std::int16_t* brow =
+            B + static_cast<std::size_t>(j0 + jj) * ldb + 2 * kp;
+        o[2 * jj] = brow[0];
+        o[2 * jj + 1] = pair ? brow[1] : static_cast<std::int16_t>(0);
+      }
+      for (int jj = jn; jj < 16; ++jj) {
+        o[2 * jj] = 0;
+        o[2 * jj + 1] = 0;
+      }
+    }
+  }
+}
+
+void sgemm_i8_nt(int M, int N, int K, const std::int16_t* A, int lda,
+                 const std::int16_t* B, int ldb, float* C, int ldc,
+                 const GemmEpilogue* epilogue, I8Layout b_layout) {
+  PP_REQUIRE_MSG(epilogue && (epilogue->dequant_row || epilogue->dequant_col),
+                 "quantized GEMM requires a dequantizing epilogue");
+  const detail::KernelTable& kt = detail::active_kernels();
+  note_fused_epilogue();
+  note_quantized_gemm();
+  Workspace& ws = Workspace::tls();
+  WorkspaceScope scope(ws);
+  const std::int16_t* bp = B;
+  if (b_layout != I8Layout::kPacked) {
+    const std::size_t packed_n = packed_i8_size(N, K);
+    std::int16_t* scratch =
+        reinterpret_cast<std::int16_t*>(ws.alloc((packed_n + 1) / 2));
+    pack_i8_b(B, N, K, b_layout, ldb, scratch);
+    bp = scratch;
+  }
+  // Dequantization is fused into the kernel's register-level store (same
+  // one-multiply-per-term arithmetic as a separate pass, so results are
+  // bit-identical); the row pass only runs when bias/activation remain.
+  GemmEpilogue rest = *epilogue;
+  rest.dequant_row = nullptr;
+  rest.dequant_col = nullptr;
+  const bool post =
+      rest.bias || rest.bias_per_col || rest.act != Act::kNone;
+  rows_parallel(M, [&](std::size_t lo, std::size_t hi) {
+    kt.gemm_i8_nt(lo, hi, N, K, A, lda, bp, C, ldc, epilogue->dequant_row,
+                  epilogue->dequant_col, epilogue->dequant_scale);
+    if (post) apply_epilogue_rows(kt, rest, lo, hi, N, C, ldc);
   });
 }
 

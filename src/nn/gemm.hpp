@@ -1,6 +1,6 @@
-// Single-precision GEMM with runtime-dispatched microkernels (scalar or
-// AVX2+FMA, see nn/simd.hpp) plus the im2col/col2im packing that turns
-// convolutions into GEMM calls.
+// Single-precision and quantized GEMM with runtime-dispatched microkernels
+// (scalar, AVX2+FMA or AVX-512, see nn/simd.hpp) plus the im2col/col2im
+// packing that turns convolutions into GEMM calls.
 //
 // All matrices are row-major with explicit leading dimensions (row
 // strides). Rows of C are split across pp::parallel_for_chunks (disjoint
@@ -16,17 +16,33 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "nn/simd.hpp"
 
 namespace pp::nn {
 
 /// Optional fused post-pass over freshly computed rows of C. Only valid
-/// with accumulate=false. `bias` adds bias[i] to every element of row i
-/// (conv layout: row = output channel; zero entries are skipped exactly
-/// like the unfused path). `bias_per_col` adds bias_per_col[j] to column j
-/// (linear layout). `act` then applies an activation in place.
+/// with accumulate=false.
+///
+/// Dequantization terms run FIRST (they rescale raw int32 dot products
+/// from sgemm_i8_nt into real values): `dequant_row` multiplies row i by
+/// dequant_row[i]*dequant_scale (conv layout: per-output-channel weight
+/// scale x per-tensor activation scale), `dequant_col` multiplies column
+/// j by dequant_col[j] (linear layout: scales precombined per column).
+/// sgemm_i8_nt applies them inside the kernel's register-level store —
+/// no second pass over C — with one IEEE multiply per term in a fixed
+/// order, so results stay bit-identical to a separate value-pure pass
+/// under any thread chunking.
+///
+/// Then `bias` adds bias[i] to every element of row i (conv layout; zero
+/// entries are skipped exactly like the unfused path), `bias_per_col` adds
+/// bias_per_col[j] to column j (linear layout), and `act` applies an
+/// activation in place.
 struct GemmEpilogue {
+  const float* dequant_row = nullptr;
+  const float* dequant_col = nullptr;
+  float dequant_scale = 1.0f;
   const float* bias = nullptr;
   const float* bias_per_col = nullptr;
   Act act = Act::kNone;
@@ -47,6 +63,46 @@ void sgemm_nt(int M, int N, int K, const float* A, int lda, const float* B,
 void sgemm_tn(int M, int N, int K, const float* A, int lda, const float* B,
               int ldb, float* C, int ldc, bool accumulate,
               const GemmEpilogue* epilogue = nullptr);
+
+/// Storage order of the B operand handed to sgemm_i8_nt. kNT is B{N,K}
+/// row-major (weights as the registry stores them); kKN is B{K,N}
+/// row-major (a quantized im2col panel, no pre-transpose needed); kPacked
+/// means the caller already ran pack_i8_b (static weights pack once, not
+/// per call) and ldb is ignored.
+enum class I8Layout { kNT, kKN, kPacked };
+
+/// int16 count of the packed form of a B{N,K} operand:
+/// ceil(N/16) panels x ceil(K/2) depth pairs x one 64-byte row each.
+inline std::size_t packed_i8_size(int N, int K) {
+  return static_cast<std::size_t>((N + 15) / 16) * ((K + 1) / 2) * 32;
+}
+
+/// Pair-packs B into the panel layout the quantized kernels consume: 16
+/// columns per panel, each packed panel row one 64-byte cache line holding
+/// those columns' values for depths {2kp, 2kp+1} interleaved —
+/// out[(p*ceil(K/2) + kp)*32 + 2*jj + t] = B[16p+jj][2kp+t] (kNT view).
+/// The odd-K tail slot and the last panel's columns past N are
+/// zero-filled, so kernels always load full vectors (only C stores need
+/// masking) and walk each panel strictly sequentially — B-side access is
+/// stride-free no matter how large N is. Packing is an exact int16 copy,
+/// so it never affects results — it only lets the vector kernels run
+/// madd/vpdpwssd straight down C columns with no horizontal reductions.
+/// out must hold packed_i8_size(N, K) values.
+void pack_i8_b(const std::int16_t* B, int N, int K, I8Layout layout, int ldb,
+               std::int16_t* out);
+
+/// Quantized C{M,N} = A{M,K} · B^T over int8-range values stored in int16
+/// lanes (see nn/quant.hpp). B is given in its natural layout (see
+/// I8Layout) and pair-packed internally once per call, or pre-packed by
+/// the caller (kPacked). Each C[i][j] is computed as the EXACT int32 dot
+/// product (bitwise stable under any chunking), then dequantized at the
+/// register-level store via the mandatory epilogue's dequant_row /
+/// dequant_col; bias/activation follow as a fused row pass. No accumulate
+/// form: quantized GEMMs always overwrite.
+void sgemm_i8_nt(int M, int N, int K, const std::int16_t* A, int lda,
+                 const std::int16_t* B, int ldb, float* C, int ldc,
+                 const GemmEpilogue* epilogue,
+                 I8Layout b_layout = I8Layout::kNT);
 
 /// Number of rows of the im2col matrix: Ci*Kh*Kw.
 inline std::size_t im2col_rows(int ci, int kh, int kw) {

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "nn/gemm.hpp"
+#include "nn/quant.hpp"
 #include "nn/simd_kernels.hpp"
 #include "nn/workspace.hpp"
 #include "obs/metrics.hpp"
@@ -53,6 +54,36 @@ bool resolve_gemm(ConvAlgo algo, const ConvDims& d) {
 
 bool is_pointwise(const ConvDims& d, int stride, int pad) {
   return d.Kh == 1 && d.Kw == 1 && stride == 1 && pad == 0;
+}
+
+// --- Reduced-precision helpers (see nn/quant.hpp) ---------------------------
+
+/// Serial scalar absmax: one fixed accumulation order so the dynamic
+/// activation scale is identical for any thread count or batch split.
+float absmax_scalar(const float* x, std::size_t n) {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float a = std::fabs(x[i]);
+    if (a > m) m = a;
+  }
+  return m;
+}
+
+/// Workspace scratch for n int16 values (the arena hands out floats).
+std::int16_t* alloc_i16(Workspace& ws, std::size_t n) {
+  return reinterpret_cast<std::int16_t*>(ws.alloc((n + 1) / 2));
+}
+
+/// The quantized table for this weight when the calling thread's precision
+/// tier wants one; null on the fp32 tier or when the weight was never
+/// registered (then the caller falls back to fp32 and the miss is
+/// counted).
+std::shared_ptr<const QuantizedWeight> quant_lookup(const float* wdata,
+                                                    Precision prec) {
+  if (prec == Precision::kFp32) return nullptr;
+  auto qw = detail::find_quantized(wdata);
+  if (!qw) detail::note_quant_fallback();
+  return qw;
 }
 
 // --- Direct (nested-loop) conv paths, kept for small problems ---------------
@@ -218,6 +249,46 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
   GemmEpilogue epi;
   epi.bias = b.data();
   epi.act = act;
+  const Precision prec = active_precision();
+  auto qw = quant_lookup(w.data(), prec);
+  if (qw && prec == Precision::kInt8) {
+    // C{Co,P} = Wq{Co,K2} · Colq{K2,P} over int8-range int16 lanes:
+    // weights were quantized per output channel at load time, activations
+    // are quantized per tensor here with a dynamic scale. The quantized
+    // panel stays in im2col's natural {K2, P} order — sgemm_i8_nt
+    // pair-packs it directly (I8Layout::kKN), no transpose pass. The
+    // epilogue dequantizes each row by scales[co]·a_scale, then bias+act.
+    std::int16_t* qpanel = alloc_i16(ws, static_cast<std::size_t>(K2) * P);
+    epi.dequant_row = qw->scales.data();
+    for (int n = 0; n < d.N; ++n) {
+      const float* xn =
+          x.data() + static_cast<std::size_t>(n) * d.Ci * d.H * d.W;
+      const float* colp = xn;
+      if (!pointwise) {
+        im2col(xn, d.Ci, d.H, d.W, d.Kh, d.Kw, stride, pad, d.Ho, d.Wo, col);
+        colp = col;
+      }
+      const float amax =
+          absmax_scalar(colp, static_cast<std::size_t>(K2) * P);
+      const float inv = amax == 0.0f ? 0.0f : 127.0f / amax;
+      detail::active_kernels().quantize_s8(colp, inv, qpanel,
+                                           static_cast<std::size_t>(K2) * P);
+      epi.dequant_scale = amax / 127.0f;
+      float* on = out.data() + static_cast<std::size_t>(n) * d.Co * P;
+      sgemm_i8_nt(d.Co, P, K2, qw->q16.data(), K2, qpanel, P, on, P, &epi,
+                  I8Layout::kKN);
+    }
+    return out;
+  }
+  const float* wp = w.data();
+  if (qw && prec == Precision::kBf16) {
+    // bf16 tier: widen the stored bf16 weights back to fp32 (exact) once
+    // per call and run the normal fp32 kernels on the rounded values.
+    float* wf = ws.alloc(static_cast<std::size_t>(d.Co) * K2);
+    detail::active_kernels().widen_bf16(qw->bf16.data(), wf,
+                                        static_cast<std::size_t>(d.Co) * K2);
+    wp = wf;
+  }
   for (int n = 0; n < d.N; ++n) {
     const float* xn = x.data() + static_cast<std::size_t>(n) * d.Ci * d.H * d.W;
     const float* colp = xn;
@@ -226,7 +297,7 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
       colp = col;
     }
     float* on = out.data() + static_cast<std::size_t>(n) * d.Co * P;
-    sgemm_nn(d.Co, P, K2, w.data(), K2, colp, P, on, P, /*accumulate=*/false,
+    sgemm_nn(d.Co, P, K2, wp, K2, colp, P, on, P, /*accumulate=*/false,
              &epi);
   }
   return out;
@@ -316,6 +387,36 @@ Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& b,
   GemmEpilogue epi;
   epi.bias_per_col = b.data();
   epi.act = act;
+  const Precision prec = active_precision();
+  auto qw = quant_lookup(w.data(), prec);
+  if (qw && prec == Precision::kInt8) {
+    // out{N,O} = Xq{N,I} · Wq{O,I}^T; column o dequantizes by
+    // scales[o]·a_scale, precombined below so the epilogue is one mul.
+    Workspace& ws = Workspace::tls();
+    WorkspaceScope scope(ws);
+    const std::size_t total = static_cast<std::size_t>(N) * I;
+    std::int16_t* qx = alloc_i16(ws, total);
+    const float amax = absmax_scalar(x.data(), total);
+    const float inv = amax == 0.0f ? 0.0f : 127.0f / amax;
+    detail::active_kernels().quantize_s8(x.data(), inv, qx, total);
+    const float a_scale = amax / 127.0f;
+    float* deq = ws.alloc(static_cast<std::size_t>(O));
+    for (int o = 0; o < O; ++o)
+      deq[o] = qw->scales[static_cast<std::size_t>(o)] * a_scale;
+    epi.dequant_col = deq;
+    sgemm_i8_nt(N, O, I, qx, I, qw->q16.data(), I, out.data(), O, &epi);
+    return out;
+  }
+  if (qw && prec == Precision::kBf16) {
+    Workspace& ws = Workspace::tls();
+    WorkspaceScope scope(ws);
+    float* wf = ws.alloc(static_cast<std::size_t>(O) * I);
+    detail::active_kernels().widen_bf16(qw->bf16.data(), wf,
+                                        static_cast<std::size_t>(O) * I);
+    sgemm_nt(N, O, I, x.data(), I, wf, I, out.data(), O,
+             /*accumulate=*/false, &epi);
+    return out;
+  }
   sgemm_nt(N, O, I, x.data(), I, w.data(), I, out.data(), O,
            /*accumulate=*/false, &epi);
   return out;

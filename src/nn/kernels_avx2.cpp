@@ -20,6 +20,9 @@
 
 #include <immintrin.h>
 
+#include <cmath>
+#include <cstring>
+
 namespace pp::nn::detail {
 
 namespace {
@@ -401,6 +404,281 @@ void normalize_affine_avx2(const float* x, float* y, std::size_t n, float mu,
   }
 }
 
+// --- Quantized tier --------------------------------------------------------
+//
+// B arrives packed into 16-column panels (see pack_i8_b in nn/gemm.hpp):
+// each panel row is one 64-byte line — two ymm loads — holding depth pair
+// {2kp, 2kp+1} interleaved per column, rows sequential over kp. The kernel
+// takes the exact shape of the fp32 broadcast kernel above — broadcast one
+// A depth pair, madd against one panel row (16 columns), accumulate int32
+// straight down C columns. No horizontal reductions anywhere, B loads
+// stream each panel strictly sequentially (no large-N stride pathologies),
+// padding columns are packed zeros so loads are always full-width (only C
+// stores mask), and every K (even the 3x3 stem's K=27) stays fully
+// vectorized. madd lanes are <= 2*127^2, so an int32 lane absorbs
+// K <= ~66000 exactly; the single int32->float rounding per output is
+// IEEE-deterministic, so bitwise parity with the scalar kernel holds.
+//
+// On CPUs with AVX-VNNI the madd+add pair fuses into one vpdpwssd
+// (runtime dispatch at the bottom); the integer sums are identical either
+// way.
+
+/// Broadcast of A row's depth pair {2kp, 2kp+1} as one int32. The odd
+/// final depth broadcasts {A[K-1], 0} without reading past the row; the
+/// packed B partner slot is zero-filled, so the dead half multiplies zero
+/// by zero.
+inline __m256i a_pair256(const std::int16_t* arow, int kp, bool odd_tail) {
+  if (odd_tail)
+    return _mm256_set1_epi32(static_cast<std::int32_t>(
+        static_cast<std::uint16_t>(arow[2 * kp])));
+  std::int32_t pair;
+  std::memcpy(&pair, arow + 2 * kp, sizeof(pair));
+  return _mm256_set1_epi32(pair);
+}
+
+template <int MR, int NV, bool MASKED>
+inline void i8_tile(const std::int16_t* A, int lda, std::size_t i0, int j0,
+                    int K, const std::int16_t* Bp, float* C, int ldc,
+                    const float* dq_row, const float* dq_col, float dq_scale,
+                    __m256i mask) {
+  __m256i acc[MR][NV];
+  for (int r = 0; r < MR; ++r)
+    for (int v = 0; v < NV; ++v) acc[r][v] = _mm256_setzero_si256();
+  const int kp_n = (K + 1) / 2;
+  const std::size_t pstride = static_cast<std::size_t>(kp_n) * 32;
+  const std::int16_t* pb =
+      Bp + (static_cast<std::size_t>(j0) / 16) * pstride;
+  for (int kp = 0; kp < kp_n; ++kp, pb += 32) {
+    __m256i b[NV];
+    for (int v = 0; v < NV; ++v)
+      b[v] = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(pb + 16 * v));
+    for (int r = 0; r < MR; ++r) {
+      const __m256i a = a_pair256(A + (i0 + r) * static_cast<std::size_t>(lda),
+                                  kp, (K & 1) && kp == kp_n - 1);
+      for (int v = 0; v < NV; ++v)
+        acc[r][v] = _mm256_add_epi32(acc[r][v], _mm256_madd_epi16(a, b[v]));
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    float* crow = C + (i0 + r) * static_cast<std::size_t>(ldc) + j0;
+    const __m256 rs =
+        _mm256_set1_ps(dq_row ? dq_row[i0 + r] * dq_scale : 1.0f);
+    for (int v = 0; v < NV; ++v) {
+      __m256 res = _mm256_cvtepi32_ps(acc[r][v]);
+      if (dq_row) res = _mm256_mul_ps(res, rs);
+      if (dq_col) {
+        const __m256 cs = (MASKED && v == NV - 1)
+                              ? _mm256_maskload_ps(dq_col + j0 + 8 * v, mask)
+                              : _mm256_loadu_ps(dq_col + j0 + 8 * v);
+        res = _mm256_mul_ps(res, cs);
+      }
+      if (MASKED && v == NV - 1)
+        _mm256_maskstore_ps(crow + 8 * v, mask, res);
+      else
+        _mm256_storeu_ps(crow + 8 * v, res);
+    }
+  }
+}
+
+template <int NV, bool MASKED>
+inline void i8_col_stripe(std::size_t lo, std::size_t hi, int j0, int K,
+                          const std::int16_t* A, int lda,
+                          const std::int16_t* Bp, float* C, int ldc,
+                          const float* dq_row, const float* dq_col,
+                          float dq_scale, __m256i mask) {
+  std::size_t i = lo;
+  for (; i + 6 <= hi; i += 6)
+    i8_tile<6, NV, MASKED>(A, lda, i, j0, K, Bp, C, ldc, dq_row, dq_col,
+                           dq_scale, mask);
+  switch (hi - i) {
+    case 5: i8_tile<5, NV, MASKED>(A, lda, i, j0, K, Bp, C, ldc, dq_row,
+                                   dq_col, dq_scale, mask); break;
+    case 4: i8_tile<4, NV, MASKED>(A, lda, i, j0, K, Bp, C, ldc, dq_row,
+                                   dq_col, dq_scale, mask); break;
+    case 3: i8_tile<3, NV, MASKED>(A, lda, i, j0, K, Bp, C, ldc, dq_row,
+                                   dq_col, dq_scale, mask); break;
+    case 2: i8_tile<2, NV, MASKED>(A, lda, i, j0, K, Bp, C, ldc, dq_row,
+                                   dq_col, dq_scale, mask); break;
+    case 1: i8_tile<1, NV, MASKED>(A, lda, i, j0, K, Bp, C, ldc, dq_row,
+                                   dq_col, dq_scale, mask); break;
+    default: break;
+  }
+}
+
+void gemm_i8_madd_avx2(std::size_t lo, std::size_t hi, int N, int K,
+                       const std::int16_t* A, int lda, const std::int16_t* Bp,
+                       float* C, int ldc, const float* dq_row,
+                       const float* dq_col, float dq_scale) {
+  const __m256i none = _mm256_setzero_si256();
+  int j = 0;
+  for (; j + 16 <= N; j += 16)
+    i8_col_stripe<2, false>(lo, hi, j, K, A, lda, Bp, C, ldc, dq_row, dq_col,
+                            dq_scale, none);
+  const int rem = N - j;
+  if (rem > 8)
+    i8_col_stripe<2, true>(lo, hi, j, K, A, lda, Bp, C, ldc, dq_row, dq_col,
+                           dq_scale, tail_mask(rem - 8));
+  else if (rem == 8)
+    i8_col_stripe<1, false>(lo, hi, j, K, A, lda, Bp, C, ldc, dq_row, dq_col,
+                            dq_scale, none);
+  else if (rem > 0)
+    i8_col_stripe<1, true>(lo, hi, j, K, A, lda, Bp, C, ldc, dq_row, dq_col,
+                           dq_scale, tail_mask(rem));
+}
+
+// The same kernel with madd+add fused into vpdpwssd. Lives in its own
+// #pragma target region — and duplicates rather than shares the template —
+// so the compiler cannot peephole VNNI encodings into the plain AVX2
+// fallback above, which must run on non-VNNI hosts.
+#pragma GCC push_options
+#pragma GCC target("avx2,fma,avxvnni")
+
+template <int MR, int NV, bool MASKED>
+inline void i8_tile_vnni(const std::int16_t* A, int lda, std::size_t i0,
+                         int j0, int K, const std::int16_t* Bp,
+                         float* C, int ldc, const float* dq_row,
+                         const float* dq_col, float dq_scale,
+                         __m256i mask) {
+  __m256i acc[MR][NV];
+  for (int r = 0; r < MR; ++r)
+    for (int v = 0; v < NV; ++v) acc[r][v] = _mm256_setzero_si256();
+  const int kp_n = (K + 1) / 2;
+  const std::size_t pstride = static_cast<std::size_t>(kp_n) * 32;
+  const std::int16_t* pb =
+      Bp + (static_cast<std::size_t>(j0) / 16) * pstride;
+  for (int kp = 0; kp < kp_n; ++kp, pb += 32) {
+    __m256i b[NV];
+    for (int v = 0; v < NV; ++v)
+      b[v] = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(pb + 16 * v));
+    for (int r = 0; r < MR; ++r) {
+      const __m256i a = a_pair256(A + (i0 + r) * static_cast<std::size_t>(lda),
+                                  kp, (K & 1) && kp == kp_n - 1);
+      for (int v = 0; v < NV; ++v)
+        acc[r][v] = _mm256_dpwssd_avx_epi32(acc[r][v], a, b[v]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    float* crow = C + (i0 + r) * static_cast<std::size_t>(ldc) + j0;
+    const __m256 rs =
+        _mm256_set1_ps(dq_row ? dq_row[i0 + r] * dq_scale : 1.0f);
+    for (int v = 0; v < NV; ++v) {
+      __m256 res = _mm256_cvtepi32_ps(acc[r][v]);
+      if (dq_row) res = _mm256_mul_ps(res, rs);
+      if (dq_col) {
+        const __m256 cs = (MASKED && v == NV - 1)
+                              ? _mm256_maskload_ps(dq_col + j0 + 8 * v, mask)
+                              : _mm256_loadu_ps(dq_col + j0 + 8 * v);
+        res = _mm256_mul_ps(res, cs);
+      }
+      if (MASKED && v == NV - 1)
+        _mm256_maskstore_ps(crow + 8 * v, mask, res);
+      else
+        _mm256_storeu_ps(crow + 8 * v, res);
+    }
+  }
+}
+
+template <int NV, bool MASKED>
+inline void i8_col_stripe_vnni(std::size_t lo, std::size_t hi, int j0,
+                               int K, const std::int16_t* A, int lda,
+                               const std::int16_t* Bp, float* C, int ldc,
+                               const float* dq_row, const float* dq_col,
+                               float dq_scale, __m256i mask) {
+  std::size_t i = lo;
+  for (; i + 6 <= hi; i += 6)
+    i8_tile_vnni<6, NV, MASKED>(A, lda, i, j0, K, Bp, C, ldc, dq_row, dq_col,
+                                dq_scale, mask);
+  switch (hi - i) {
+    case 5: i8_tile_vnni<5, NV, MASKED>(A, lda, i, j0, K, Bp, C, ldc, dq_row,
+                                        dq_col, dq_scale, mask); break;
+    case 4: i8_tile_vnni<4, NV, MASKED>(A, lda, i, j0, K, Bp, C, ldc, dq_row,
+                                        dq_col, dq_scale, mask); break;
+    case 3: i8_tile_vnni<3, NV, MASKED>(A, lda, i, j0, K, Bp, C, ldc, dq_row,
+                                        dq_col, dq_scale, mask); break;
+    case 2: i8_tile_vnni<2, NV, MASKED>(A, lda, i, j0, K, Bp, C, ldc, dq_row,
+                                        dq_col, dq_scale, mask); break;
+    case 1: i8_tile_vnni<1, NV, MASKED>(A, lda, i, j0, K, Bp, C, ldc, dq_row,
+                                        dq_col, dq_scale, mask); break;
+    default: break;
+  }
+}
+
+void gemm_i8_vnni_avx2(std::size_t lo, std::size_t hi, int N, int K,
+                       const std::int16_t* A, int lda, const std::int16_t* Bp,
+                       float* C, int ldc, const float* dq_row,
+                       const float* dq_col, float dq_scale) {
+  const __m256i none = _mm256_setzero_si256();
+  int j = 0;
+  for (; j + 16 <= N; j += 16)
+    i8_col_stripe_vnni<2, false>(lo, hi, j, K, A, lda, Bp, C, ldc, dq_row,
+                                 dq_col, dq_scale, none);
+  const int rem = N - j;
+  if (rem > 8)
+    i8_col_stripe_vnni<2, true>(lo, hi, j, K, A, lda, Bp, C, ldc, dq_row,
+                                dq_col, dq_scale, tail_mask(rem - 8));
+  else if (rem == 8)
+    i8_col_stripe_vnni<1, false>(lo, hi, j, K, A, lda, Bp, C, ldc, dq_row,
+                                 dq_col, dq_scale, none);
+  else if (rem > 0)
+    i8_col_stripe_vnni<1, true>(lo, hi, j, K, A, lda, Bp, C, ldc, dq_row,
+                                dq_col, dq_scale, tail_mask(rem));
+}
+
+#pragma GCC pop_options
+
+void gemm_i8_nt_avx2(std::size_t lo, std::size_t hi, int N, int K,
+                     const std::int16_t* A, int lda, const std::int16_t* Bp,
+                     float* C, int ldc, const float* dq_row,
+                     const float* dq_col, float dq_scale) {
+  static const bool has_vnni = __builtin_cpu_supports("avxvnni");
+  if (has_vnni)
+    gemm_i8_vnni_avx2(lo, hi, N, K, A, lda, Bp, C, ldc, dq_row, dq_col,
+                      dq_scale);
+  else
+    gemm_i8_madd_avx2(lo, hi, N, K, A, lda, Bp, C, ldc, dq_row, dq_col,
+                      dq_scale);
+}
+
+void quantize_s8_avx2(const float* x, float inv_scale, std::int16_t* q,
+                      std::size_t n) {
+  const __m256 vs = _mm256_set1_ps(inv_scale);
+  const __m256i vmax = _mm256_set1_epi32(127);
+  const __m256i vmin = _mm256_set1_epi32(-127);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // cvtps_epi32 rounds to nearest-even, matching the scalar lrintf tail.
+    __m256i v = _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(x + i), vs));
+    v = _mm256_min_epi32(vmax, _mm256_max_epi32(vmin, v));
+    __m128i lo = _mm256_castsi256_si128(v);
+    __m128i hi = _mm256_extracti128_si256(v, 1);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(q + i),
+                     _mm_packs_epi32(lo, hi));
+  }
+  for (; i < n; ++i) {
+    long v = std::lrintf(x[i] * inv_scale);
+    if (v > 127) v = 127;
+    if (v < -127) v = -127;
+    q[i] = static_cast<std::int16_t>(v);
+  }
+}
+
+void widen_bf16_avx2(const std::uint16_t* x, float* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m128i raw = _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i));
+    __m256i wide = _mm256_slli_epi32(_mm256_cvtepu16_epi32(raw), 16);
+    _mm256_storeu_ps(out + i, _mm256_castsi256_ps(wide));
+  }
+  for (; i < n; ++i) {
+    const std::uint32_t u = static_cast<std::uint32_t>(x[i]) << 16;
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    out[i] = f;
+  }
+}
+
 }  // namespace
 
 const KernelTable* avx2_kernels() {
@@ -410,6 +688,7 @@ const KernelTable* avx2_kernels() {
       add_avx2,        mul_avx2,     scale_avx2,
       add_const_avx2,  axpy_avx2,
       reduce_sum_sumsq_avx2, normalize_affine_avx2,
+      gemm_i8_nt_avx2, quantize_s8_avx2, widen_bf16_avx2,
   };
   return &table;
 }

@@ -1,0 +1,691 @@
+// AVX-512 kernel set (F+BW+VL). This is the only translation unit compiled
+// with -mavx512f -mavx512bw -mavx512vl (per-file options in
+// src/nn/CMakeLists.txt), so the binary stays runnable on narrower hosts:
+// nothing here executes unless the runtime dispatch in simd.cpp selects it
+// after a cpuid probe (or PP_FORCE_ISA=avx512).
+//
+// Structure mirrors kernels_avx2.cpp at twice the lane width: 16-lane
+// __m512 vectors, 32-column C stripes (NV=2), and __mmask16 masked
+// loads/stores for every ragged tail — AVX-512 masking replaces the AVX2
+// maskload tables outright.
+//
+// Determinism rules this file must uphold (simd_kernels.hpp):
+//   * GEMM blocks: a C row's reduction order is fixed by (j, k) alone;
+//     each row owns its accumulators whether it lands in the 6-row kernel
+//     or a 1..5-row remainder, so thread chunking never changes results.
+//   * Elementwise kernels are value-pure: tails run the same 16-lane
+//     arithmetic under a mask, never a differently-rounded scalar loop.
+//   * The quantized entries accumulate in exact int32, so they are bitwise
+//     stable under any chunking or tail split by construction.
+#include "nn/simd_kernels.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstring>
+
+namespace pp::nn::detail {
+
+namespace {
+
+/// Mask with the first r (1..15) lanes enabled.
+inline __mmask16 tail_mask16(int r) {
+  return static_cast<__mmask16>((1u << r) - 1u);
+}
+
+inline float hsum16(__m512 v) { return _mm512_reduce_add_ps(v); }
+
+/// exp(x) per lane: the same Cephes polynomial and Cody-Waite reduction as
+/// the AVX2 tier, so both vector tiers agree to the polynomial's ~2e-7
+/// relative error (they still differ from scalar std::exp — cross-ISA
+/// parity stays tolerance-based).
+inline __m512 exp512(__m512 x) {
+  const __m512 one = _mm512_set1_ps(1.0f);
+  x = _mm512_min_ps(x, _mm512_set1_ps(88.3762626647949f));
+  x = _mm512_max_ps(x, _mm512_set1_ps(-88.3762626647949f));
+  __m512 fx = _mm512_fmadd_ps(x, _mm512_set1_ps(1.44269504088896341f),
+                              _mm512_set1_ps(0.5f));
+  fx = _mm512_roundscale_ps(fx, _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC);
+  x = _mm512_sub_ps(x, _mm512_mul_ps(fx, _mm512_set1_ps(0.693359375f)));
+  x = _mm512_sub_ps(x, _mm512_mul_ps(fx, _mm512_set1_ps(-2.12194440e-4f)));
+  __m512 z = _mm512_mul_ps(x, x);
+  __m512 y = _mm512_set1_ps(1.9875691500e-4f);
+  y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(1.3981999507e-3f));
+  y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(8.3334519073e-3f));
+  y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(4.1665795894e-2f));
+  y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(1.6666665459e-1f));
+  y = _mm512_fmadd_ps(y, x, _mm512_set1_ps(5.0000001201e-1f));
+  y = _mm512_fmadd_ps(y, z, x);
+  y = _mm512_add_ps(y, one);
+  __m512i n = _mm512_cvttps_epi32(fx);
+  n = _mm512_add_epi32(n, _mm512_set1_epi32(127));
+  n = _mm512_slli_epi32(n, 23);
+  return _mm512_mul_ps(y, _mm512_castsi512_ps(n));
+}
+
+// --- GEMM ------------------------------------------------------------------
+//
+// Same broadcast-A microkernel shape as the AVX2 tier: MR rows x (NV x 16)
+// columns of C accumulate in registers across the full depth loop and are
+// stored once. MR=6, NV=2 uses 12 accumulators + 2 B vectors + 1 broadcast
+// out of 32 zmm registers.
+
+template <int MR, int NV, bool MASKED>
+inline void gemm_tile(const float* A, std::size_t ar, std::size_t ak,
+                      std::size_t i0, int j0, int K, const float* B, int ldb,
+                      float* C, int ldc, bool accumulate, __mmask16 mask) {
+  __m512 acc[MR][NV];
+  for (int r = 0; r < MR; ++r)
+    for (int v = 0; v < NV; ++v) acc[r][v] = _mm512_setzero_ps();
+  for (int k = 0; k < K; ++k) {
+    const float* brow = B + static_cast<std::size_t>(k) * ldb + j0;
+    __m512 b[NV];
+    for (int v = 0; v < NV; ++v)
+      b[v] = (MASKED && v == NV - 1)
+                 ? _mm512_maskz_loadu_ps(mask, brow + 16 * v)
+                 : _mm512_loadu_ps(brow + 16 * v);
+    for (int r = 0; r < MR; ++r) {
+      __m512 a = _mm512_set1_ps(
+          A[(i0 + r) * ar + static_cast<std::size_t>(k) * ak]);
+      for (int v = 0; v < NV; ++v)
+        acc[r][v] = _mm512_fmadd_ps(a, b[v], acc[r][v]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    float* crow = C + (i0 + r) * static_cast<std::size_t>(ldc) + j0;
+    for (int v = 0; v < NV; ++v) {
+      const bool m = MASKED && v == NV - 1;
+      __m512 res = acc[r][v];
+      if (accumulate) {
+        __m512 prev = m ? _mm512_maskz_loadu_ps(mask, crow + 16 * v)
+                        : _mm512_loadu_ps(crow + 16 * v);
+        res = _mm512_add_ps(prev, res);
+      }
+      if (m)
+        _mm512_mask_storeu_ps(crow + 16 * v, mask, res);
+      else
+        _mm512_storeu_ps(crow + 16 * v, res);
+    }
+  }
+}
+
+template <int NV, bool MASKED>
+inline void gemm_col_stripe(std::size_t lo, std::size_t hi, int j0, int K,
+                            const float* A, std::size_t ar, std::size_t ak,
+                            const float* B, int ldb, float* C, int ldc,
+                            bool acc, __mmask16 mask) {
+  std::size_t i = lo;
+  for (; i + 6 <= hi; i += 6)
+    gemm_tile<6, NV, MASKED>(A, ar, ak, i, j0, K, B, ldb, C, ldc, acc, mask);
+  switch (hi - i) {
+    case 5:
+      gemm_tile<5, NV, MASKED>(A, ar, ak, i, j0, K, B, ldb, C, ldc, acc, mask);
+      break;
+    case 4:
+      gemm_tile<4, NV, MASKED>(A, ar, ak, i, j0, K, B, ldb, C, ldc, acc, mask);
+      break;
+    case 3:
+      gemm_tile<3, NV, MASKED>(A, ar, ak, i, j0, K, B, ldb, C, ldc, acc, mask);
+      break;
+    case 2:
+      gemm_tile<2, NV, MASKED>(A, ar, ak, i, j0, K, B, ldb, C, ldc, acc, mask);
+      break;
+    case 1:
+      gemm_tile<1, NV, MASKED>(A, ar, ak, i, j0, K, B, ldb, C, ldc, acc, mask);
+      break;
+    default:
+      break;
+  }
+}
+
+/// Shared NN/TN driver: column stripes outermost so the K x 32 panel of B
+/// stays cache-resident while every row block streams over it.
+inline void gemm_broadcast_a(std::size_t lo, std::size_t hi, int N, int K,
+                             const float* A, std::size_t ar, std::size_t ak,
+                             const float* B, int ldb, float* C, int ldc,
+                             bool acc) {
+  int j = 0;
+  for (; j + 32 <= N; j += 32)
+    gemm_col_stripe<2, false>(lo, hi, j, K, A, ar, ak, B, ldb, C, ldc, acc,
+                              0xFFFF);
+  for (; j + 16 <= N; j += 16)
+    gemm_col_stripe<1, false>(lo, hi, j, K, A, ar, ak, B, ldb, C, ldc, acc,
+                              0xFFFF);
+  if (j < N)
+    gemm_col_stripe<1, true>(lo, hi, j, K, A, ar, ak, B, ldb, C, ldc, acc,
+                             tail_mask16(N - j));
+}
+
+void gemm_nn_avx512(std::size_t lo, std::size_t hi, int N, int K,
+                    const float* A, int lda, const float* B, int ldb, float* C,
+                    int ldc, bool accumulate) {
+  gemm_broadcast_a(lo, hi, N, K, A, static_cast<std::size_t>(lda), 1, B, ldb,
+                   C, ldc, accumulate);
+}
+
+void gemm_tn_avx512(std::size_t lo, std::size_t hi, int N, int K,
+                    const float* A, int lda, const float* B, int ldb, float* C,
+                    int ldc, bool accumulate) {
+  gemm_broadcast_a(lo, hi, N, K, A, 1, static_cast<std::size_t>(lda), B, ldb,
+                   C, ldc, accumulate);
+}
+
+/// NT: C[i][j] = <A row i, B row j>, both contiguous over k — four dot
+/// products per pass share one load of the A vector.
+template <int NR>
+inline void nt_dots(const float* arow, const float* B, int ldb, int j0, int K,
+                    float* crow, bool acc) {
+  __m512 s[NR];
+  for (int r = 0; r < NR; ++r) s[r] = _mm512_setzero_ps();
+  int k = 0;
+  for (; k + 16 <= K; k += 16) {
+    __m512 a = _mm512_loadu_ps(arow + k);
+    for (int r = 0; r < NR; ++r)
+      s[r] = _mm512_fmadd_ps(
+          a, _mm512_loadu_ps(B + static_cast<std::size_t>(j0 + r) * ldb + k),
+          s[r]);
+  }
+  if (k < K) {
+    const __mmask16 mask = tail_mask16(K - k);
+    __m512 a = _mm512_maskz_loadu_ps(mask, arow + k);
+    for (int r = 0; r < NR; ++r)
+      s[r] = _mm512_fmadd_ps(
+          a,
+          _mm512_maskz_loadu_ps(
+              mask, B + static_cast<std::size_t>(j0 + r) * ldb + k),
+          s[r]);
+  }
+  for (int r = 0; r < NR; ++r) {
+    float v = hsum16(s[r]);
+    if (acc)
+      crow[j0 + r] += v;
+    else
+      crow[j0 + r] = v;
+  }
+}
+
+void gemm_nt_avx512(std::size_t lo, std::size_t hi, int N, int K,
+                    const float* A, int lda, const float* B, int ldb, float* C,
+                    int ldc, bool accumulate) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    const float* arow = A + i * static_cast<std::size_t>(lda);
+    float* crow = C + i * static_cast<std::size_t>(ldc);
+    int j = 0;
+    for (; j + 4 <= N; j += 4) nt_dots<4>(arow, B, ldb, j, K, crow, accumulate);
+    switch (N - j) {
+      case 3: nt_dots<3>(arow, B, ldb, j, K, crow, accumulate); break;
+      case 2: nt_dots<2>(arow, B, ldb, j, K, crow, accumulate); break;
+      case 1: nt_dots<1>(arow, B, ldb, j, K, crow, accumulate); break;
+      default: break;
+    }
+  }
+}
+
+// --- Elementwise -----------------------------------------------------------
+//
+// Each kernel runs the identical 16-lane arithmetic over full groups and a
+// masked tail (maskz load zero-fills dead lanes; mask store leaves them
+// untouched in memory).
+
+void silu_avx512(const float* x, float* y, std::size_t n) {
+  const __m512 one = _mm512_set1_ps(1.0f);
+  const __m512 zero = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512 v = _mm512_loadu_ps(x + i);
+    __m512 den = _mm512_add_ps(one, exp512(_mm512_sub_ps(zero, v)));
+    _mm512_storeu_ps(y + i, _mm512_div_ps(v, den));
+  }
+  if (i < n) {
+    const __mmask16 mask = tail_mask16(static_cast<int>(n - i));
+    __m512 v = _mm512_maskz_loadu_ps(mask, x + i);
+    __m512 den = _mm512_add_ps(one, exp512(_mm512_sub_ps(zero, v)));
+    _mm512_mask_storeu_ps(y + i, mask, _mm512_div_ps(v, den));
+  }
+}
+
+void sigmoid_avx512(const float* x, float* y, std::size_t n) {
+  const __m512 one = _mm512_set1_ps(1.0f);
+  const __m512 zero = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512 v = _mm512_loadu_ps(x + i);
+    __m512 den = _mm512_add_ps(one, exp512(_mm512_sub_ps(zero, v)));
+    _mm512_storeu_ps(y + i, _mm512_div_ps(one, den));
+  }
+  if (i < n) {
+    const __mmask16 mask = tail_mask16(static_cast<int>(n - i));
+    __m512 v = _mm512_maskz_loadu_ps(mask, x + i);
+    __m512 den = _mm512_add_ps(one, exp512(_mm512_sub_ps(zero, v)));
+    _mm512_mask_storeu_ps(y + i, mask, _mm512_div_ps(one, den));
+  }
+}
+
+void relu_avx512(const float* x, float* y, std::size_t n) {
+  const __m512 zero = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16)
+    _mm512_storeu_ps(y + i, _mm512_max_ps(_mm512_loadu_ps(x + i), zero));
+  if (i < n) {
+    const __mmask16 mask = tail_mask16(static_cast<int>(n - i));
+    _mm512_mask_storeu_ps(
+        y + i, mask, _mm512_max_ps(_mm512_maskz_loadu_ps(mask, x + i), zero));
+  }
+}
+
+void add_avx512(float* a, const float* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16)
+    _mm512_storeu_ps(a + i, _mm512_add_ps(_mm512_loadu_ps(a + i),
+                                          _mm512_loadu_ps(b + i)));
+  if (i < n) {
+    const __mmask16 mask = tail_mask16(static_cast<int>(n - i));
+    _mm512_mask_storeu_ps(a + i, mask,
+                          _mm512_add_ps(_mm512_maskz_loadu_ps(mask, a + i),
+                                        _mm512_maskz_loadu_ps(mask, b + i)));
+  }
+}
+
+void mul_avx512(const float* a, const float* b, float* o, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16)
+    _mm512_storeu_ps(o + i, _mm512_mul_ps(_mm512_loadu_ps(a + i),
+                                          _mm512_loadu_ps(b + i)));
+  if (i < n) {
+    const __mmask16 mask = tail_mask16(static_cast<int>(n - i));
+    _mm512_mask_storeu_ps(o + i, mask,
+                          _mm512_mul_ps(_mm512_maskz_loadu_ps(mask, a + i),
+                                        _mm512_maskz_loadu_ps(mask, b + i)));
+  }
+}
+
+void scale_avx512(float* a, float s, std::size_t n) {
+  const __m512 vs = _mm512_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16)
+    _mm512_storeu_ps(a + i, _mm512_mul_ps(_mm512_loadu_ps(a + i), vs));
+  if (i < n) {
+    const __mmask16 mask = tail_mask16(static_cast<int>(n - i));
+    _mm512_mask_storeu_ps(
+        a + i, mask, _mm512_mul_ps(_mm512_maskz_loadu_ps(mask, a + i), vs));
+  }
+}
+
+void add_const_avx512(float* a, float c, std::size_t n) {
+  const __m512 vc = _mm512_set1_ps(c);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16)
+    _mm512_storeu_ps(a + i, _mm512_add_ps(_mm512_loadu_ps(a + i), vc));
+  if (i < n) {
+    const __mmask16 mask = tail_mask16(static_cast<int>(n - i));
+    _mm512_mask_storeu_ps(
+        a + i, mask, _mm512_add_ps(_mm512_maskz_loadu_ps(mask, a + i), vc));
+  }
+}
+
+void axpy_avx512(float* a, const float* b, float s, std::size_t n) {
+  const __m512 vs = _mm512_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16)
+    _mm512_storeu_ps(a + i, _mm512_fmadd_ps(vs, _mm512_loadu_ps(b + i),
+                                            _mm512_loadu_ps(a + i)));
+  if (i < n) {
+    const __mmask16 mask = tail_mask16(static_cast<int>(n - i));
+    _mm512_mask_storeu_ps(
+        a + i, mask,
+        _mm512_fmadd_ps(vs, _mm512_maskz_loadu_ps(mask, b + i),
+                        _mm512_maskz_loadu_ps(mask, a + i)));
+  }
+}
+
+// --- GroupNorm passes ------------------------------------------------------
+
+void reduce_sum_sumsq_avx512(const float* x, std::size_t n, double* sum,
+                             double* sumsq) {
+  __m512d s0 = _mm512_setzero_pd(), s1 = _mm512_setzero_pd();
+  __m512d q0 = _mm512_setzero_pd(), q1 = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512 v = _mm512_loadu_ps(x + i);
+    __m512d lo = _mm512_cvtps_pd(_mm512_castps512_ps256(v));
+    __m512d hi = _mm512_cvtps_pd(_mm256_castpd_ps(
+        _mm512_extractf64x4_pd(_mm512_castps_pd(v), 1)));
+    s0 = _mm512_add_pd(s0, lo);
+    s1 = _mm512_add_pd(s1, hi);
+    q0 = _mm512_fmadd_pd(lo, lo, q0);
+    q1 = _mm512_fmadd_pd(hi, hi, q1);
+  }
+  double s = _mm512_reduce_add_pd(_mm512_add_pd(s0, s1));
+  double q = _mm512_reduce_add_pd(_mm512_add_pd(q0, q1));
+  for (; i < n; ++i) {
+    s += x[i];
+    q += static_cast<double>(x[i]) * x[i];
+  }
+  *sum = s;
+  *sumsq = q;
+}
+
+void normalize_affine_avx512(const float* x, float* y, std::size_t n, float mu,
+                             float istd, float g, float b) {
+  const __m512 vmu = _mm512_set1_ps(mu);
+  const __m512 vistd = _mm512_set1_ps(istd);
+  const __m512 vg = _mm512_set1_ps(g);
+  const __m512 vb = _mm512_set1_ps(b);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512 xhat =
+        _mm512_mul_ps(_mm512_sub_ps(_mm512_loadu_ps(x + i), vmu), vistd);
+    _mm512_storeu_ps(y + i, _mm512_fmadd_ps(vg, xhat, vb));
+  }
+  if (i < n) {
+    const __mmask16 mask = tail_mask16(static_cast<int>(n - i));
+    __m512 xhat = _mm512_mul_ps(
+        _mm512_sub_ps(_mm512_maskz_loadu_ps(mask, x + i), vmu), vistd);
+    _mm512_mask_storeu_ps(y + i, mask, _mm512_fmadd_ps(vg, xhat, vb));
+  }
+}
+
+// --- Quantized tier --------------------------------------------------------
+//
+// B arrives packed into 16-column panels (see pack_i8_b in nn/gemm.hpp):
+// each panel row is one 64-byte line — exactly one zmm — holding depth
+// pair {2kp, 2kp+1} interleaved per column, rows sequential over kp. The
+// kernel takes the exact shape of the fp32 broadcast kernel above —
+// broadcast one A depth pair, madd against two panel rows (32 columns),
+// accumulate int32 straight down C columns. No horizontal reductions
+// anywhere, B loads stream each panel strictly sequentially (no large-N
+// stride pathologies), padding columns are packed zeros so loads are
+// always full-width (only C stores mask), and every K (even the 3x3
+// stem's K=27) stays fully vectorized. madd lanes are <= 2*127^2, so an
+// int32 lane absorbs K <= ~66000 exactly; the single int32->float
+// rounding per output is IEEE-deterministic, so bitwise parity with the
+// scalar kernel holds.
+//
+// On CPUs with AVX512-VNNI the madd+add pair fuses into one vpdpwssd
+// (runtime dispatch at the bottom). The integer sums are identical either
+// way, so which path ran never shows up in results.
+
+/// Broadcast of A row's depth pair {2kp, 2kp+1} as one int32. The odd
+/// final depth broadcasts {A[K-1], 0} without reading past the row; the
+/// packed B partner slot is zero-filled, so the dead half multiplies zero
+/// by zero.
+inline __m512i a_pair512(const std::int16_t* arow, int kp, bool odd_tail) {
+  if (odd_tail)
+    return _mm512_set1_epi32(static_cast<std::int32_t>(
+        static_cast<std::uint16_t>(arow[2 * kp])));
+  std::int32_t pair;
+  std::memcpy(&pair, arow + 2 * kp, sizeof(pair));
+  return _mm512_set1_epi32(pair);
+}
+
+template <int MR, int NV, bool MASKED>
+inline void i8_tile(const std::int16_t* A, int lda, std::size_t i0, int j0,
+                    int K, const std::int16_t* Bp, float* C, int ldc,
+                    const float* dq_row, const float* dq_col, float dq_scale,
+                    __mmask16 mask) {
+  __m512i acc[MR][NV];
+  for (int r = 0; r < MR; ++r)
+    for (int v = 0; v < NV; ++v) acc[r][v] = _mm512_setzero_si512();
+  const int kp_n = (K + 1) / 2;
+  const std::size_t pstride = static_cast<std::size_t>(kp_n) * 32;
+  const std::int16_t* pb[NV];
+  for (int v = 0; v < NV; ++v)
+    pb[v] = Bp + (static_cast<std::size_t>(j0) / 16 + v) * pstride;
+  for (int kp = 0; kp < kp_n; ++kp) {
+    __m512i b[NV];
+    for (int v = 0; v < NV; ++v) {
+      b[v] = _mm512_loadu_si512(reinterpret_cast<const void*>(pb[v]));
+      pb[v] += 32;
+    }
+    for (int r = 0; r < MR; ++r) {
+      const __m512i a = a_pair512(A + (i0 + r) * static_cast<std::size_t>(lda),
+                                  kp, (K & 1) && kp == kp_n - 1);
+      for (int v = 0; v < NV; ++v)
+        acc[r][v] = _mm512_add_epi32(acc[r][v], _mm512_madd_epi16(a, b[v]));
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    float* crow = C + (i0 + r) * static_cast<std::size_t>(ldc) + j0;
+    const __m512 rs =
+        _mm512_set1_ps(dq_row ? dq_row[i0 + r] * dq_scale : 1.0f);
+    for (int v = 0; v < NV; ++v) {
+      __m512 res = _mm512_cvtepi32_ps(acc[r][v]);
+      if (dq_row) res = _mm512_mul_ps(res, rs);
+      if (dq_col) {
+        const __m512 cs = (MASKED && v == NV - 1)
+                              ? _mm512_maskz_loadu_ps(mask, dq_col + j0 + 16 * v)
+                              : _mm512_loadu_ps(dq_col + j0 + 16 * v);
+        res = _mm512_mul_ps(res, cs);
+      }
+      if (MASKED && v == NV - 1)
+        _mm512_mask_storeu_ps(crow + 16 * v, mask, res);
+      else
+        _mm512_storeu_ps(crow + 16 * v, res);
+    }
+  }
+}
+
+template <int NV, bool MASKED>
+inline void i8_col_stripe(std::size_t lo, std::size_t hi, int j0, int K,
+                          const std::int16_t* A, int lda,
+                          const std::int16_t* Bp, float* C, int ldc,
+                          const float* dq_row, const float* dq_col,
+                          float dq_scale, __mmask16 mask) {
+  std::size_t i = lo;
+  for (; i + 6 <= hi; i += 6)
+    i8_tile<6, NV, MASKED>(A, lda, i, j0, K, Bp, C, ldc, dq_row, dq_col,
+                           dq_scale, mask);
+  switch (hi - i) {
+    case 5: i8_tile<5, NV, MASKED>(A, lda, i, j0, K, Bp, C, ldc, dq_row,
+                                   dq_col, dq_scale, mask); break;
+    case 4: i8_tile<4, NV, MASKED>(A, lda, i, j0, K, Bp, C, ldc, dq_row,
+                                   dq_col, dq_scale, mask); break;
+    case 3: i8_tile<3, NV, MASKED>(A, lda, i, j0, K, Bp, C, ldc, dq_row,
+                                   dq_col, dq_scale, mask); break;
+    case 2: i8_tile<2, NV, MASKED>(A, lda, i, j0, K, Bp, C, ldc, dq_row,
+                                   dq_col, dq_scale, mask); break;
+    case 1: i8_tile<1, NV, MASKED>(A, lda, i, j0, K, Bp, C, ldc, dq_row,
+                                   dq_col, dq_scale, mask); break;
+    default: break;
+  }
+}
+
+void gemm_i8_madd_avx512(std::size_t lo, std::size_t hi, int N, int K,
+                         const std::int16_t* A, int lda,
+                         const std::int16_t* Bp, float* C, int ldc,
+                         const float* dq_row, const float* dq_col,
+                         float dq_scale) {
+  int j = 0;
+  for (; j + 32 <= N; j += 32)
+    i8_col_stripe<2, false>(lo, hi, j, K, A, lda, Bp, C, ldc, dq_row, dq_col,
+                            dq_scale, 0xFFFF);
+  const int rem = N - j;
+  if (rem > 16)
+    i8_col_stripe<2, true>(lo, hi, j, K, A, lda, Bp, C, ldc, dq_row, dq_col,
+                           dq_scale, tail_mask16(rem - 16));
+  else if (rem == 16)
+    i8_col_stripe<1, false>(lo, hi, j, K, A, lda, Bp, C, ldc, dq_row, dq_col,
+                            dq_scale, 0xFFFF);
+  else if (rem > 0)
+    i8_col_stripe<1, true>(lo, hi, j, K, A, lda, Bp, C, ldc, dq_row, dq_col,
+                           dq_scale, tail_mask16(rem));
+}
+
+// The same kernel with madd+add fused into vpdpwssd. Lives in its own
+// #pragma target region — and duplicates rather than shares the template —
+// so the compiler cannot peephole VNNI encodings into the plain AVX-512
+// fallback above, which must run on non-VNNI hosts.
+#pragma GCC push_options
+#pragma GCC target("avx512f,avx512bw,avx512vl,avx512vnni")
+
+template <int MR, int NV, bool MASKED>
+inline void i8_tile_vnni(const std::int16_t* A, int lda, std::size_t i0,
+                         int j0, int K, const std::int16_t* Bp,
+                         float* C, int ldc, const float* dq_row,
+                         const float* dq_col, float dq_scale,
+                         __mmask16 mask) {
+  __m512i acc[MR][NV];
+  for (int r = 0; r < MR; ++r)
+    for (int v = 0; v < NV; ++v) acc[r][v] = _mm512_setzero_si512();
+  const int kp_n = (K + 1) / 2;
+  const std::size_t pstride = static_cast<std::size_t>(kp_n) * 32;
+  const std::int16_t* pb[NV];
+  for (int v = 0; v < NV; ++v)
+    pb[v] = Bp + (static_cast<std::size_t>(j0) / 16 + v) * pstride;
+  for (int kp = 0; kp < kp_n; ++kp) {
+    __m512i b[NV];
+    for (int v = 0; v < NV; ++v) {
+      b[v] = _mm512_loadu_si512(reinterpret_cast<const void*>(pb[v]));
+      pb[v] += 32;
+    }
+    for (int r = 0; r < MR; ++r) {
+      const __m512i a = a_pair512(A + (i0 + r) * static_cast<std::size_t>(lda),
+                                  kp, (K & 1) && kp == kp_n - 1);
+      for (int v = 0; v < NV; ++v)
+        acc[r][v] = _mm512_dpwssd_epi32(acc[r][v], a, b[v]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    float* crow = C + (i0 + r) * static_cast<std::size_t>(ldc) + j0;
+    const __m512 rs =
+        _mm512_set1_ps(dq_row ? dq_row[i0 + r] * dq_scale : 1.0f);
+    for (int v = 0; v < NV; ++v) {
+      __m512 res = _mm512_cvtepi32_ps(acc[r][v]);
+      if (dq_row) res = _mm512_mul_ps(res, rs);
+      if (dq_col) {
+        const __m512 cs = (MASKED && v == NV - 1)
+                              ? _mm512_maskz_loadu_ps(mask, dq_col + j0 + 16 * v)
+                              : _mm512_loadu_ps(dq_col + j0 + 16 * v);
+        res = _mm512_mul_ps(res, cs);
+      }
+      if (MASKED && v == NV - 1)
+        _mm512_mask_storeu_ps(crow + 16 * v, mask, res);
+      else
+        _mm512_storeu_ps(crow + 16 * v, res);
+    }
+  }
+}
+
+template <int NV, bool MASKED>
+inline void i8_col_stripe_vnni(std::size_t lo, std::size_t hi, int j0,
+                               int K, const std::int16_t* A, int lda,
+                               const std::int16_t* Bp, float* C, int ldc,
+                               const float* dq_row, const float* dq_col,
+                               float dq_scale, __mmask16 mask) {
+  std::size_t i = lo;
+  for (; i + 6 <= hi; i += 6)
+    i8_tile_vnni<6, NV, MASKED>(A, lda, i, j0, K, Bp, C, ldc, dq_row, dq_col,
+                                dq_scale, mask);
+  switch (hi - i) {
+    case 5: i8_tile_vnni<5, NV, MASKED>(A, lda, i, j0, K, Bp, C, ldc, dq_row,
+                                        dq_col, dq_scale, mask); break;
+    case 4: i8_tile_vnni<4, NV, MASKED>(A, lda, i, j0, K, Bp, C, ldc, dq_row,
+                                        dq_col, dq_scale, mask); break;
+    case 3: i8_tile_vnni<3, NV, MASKED>(A, lda, i, j0, K, Bp, C, ldc, dq_row,
+                                        dq_col, dq_scale, mask); break;
+    case 2: i8_tile_vnni<2, NV, MASKED>(A, lda, i, j0, K, Bp, C, ldc, dq_row,
+                                        dq_col, dq_scale, mask); break;
+    case 1: i8_tile_vnni<1, NV, MASKED>(A, lda, i, j0, K, Bp, C, ldc, dq_row,
+                                        dq_col, dq_scale, mask); break;
+    default: break;
+  }
+}
+
+void gemm_i8_vnni_avx512(std::size_t lo, std::size_t hi, int N, int K,
+                         const std::int16_t* A, int lda,
+                         const std::int16_t* Bp, float* C, int ldc,
+                         const float* dq_row, const float* dq_col,
+                         float dq_scale) {
+  int j = 0;
+  for (; j + 32 <= N; j += 32)
+    i8_col_stripe_vnni<2, false>(lo, hi, j, K, A, lda, Bp, C, ldc, dq_row,
+                                 dq_col, dq_scale, 0xFFFF);
+  const int rem = N - j;
+  if (rem > 16)
+    i8_col_stripe_vnni<2, true>(lo, hi, j, K, A, lda, Bp, C, ldc, dq_row,
+                                dq_col, dq_scale, tail_mask16(rem - 16));
+  else if (rem == 16)
+    i8_col_stripe_vnni<1, false>(lo, hi, j, K, A, lda, Bp, C, ldc, dq_row,
+                                 dq_col, dq_scale, 0xFFFF);
+  else if (rem > 0)
+    i8_col_stripe_vnni<1, true>(lo, hi, j, K, A, lda, Bp, C, ldc, dq_row,
+                                dq_col, dq_scale, tail_mask16(rem));
+}
+
+#pragma GCC pop_options
+
+void gemm_i8_nt_avx512(std::size_t lo, std::size_t hi, int N, int K,
+                       const std::int16_t* A, int lda, const std::int16_t* Bp,
+                       float* C, int ldc, const float* dq_row,
+                       const float* dq_col, float dq_scale) {
+  static const bool has_vnni = __builtin_cpu_supports("avx512vnni");
+  if (has_vnni)
+    gemm_i8_vnni_avx512(lo, hi, N, K, A, lda, Bp, C, ldc, dq_row, dq_col,
+                        dq_scale);
+  else
+    gemm_i8_madd_avx512(lo, hi, N, K, A, lda, Bp, C, ldc, dq_row, dq_col,
+                        dq_scale);
+}
+
+void quantize_s8_avx512(const float* x, float inv_scale, std::int16_t* q,
+                        std::size_t n) {
+  const __m512 vs = _mm512_set1_ps(inv_scale);
+  const __m512i vmax = _mm512_set1_epi32(127);
+  const __m512i vmin = _mm512_set1_epi32(-127);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    // cvtps_epi32 rounds to nearest-even, matching the scalar lrintf tail.
+    __m512i v = _mm512_cvtps_epi32(_mm512_mul_ps(_mm512_loadu_ps(x + i), vs));
+    v = _mm512_min_epi32(vmax, _mm512_max_epi32(vmin, v));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(q + i),
+                        _mm512_cvtepi32_epi16(v));
+  }
+  for (; i < n; ++i) {
+    long v = std::lrintf(x[i] * inv_scale);
+    if (v > 127) v = 127;
+    if (v < -127) v = -127;
+    q[i] = static_cast<std::int16_t>(v);
+  }
+}
+
+void widen_bf16_avx512(const std::uint16_t* x, float* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m256i raw =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    __m512i wide = _mm512_slli_epi32(_mm512_cvtepu16_epi32(raw), 16);
+    _mm512_storeu_ps(out + i, _mm512_castsi512_ps(wide));
+  }
+  for (; i < n; ++i) {
+    const std::uint32_t u = static_cast<std::uint32_t>(x[i]) << 16;
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    out[i] = f;
+  }
+}
+
+}  // namespace
+
+const KernelTable* avx512_kernels() {
+  static const KernelTable table = {
+      gemm_nn_avx512,    gemm_nt_avx512, gemm_tn_avx512,
+      silu_avx512,       sigmoid_avx512, relu_avx512,
+      add_avx512,        mul_avx512,     scale_avx512,
+      add_const_avx512,  axpy_avx512,
+      reduce_sum_sumsq_avx512, normalize_affine_avx512,
+      gemm_i8_nt_avx512, quantize_s8_avx512, widen_bf16_avx512,
+  };
+  return &table;
+}
+
+}  // namespace pp::nn::detail
+
+#else  // build without AVX-512 support: dispatch falls back to avx2/scalar
+
+namespace pp::nn::detail {
+const KernelTable* avx512_kernels() { return nullptr; }
+}  // namespace pp::nn::detail
+
+#endif

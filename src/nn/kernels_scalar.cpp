@@ -171,6 +171,73 @@ void normalize_affine_scalar(const float* x, float* y, std::size_t n, float mu,
   }
 }
 
+void gemm_i8_nt_scalar(std::size_t lo, std::size_t hi, int N, int K,
+                       const std::int16_t* A, int lda,
+                       const std::int16_t* Bp, float* C, int ldc,
+                       const float* dq_row, const float* dq_col,
+                       float dq_scale) {
+  // B arrives packed into 16-column panels (see pack_i8_b): each panel
+  // row is one 64-byte line holding depths {2kp, 2kp+1} interleaved per
+  // column, walked strictly sequentially over kp. Accumulation is plain
+  // int32 — exact integer math, so any blocking or chunking is bitwise
+  // identical by construction — with one rounding to float per output,
+  // then the fused dequant multiplies in the fixed row-then-col order.
+  const int kp_full = K / 2;
+  const int kp_n = (K + 1) / 2;
+  const std::size_t pstride = static_cast<std::size_t>(kp_n) * 32;
+  std::int32_t acc[16];
+  for (int j0 = 0; j0 < N; j0 += 16) {
+    const int jn = (j0 + 16 < N ? j0 + 16 : N) - j0;
+    const std::int16_t* panel = Bp + static_cast<std::size_t>(j0 / 16) * pstride;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::int16_t* arow = A + i * static_cast<std::size_t>(lda);
+      float* crow = C + i * static_cast<std::size_t>(ldc);
+      for (int jj = 0; jj < jn; ++jj) acc[jj] = 0;
+      const std::int16_t* b = panel;
+      for (int kp = 0; kp < kp_full; ++kp, b += 32) {
+        const std::int32_t a0 = arow[2 * kp];
+        const std::int32_t a1 = arow[2 * kp + 1];
+        for (int jj = 0; jj < jn; ++jj)
+          acc[jj] += a0 * b[2 * jj] + a1 * b[2 * jj + 1];
+      }
+      if (K & 1) {
+        // Final unpaired depth: its packed partner slot is zero-filled,
+        // and A's row is only K long, so read just the real value.
+        const std::int32_t a0 = arow[K - 1];
+        for (int jj = 0; jj < jn; ++jj) acc[jj] += a0 * b[2 * jj];
+      }
+      const float rs = dq_row ? dq_row[i] * dq_scale : 1.0f;
+      for (int jj = 0; jj < jn; ++jj) {
+        float v = static_cast<float>(acc[jj]);
+        if (dq_row) v *= rs;
+        if (dq_col) v *= dq_col[j0 + jj];
+        crow[j0 + jj] = v;
+      }
+    }
+  }
+}
+
+void quantize_s8_scalar(const float* x, float inv_scale, std::int16_t* q,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    // lrintf honors the current rounding mode (round-to-nearest-even by
+    // default), matching the vector tiers' cvtps rounding exactly.
+    long v = std::lrintf(x[i] * inv_scale);
+    if (v > 127) v = 127;
+    if (v < -127) v = -127;
+    q[i] = static_cast<std::int16_t>(v);
+  }
+}
+
+void widen_bf16_scalar(const std::uint16_t* x, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t u = static_cast<std::uint32_t>(x[i]) << 16;
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    out[i] = f;
+  }
+}
+
 }  // namespace
 
 const KernelTable& scalar_kernels() {
@@ -180,6 +247,7 @@ const KernelTable& scalar_kernels() {
       add_scalar,        mul_scalar,     scale_scalar,
       add_const_scalar,  axpy_scalar,
       reduce_sum_sumsq_scalar, normalize_affine_scalar,
+      gemm_i8_nt_scalar, quantize_s8_scalar, widen_bf16_scalar,
   };
   return table;
 }

@@ -22,6 +22,18 @@ bool cpu_has_avx2_fma() {
 #endif
 }
 
+bool cpu_has_avx512() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512vl");
+#else
+  return false;
+#endif
+}
+
+constexpr Isa kAllIsas[] = {Isa::kScalar, Isa::kAvx2, Isa::kAvx512};
+
 // force_isa pin: -1 = none, otherwise static_cast<int>(Isa).
 std::atomic<int> g_forced{-1};
 
@@ -33,6 +45,8 @@ void register_simd_report_section() {
       j.set("isa", isa_name(active_isa()));
       j.set("avx2_compiled", isa_compiled(Isa::kAvx2));
       j.set("avx2_usable", isa_usable(Isa::kAvx2));
+      j.set("avx512_compiled", isa_compiled(Isa::kAvx512));
+      j.set("avx512_usable", isa_usable(Isa::kAvx512));
       j.set("forced", g_forced.load(std::memory_order_relaxed) >= 0 ||
                           std::getenv("PP_FORCE_ISA") != nullptr);
       return j;
@@ -49,7 +63,10 @@ Isa resolve_from_env() {
     PP_LOG(Info) << "kernel ISA forced via PP_FORCE_ISA: " << isa_name(isa);
     return isa;
   }
-  Isa isa = isa_usable(Isa::kAvx2) ? Isa::kAvx2 : Isa::kScalar;
+  // Widest usable tier wins.
+  Isa isa = Isa::kScalar;
+  if (isa_usable(Isa::kAvx2)) isa = Isa::kAvx2;
+  if (isa_usable(Isa::kAvx512)) isa = Isa::kAvx512;
   PP_LOG(Debug) << "kernel ISA dispatch: " << isa_name(isa);
   return isa;
 }
@@ -70,22 +87,46 @@ Isa active_isa() {
 }
 
 const char* isa_name(Isa isa) {
-  return isa == Isa::kAvx2 ? "avx2" : "scalar";
+  switch (isa) {
+    case Isa::kAvx512: return "avx512";
+    case Isa::kAvx2: return "avx2";
+    case Isa::kScalar: break;
+  }
+  return "scalar";
 }
 
 bool isa_compiled(Isa isa) {
-  return isa == Isa::kScalar || detail::avx2_kernels() != nullptr;
+  switch (isa) {
+    case Isa::kScalar: return true;
+    case Isa::kAvx2: return detail::avx2_kernels() != nullptr;
+    case Isa::kAvx512: return detail::avx512_kernels() != nullptr;
+  }
+  return false;
 }
 
 bool isa_usable(Isa isa) {
-  if (isa == Isa::kScalar) return true;
-  return isa_compiled(isa) && cpu_has_avx2_fma();
+  switch (isa) {
+    case Isa::kScalar: return true;
+    case Isa::kAvx2: return isa_compiled(isa) && cpu_has_avx2_fma();
+    case Isa::kAvx512: return isa_compiled(isa) && cpu_has_avx512();
+  }
+  return false;
 }
 
 Isa parse_isa(const std::string& name) {
-  if (name == "scalar") return Isa::kScalar;
-  if (name == "avx2") return Isa::kAvx2;
-  throw Error("unknown ISA '" + name + "' (expected \"scalar\" or \"avx2\")");
+  for (Isa isa : kAllIsas)
+    if (name == isa_name(isa)) return isa;
+  // The accepted set is whatever this binary actually carries, so an
+  // avx512-less build reports its real choices.
+  std::string accepted;
+  for (Isa isa : kAllIsas) {
+    if (!isa_compiled(isa)) continue;
+    if (!accepted.empty()) accepted += ", ";
+    accepted += '"';
+    accepted += isa_name(isa);
+    accepted += '"';
+  }
+  throw Error("unknown ISA '" + name + "' (compiled tiers: " + accepted + ")");
 }
 
 void force_isa(Isa isa) {
@@ -100,7 +141,12 @@ void clear_forced_isa() { g_forced.store(-1, std::memory_order_relaxed); }
 namespace detail {
 
 const KernelTable& active_kernels() {
-  if (active_isa() == Isa::kAvx2) {
+  const Isa isa = active_isa();
+  if (isa == Isa::kAvx512) {
+    const KernelTable* t = avx512_kernels();
+    if (t) return *t;
+  }
+  if (isa == Isa::kAvx2 || isa == Isa::kAvx512) {
     const KernelTable* t = avx2_kernels();
     if (t) return *t;
   }

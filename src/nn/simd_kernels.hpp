@@ -1,5 +1,5 @@
-// Internal dispatch table between the scalar and AVX2 kernel sets. Every
-// entry obeys the same two contracts:
+// Internal dispatch table between the scalar, AVX2 and AVX-512 kernel
+// sets. Every entry obeys the same two contracts:
 //
 //   * GEMM block kernels compute rows [lo, hi) of C and are called from
 //     inside pp::parallel_for_chunks: a row's arithmetic (k order, lane
@@ -7,15 +7,24 @@
 //     bitwise-identical rows.
 //   * Elementwise kernels are value-pure: output element i is a function
 //     of input element i alone, independent of where i falls relative to
-//     vector-width boundaries (AVX2 handles tails with masked loads, never
-//     a differently-rounded scalar loop). This is what lets fused GEMM
-//     epilogues produce bit-identical results to a separate full-tensor
-//     activation pass.
+//     vector-width boundaries (vector tiers handle tails with masked
+//     loads, never a differently-rounded scalar loop). This is what lets
+//     fused GEMM epilogues produce bit-identical results to a separate
+//     full-tensor activation pass.
+//
+// The quantized entries extend both contracts: gemm_i8_nt accumulates in
+// exact int32 (so ANY chunking or k-tail split is bitwise identical by
+// construction), and quantize_s8/widen_bf16 are value-pure per element
+// (round-to-nearest-even / exact bit widening on every lane, including
+// tails). Quantized operands hold int8-range values [-127, 127] widened
+// into int16 lanes, so the vector kernels run plain loads + madd with no
+// sign-extension shuffles in the inner loop.
 //
 // Not a public header: include only from src/nn translation units.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "nn/simd.hpp"
 
@@ -50,6 +59,33 @@ struct KernelTable {
   /// y = g·((x − mu)·istd) + b
   void (*normalize_affine)(const float* x, float* y, std::size_t n, float mu,
                            float istd, float g, float b);
+
+  // --- Quantized GEMM tier (see nn/quant.hpp for the scheme) ---
+  /// Rows [lo, hi) of C{M,N} = A{M,K} · B^T over int8-range values in
+  /// int16 lanes, with B pre-packed by pack_i8_b (nn/gemm.hpp) into
+  /// 16-column panels whose rows are single 64-byte lines holding depth
+  /// pairs {2kp, 2kp+1} interleaved per column. madd/vpdpwssd accumulates
+  /// over k straight down C columns with no horizontal reductions, B-side
+  /// loads walk each panel strictly sequentially (no large-N stride
+  /// pathologies), padding columns/depths are packed as zeros so vector
+  /// loads are always full-width, and any K — even K < the vector width —
+  /// stays on the vector path. Each C[i][j] is the EXACT int32 dot
+  /// product, dequantized at the register-level store (no second pass
+  /// over C): converted to float, then multiplied by dq_row[i]*dq_scale
+  /// when dq_row is set, then by dq_col[j] when dq_col is set — one IEEE
+  /// multiply per term in a fixed order, so every tier (and any chunking)
+  /// produces bitwise-identical floats. Null dq_row/dq_col skip their
+  /// term; pass both null for the raw int32-as-float dots.
+  void (*gemm_i8_nt)(std::size_t lo, std::size_t hi, int N, int K,
+                     const std::int16_t* A, int lda, const std::int16_t* Bp,
+                     float* C, int ldc, const float* dq_row,
+                     const float* dq_col, float dq_scale);
+  /// q[i] = clamp(round_to_nearest_even(x[i]·inv_scale), -127, 127).
+  void (*quantize_s8)(const float* x, float inv_scale, std::int16_t* q,
+                      std::size_t n);
+  /// Exact widen of bf16 (the high half of an IEEE float) back to float:
+  /// out[i] = bitcast<float>(uint32(x[i]) << 16).
+  void (*widen_bf16)(const std::uint16_t* x, float* out, std::size_t n);
 };
 
 /// The portable kernel set (always available).
@@ -58,6 +94,9 @@ const KernelTable& scalar_kernels();
 /// The AVX2+FMA kernel set, or nullptr when this binary was built without
 /// it (non-x86 target or compiler lacking -mavx2).
 const KernelTable* avx2_kernels();
+
+/// The AVX-512 (F+BW+VL) kernel set, or nullptr when not compiled in.
+const KernelTable* avx512_kernels();
 
 /// Table for active_isa().
 const KernelTable& active_kernels();

@@ -158,6 +158,9 @@ bool gen_request_from_json(const obs::Json& j, GenRequest* out,
   if (!get_double(j, "eta", -1.0, &out->eta) ||
       (j.find("eta") && !(out->eta >= 0.0 && out->eta <= 1.0)))
     return fail("eta must be a number in [0, 1]");
+  const obs::Json* pf = j.find("precision");
+  if (pf && !pf->is_string()) return fail("precision must be a string");
+  out->precision = get_string(j, "precision", "fp32");
   if (out->op == GenRequest::Op::kInpaint) {
     const obs::Json* tmpl = j.find("template");
     if (!tmpl || !raster_from_json(*tmpl, &out->tmpl))

@@ -8,15 +8,17 @@
 //             "clip", "rules", "checkpoint", "timesteps", "sample_steps",
 //             "eta", "base_channels", "time_dim", "seed"}
 //   sample   {"id", "op":"sample", "model", "seed", "count", "finish",
-//             "deadline_ms", "steps", "eta"}
+//             "deadline_ms", "steps", "eta", "precision"}
 //   inpaint  {"id", "op":"inpaint", "model", "seed", "count", "finish",
-//             "deadline_ms", "steps", "eta",
+//             "deadline_ms", "steps", "eta", "precision",
 //             "template":<ascii>, "mask":<ascii>|"mask_id":k}
 //
 // "steps" / "eta" are per-request sampler knobs (quality-vs-latency): the
 // strided denoising step count in [2, model T] (0 / absent = model default)
-// and the DDIM stochasticity in [0, 1] (absent = model default). Out-of-
-// domain values are rejected at admission as "bad_request".
+// and the DDIM stochasticity in [0, 1] (absent = model default).
+// "precision" selects the inference tier: "fp32" (default), "bf16" or
+// "int8" (quantized weights built at model load). Out-of-domain values for
+// any knob are rejected at admission as "bad_request".
 //   cancel   {"id", "op":"cancel", "target":<id>}
 //   ping / stats / shutdown {"id", "op":...}
 //   metrics  {"id", "op":"metrics"} -> {"metrics": {"snapshot", "uptime_ms",
@@ -83,6 +85,9 @@ struct GenRequest {
                              ///< admission ("bad_request" on the wire).
   double eta = -1.0;         ///< DDIM stochasticity override in [0, 1];
                              ///< negative = model default
+  std::string precision = "fp32";  ///< inference tier: fp32|bf16|int8.
+                                   ///< Validated at admission; part of the
+                                   ///< cache key, so hits never cross tiers
   Raster tmpl;               ///< inpaint only: template pattern
   Raster mask;               ///< inpaint only: 1 = region to regenerate
   int mask_id = -1;          ///< inpaint alternative: predefined mask index

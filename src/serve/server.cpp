@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "diffusion/convert.hpp"
 #include "diffusion/ddpm.hpp"
+#include "nn/quant.hpp"
 #include "obs/expo.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -89,6 +90,15 @@ const char* op_name(GenRequest::Op op) {
   return op == GenRequest::Op::kInpaint ? "inpaint" : "sample";
 }
 
+/// Resolves a request's precision string (validated at admission) to the
+/// kernel-layer tier; unknown strings cannot reach here, fp32 is the
+/// defensive fallback.
+nn::Precision precision_of(const std::string& name) {
+  nn::Precision p = nn::Precision::kFp32;
+  nn::parse_precision(name, &p);
+  return p;
+}
+
 /// Wide-event outcome taxonomy: every request story ends in exactly one of
 /// ok / rejected (never ran) / timeout / cancelled / error.
 const char* outcome_name(ErrorCode code) {
@@ -124,6 +134,7 @@ obs::Json request_event(const GenRequest& req, ErrorCode code,
   o.set("count", obs::Json(req.count));
   o.set("steps", obs::Json(req.steps));
   o.set("eta", obs::Json(req.eta));
+  o.set("precision", obs::Json(req.precision));
   o.set("outcome", obs::Json(outcome_name(code)));
   o.set("code", obs::Json(error_code_name(code)));
   o.set("queue_ms", obs::Json(queue_ms));
@@ -325,6 +336,15 @@ void GenerationServer::submit(GenRequest req,
            "eta must be in [0, 1], or -1 for the model default");
     return;
   }
+  {
+    nn::Precision prec;
+    if (!nn::parse_precision(req.precision, &prec)) {
+      reject(ErrorCode::kBadRequest,
+             "precision must be 'fp32', 'bf16' or 'int8' (got '" +
+                 req.precision + "')");
+      return;
+    }
+  }
   const int clip = entry->cfg.clip_size;
   if (req.op == GenRequest::Op::kInpaint) {
     if (req.mask.empty() && req.mask_id >= 0) {
@@ -494,20 +514,22 @@ void GenerationServer::worker_loop_fixed(Shard& sh) {
       // Coalesce: the head defines the micro-batch key (registry entry
       // identity = same preset + checkpoint + clip size + weight
       // generation, PLUS the sampler schedule — a frozen batch runs every
-      // member in lockstep, so steps/eta must match); later compatible
-      // requests join until the sample cap.
+      // member in lockstep, so steps/eta must match — PLUS the precision
+      // tier: the forward pass runs one weight table for the whole batch).
       if (!sh.queue.empty()) {
         const PendingPtr& head = sh.queue.front();
         const ModelRegistry::Entry* key = head->entry.get();
         const int key_steps = head->req.steps;
         const double key_eta = head->req.eta;
+        const std::string& key_precision = head->req.precision;
         int samples = 0;
         for (auto it = sh.queue.begin(); it != sh.queue.end();) {
           const PendingPtr& p = *it;
           bool fits = batch.empty() ||
                       samples + p->req.count <= cfg_.max_batch_samples;
           if (p->entry.get() == key && p->req.steps == key_steps &&
-              p->req.eta == key_eta && fits) {
+              p->req.eta == key_eta && p->req.precision == key_precision &&
+              fits) {
             samples += p->req.count;
             batch.push_back(p);
             it = pop_locked(sh, it);
@@ -549,6 +571,10 @@ void GenerationServer::worker_loop_continuous(Shard& sh) {
   constexpr std::uint64_t kTagStride = 1ull << 32;
 
   ModelRegistry::EntryPtr entry;  ///< the running batch's registry entry
+  std::string batch_precision;    ///< fixed by the first joiner: the step's
+                                  ///< forward pass runs ONE weight tier, so
+                                  ///< unlike steps/eta (per-sample schedule)
+                                  ///< precision is a batch property
   InpaintState st;
   std::vector<Member> members;
   std::uint64_t next_mid = 0;
@@ -604,6 +630,7 @@ void GenerationServer::worker_loop_continuous(Shard& sh) {
       std::vector<Raster> tmpls(mem.raws.size(), tmpl);
       std::vector<GenerationRecord> recs;
       try {
+        const nn::ScopedPrecision guard(precision_of(p->req.precision));
         recs = entry->pp->finish_samples(mem.raws, tmpls, mem.finish_bases);
       } catch (const std::exception& e) {
         finish_response(
@@ -654,23 +681,31 @@ void GenerationServer::worker_loop_continuous(Shard& sh) {
       }
 
       // Join pass (the step boundary): when idle, the first queued request
-      // fixes the batch's registry entry; every queued same-entry request
-      // then joins until the sample cap. steps/eta need NOT match — the
-      // sampler schedule is per-sample state, not a batch property.
-      // Fairness: once the queue head waits on a DIFFERENT entry than the
-      // running batch, stop admitting new joins so the batch drains and
-      // the head gets served — otherwise sustained same-entry traffic
-      // starves cross-entry requests unboundedly.
-      const bool head_blocked = !members.empty() && !sh.queue.empty() &&
-                                sh.queue.front()->entry.get() != entry.get();
+      // fixes the batch's registry entry AND precision tier; every queued
+      // compatible request then joins until the sample cap. steps/eta need
+      // NOT match — the sampler schedule is per-sample state, not a batch
+      // property — but precision MUST: the whole step is one forward pass
+      // through one weight table.
+      // Fairness: once the queue head waits on a DIFFERENT entry (or
+      // precision) than the running batch, stop admitting new joins so the
+      // batch drains and the head gets served — otherwise sustained
+      // compatible traffic starves mismatched requests unboundedly.
+      const bool head_blocked =
+          !members.empty() && !sh.queue.empty() &&
+          (sh.queue.front()->entry.get() != entry.get() ||
+           sh.queue.front()->req.precision != batch_precision);
       if (!stop_hard_.load() && !head_blocked) {
         int active = st.active();
         for (auto it = sh.queue.begin(); it != sh.queue.end();) {
           const PendingPtr& p = *it;
-          if (!entry) entry = p->entry;
+          if (!entry) {
+            entry = p->entry;
+            batch_precision = p->req.precision;
+          }
           const bool fits =
               active == 0 || active + p->req.count <= cfg_.max_batch_samples;
-          if (p->entry.get() == entry.get() && fits) {
+          if (p->entry.get() == entry.get() &&
+              p->req.precision == batch_precision && fits) {
             active += p->req.count;
             joined.push_back(p);
             sh.inflight.push_back(p);
@@ -705,6 +740,7 @@ void GenerationServer::worker_loop_continuous(Shard& sh) {
     // (base, step index), so joining late cannot shift anyone's bits.
     if (!joined.empty()) {
       const Clock::time_point now = Clock::now();
+      const nn::ScopedPrecision prec_guard(precision_of(batch_precision));
       const int clip = entry->cfg.clip_size;
       const std::size_t plane = static_cast<std::size_t>(clip) * clip;
       const bool was_running = !members.empty();
@@ -830,6 +866,7 @@ void GenerationServer::worker_loop_continuous(Shard& sh) {
         if (mem.p->trace_start_ns != 0)
           obs::record_flow_point("serve.step", mem.p->req.id);
       }
+      const nn::ScopedPrecision prec_guard(precision_of(batch_precision));
       done = entry->pp->model().step(st);
     } catch (const std::exception& e) {
       fail_all(ErrorCode::kInternal, e.what());
@@ -870,6 +907,10 @@ void GenerationServer::execute_batch(Shard& sh,
   ServeMetrics& m = serve_metrics();
   const Clock::time_point exec_start = Clock::now();
   const ModelRegistry::EntryPtr entry = batch.front()->entry;
+  // Coalescing keyed on precision, so the batch is tier-homogeneous: pin
+  // the head's precision for the whole execution (inpaint + finish tail).
+  const nn::ScopedPrecision prec_guard(
+      precision_of(batch.front()->req.precision));
   const int clip = entry->cfg.clip_size;
   const std::size_t plane = static_cast<std::size_t>(clip) * clip;
 

@@ -3,9 +3,21 @@
 # Invoked by ctest: cmake -DPROBE=<binary> [-DFORCE_ISA=<isa>]
 #                         -P compare_thread_runs.cmake
 # FORCE_ISA additionally pins PP_FORCE_ISA so the probe can be run once per
-# kernel ISA (determinism must hold on the vector path too).
+# kernel ISA (determinism must hold on the vector path too); the leg
+# auto-skips on hosts whose CPU cannot execute that ISA.
 if(NOT DEFINED PROBE)
   message(FATAL_ERROR "pass -DPROBE=<path to determinism_probe>")
+endif()
+
+if(DEFINED FORCE_ISA)
+  execute_process(COMMAND ${PROBE} --isa-usable ${FORCE_ISA}
+                  RESULT_VARIABLE usable_rc)
+  if(usable_rc EQUAL 3)
+    message(STATUS "host cannot execute ${FORCE_ISA}; skipping this leg")
+    return()
+  elseif(NOT usable_rc EQUAL 0)
+    message(FATAL_ERROR "--isa-usable ${FORCE_ISA} probe failed (rc ${usable_rc})")
+  endif()
 endif()
 
 foreach(threads 1 8)

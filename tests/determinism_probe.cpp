@@ -8,19 +8,33 @@
 // A second round pushes coalesced requests through the GenerationServer so
 // the serving layer's micro-batching is held to the same bar: batched
 // output must be a pure function of each request's seed, bitwise invariant
-// across thread counts.
+// across thread counts. Further rounds cover continuous batching with
+// mixed sampler schedules and the reduced-precision tiers (int8/bf16).
+//
+// `determinism_probe --isa-usable <name>` is a host-capability probe for
+// the ctest wrapper: exit 0 when this binary can dispatch <name> here,
+// 3 when it cannot (the wrapper skips that ISA leg instead of failing).
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <future>
 
 #include "core/config.hpp"
 #include "core/patternpaint.hpp"
+#include "nn/simd.hpp"
 #include "patterngen/track_generator.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pp;
+  if (argc == 3 && std::strcmp(argv[1], "--isa-usable") == 0) {
+    try {
+      return nn::isa_usable(nn::parse_isa(argv[2])) ? 0 : 3;
+    } catch (const std::exception&) {
+      return 3;  // unknown name = this binary has no such tier
+    }
+  }
   PatternPaintConfig cfg = sd1_config();
   cfg.clip_size = 32;
   cfg.ddpm.unet.base_channels = 8;
@@ -114,6 +128,32 @@ int main() {
   for (auto& f : cfuts) {
     serve::GenResponse resp = f.get();
     std::printf("cont id %" PRIu64 " ok %d\n", resp.id, resp.ok());
+    for (const Raster& p : resp.patterns)
+      std::printf("%016" PRIx64 "\n", p.hash());
+  }
+
+  // Quantized round: the same bar for the reduced-precision tiers. Mixed
+  // int8/bf16/fp32 traffic forces the continuous executor to split batches
+  // by tier; every request's hashes must stay a pure function of its
+  // (seed, precision), bitwise invariant across thread counts.
+  std::vector<std::future<serve::GenResponse>> qfuts;
+  auto submit_prec = [&](std::uint64_t id, const char* precision, int count) {
+    serve::GenRequest req;
+    req.id = id;
+    req.op = serve::GenRequest::Op::kSample;
+    req.model = "probe";
+    req.seed = 0xEF00 + id;
+    req.count = count;
+    req.precision = precision;
+    qfuts.push_back(server.submit(std::move(req)));
+  };
+  submit_prec(21, "int8", 2);
+  submit_prec(22, "fp32", 1);
+  submit_prec(23, "int8", 1);
+  submit_prec(24, "bf16", 2);
+  for (auto& f : qfuts) {
+    serve::GenResponse resp = f.get();
+    std::printf("quant id %" PRIu64 " ok %d\n", resp.id, resp.ok());
     for (const Raster& p : resp.patterns)
       std::printf("%016" PRIx64 "\n", p.hash());
   }

@@ -1,19 +1,25 @@
-// SIMD kernel layer tests: runtime ISA dispatch, scalar-vs-AVX2 parity
-// (tolerance-based — FMA and vectorized exp legitimately round differently
-// from the scalar kernels), value-purity/bit-exactness guarantees within a
-// fixed ISA (fused-vs-unfused epilogues, chunk invariance), and the 64-byte
-// alignment contract of Tensor storage and Workspace arenas.
+// SIMD kernel layer tests: runtime ISA dispatch, scalar-vs-vector parity
+// for every compiled tier (tolerance-based — FMA and vectorized exp
+// legitimately round differently from the scalar kernels), value-purity/
+// bit-exactness guarantees within a fixed ISA (fused-vs-unfused epilogues,
+// chunk invariance), the quantized int8/bf16 kernel tier (bitwise across
+// ISAs — exact int32 accumulation / exact widening — and tolerance against
+// fp32), and the 64-byte alignment contract of Tensor storage and
+// Workspace arenas.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "nn/autograd.hpp"
 #include "nn/gemm.hpp"
 #include "nn/kernels.hpp"
+#include "nn/quant.hpp"
 #include "nn/simd.hpp"
 #include "nn/simd_kernels.hpp"
 #include "nn/tensor.hpp"
@@ -54,10 +60,11 @@ void expect_bitwise(const Tensor& a, const Tensor& b, const char* what) {
 TEST(SimdDispatch, ParseIsaAcceptsKnownNames) {
   EXPECT_EQ(Isa::kScalar, parse_isa("scalar"));
   EXPECT_EQ(Isa::kAvx2, parse_isa("avx2"));
+  EXPECT_EQ(Isa::kAvx512, parse_isa("avx512"));
 }
 
 TEST(SimdDispatch, ParseIsaRejectsUnknownNames) {
-  EXPECT_THROW(parse_isa("avx512"), Error);
+  EXPECT_THROW(parse_isa("avx1024"), Error);
   EXPECT_THROW(parse_isa(""), Error);
   EXPECT_THROW(parse_isa("AVX2"), Error);  // names are case-sensitive
 }
@@ -88,27 +95,62 @@ TEST(SimdDispatch, ForceIsaRejectsUnusable) {
 TEST(SimdDispatch, IsaNames) {
   EXPECT_STREQ("scalar", isa_name(Isa::kScalar));
   EXPECT_STREQ("avx2", isa_name(Isa::kAvx2));
+  EXPECT_STREQ("avx512", isa_name(Isa::kAvx512));
 }
 
-// --- Scalar vs AVX2 parity (tolerance) --------------------------------------
-
-// Runs fn under both ISAs and returns {scalar, avx2} results.
-template <typename Fn>
-std::pair<Tensor, Tensor> both_isas(Fn fn) {
-  Tensor s, v;
-  {
-    ScopedIsa pin(Isa::kScalar);
-    s = fn();
-  }
-  {
-    ScopedIsa pin(Isa::kAvx2);
-    v = fn();
-  }
-  return {std::move(s), std::move(v)};
+TEST(Precision, ParseKnownAndUnknownNames) {
+  Precision p = Precision::kInt8;
+  EXPECT_TRUE(parse_precision("fp32", &p));
+  EXPECT_EQ(Precision::kFp32, p);
+  EXPECT_TRUE(parse_precision("bf16", &p));
+  EXPECT_EQ(Precision::kBf16, p);
+  EXPECT_TRUE(parse_precision("int8", &p));
+  EXPECT_EQ(Precision::kInt8, p);
+  EXPECT_FALSE(parse_precision("fp16", &p));
+  EXPECT_FALSE(parse_precision("", &p));
+  EXPECT_FALSE(parse_precision("INT8", &p));  // case-sensitive
+  EXPECT_EQ(Precision::kInt8, p);             // untouched on failure
 }
 
-TEST(SimdParity, GemmNN) {
-  if (!avx2_available()) GTEST_SKIP() << "no AVX2";
+TEST(Precision, ScopedPinRestores) {
+  EXPECT_EQ(Precision::kFp32, active_precision());
+  {
+    ScopedPrecision pin(Precision::kInt8);
+    EXPECT_EQ(Precision::kInt8, active_precision());
+    {
+      ScopedPrecision inner(Precision::kBf16);
+      EXPECT_EQ(Precision::kBf16, active_precision());
+    }
+    EXPECT_EQ(Precision::kInt8, active_precision());
+  }
+  EXPECT_EQ(Precision::kFp32, active_precision());
+}
+
+// --- Scalar vs vector parity (tolerance), per compiled vector tier ----------
+
+// Runs fn under the scalar ISA and the parameterized vector ISA; skips
+// when the host cannot execute the tier.
+class SimdParityTest : public ::testing::TestWithParam<Isa> {
+ protected:
+  void SetUp() override {
+    if (!isa_usable(GetParam())) GTEST_SKIP() << "ISA not usable here";
+  }
+  template <typename Fn>
+  std::pair<Tensor, Tensor> both_isas(Fn fn) {
+    Tensor s, v;
+    {
+      ScopedIsa pin(Isa::kScalar);
+      s = fn();
+    }
+    {
+      ScopedIsa pin(GetParam());
+      v = fn();
+    }
+    return {std::move(s), std::move(v)};
+  }
+};
+
+TEST_P(SimdParityTest, GemmNN) {
   // Deliberately awkward sizes: M exercises the 1..3-row remainders, N the
   // 16/8/masked column tails, K the k-loop tail of the NT kernel.
   for (int M : {1, 3, 7, 33}) {
@@ -126,8 +168,7 @@ TEST(SimdParity, GemmNN) {
   }
 }
 
-TEST(SimdParity, GemmNT) {
-  if (!avx2_available()) GTEST_SKIP() << "no AVX2";
+TEST_P(SimdParityTest, GemmNT) {
   for (int M : {2, 9}) {
     for (int N : {3, 17}) {
       for (int K : {6, 24, 37}) {
@@ -144,8 +185,7 @@ TEST(SimdParity, GemmNT) {
   }
 }
 
-TEST(SimdParity, GemmTN) {
-  if (!avx2_available()) GTEST_SKIP() << "no AVX2";
+TEST_P(SimdParityTest, GemmTN) {
   for (int M : {4, 13}) {
     for (int N : {7, 30}) {
       const int K = 18;
@@ -161,8 +201,7 @@ TEST(SimdParity, GemmTN) {
   }
 }
 
-TEST(SimdParity, GemmAccumulate) {
-  if (!avx2_available()) GTEST_SKIP() << "no AVX2";
+TEST_P(SimdParityTest, GemmAccumulate) {
   const int M = 6, N = 11, K = 9;
   Tensor a = random_tensor({M, K}, 700);
   Tensor b = random_tensor({K, N}, 800);
@@ -175,8 +214,7 @@ TEST(SimdParity, GemmAccumulate) {
   expect_close(s, v, 1e-4f * static_cast<float>(K), "gemm_nn accumulate");
 }
 
-TEST(SimdParity, Conv2dForwardAndBackward) {
-  if (!avx2_available()) GTEST_SKIP() << "no AVX2";
+TEST_P(SimdParityTest, Conv2dForwardAndBackward) {
   Tensor x = random_tensor({2, 3, 9, 9}, 1000);
   Tensor w = random_tensor({5, 3, 3, 3}, 1001);
   Tensor b = random_tensor({5}, 1002);
@@ -200,8 +238,7 @@ TEST(SimdParity, Conv2dForwardAndBackward) {
   expect_close(gxs, gxv, 1e-2f, "conv2d grad_input");
 }
 
-TEST(SimdParity, EltwiseKernels) {
-  if (!avx2_available()) GTEST_SKIP() << "no AVX2";
+TEST_P(SimdParityTest, EltwiseKernels) {
   // 67 elements: 8 full groups + a 3-lane masked tail.
   Tensor x = random_tensor({67}, 1100);
   Tensor y = random_tensor({67}, 1101);
@@ -225,8 +262,7 @@ TEST(SimdParity, EltwiseKernels) {
   expect_bitwise(cs, cv, "scale");
 }
 
-TEST(SimdParity, SiluExtremeInputsStayFinite) {
-  if (!avx2_available()) GTEST_SKIP() << "no AVX2";
+TEST_P(SimdParityTest, SiluExtremeInputsStayFinite) {
   Tensor x = Tensor::from_data(
       {6}, {-100.0f, -20.0f, -0.0f, 0.0f, 20.0f, 100.0f});
   auto [s, v] = both_isas([&] { return silu_forward(x); });
@@ -235,8 +271,7 @@ TEST(SimdParity, SiluExtremeInputsStayFinite) {
   expect_close(s, v, 1e-5f, "silu extremes");
 }
 
-TEST(SimdParity, GroupNorm) {
-  if (!avx2_available()) GTEST_SKIP() << "no AVX2";
+TEST_P(SimdParityTest, GroupNorm) {
   Tensor x = random_tensor({2, 8, 5, 5}, 1200);
   Tensor g = random_tensor({8}, 1201);
   Tensor b = random_tensor({8}, 1202);
@@ -247,7 +282,7 @@ TEST(SimdParity, GroupNorm) {
     s = group_norm_forward(x, g, b, 4, 1e-5f, &mean_s, &istd_s);
   }
   {
-    ScopedIsa pin(Isa::kAvx2);
+    ScopedIsa pin(GetParam());
     v = group_norm_forward(x, g, b, 4, 1e-5f, &mean_v, &istd_v);
   }
   expect_close(s, v, 1e-5f, "group_norm");
@@ -257,14 +292,19 @@ TEST(SimdParity, GroupNorm) {
   }
 }
 
-TEST(SimdParity, LinearForward) {
-  if (!avx2_available()) GTEST_SKIP() << "no AVX2";
+TEST_P(SimdParityTest, LinearForward) {
   Tensor x = random_tensor({4, 13}, 1300);
   Tensor w = random_tensor({9, 13}, 1301);
   Tensor b = random_tensor({9}, 1302);
   auto [s, v] = both_isas([&] { return linear_forward(x, w, b); });
   expect_close(s, v, 1e-4f * 13.0f, "linear");
 }
+
+INSTANTIATE_TEST_SUITE_P(VectorIsas, SimdParityTest,
+                         ::testing::Values(Isa::kAvx2, Isa::kAvx512),
+                         [](const ::testing::TestParamInfo<Isa>& info) {
+                           return isa_name(info.param);
+                         });
 
 // --- Within-ISA bit-exactness guarantees ------------------------------------
 
@@ -336,7 +376,358 @@ TEST_P(SimdBitExactTest, EltwiseChunkInvariance) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllIsas, SimdBitExactTest,
-                         ::testing::Values(Isa::kScalar, Isa::kAvx2),
+                         ::testing::Values(Isa::kScalar, Isa::kAvx2,
+                                           Isa::kAvx512),
+                         [](const ::testing::TestParamInfo<Isa>& info) {
+                           return isa_name(info.param);
+                         });
+
+// --- Quantized kernel tier ---------------------------------------------------
+
+/// int8-range operands widened into int16 lanes, as the quantizer emits.
+std::vector<std::int16_t> random_q16(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int16_t> q(n);
+  for (auto& v : q) v = static_cast<std::int16_t>(rng.uniform_int(-127, 127));
+  return q;
+}
+
+// Per-ISA coverage of the quantized kernel entries. Unlike the fp32
+// kernels (tolerance parity), every quantized entry must agree with the
+// scalar tier BITWISE: gemm_i8_nt accumulates in exact int32 arithmetic,
+// quantize_s8 rounds to nearest-even on every lane, and widen_bf16 is an
+// exact bit widening.
+class QuantKernelTest : public ::testing::TestWithParam<Isa> {
+ protected:
+  void SetUp() override {
+    if (!isa_usable(GetParam())) GTEST_SKIP() << "ISA not usable here";
+    force_isa(GetParam());
+  }
+  void TearDown() override { clear_forced_isa(); }
+};
+
+/// Panel-packs an {N, K} NT operand the way sgemm_i8_nt does before it
+/// hands B to the kernel table.
+std::vector<std::int16_t> packed_b(const std::vector<std::int16_t>& b, int N,
+                                   int K) {
+  std::vector<std::int16_t> bp(packed_i8_size(N, K));
+  pack_i8_b(b.data(), N, K, I8Layout::kNT, K, bp.data());
+  return bp;
+}
+
+TEST_P(QuantKernelTest, Int8GemmBitwiseMatchesScalarAtRaggedShapes) {
+  const detail::KernelTable& kt = detail::active_kernels();
+  const detail::KernelTable& sk = detail::scalar_kernels();
+  const int M = 5;
+  // N exercises the column-stripe widths and their masked remainders, K
+  // the packed k-pair loop including odd final depths.
+  for (int N : {1, 2, 3, 4, 5, 16, 17, 33}) {
+    for (int K : {1, 15, 16, 31, 32, 33, 64}) {
+      auto a = random_q16(static_cast<std::size_t>(M) * K,
+                          3000 + static_cast<std::uint64_t>(N));
+      auto b = random_q16(static_cast<std::size_t>(N) * K,
+                          4000 + static_cast<std::uint64_t>(K));
+      auto bp = packed_b(b, N, K);
+      std::vector<float> cv(static_cast<std::size_t>(M) * N, -1.0f);
+      std::vector<float> cs(cv);
+      kt.gemm_i8_nt(0, M, N, K, a.data(), K, bp.data(), cv.data(), N,
+                    nullptr, nullptr, 1.0f);
+      sk.gemm_i8_nt(0, M, N, K, a.data(), K, bp.data(), cs.data(), N,
+                    nullptr, nullptr, 1.0f);
+      ASSERT_EQ(0,
+                std::memcmp(cv.data(), cs.data(), cv.size() * sizeof(float)))
+          << "N=" << N << " K=" << K;
+    }
+  }
+}
+
+// Both pack layouts must express the same matrix: packing B{N,K} (NT,
+// weights) and its {K,N} transpose (KN, an im2col panel) yields identical
+// packed bytes, so the conv path's no-transpose panel feed is exact.
+TEST(PackI8BTest, LayoutsAgreeIncludingOddKTail) {
+  for (int N : {1, 5, 16, 33}) {
+    for (int K : {1, 7, 16, 27}) {
+      auto bnt = random_q16(static_cast<std::size_t>(N) * K,
+                            7000 + static_cast<std::uint64_t>(N) * 100 + K);
+      std::vector<std::int16_t> bkn(bnt.size());
+      for (int j = 0; j < N; ++j)
+        for (int k = 0; k < K; ++k)
+          bkn[static_cast<std::size_t>(k) * N + j] =
+              bnt[static_cast<std::size_t>(j) * K + k];
+      const std::size_t pn = packed_i8_size(N, K);
+      std::vector<std::int16_t> pnt(pn, 99), pkn(pn, 77);
+      pack_i8_b(bnt.data(), N, K, I8Layout::kNT, K, pnt.data());
+      pack_i8_b(bkn.data(), N, K, I8Layout::kKN, N, pkn.data());
+      ASSERT_EQ(0, std::memcmp(pnt.data(), pkn.data(),
+                               pn * sizeof(std::int16_t)))
+          << "N=" << N << " K=" << K;
+    }
+  }
+}
+
+// The fused dequant store (int32 -> float, x row scale, x col scale, one
+// IEEE multiply per term) must be bitwise identical between scalar and
+// vector tiers, including masked column tails where the vector path loads
+// the col-scale vector under the store mask.
+TEST_P(QuantKernelTest, Int8GemmFusedDequantMatchesScalarBitwise) {
+  const detail::KernelTable& kt = detail::active_kernels();
+  const detail::KernelTable& sk = detail::scalar_kernels();
+  const int M = 7;
+  for (int N : {5, 16, 24, 33}) {
+    for (int K : {9, 27, 32}) {
+      auto a = random_q16(static_cast<std::size_t>(M) * K, 8100 + N);
+      auto b = random_q16(static_cast<std::size_t>(N) * K, 8200 + K);
+      auto bp = packed_b(b, N, K);
+      std::vector<float> drow(M), dcol(N);
+      for (int i = 0; i < M; ++i) drow[i] = 0.25f + 0.125f * i;
+      for (int j = 0; j < N; ++j) dcol[j] = 2.0f - 0.03125f * j;
+      std::vector<float> cv(static_cast<std::size_t>(M) * N, -1.0f);
+      std::vector<float> cs(cv);
+      kt.gemm_i8_nt(0, M, N, K, a.data(), K, bp.data(), cv.data(), N,
+                    drow.data(), dcol.data(), 0.0078125f);
+      sk.gemm_i8_nt(0, M, N, K, a.data(), K, bp.data(), cs.data(), N,
+                    drow.data(), dcol.data(), 0.0078125f);
+      ASSERT_EQ(0,
+                std::memcmp(cv.data(), cs.data(), cv.size() * sizeof(float)))
+          << "N=" << N << " K=" << K;
+    }
+  }
+}
+
+// A row of quantized C must come out identical whether computed inside a
+// large [lo, hi) range or alone — the invariant that makes the int8 GEMM
+// independent of thread chunking (bitwise by construction: int32 sums).
+TEST_P(QuantKernelTest, Int8GemmRowChunkInvariance) {
+  const detail::KernelTable& kt = detail::active_kernels();
+  const int M = 13, N = 37, K = 29;
+  auto a = random_q16(static_cast<std::size_t>(M) * K, 5000);
+  auto b = random_q16(static_cast<std::size_t>(N) * K, 5001);
+  auto bp = packed_b(b, N, K);
+  std::vector<float> full(static_cast<std::size_t>(M) * N);
+  std::vector<float> split(full.size());
+  kt.gemm_i8_nt(0, M, N, K, a.data(), K, bp.data(), full.data(), N,
+                nullptr, nullptr, 1.0f);
+  kt.gemm_i8_nt(0, 5, N, K, a.data(), K, bp.data(), split.data(), N,
+                nullptr, nullptr, 1.0f);
+  kt.gemm_i8_nt(5, 6, N, K, a.data(), K, bp.data(), split.data(), N,
+                nullptr, nullptr, 1.0f);
+  kt.gemm_i8_nt(6, 13, N, K, a.data(), K, bp.data(), split.data(), N,
+                nullptr, nullptr, 1.0f);
+  ASSERT_EQ(0,
+            std::memcmp(full.data(), split.data(),
+                        full.size() * sizeof(float)));
+}
+
+TEST_P(QuantKernelTest, QuantizeS8BitwiseMatchesScalarAndClamps) {
+  const detail::KernelTable& kt = detail::active_kernels();
+  const detail::KernelTable& sk = detail::scalar_kernels();
+  const std::size_t n = 1003;  // full vector groups + a ragged tail
+  Tensor x = random_tensor({static_cast<int>(n)}, 6000);
+  x.data()[0] = 400.0f;    // clamps to +127
+  x.data()[1] = -400.0f;   // clamps to -127
+  x.data()[2] = 0.5f;      // rounds to nearest EVEN at inv_scale 1
+  x.data()[3] = 1.5f;      // ties round 2, not 1
+  std::vector<std::int16_t> qv(n, 99), qs(n, 99);
+  for (float inv : {1.0f, 127.0f / 3.7f}) {
+    kt.quantize_s8(x.data(), inv, qv.data(), n);
+    sk.quantize_s8(x.data(), inv, qs.data(), n);
+    ASSERT_EQ(0,
+              std::memcmp(qv.data(), qs.data(), n * sizeof(std::int16_t)))
+        << "inv=" << inv;
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_LE(qv[i], 127) << i;
+      ASSERT_GE(qv[i], -127) << i;
+    }
+  }
+  ASSERT_EQ(127, qv[0]);
+  ASSERT_EQ(-127, qv[1]);
+}
+
+TEST_P(QuantKernelTest, WidenBf16IsExactBitWidening) {
+  const detail::KernelTable& kt = detail::active_kernels();
+  const detail::KernelTable& sk = detail::scalar_kernels();
+  const std::size_t n = 77;  // ragged vector tail
+  Rng rng(6100);
+  std::vector<std::uint16_t> x(n);
+  for (auto& v : x)
+    v = static_cast<std::uint16_t>(rng.uniform_int(0, 0xFFFF));
+  x[0] = 0;       // +0.0f
+  x[1] = 0x8000;  // -0.0f
+  x[2] = 0x3F80;  // 1.0f
+  std::vector<float> ov(n), os(n);
+  kt.widen_bf16(x.data(), ov.data(), n);
+  sk.widen_bf16(x.data(), os.data(), n);
+  ASSERT_EQ(0, std::memcmp(ov.data(), os.data(), n * sizeof(float)));
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &ov[i], sizeof(bits));
+    ASSERT_EQ(static_cast<std::uint32_t>(x[i]) << 16, bits) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, QuantKernelTest,
+                         ::testing::Values(Isa::kScalar, Isa::kAvx2,
+                                           Isa::kAvx512),
+                         [](const ::testing::TestParamInfo<Isa>& info) {
+                           return isa_name(info.param);
+                         });
+
+// --- Quantized weight registry -----------------------------------------------
+
+TEST(QuantizedWeights, RegistrarStatsAndLifecycle) {
+  Var w2 = make_param(random_tensor({8, 16}, 7100));      // linear weight
+  Var w4 = make_param(random_tensor({4, 2, 3, 3}, 7101));  // conv weight
+  Var bias = make_param(random_tensor({8}, 7102));         // 1-D: skipped
+  const float* k2 = w2->value.data();
+  const float* k4 = w4->value.data();
+  {
+    QuantizedModelWeights qmw({w2, w4, bias, nullptr});
+    EXPECT_EQ(2, qmw.tensors());
+    EXPECT_EQ((128u + 72u) * sizeof(float), qmw.bytes_fp32());
+    // 2 B/value (int16 lanes) + per-row fp32 scales.
+    EXPECT_EQ((128u + 72u) * 2 + (8u + 4u) * sizeof(float),
+              qmw.bytes_quantized());
+    EXPECT_EQ(qmw.bytes_fp32() - qmw.bytes_quantized(), qmw.bytes_saved());
+    auto q = detail::find_quantized(k2);
+    ASSERT_NE(nullptr, q);
+    EXPECT_EQ(8, q->rows);
+    EXPECT_EQ(16, q->cols);
+    EXPECT_EQ(128u, q->q16.size());
+    EXPECT_EQ(8u, q->scales.size());
+    EXPECT_EQ(128u, q->bf16.size());
+    for (std::int16_t v : q->q16) {
+      EXPECT_LE(v, 127);
+      EXPECT_GE(v, -127);
+    }
+    EXPECT_NE(nullptr, detail::find_quantized(k4));
+    EXPECT_EQ(nullptr, detail::find_quantized(bias->value.data()));
+  }
+  // Registrar death unpublishes the tables.
+  EXPECT_EQ(nullptr, detail::find_quantized(k2));
+  EXPECT_EQ(nullptr, detail::find_quantized(k4));
+}
+
+TEST(QuantizedWeights, AllZeroRowQuantizesToZeros) {
+  Tensor t({2, 5});
+  for (int c = 0; c < 5; ++c)
+    t.data()[5 + c] = static_cast<float>(c - 2);  // row 1 nonzero
+  Var w = make_param(std::move(t));
+  QuantizedModelWeights qmw({w});
+  auto q = detail::find_quantized(w->value.data());
+  ASSERT_NE(nullptr, q);
+  EXPECT_EQ(0.0f, q->scales[0]);
+  for (int c = 0; c < 5; ++c) EXPECT_EQ(0, q->q16[static_cast<std::size_t>(c)]);
+  // Row 1: absmax 2 -> scale 2/127, extremes hit exactly ±127.
+  EXPECT_EQ(-127, q->q16[5]);
+  EXPECT_EQ(127, q->q16[9]);
+}
+
+// --- Reduced-precision forward dispatch --------------------------------------
+
+class PrecisionForwardTest : public ::testing::TestWithParam<Isa> {
+ protected:
+  void SetUp() override {
+    if (!isa_usable(GetParam())) GTEST_SKIP() << "ISA not usable here";
+    force_isa(GetParam());
+  }
+  void TearDown() override { clear_forced_isa(); }
+};
+
+// int8/bf16 conv must track fp32 within quantization error — and actually
+// run the reduced tier (bitwise different from fp32), not silently fall
+// back.
+TEST_P(PrecisionForwardTest, Conv2dReducedTiersTrackFp32) {
+  Tensor x = random_tensor({2, 4, 8, 8}, 7200);
+  Var w = make_param(random_tensor({6, 4, 3, 3}, 7201));
+  Tensor b = random_tensor({6}, 7202);
+  QuantizedModelWeights qmw({w});
+  Tensor ref = conv2d_forward(x, w->value, b, 1, 1, ConvAlgo::kGemm);
+  Tensor q8, qb;
+  {
+    ScopedPrecision pin(Precision::kInt8);
+    q8 = conv2d_forward(x, w->value, b, 1, 1, ConvAlgo::kGemm);
+  }
+  {
+    ScopedPrecision pin(Precision::kBf16);
+    qb = conv2d_forward(x, w->value, b, 1, 1, ConvAlgo::kGemm);
+  }
+  expect_close(ref, q8, 0.8f, "conv int8 vs fp32");
+  expect_close(ref, qb, 0.15f, "conv bf16 vs fp32");
+  EXPECT_NE(0, std::memcmp(ref.data(), q8.data(),
+                           ref.numel() * sizeof(float)));
+  EXPECT_NE(0, std::memcmp(ref.data(), qb.data(),
+                           ref.numel() * sizeof(float)));
+}
+
+TEST_P(PrecisionForwardTest, LinearReducedTiersTrackFp32) {
+  Tensor x = random_tensor({5, 17}, 7300);
+  Var w = make_param(random_tensor({11, 17}, 7301));
+  Tensor b = random_tensor({11}, 7302);
+  QuantizedModelWeights qmw({w});
+  Tensor ref = linear_forward(x, w->value, b);
+  Tensor q8, qb;
+  {
+    ScopedPrecision pin(Precision::kInt8);
+    q8 = linear_forward(x, w->value, b);
+  }
+  {
+    ScopedPrecision pin(Precision::kBf16);
+    qb = linear_forward(x, w->value, b);
+  }
+  expect_close(ref, q8, 0.5f, "linear int8 vs fp32");
+  expect_close(ref, qb, 0.1f, "linear bf16 vs fp32");
+  EXPECT_NE(0, std::memcmp(ref.data(), q8.data(),
+                           ref.numel() * sizeof(float)));
+}
+
+// Reduced-precision results are a pure function of the inputs: repeated
+// runs under the same (ISA, precision) are bitwise identical.
+TEST_P(PrecisionForwardTest, ReducedTiersAreDeterministic) {
+  Tensor x = random_tensor({2, 4, 8, 8}, 7400);
+  Var w = make_param(random_tensor({6, 4, 3, 3}, 7401));
+  Tensor b = random_tensor({6}, 7402);
+  QuantizedModelWeights qmw({w});
+  for (Precision p : {Precision::kInt8, Precision::kBf16}) {
+    ScopedPrecision pin(p);
+    Tensor a = conv2d_forward(x, w->value, b, 1, 1, ConvAlgo::kGemm);
+    Tensor c = conv2d_forward(x, w->value, b, 1, 1, ConvAlgo::kGemm);
+    expect_bitwise(a, c, precision_name(p));
+  }
+}
+
+// The fused bias+activation epilogue of the int8 path (dequant FIRST, then
+// bias, then act — all value-pure per row) must equal the unfused sequence
+// bit for bit, exactly like the fp32 contract.
+TEST_P(PrecisionForwardTest, Int8FusedEpilogueMatchesUnfused) {
+  Tensor x = random_tensor({2, 4, 8, 8}, 7500);
+  Var w = make_param(random_tensor({6, 4, 3, 3}, 7501));
+  Tensor b = random_tensor({6}, 7502);
+  QuantizedModelWeights qmw({w});
+  ScopedPrecision pin(Precision::kInt8);
+  Tensor fused = conv2d_forward(x, w->value, b, 1, 1, ConvAlgo::kGemm,
+                                Act::kSilu);
+  Tensor unfused = conv2d_forward(x, w->value, b, 1, 1, ConvAlgo::kGemm,
+                                  Act::kNone);
+  silu_inplace(unfused);
+  expect_bitwise(fused, unfused, "int8 fused epilogue");
+}
+
+// Unregistered weights (no QuantizedModelWeights alive) fall back to the
+// fp32 path bitwise — a reduced-precision pin must never change results
+// for models that were not quantized.
+TEST_P(PrecisionForwardTest, UnregisteredWeightFallsBackToFp32) {
+  Tensor x = random_tensor({2, 3, 6, 6}, 7600);
+  Tensor w = random_tensor({4, 3, 3, 3}, 7601);
+  Tensor b = random_tensor({4}, 7602);
+  Tensor ref = conv2d_forward(x, w, b, 1, 1, ConvAlgo::kGemm);
+  ScopedPrecision pin(Precision::kInt8);
+  Tensor fb = conv2d_forward(x, w, b, 1, 1, ConvAlgo::kGemm);
+  expect_bitwise(ref, fb, "fp32 fallback");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, PrecisionForwardTest,
+                         ::testing::Values(Isa::kScalar, Isa::kAvx2,
+                                           Isa::kAvx512),
                          [](const ::testing::TestParamInfo<Isa>& info) {
                            return isa_name(info.param);
                          });
