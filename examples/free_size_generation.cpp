@@ -1,39 +1,71 @@
 // Free-size pattern generation via outpainting (the paper's future work;
 // cf. ChatPattern's free-size customization).
 //
-// Grows one 32x32 starter clip to 96x64 by sliding-window outpainting:
-// each window conditions on already-committed geometry, so design-rule
-// context propagates outward from the seed. The grown layout is exported
-// as PGM + ASCII GDS, and its clip-level DRC verdict printed.
+// Grows one starter clip to an arbitrary-size canvas by sliding-window
+// outpainting: each window conditions on already-committed geometry, so
+// design-rule context propagates outward from the seed. outpaint_grow is
+// the sequential wrapper over src/expand — the same planner and per-window
+// RNG streams the serve tier's wavefront scheduler uses, so a layout grown
+// here is bitwise identical to the one an `expand` request produces for
+// the same seed. The grown layout is exported as PGM + ASCII GDS, and its
+// clip-level DRC verdict printed.
+//
+// PP_FREESIZE_QUICK=1 shrinks the model and targets (16px clips, a few
+// training steps, 48x32 canvas) so the example finishes in seconds — the
+// smoke-test mode wired into ctest as example_free_size_smoke.
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 
-#include "core/outpaint.hpp"
 #include "core/patternpaint.hpp"
+#include "expand/outpaint.hpp"
 #include "io/gds_text.hpp"
 #include "io/image_io.hpp"
 #include "patterngen/track_generator.hpp"
 
 int main() {
   using namespace pp;
+  const char* quick_env = std::getenv("PP_FREESIZE_QUICK");
+  const bool quick = quick_env && quick_env[0] == '1';
+
   RuleSet rules = scale_rules_down(advance_rules(), 2);
+  const int clip = quick ? 16 : 32;
   Rng data_rng(64);
-  TrackPatternGenerator gen(track_config_for_clip(32), rules);
+  TrackPatternGenerator gen(track_config_for_clip(clip), rules);
   std::vector<Raster> starters = gen.generate(8, data_rng);
 
   PatternPaintConfig cfg = sd1_config();
-  cfg.clip_size = 32;
-  cfg.pretrain_corpus = 96;
-  cfg.pretrain_steps = 120;
-  cfg.finetune_steps = 80;
-  cfg.prior_samples = 6;
+  cfg.clip_size = clip;
+  if (quick) {
+    cfg.ddpm.T = 40;
+    cfg.ddpm.sample_steps = 4;
+    cfg.ddpm.unet.base_channels = 6;
+    cfg.ddpm.unet.groups = 2;
+    cfg.ddpm.unet.time_dim = 16;
+    cfg.pretrain_corpus = 24;
+    cfg.pretrain_steps = 8;
+    cfg.pretrain_batch = 4;
+    cfg.finetune_steps = 6;
+    cfg.finetune_batch = 4;
+    cfg.prior_samples = 2;
+  } else {
+    cfg.pretrain_corpus = 96;
+    cfg.pretrain_steps = 120;
+    cfg.finetune_steps = 80;
+    cfg.prior_samples = 6;
+  }
   PatternPaint pp(cfg, rules, /*seed=*/99);
   std::printf("training miniature model...\n");
   pp.pretrain();
   pp.finetune(starters);
 
-  std::printf("outpainting 32x32 seed to 96x64...\n");
-  Raster grown = outpaint_grow(pp, starters[0], 96, 64);
+  const int target_w = quick ? 48 : 96;
+  const int target_h = quick ? 32 : 64;
+  std::printf("outpainting %dx%d seed to %dx%d...\n", clip, clip, target_w,
+              target_h);
+  OutpaintConfig ocfg;
+  ocfg.seed = 2024;
+  Raster grown = outpaint_grow(pp, starters[0], target_w, target_h, ocfg);
 
   std::filesystem::create_directories("freesize");
   write_pgm(grown, "freesize/grown.pgm", /*scale=*/6);

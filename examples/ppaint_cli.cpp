@@ -7,6 +7,7 @@
 //   ppaint_cli stats <lib.{txt|gds}> [ruleset]
 //   ppaint_cli convert <in.{txt|gds}> <out.{txt|gds|dir}>
 //   ppaint_cli client <target> [count] [seed]
+//   ppaint_cli expand <target> <W> <H> <out_prefix> [seed.pgm] [rng_seed]
 //   ppaint_cli top <target> [iters] [interval]
 //   ppaint_cli isas
 //
@@ -405,8 +406,6 @@ int cmd_client(const std::vector<std::string>& args) {
   return 0;
 }
 
-// ---- live serve dashboard ----------------------------------------------
-
 const obs::Json* child_of(const obs::Json* o, const char* key) {
   return o ? o->find(key) : nullptr;
 }
@@ -420,6 +419,96 @@ std::string str_of(const obs::Json* o, const char* key) {
   const obs::Json* v = child_of(o, key);
   return v && v->is_string() ? v->as_string() : "?";
 }
+
+/// `ppaint_cli expand <target> <W> <H> <out_prefix> [seed.pgm] [rng_seed]`
+/// — grows an arbitrary-size layout through the serve tier's `expand`
+/// request type (wavefront-scheduled tiled outpainting) and writes the
+/// returned canvas as <out_prefix>.pgm + <out_prefix>.gds. With no seed
+/// image the expansion starts from an empty top-left window; a seed PGM
+/// must fit inside one clip window of the loaded model.
+int cmd_expand(const std::vector<std::string>& args) {
+  const std::string target = args.at(0);
+  const int target_w = std::stoi(args.at(1));
+  const int target_h = std::stoi(args.at(2));
+  const std::string out_prefix = args.at(3);
+  const std::string seed_pgm = args.size() > 4 ? args[4] : "";
+  const std::uint64_t rng_seed = args.size() > 5 ? std::stoull(args[5]) : 7;
+
+  ServeConn conn;
+  if (!open_target("expand", target, &conn)) return 1;
+  serve::LineReader reader(conn.in_fd);
+  auto send = [&](const obs::Json& j) {
+    return serve::write_line_fd(conn.out_fd, j.dump());
+  };
+
+  // Tiny untrained model — enough to exercise the pipeline end to end;
+  // point a checkpointed server at real weights for production canvases.
+  obs::Json req = obs::Json::object();
+  req.set("id", obs::Json(1));
+  req.set("op", obs::Json("load"));
+  req.set("model", obs::Json("cli"));
+  req.set("preset", obs::Json("sd1"));
+  req.set("clip", obs::Json(16));
+  req.set("timesteps", obs::Json(40));
+  req.set("sample_steps", obs::Json(4));
+  req.set("base_channels", obs::Json(6));
+  req.set("time_dim", obs::Json(16));
+  obs::Json resp;
+  if (!send(req) || !await_response(reader, 1, &resp)) return 1;
+  bool ok = false;
+  serve::get_bool(resp, "ok", false, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "expand: load failed: %s\n", resp.dump().c_str());
+    return 1;
+  }
+
+  req = obs::Json::object();
+  req.set("id", obs::Json(2));
+  req.set("op", obs::Json("expand"));
+  req.set("model", obs::Json("cli"));
+  req.set("seed", obs::Json(rng_seed));
+  req.set("target_w", obs::Json(target_w));
+  req.set("target_h", obs::Json(target_h));
+  req.set("steps", obs::Json(2));
+  if (!seed_pgm.empty())
+    req.set("seed_raster", serve::raster_to_json(read_pgm(seed_pgm)));
+  if (!send(req) || !await_response(reader, 2, &resp)) return 1;
+  serve::get_bool(resp, "ok", false, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "expand: request failed: %s\n", resp.dump().c_str());
+    return 1;
+  }
+
+  const obs::Json* pats = resp.find("patterns");
+  Raster canvas;
+  if (!pats || pats->size() != 1 ||
+      !serve::raster_from_json(pats->at(0), &canvas)) {
+    std::fprintf(stderr, "expand: response carried no canvas\n");
+    return 1;
+  }
+  write_pgm(canvas, out_prefix + ".pgm");
+  write_gds_text({canvas}, out_prefix + ".gds");
+
+  const obs::Json* x = resp.find("expand");
+  std::printf("expanded to %dx%d px: %.0f windows in %.0f waves, "
+              "%.0f seam violations, DRC pass %.3f\n",
+              canvas.width(), canvas.height(), num_of(x, "windows"),
+              num_of(x, "waves"), num_of(x, "seam_violations"),
+              num_of(x, "drc_pass_rate"));
+  std::printf("wrote %s.pgm and %s.gds\n", out_prefix.c_str(),
+              out_prefix.c_str());
+
+  if (conn.child > 0) {
+    req = obs::Json::object();
+    req.set("id", obs::Json(3));
+    req.set("op", obs::Json("shutdown"));
+    send(req);
+    await_response(reader, 3, &resp);
+  }
+  return 0;
+}
+
+// ---- live serve dashboard ----------------------------------------------
 
 void render_top_frame(int frame, const obs::Json& health_resp,
                       const obs::Json& metrics_resp,
@@ -549,6 +638,8 @@ void usage() {
       "  ppaint_cli stats <lib.{txt|gds}> [ruleset]\n"
       "  ppaint_cli convert <in.{txt|gds}> <out.{txt|gds|dir}>\n"
       "  ppaint_cli client <target> [count] [seed]\n"
+      "  ppaint_cli expand <target> <W> <H> <out_prefix> [seed.pgm] "
+      "[rng_seed]\n"
       "  ppaint_cli top <target> [iterations] [interval_ms]\n"
       "  ppaint_cli isas\n"
       "serve targets: <uds-path> | tcp:host:port | spawn:<serve_binary> |\n"
@@ -573,6 +664,7 @@ int main(int argc, char** argv) {
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "convert") return cmd_convert(args);
     if (cmd == "client") return cmd_client(args);
+    if (cmd == "expand") return cmd_expand(args);
     if (cmd == "top") return cmd_top(args);
     if (cmd == "isas") return cmd_isas(args);
     usage();

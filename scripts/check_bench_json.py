@@ -64,7 +64,8 @@ INT8_SPEEDUP_MIN = 1.5
 REQLOG_STR_FIELDS = ("event", "op", "model", "outcome", "code", "precision")
 REQLOG_NUM_FIELDS = ("ts_ms", "id", "seed", "count", "steps", "eta",
                      "queue_ms", "run_ms", "e2e_ms", "step_batches",
-                     "batch_peak")
+                     "batch_peak", "target_w", "target_h", "windows",
+                     "waves")
 # Network-tier acceptance line (bench_serve serve_tcp): every client must
 # be accounted for (ok + rejected = clients, no drops) and every cache-hit
 # replay must have come back bitwise identical to its cold generation.
@@ -72,7 +73,25 @@ SERVE_TCP_REQUIRED = {"clients", "requests", "ok", "rejected", "cache_hits",
                       "cache_misses", "hit_bitwise", "hit_expected",
                       "shards_active"}
 REQLOG_OUTCOMES = ("ok", "rejected", "timeout", "cancelled", "error")
-REQLOG_OPS = ("sample", "inpaint")
+REQLOG_OPS = ("sample", "inpaint", "expand")
+# Expansion-bench acceptance lines (bench_expand). expand_ab proves the
+# wavefront schedule is a pure latency optimization: the canvases MUST be
+# bitwise identical to the sequential schedule on the same plan, and on
+# hosts with >= EXPAND_MIN_CPUS cores and an equally wide pool the
+# wavefront must be >= EXPAND_SPEEDUP_MIN x faster. On narrower hosts the
+# speedup gate is vacuous (batched windows have no cores to spread over —
+# a 1-CPU container measures ~1.0x), mirroring the avx512 capability skip;
+# the cpus/threads fields in the line are the evidence the gate consulted.
+# expand_1024 is the arbitrary-size acceptance artifact: a streamed canvas
+# of at least EXPAND_MIN_PIXELS with its quality counters attached.
+EXPAND_AB_REQUIRED = {"sequential_ms", "speedup", "bitwise_identical",
+                      "windows", "waves", "drc_pass_rate", "threads", "cpus"}
+EXPAND_1024_REQUIRED = {"target_w", "target_h", "windows", "waves",
+                        "windows_per_s", "seam_violations", "drc_pass_rate",
+                        "threads", "cpus"}
+EXPAND_SPEEDUP_MIN = 2.0
+EXPAND_MIN_CPUS = 4
+EXPAND_MIN_PIXELS = 1024 * 1024
 
 
 def _num(v):
@@ -190,6 +209,35 @@ def validate_bench_line(doc):
                 errs.append("serve_tcp cache hit was not bitwise identical")
             if doc["shards_active"] < 1:
                 errs.append("serve_tcp: no executor shard served traffic")
+    if doc.get("bench") == "expand_ab":
+        missing = EXPAND_AB_REQUIRED - set(doc)
+        if missing:
+            errs.append(f"expand_ab line missing {sorted(missing)}")
+        elif all(_num(doc[k]) for k in EXPAND_AB_REQUIRED):
+            if doc["bitwise_identical"] != 1:
+                errs.append("expand_ab: wavefront canvas diverged from the "
+                            "sequential schedule (bitwise_identical != 1)")
+            if not 0 <= doc["drc_pass_rate"] <= 1:
+                errs.append("expand_ab: drc_pass_rate must be in [0, 1]")
+            if (doc["cpus"] >= EXPAND_MIN_CPUS
+                    and doc["threads"] >= EXPAND_MIN_CPUS
+                    and doc["speedup"] < EXPAND_SPEEDUP_MIN):
+                errs.append(
+                    f"expand_ab: wavefront speedup {doc['speedup']:.2f}x "
+                    f"below the {EXPAND_SPEEDUP_MIN}x floor on a "
+                    f"{doc['cpus']:.0f}-CPU host")
+    if doc.get("bench") == "expand_1024":
+        missing = EXPAND_1024_REQUIRED - set(doc)
+        if missing:
+            errs.append(f"expand_1024 line missing {sorted(missing)}")
+        elif all(_num(doc[k]) for k in EXPAND_1024_REQUIRED):
+            if doc["target_w"] * doc["target_h"] < EXPAND_MIN_PIXELS:
+                errs.append("expand_1024: canvas below the 1024x1024 "
+                            "acceptance size")
+            if doc["windows"] < 1 or doc["waves"] < 1:
+                errs.append("expand_1024: windows and waves must be >= 1")
+            if not 0 <= doc["drc_pass_rate"] <= 1:
+                errs.append("expand_1024: drc_pass_rate must be in [0, 1]")
     for key, v in doc.items():
         if not isinstance(v, (str, int, float)) or isinstance(v, bool):
             errs.append(f"field '{key}' must be a scalar")
@@ -417,6 +465,18 @@ def selfcheck():
          "mid_count": 50, "final_rolling_p95_ms": 14.0, "final_p95_ms": 16.1,
          "bucket_ratio": 1.5, "within_bucket": 1, "request_log_lines": 60,
          "requests": 60, "log_complete": 1, "health_ok": 1},
+        # Wide host: the >= 2x wavefront gate applies and is satisfied.
+        {"bench": "expand_ab", "ms": 300.0, "sequential_ms": 900.0,
+         "speedup": 3.0, "bitwise_identical": 1, "windows": 529,
+         "waves": 45, "drc_pass_rate": 0.8, "threads": 8, "cpus": 8},
+        # 1-CPU container: ~1.0x is expected and must PASS (gate vacuous).
+        {"bench": "expand_ab", "ms": 620.7, "sequential_ms": 627.3,
+         "speedup": 1.01, "bitwise_identical": 1, "windows": 529,
+         "waves": 45, "drc_pass_rate": 0.006, "threads": 1, "cpus": 1},
+        {"bench": "expand_1024", "ms": 18774.8, "target_w": 1024,
+         "target_h": 1024, "windows": 16129, "waves": 253,
+         "windows_per_s": 859.0, "seam_violations": 14388,
+         "drc_pass_rate": 0.006, "threads": 1, "cpus": 1},
     ]
     bad_lines = [
         {"ms": 1.0},
@@ -468,6 +528,26 @@ def selfcheck():
          "hit_bitwise": 0, "hit_expected": 0, "shards_active": 2},
         {"bench": "serve_tcp", "ms": 1.0, "clients": 100, "ok": 50,
          "rejected": 50},
+        # Expand lines: a diverged canvas, a wide host below the 2x floor,
+        # an undersized acceptance canvas, and missing accounting fields
+        # are all failures.
+        {"bench": "expand_ab", "ms": 300.0, "sequential_ms": 900.0,
+         "speedup": 3.0, "bitwise_identical": 0, "windows": 529,
+         "waves": 45, "drc_pass_rate": 0.8, "threads": 8, "cpus": 8},
+        {"bench": "expand_ab", "ms": 800.0, "sequential_ms": 960.0,
+         "speedup": 1.2, "bitwise_identical": 1, "windows": 529,
+         "waves": 45, "drc_pass_rate": 0.8, "threads": 8, "cpus": 8},
+        {"bench": "expand_ab", "ms": 300.0, "sequential_ms": 900.0,
+         "speedup": 3.0, "bitwise_identical": 1, "windows": 529,
+         "waves": 45, "drc_pass_rate": 1.5, "threads": 8, "cpus": 8},
+        {"bench": "expand_ab", "ms": 300.0, "speedup": 3.0,
+         "bitwise_identical": 1},
+        {"bench": "expand_1024", "ms": 5000.0, "target_w": 512,
+         "target_h": 512, "windows": 4000, "waves": 127,
+         "windows_per_s": 800.0, "seam_violations": 10,
+         "drc_pass_rate": 0.5, "threads": 1, "cpus": 1},
+        {"bench": "expand_1024", "ms": 5000.0, "target_w": 1024,
+         "target_h": 1024, "windows": 16129, "waves": 253},
     ]
 
     good_events = [
@@ -476,18 +556,28 @@ def selfcheck():
          "outcome": "ok", "code": "none", "precision": "fp32",
          "queue_ms": 0.4, "run_ms": 3.1,
          "e2e_ms": 3.6, "step_batches": 4, "batch_peak": 2,
+         "target_w": 0, "target_h": 0, "windows": 0, "waves": 0,
          "joined_running": True, "cached": False},
         {"event": "serve.request", "ts_ms": 14.0, "id": 9, "op": "sample",
          "model": "bench", "seed": 7, "count": 1, "steps": 4, "eta": -1.0,
          "outcome": "ok", "code": "none", "precision": "fp32",
          "queue_ms": 0.0, "run_ms": 0.0,
          "e2e_ms": 0.1, "step_batches": 0, "batch_peak": 0,
+         "target_w": 0, "target_h": 0, "windows": 0, "waves": 0,
          "joined_running": False, "cached": True},
         {"event": "serve.request", "ts_ms": 13.0, "id": 8, "op": "inpaint",
          "model": "bench", "seed": 8, "count": 2, "steps": 0, "eta": 0.5,
          "outcome": "rejected", "code": "queue_full", "precision": "fp64",
          "queue_ms": 0.0,
          "run_ms": 0.0, "e2e_ms": 0.0, "step_batches": 0, "batch_peak": 0,
+         "target_w": 0, "target_h": 0, "windows": 0, "waves": 0,
+         "joined_running": False, "cached": False},
+        {"event": "serve.request", "ts_ms": 15.0, "id": 10, "op": "expand",
+         "model": "bench", "seed": 11, "count": 1, "steps": 2, "eta": -1.0,
+         "outcome": "ok", "code": "none", "precision": "fp32",
+         "queue_ms": 0.2, "run_ms": 45.0,
+         "e2e_ms": 45.3, "step_batches": 6, "batch_peak": 3,
+         "target_w": 48, "target_h": 32, "windows": 15, "waves": 7,
          "joined_running": False, "cached": False},
     ]
     bad_events = [
@@ -500,6 +590,8 @@ def selfcheck():
         {**good_events[0], "e2e_ms": "fast"},
         {**good_events[0], "run_ms": -1.0},
         {k: v for k, v in good_events[0].items() if k != "step_batches"},
+        {k: v for k, v in good_events[0].items() if k != "windows"},
+        {k: v for k, v in good_events[3].items() if k != "target_w"},
         {k: v for k, v in good_events[0].items() if k != "cached"},
         {k: v for k, v in good_events[0].items() if k != "precision"},
         {**good_events[0], "precision": "fp16"},

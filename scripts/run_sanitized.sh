@@ -97,6 +97,49 @@ fi
 rm -f "$reqlog"
 echo "serve continuous-batching round-trip OK (telemetry scraped mid-load)"
 
+# Expansion round-trip: the serve-side `expand` request type (wavefront
+# tiled outpainting) in its own session with its own request log — a small
+# ok canvas, an admission reject (target below the clip), and a big canvas
+# cancelled mid-expansion (the scheduler aborts between waves; a cancelled
+# run must never insert into the generation cache). Under the sanitizers a
+# stale WindowWork pointer in the feed/commit path or a canvas
+# double-commit would burn.
+echo "=== serve expand round-trip ==="
+xreqlog=$(mktemp /tmp/pp_xreqlog.XXXXXX)
+expand_out=$("$BUILD_DIR"/examples/ppaint_serve pipe --request-log "$xreqlog" <<'NDJSON'
+{"id":1,"op":"load","model":"xp","preset":"sd1","clip":16,"timesteps":40,"sample_steps":4,"base_channels":6,"time_dim":16}
+{"id":2,"op":"expand","model":"xp","seed":31,"target_w":32,"target_h":32,"steps":2}
+{"id":3,"op":"expand","model":"xp","seed":32,"target_w":8,"target_h":8,"steps":2}
+{"id":4,"op":"expand","model":"xp","seed":33,"target_w":256,"target_h":256,"steps":2}
+{"id":5,"op":"cancel","target":4}
+{"id":6,"op":"shutdown"}
+NDJSON
+)
+for marker in '"expand":' '"windows":' '"waves":' '"code":"bad_request"' \
+    '"code":"cancelled"'; do
+  if ! grep -qF "$marker" <<<"$expand_out"; then
+    echo "expand round-trip missing $marker:" >&2
+    echo "$expand_out" >&2
+    exit 1
+  fi
+done
+# All three expand requests (ok + reject + cancelled) must be in the wide-
+# event log with the expand accounting fields, and schema-validate.
+python3 scripts/check_bench_json.py --request-log "$xreqlog"
+expand_logged=$(grep -cF '"op":"expand"' "$xreqlog")
+if [ "$expand_logged" -ne 3 ]; then
+  echo "request log: expected 3 expand lines, got $expand_logged:" >&2
+  cat "$xreqlog" >&2
+  exit 1
+fi
+if ! grep -qF '"target_w":32' "$xreqlog"; then
+  echo "request log: expand target dims not logged:" >&2
+  cat "$xreqlog" >&2
+  exit 1
+fi
+rm -f "$xreqlog"
+echo "serve expand round-trip OK (ok + bad_request + cancelled)"
+
 # Network-tier round-trip: ppaint_cli spawns ppaint_serve in tcp mode on a
 # kernel-assigned port and drives a generation through the epoll loop —
 # accept, nonblocking line framing, async response sink, graceful shutdown

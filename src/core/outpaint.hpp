@@ -1,35 +1,7 @@
-// Free-size pattern generation by iterative outpainting.
-//
-// The paper lists "support larger size pattern generation" as future work
-// (and compares against ChatPattern, which targets free-size generation).
-// This module grows a clip-sized seed pattern to an arbitrary canvas by
-// sliding a clip-sized window over the canvas with 50% overlap: in every
-// window, already-committed pixels condition the model (RePaint known
-// region) and the uncovered remainder is inpainted, template-denoised and
-// committed. The seed pixels are never modified.
-//
-// The result is a layout of arbitrary size whose every window was generated
-// under the same rule-conditioned inpainting as normal PatternPaint clips;
-// clip-level DRC of the final canvas decides acceptance.
+// Forwarding header: outpaint_grow moved into the expansion subsystem
+// (src/expand/outpaint.hpp), where it is a thin sequential wrapper over the
+// wavefront planner/expander. Kept so existing includes of
+// "core/outpaint.hpp" keep compiling; link pp_expand to use it.
 #pragma once
 
-#include "core/patternpaint.hpp"
-
-namespace pp {
-
-struct OutpaintConfig {
-  /// Window step as a fraction of the clip (0.5 = 50% overlap).
-  double step_fraction = 0.5;
-  /// Denoise each committed window against its pre-inpaint content.
-  bool denoise_windows = true;
-};
-
-/// Grows `seed` (clip-sized or smaller) to a target_w x target_h canvas.
-/// The seed is placed at the top-left; windows are generated left-to-right,
-/// top-to-bottom. Throws pp::Error when the target is smaller than the seed
-/// or not divisible by 4 (UNet constraint applies per window, which is
-/// always clip-sized, so only seed/target consistency is checked).
-Raster outpaint_grow(PatternPaint& painter, const Raster& seed, int target_w,
-                     int target_h, const OutpaintConfig& cfg = {});
-
-}  // namespace pp
+#include "expand/outpaint.hpp"

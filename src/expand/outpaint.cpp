@@ -1,0 +1,15 @@
+#include "expand/outpaint.hpp"
+
+namespace pp {
+
+Raster outpaint_grow(PatternPaint& painter, const Raster& seed, int target_w,
+                     int target_h, const OutpaintConfig& cfg) {
+  expand::ExpandConfig ec;
+  ec.step_fraction = cfg.step_fraction;
+  ec.denoise_windows = cfg.denoise_windows;
+  expand::ExpandResult result = expand::expand_layout(
+      painter, seed, target_w, target_h, cfg.seed, ec, /*batch_limit=*/1);
+  return std::move(result.canvas);
+}
+
+}  // namespace pp

@@ -1,0 +1,37 @@
+// Free-size pattern generation by iterative outpainting — the thin
+// sequential wrapper over the expansion subsystem.
+//
+// Historically this was a standalone loop in src/core; it is now exactly
+// expand_layout() with batch_limit = 1 (one window per model call, row-major
+// wave order), so the sequential path and the wavefront scheduler cannot
+// drift: both run the same planner, the same per-window RNG stream bases,
+// the same seam-aware denoise + commit — and produce bitwise-identical
+// canvases (expand_test's equivalence test enforces it).
+#pragma once
+
+#include <cstdint>
+
+#include "core/patternpaint.hpp"
+#include "expand/expander.hpp"
+
+namespace pp {
+
+struct OutpaintConfig {
+  /// Window step as a fraction of the clip (0.5 = 50% overlap).
+  double step_fraction = 0.5;
+  /// Denoise each committed window against its pre-inpaint content.
+  bool denoise_windows = true;
+  /// Request seed: every window's RNG stream derives from (seed, window
+  /// index), so the grown canvas is a pure function of the inputs.
+  std::uint64_t seed = 0;
+};
+
+/// Grows `seed` (clip-sized or smaller) to a target_w x target_h canvas.
+/// The seed is placed at the top-left; windows are generated left-to-right,
+/// top-to-bottom. Throws pp::Error on non-positive targets, targets smaller
+/// than the clip, seeds larger than the clip, or an out-of-domain
+/// step_fraction.
+Raster outpaint_grow(PatternPaint& painter, const Raster& seed, int target_w,
+                     int target_h, const OutpaintConfig& cfg = {});
+
+}  // namespace pp

@@ -1,0 +1,92 @@
+#include "io/stream_export.hpp"
+
+#include "common/error.hpp"
+#include "geometry/polygon.hpp"
+
+namespace pp {
+
+PgmStreamWriter::PgmStreamWriter(const std::string& path, int width,
+                                 int height)
+    : out_(path, std::ios::binary), path_(path), width_(width),
+      height_(height) {
+  PP_REQUIRE(width > 0 && height > 0);
+  PP_REQUIRE_MSG(out_.good(), "cannot open for writing: " + path);
+  out_ << "P5\n" << width << " " << height << "\n255\n";
+}
+
+PgmStreamWriter::~PgmStreamWriter() = default;
+
+void PgmStreamWriter::write_band(const Raster& band) {
+  PP_REQUIRE_MSG(!closed_, "PGM stream already closed");
+  PP_REQUIRE_MSG(band.width() == width_, "PGM band width mismatch");
+  PP_REQUIRE_MSG(rows_written_ + band.height() <= height_,
+                 "PGM band overflows the declared height");
+  std::string row(static_cast<std::size_t>(width_), '\0');
+  for (int y = 0; y < band.height(); ++y) {
+    for (int x = 0; x < width_; ++x)
+      row[static_cast<std::size_t>(x)] =
+          band(x, y) ? static_cast<char>(255) : 0;
+    out_.write(row.data(), static_cast<std::streamsize>(row.size()));
+  }
+  rows_written_ += band.height();
+}
+
+void PgmStreamWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  PP_REQUIRE_MSG(rows_written_ == height_,
+                 "PGM stream closed before every row was written: " + path_);
+  out_.flush();
+  PP_REQUIRE_MSG(out_.good(), "write failed: " + path_);
+  out_.close();
+}
+
+GdsTextStreamWriter::GdsTextStreamWriter(const std::string& path, int width,
+                                         int height, int layer, int datatype,
+                                         const std::string& libname)
+    : out_(path), path_(path), width_(width), height_(height), layer_(layer),
+      datatype_(datatype) {
+  PP_REQUIRE(width > 0 && height > 0);
+  PP_REQUIRE_MSG(out_.good(), "cannot open GDS for writing: " + path);
+  out_ << "HEADER 600\n";
+  out_ << "BGNLIB\n";
+  out_ << "LIBNAME " << libname << "\n";
+  out_ << "UNITS 0.001 1e-09\n";
+  out_ << "BGNSTR\n";
+  out_ << "STRNAME pattern_0_w" << width << "_h" << height << "\n";
+}
+
+GdsTextStreamWriter::~GdsTextStreamWriter() = default;
+
+void GdsTextStreamWriter::write_band(int y0, const Raster& band) {
+  PP_REQUIRE_MSG(!closed_, "GDS stream already closed");
+  PP_REQUIRE_MSG(band.width() == width_, "GDS band width mismatch");
+  PP_REQUIRE_MSG(y0 == rows_written_, "GDS bands must arrive in row order");
+  PP_REQUIRE_MSG(y0 + band.height() <= height_,
+                 "GDS band overflows the declared height");
+  for (const Rect& rect : decompose_rectangles(band)) {
+    out_ << "BOUNDARY\n";
+    out_ << "LAYER " << layer_ << "\n";
+    out_ << "DATATYPE " << datatype_ << "\n";
+    out_ << "XY 5 " << rect.x0 << " " << (rect.y0 + y0) << " " << rect.x1
+         << " " << (rect.y0 + y0) << " " << rect.x1 << " " << (rect.y1 + y0)
+         << " " << rect.x0 << " " << (rect.y1 + y0) << " " << rect.x0 << " "
+         << (rect.y0 + y0) << "\n";
+    out_ << "ENDEL\n";
+  }
+  rows_written_ = y0 + band.height();
+}
+
+void GdsTextStreamWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  PP_REQUIRE_MSG(rows_written_ == height_,
+                 "GDS stream closed before every row was written: " + path_);
+  out_ << "ENDSTR\n";
+  out_ << "ENDLIB\n";
+  out_.flush();
+  PP_REQUIRE_MSG(out_.good(), "GDS write failed: " + path_);
+  out_.close();
+}
+
+}  // namespace pp

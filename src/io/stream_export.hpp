@@ -1,0 +1,73 @@
+// Streaming (row-band) exporters for arbitrary-size layouts.
+//
+// The expansion subsystem finalizes a canvas top-to-bottom in row bands
+// (expand::ExpandCanvas::BandSink) so memory stays bounded at full-chip
+// scale; these writers consume exactly that stream: construct with the full
+// canvas dimensions, feed bands in order, close. Formats match the
+// whole-raster writers bit-for-bit where possible:
+//   * PgmStreamWriter — binary P5, metal = white, scale 1; identical bytes
+//     to write_pgm(canvas, path).
+//   * GdsTextStreamWriter — the write_gds_text ASCII dialect, one structure
+//     named "pattern_0_w<W>_h<H>", one BOUNDARY per rectangle of each
+//     band's slab decomposition (rectangle soup; shapes crossing a band
+//     boundary simply split, which rasterizes identically through
+//     read_gds_text).
+#pragma once
+
+#include <fstream>
+#include <string>
+
+#include "geometry/raster.hpp"
+
+namespace pp {
+
+struct GdsTextOptions;
+
+class PgmStreamWriter {
+ public:
+  /// Opens `path` and writes the P5 header for a width x height image.
+  /// Throws pp::Error on I/O failure.
+  PgmStreamWriter(const std::string& path, int width, int height);
+  ~PgmStreamWriter();
+
+  /// Appends one row band (band.width() must equal the canvas width).
+  void write_band(const Raster& band);
+
+  /// Verifies every row arrived and the stream is healthy (throws
+  /// otherwise). Idempotent; the destructor closes without checking.
+  void close();
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  int width_, height_;
+  int rows_written_ = 0;
+  bool closed_ = false;
+};
+
+class GdsTextStreamWriter {
+ public:
+  /// Opens `path` and writes the library prologue + the single structure
+  /// header for a width x height canvas. Throws pp::Error on I/O failure.
+  GdsTextStreamWriter(const std::string& path, int width, int height,
+                      int layer = 10, int datatype = 0,
+                      const std::string& libname = "PPLIB");
+  ~GdsTextStreamWriter();
+
+  /// Emits the band's rectangles, offset to canvas row `y0`.
+  void write_band(int y0, const Raster& band);
+
+  /// Writes ENDSTR/ENDLIB and verifies full coverage + stream health.
+  /// Idempotent; the destructor closes the file without checking.
+  void close();
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  int width_, height_;
+  int layer_, datatype_;
+  int rows_written_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace pp

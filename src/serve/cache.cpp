@@ -44,7 +44,9 @@ std::string generation_cache_key(const GenRequest& req,
   key += entry.spec.key;
   key += '|';
   append_u64(key, static_cast<std::uint64_t>(entry.generation));
-  key += req.op == GenRequest::Op::kInpaint ? "inpaint|" : "sample|";
+  key += req.op == GenRequest::Op::kInpaint  ? "inpaint|"
+         : req.op == GenRequest::Op::kExpand ? "expand|"
+                                             : "sample|";
   append_u64(key, req.seed);
   append_u64(key, static_cast<std::uint64_t>(req.count));
   key += req.finish ? "f1|" : "f0|";
@@ -63,6 +65,13 @@ std::string generation_cache_key(const GenRequest& req,
     append_u64(key, raster_hash2(req.tmpl));
     append_u64(key, req.mask.hash());
     append_u64(key, raster_hash2(req.mask));
+  } else if (req.op == GenRequest::Op::kExpand) {
+    // Target dims are part of the identity (a 64x64 grow is not a 96x64
+    // grow of the same seed), plus the dual-hashed seed raster.
+    append_u64(key, static_cast<std::uint64_t>(req.target_w));
+    append_u64(key, static_cast<std::uint64_t>(req.target_h));
+    append_u64(key, req.tmpl.hash());
+    append_u64(key, raster_hash2(req.tmpl));
   }
   return key;
 }

@@ -51,6 +51,16 @@ obs::Json GenResponse::to_json() const {
   o.set("e2e_ms", obs::Json(e2e_ms));
   o.set("batch_samples", obs::Json(batch_samples));
   o.set("cached", obs::Json(cached));
+  if (is_expand) {
+    obs::Json x = obs::Json::object();
+    x.set("windows", obs::Json(expand_windows));
+    x.set("waves", obs::Json(expand_waves));
+    x.set("seam_violations", obs::Json(expand_seam_violations));
+    x.set("drc_pass_rate", obs::Json(expand_drc_pass_rate));
+    x.set("target_w", obs::Json(target_w));
+    x.set("target_h", obs::Json(target_h));
+    o.set("expand", std::move(x));
+  }
   return o;
 }
 
@@ -138,8 +148,10 @@ bool gen_request_from_json(const obs::Json& j, GenRequest* out,
     out->op = GenRequest::Op::kSample;
   } else if (op == "inpaint") {
     out->op = GenRequest::Op::kInpaint;
+  } else if (op == "expand") {
+    out->op = GenRequest::Op::kExpand;
   } else {
-    return fail("op must be 'sample' or 'inpaint'");
+    return fail("op must be 'sample', 'inpaint' or 'expand'");
   }
   if (!get_u64(j, "id", 0, &out->id)) return fail("id must be a whole number");
   out->model = get_string(j, "model", "");
@@ -161,6 +173,16 @@ bool gen_request_from_json(const obs::Json& j, GenRequest* out,
   const obs::Json* pf = j.find("precision");
   if (pf && !pf->is_string()) return fail("precision must be a string");
   out->precision = get_string(j, "precision", "fp32");
+  if (out->op == GenRequest::Op::kExpand) {
+    if (!get_int(j, "target_w", 0, &out->target_w) ||
+        !get_int(j, "target_h", 0, &out->target_h))
+      return fail("target_w/target_h must be integers");
+    if (!j.find("target_w") || !j.find("target_h"))
+      return fail("expand needs 'target_w' and 'target_h'");
+    const obs::Json* sr = j.find("seed_raster");
+    if (sr && !raster_from_json(*sr, &out->tmpl))
+      return fail("'seed_raster' must be non-empty ASCII art");
+  }
   if (out->op == GenRequest::Op::kInpaint) {
     const obs::Json* tmpl = j.find("template");
     if (!tmpl || !raster_from_json(*tmpl, &out->tmpl))

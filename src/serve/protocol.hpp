@@ -12,6 +12,21 @@
 //   inpaint  {"id", "op":"inpaint", "model", "seed", "count", "finish",
 //             "deadline_ms", "steps", "eta", "precision",
 //             "template":<ascii>, "mask":<ascii>|"mask_id":k}
+//   expand   {"id", "op":"expand", "model", "seed", "target_w", "target_h",
+//             "finish", "deadline_ms", "steps", "eta", "precision",
+//             "seed_raster":<ascii> (optional, placed top-left)}
+//            -> one arbitrary-size canvas grown by wavefront tiled
+//            outpainting: the target decomposes into overlapping clip-sized
+//            windows (left/top dependencies), anti-diagonal waves of
+//            independent windows feed the continuous-batching executor, and
+//            every window's RNG stream derives from (seed, window index) —
+//            so the canvas is a pure function of the request, bitwise
+//            identical to the sequential library path (outpaint_grow).
+//            Bounds are admission-validated (positive targets >= clip,
+//            seed_raster <= clip, target edge <= 4096, count == 1 ->
+//            "bad_request"); cancellation takes effect between waves. The
+//            response adds {"expand": {"windows", "waves",
+//            "seam_violations", "drc_pass_rate", "target_w", "target_h"}}.
 //
 // "steps" / "eta" are per-request sampler knobs (quality-vs-latency): the
 // strided denoising step count in [2, model T] (0 / absent = model default)
@@ -69,9 +84,9 @@ enum class ErrorCode {
 
 const char* error_code_name(ErrorCode code);
 
-/// A generation request (ops "sample" and "inpaint").
+/// A generation request (ops "sample", "inpaint" and "expand").
 struct GenRequest {
-  enum class Op { kSample, kInpaint };
+  enum class Op { kSample, kInpaint, kExpand };
 
   std::uint64_t id = 0;
   Op op = Op::kSample;
@@ -88,9 +103,12 @@ struct GenRequest {
   std::string precision = "fp32";  ///< inference tier: fp32|bf16|int8.
                                    ///< Validated at admission; part of the
                                    ///< cache key, so hits never cross tiers
-  Raster tmpl;               ///< inpaint only: template pattern
+  Raster tmpl;               ///< inpaint: template pattern; expand: the
+                             ///< optional seed raster (placed top-left)
   Raster mask;               ///< inpaint only: 1 = region to regenerate
   int mask_id = -1;          ///< inpaint alternative: predefined mask index
+  int target_w = 0;          ///< expand only: canvas width
+  int target_h = 0;          ///< expand only: canvas height
 };
 
 /// Result of one generation request.
@@ -105,6 +123,13 @@ struct GenResponse {
   int batch_samples = 0;          ///< size of the micro-batch that served it
   bool cached = false;            ///< served from the generation cache
                                   ///< (bitwise identical to cold execution)
+  // Expansion summary (op "expand" only; is_expand gates the wire field).
+  bool is_expand = false;
+  int expand_windows = 0;         ///< windows the model generated
+  int expand_waves = 0;           ///< anti-diagonal waves completed
+  std::uint64_t expand_seam_violations = 0;
+  double expand_drc_pass_rate = 1.0;  ///< clean / checked window crops
+  int target_w = 0, target_h = 0;
 
   bool ok() const { return error == ErrorCode::kNone; }
 

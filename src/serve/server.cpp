@@ -4,8 +4,11 @@
 #include <chrono>
 #include <utility>
 
+#include <unordered_map>
+
 #include "common/error.hpp"
 #include "diffusion/convert.hpp"
+#include "expand/expander.hpp"
 #include "diffusion/ddpm.hpp"
 #include "nn/quant.hpp"
 #include "obs/expo.hpp"
@@ -87,8 +90,19 @@ void register_serve_section() {
 }
 
 const char* op_name(GenRequest::Op op) {
-  return op == GenRequest::Op::kInpaint ? "inpaint" : "sample";
+  switch (op) {
+    case GenRequest::Op::kInpaint:
+      return "inpaint";
+    case GenRequest::Op::kExpand:
+      return "expand";
+    default:
+      return "sample";
+  }
 }
+
+/// Serve-side ceiling on one expansion edge: bounds executor occupancy and
+/// response size (the canvas travels as ASCII), far above any clip size.
+constexpr int kMaxExpandEdge = 4096;
 
 /// Resolves a request's precision string (validated at admission) to the
 /// kernel-layer tier; unknown strings cannot reach here, fp32 is the
@@ -123,7 +137,8 @@ const char* outcome_name(ErrorCode code) {
 obs::Json request_event(const GenRequest& req, ErrorCode code,
                         double queue_ms, double run_ms, double e2e_ms,
                         int step_batches, int batch_peak,
-                        bool joined_running, bool cached) {
+                        bool joined_running, bool cached, int windows,
+                        int waves) {
   obs::Json o = obs::Json::object();
   o.set("event", obs::Json("serve.request"));
   o.set("ts_ms", obs::Json(static_cast<double>(obs::trace_now_ns()) / 1e6));
@@ -144,6 +159,12 @@ obs::Json request_event(const GenRequest& req, ErrorCode code,
   o.set("batch_peak", obs::Json(batch_peak));
   o.set("joined_running", obs::Json(joined_running));
   o.set("cached", obs::Json(cached));
+  // Expansion progress (0 for sample/inpaint): committed windows and
+  // completed waves, plus the request's target dims.
+  o.set("target_w", obs::Json(req.target_w));
+  o.set("target_h", obs::Json(req.target_h));
+  o.set("windows", obs::Json(windows));
+  o.set("waves", obs::Json(waves));
   return o;
 }
 
@@ -289,7 +310,7 @@ void GenerationServer::finish_response(const PendingPtr& p, GenResponse resp) {
     reqlog_.write(request_event(p->req, resp.error, p->wait_ms_snapshot,
                                 run_ms, resp.e2e_ms, p->step_batches,
                                 resp.batch_samples, p->joined_running,
-                                false));
+                                false, p->expand_windows, p->expand_waves));
   }
   if (p->done) p->done(std::move(resp));
 }
@@ -297,7 +318,7 @@ void GenerationServer::finish_response(const PendingPtr& p, GenResponse resp) {
 void GenerationServer::log_reject(const GenRequest& req, ErrorCode code) {
   if (reqlog_.enabled())
     reqlog_.write(
-        request_event(req, code, 0.0, 0.0, 0.0, 0, 0, false, false));
+        request_event(req, code, 0.0, 0.0, 0.0, 0, 0, false, false, 0, 0));
 }
 
 void GenerationServer::submit(GenRequest req,
@@ -346,6 +367,29 @@ void GenerationServer::submit(GenRequest req,
     }
   }
   const int clip = entry->cfg.clip_size;
+  if (req.op == GenRequest::Op::kExpand) {
+    // Same validator as the library path (expand_request_problem), so the
+    // two layers reject identical inputs with identical reasons — here as
+    // a structured bad_request instead of a typed pp::Error.
+    if (req.count != 1) {
+      reject(ErrorCode::kBadRequest,
+             "expand produces exactly one canvas (count must be 1)");
+      return;
+    }
+    if (req.target_w > kMaxExpandEdge || req.target_h > kMaxExpandEdge) {
+      reject(ErrorCode::kBadRequest,
+             "expand target edge exceeds the serve limit (" +
+                 std::to_string(kMaxExpandEdge) + ")");
+      return;
+    }
+    const std::string problem = expand::expand_request_problem(
+        req.target_w, req.target_h, clip, req.tmpl.width(),
+        req.tmpl.height());
+    if (!problem.empty()) {
+      reject(ErrorCode::kBadRequest, problem);
+      return;
+    }
+  }
   if (req.op == GenRequest::Op::kInpaint) {
     if (req.mask.empty() && req.mask_id >= 0) {
       if (static_cast<std::size_t>(req.mask_id) >= entry->masks.size()) {
@@ -387,7 +431,8 @@ void GenerationServer::submit(GenRequest req,
       m.e2e_ms.observe(hit.e2e_ms);
       if (reqlog_.enabled())
         reqlog_.write(request_event(req, ErrorCode::kNone, 0.0, 0.0,
-                                    hit.e2e_ms, 0, 0, false, true));
+                                    hit.e2e_ms, 0, 0, false, true,
+                                    hit.expand_windows, hit.expand_waves));
       if (done) done(std::move(hit));
       return;
     }
@@ -516,7 +561,15 @@ void GenerationServer::worker_loop_fixed(Shard& sh) {
       // generation, PLUS the sampler schedule — a frozen batch runs every
       // member in lockstep, so steps/eta must match — PLUS the precision
       // tier: the forward pass runs one weight table for the whole batch).
-      if (!sh.queue.empty()) {
+      // Expansions never coalesce: a wavefront's sample count varies wave
+      // to wave, so an expand head runs the executor alone and a queued
+      // expand never rides along in someone else's frozen batch.
+      if (!sh.queue.empty() &&
+          sh.queue.front()->req.op == GenRequest::Op::kExpand) {
+        batch.push_back(sh.queue.front());
+        pop_locked(sh, sh.queue.begin());
+        sh.inflight = batch;
+      } else if (!sh.queue.empty()) {
         const PendingPtr& head = sh.queue.front();
         const ModelRegistry::Entry* key = head->entry.get();
         const int key_steps = head->req.steps;
@@ -527,7 +580,8 @@ void GenerationServer::worker_loop_fixed(Shard& sh) {
           const PendingPtr& p = *it;
           bool fits = batch.empty() ||
                       samples + p->req.count <= cfg_.max_batch_samples;
-          if (p->entry.get() == key && p->req.steps == key_steps &&
+          if (p->req.op != GenRequest::Op::kExpand &&
+              p->entry.get() == key && p->req.steps == key_steps &&
               p->req.eta == key_eta && p->req.precision == key_precision &&
               fits) {
             samples += p->req.count;
@@ -560,13 +614,26 @@ void GenerationServer::worker_loop_continuous(Shard& sh) {
   // sample tags (tag = mid * kTagStride + sample index), `remaining` counts
   // samples still inside the InpaintState, `raws` collects finished samples
   // at their request-order position the moment each one's schedule ends.
+  // Expansion state for one expand member: the wavefront engine plus the
+  // windows currently inside the InpaintState, keyed by the per-window
+  // sequence number that namespaces their tags (tag = mid * kTagStride +
+  // seq). The member stays resident across steps, feeding ready windows
+  // into the running batch and committing them as their samples finish.
+  struct ExpandRun {
+    std::unique_ptr<expand::WavefrontExpander> ex;
+    std::unordered_map<std::uint64_t, expand::WindowWork> inflight;
+    std::uint64_t next_seq = 0;
+    bool failed = false;      ///< feed/commit raised; drain then fail
+    std::string fail_msg;
+  };
   struct Member {
     PendingPtr p;
     std::uint64_t mid = 0;
-    int remaining = 0;
+    int remaining = 0;  ///< samples (expand: windows) still in the state
     int peak_batch = 0;  ///< max co-resident samples while this request ran
     std::vector<Raster> raws;
     std::vector<std::uint64_t> finish_bases;
+    std::unique_ptr<ExpandRun> xp;  ///< non-null = expand member
   };
   constexpr std::uint64_t kTagStride = 1ull << 32;
 
@@ -622,6 +689,33 @@ void GenerationServer::worker_loop_continuous(Shard& sh) {
     resp.id = p->req.id;
     resp.wait_ms = p->wait_ms_snapshot;
     resp.batch_samples = mem.peak_batch;
+    if (mem.xp) {
+      if (mem.xp->failed) {
+        finish_response(p, GenResponse::fail(p->req.id, ErrorCode::kInternal,
+                                             mem.xp->fail_msg));
+        return;
+      }
+      const expand::ExpandStats stats = mem.xp->ex->stats();
+      resp.is_expand = true;
+      resp.target_w = p->req.target_w;
+      resp.target_h = p->req.target_h;
+      resp.expand_windows = stats.windows_total;
+      resp.expand_waves = stats.waves;
+      resp.expand_seam_violations = stats.seam_violations;
+      resp.expand_drc_pass_rate = stats.drc_pass_rate();
+      try {
+        resp.patterns.push_back(mem.xp->ex->take_canvas());
+      } catch (const std::exception& e) {
+        finish_response(
+            p, GenResponse::fail(p->req.id, ErrorCode::kInternal, e.what()));
+        return;
+      }
+      resp.legal.push_back(stats.drc_checked == stats.drc_clean);
+      p->expand_windows = stats.windows_total;
+      p->expand_waves = stats.waves;
+      finish_response(p, std::move(resp));
+      return;
+    }
     if (p->req.finish) {
       const int clip = entry->cfg.clip_size;
       const Raster tmpl = p->req.op == GenRequest::Op::kInpaint
@@ -751,6 +845,33 @@ void GenerationServer::worker_loop_continuous(Shard& sh) {
         p->exec_start = now;
         p->started = true;
         p->joined_running = !members.empty();
+        if (p->req.op == GenRequest::Op::kExpand) {
+          // An expansion holds a Member slot but contributes no samples at
+          // creation: the feed pass below streams its wavefront windows
+          // into the state at step boundaries, interleaved with ordinary
+          // traffic, so a long expansion never freezes the batch.
+          Member mem;
+          mem.p = p;
+          mem.mid = next_mid++;
+          mem.xp = std::make_unique<ExpandRun>();
+          expand::ExpandConfig ecfg;
+          ecfg.sampler =
+              SamplerParams{p->req.steps, static_cast<float>(p->req.eta)};
+          ecfg.denoise_windows = p->req.finish;
+          try {
+            mem.xp->ex = std::make_unique<expand::WavefrontExpander>(
+                *entry->pp, p->req.tmpl, p->req.target_w, p->req.target_h,
+                p->req.seed, ecfg);
+          } catch (const std::exception& e) {
+            drop_inflight(p);
+            finish_response(p, GenResponse::fail(p->req.id,
+                                                 ErrorCode::kInternal,
+                                                 e.what()));
+            continue;
+          }
+          members.push_back(std::move(mem));
+          continue;
+        }
         const int count = p->req.count;
         Member mem;
         mem.p = p;
@@ -823,8 +944,18 @@ void GenerationServer::worker_loop_continuous(Shard& sh) {
           ++it;
           continue;
         }
-        const std::vector<std::uint64_t> tags =
-            member_tags(mem.mid, mem.p->req.count);
+        std::vector<std::uint64_t> tags;
+        if (mem.xp) {
+          // Expand tags are the in-flight window sequence numbers, not
+          // 0..count-1; the un-fed remainder of the plan simply never runs
+          // and the partial canvas is dropped (no cache insert — the
+          // response is a failure).
+          tags.reserve(mem.xp->inflight.size());
+          for (const auto& kv : mem.xp->inflight)
+            tags.push_back(mem.mid * kTagStride + kv.first);
+        } else {
+          tags = member_tags(mem.mid, mem.p->req.count);
+        }
         leave_tags.insert(leave_tags.end(), tags.begin(), tags.end());
         leaves_.fetch_add(static_cast<std::uint64_t>(mem.remaining));
         m.leaves.add(static_cast<std::uint64_t>(mem.remaining));
@@ -851,26 +982,99 @@ void GenerationServer::worker_loop_continuous(Shard& sh) {
       continue;
     }
 
-    // One denoising step for every active sample; completed samples come
-    // back composited and the state re-packs underneath them.
-    const int cur = st.active();
-    for (Member& mem : members)
-      mem.peak_batch = std::max(mem.peak_batch, cur);
-    std::vector<FinishedSample> done;
-    try {
-      PP_TRACE_SPAN("serve.step_batch");
-      // Flow points emitted INSIDE the open step-batch span bind the
-      // request's flow chain to this slice in the chrome export.
-      for (Member& mem : members) {
-        ++mem.p->step_batches;
-        if (mem.p->trace_start_ns != 0)
-          obs::record_flow_point("serve.step", mem.p->req.id);
+    // Feed pass: every expansion member streams the ready windows of its
+    // current wave into the running batch, up to the spare sample budget.
+    // head_blocked does NOT gate this — an admitted expansion is bounded
+    // work that must drain for the mismatched head to ever run. When the
+    // batch is otherwise idle the budget is at least 1, so an expansion
+    // always makes progress.
+    for (Member& mem : members) {
+      if (!mem.xp || mem.xp->failed) continue;
+      ExpandRun& xp = *mem.xp;
+      int budget = cfg_.max_batch_samples - st.active();
+      if (st.active() == 0) budget = std::max(budget, 1);
+      if (budget <= 0) continue;
+      std::vector<expand::WindowWork> works;
+      try {
+        works = xp.ex->acquire(budget);
+      } catch (const std::exception& e) {
+        xp.failed = true;
+        xp.fail_msg = e.what();
+        continue;
       }
-      const nn::ScopedPrecision prec_guard(precision_of(batch_precision));
-      done = entry->pp->model().step(st);
-    } catch (const std::exception& e) {
-      fail_all(ErrorCode::kInternal, e.what());
-      continue;
+      if (works.empty()) continue;
+      const int clip = entry->cfg.clip_size;
+      const std::size_t plane = static_cast<std::size_t>(clip) * clip;
+      const int n = static_cast<int>(works.size());
+      nn::Tensor known({n, 1, clip, clip});
+      nn::Tensor mask({n, 1, clip, clip});
+      std::vector<std::uint64_t> bases, tags;
+      bases.reserve(works.size());
+      tags.reserve(works.size());
+      std::vector<std::uint64_t> seqs;
+      seqs.reserve(works.size());
+      for (int k = 0; k < n; ++k) {
+        nn::Tensor kt = raster_to_tensor(works[static_cast<std::size_t>(k)].known);
+        nn::Tensor mt = mask_to_tensor(works[static_cast<std::size_t>(k)].mask);
+        std::copy_n(kt.data(), plane,
+                    known.data() + static_cast<std::size_t>(k) * plane);
+        std::copy_n(mt.data(), plane,
+                    mask.data() + static_cast<std::size_t>(k) * plane);
+        bases.push_back(works[static_cast<std::size_t>(k)].gen_base);
+        tags.push_back(mem.mid * kTagStride + xp.next_seq);
+        seqs.push_back(xp.next_seq);
+        ++xp.next_seq;
+      }
+      try {
+        const nn::ScopedPrecision guard(precision_of(batch_precision));
+        entry->pp->model().join(
+            st, known, mask, bases, tags,
+            SamplerParams{mem.p->req.steps,
+                          static_cast<float>(mem.p->req.eta)});
+      } catch (const std::exception& e) {
+        // join validates before touching the state, so nothing entered;
+        // the expansion drains its earlier windows and then fails.
+        xp.failed = true;
+        xp.fail_msg = e.what();
+        continue;
+      }
+      for (int k = 0; k < n; ++k)
+        xp.inflight.emplace(seqs[static_cast<std::size_t>(k)],
+                            std::move(works[static_cast<std::size_t>(k)]));
+      mem.remaining += n;
+      batched_samples_.fetch_add(static_cast<std::uint64_t>(n));
+      m.samples.add(static_cast<std::uint64_t>(n));
+      m.batch_samples.observe(static_cast<double>(st.active()));
+      if (members.size() > 1) {
+        joins_.fetch_add(static_cast<std::uint64_t>(n));
+        m.joins.add(static_cast<std::uint64_t>(n));
+      }
+    }
+
+    // One denoising step for every active sample; completed samples come
+    // back composited and the state re-packs underneath them. A zero-
+    // active state (expansions that just finished feeding or failed) skips
+    // straight to completion.
+    const int cur = st.active();
+    std::vector<FinishedSample> done;
+    if (cur > 0) {
+      for (Member& mem : members)
+        mem.peak_batch = std::max(mem.peak_batch, cur);
+      try {
+        PP_TRACE_SPAN("serve.step_batch");
+        // Flow points emitted INSIDE the open step-batch span bind the
+        // request's flow chain to this slice in the chrome export.
+        for (Member& mem : members) {
+          ++mem.p->step_batches;
+          if (mem.p->trace_start_ns != 0)
+            obs::record_flow_point("serve.step", mem.p->req.id);
+        }
+        const nn::ScopedPrecision prec_guard(precision_of(batch_precision));
+        done = entry->pp->model().step(st);
+      } catch (const std::exception& e) {
+        fail_all(ErrorCode::kInternal, e.what());
+        continue;
+      }
     }
     if (!done.empty() && !st.empty()) {
       repacks_.fetch_add(1);
@@ -881,16 +1085,41 @@ void GenerationServer::worker_loop_continuous(Shard& sh) {
     // responds immediately — it does not wait for the batch to drain.
     for (const FinishedSample& f : done) {
       const std::uint64_t mid = f.tag / kTagStride;
-      const std::size_t k = static_cast<std::size_t>(f.tag % kTagStride);
+      const std::uint64_t k = f.tag % kTagStride;
       for (Member& mem : members) {
         if (mem.mid != mid) continue;
-        mem.raws[k] = tensor_to_rasters(f.x)[0];
-        --mem.remaining;
+        if (mem.xp) {
+          auto w = mem.xp->inflight.find(k);
+          if (w != mem.xp->inflight.end()) {
+            try {
+              // The commit's window denoise (finish_samples) runs under the
+              // batch precision, same as the generation that produced it.
+              const nn::ScopedPrecision guard(
+                  precision_of(batch_precision));
+              mem.xp->ex->commit(w->second, tensor_to_rasters(f.x)[0]);
+            } catch (const std::exception& e) {
+              mem.xp->failed = true;
+              mem.xp->fail_msg = e.what();
+            }
+            mem.xp->inflight.erase(w);
+            --mem.remaining;
+          }
+        } else {
+          mem.raws[static_cast<std::size_t>(k)] = tensor_to_rasters(f.x)[0];
+          --mem.remaining;
+        }
         break;
       }
     }
     for (auto it = members.begin(); it != members.end();) {
-      if (it->remaining > 0) {
+      // Ordinary members complete when every sample landed; an expansion
+      // completes when nothing is in flight AND the wavefront is exhausted
+      // (or it failed and has now drained).
+      const bool member_done =
+          it->xp ? (it->remaining == 0 &&
+                    (it->xp->failed || it->xp->ex->done()))
+                 : it->remaining == 0;
+      if (!member_done) {
         ++it;
         continue;
       }
@@ -903,6 +1132,10 @@ void GenerationServer::worker_loop_continuous(Shard& sh) {
 
 void GenerationServer::execute_batch(Shard& sh,
                                      std::vector<PendingPtr>& batch) {
+  if (batch.front()->req.op == GenRequest::Op::kExpand) {
+    execute_expand(sh, batch.front());
+    return;
+  }
   PP_TRACE_SPAN("serve.batch");
   ServeMetrics& m = serve_metrics();
   const Clock::time_point exec_start = Clock::now();
@@ -1070,6 +1303,75 @@ void GenerationServer::execute_batch(Shard& sh,
     cursor += p->req.count;
     finish_response(p, std::move(resp));
   }
+}
+
+void GenerationServer::execute_expand(Shard& sh, const PendingPtr& p) {
+  PP_TRACE_SPAN("serve.expand");
+  ServeMetrics& m = serve_metrics();
+  const Clock::time_point exec_start = Clock::now();
+  const ModelRegistry::EntryPtr entry = p->entry;
+  const nn::ScopedPrecision prec_guard(precision_of(p->req.precision));
+
+  sh.served.fetch_add(1);
+  batches_.fetch_add(1);
+  m.batches.add(1);
+  p->wait_ms_snapshot = ms_between(p->enqueue, exec_start);
+  m.wait_ms.observe(p->wait_ms_snapshot);
+  p->exec_start = exec_start;
+  p->started = true;
+  p->step_batches = 1;
+  if (p->trace_start_ns != 0) obs::record_flow_point("serve.step", p->req.id);
+
+  expand::ExpandConfig ecfg;
+  ecfg.sampler =
+      SamplerParams{p->req.steps, static_cast<float>(p->req.eta)};
+  ecfg.denoise_windows = p->req.finish;
+  // Cooperative cancellation between model calls, same verdicts as
+  // execute_batch's abort path.
+  auto abort = [this, &p] {
+    return stop_hard_.load() || p->cancelled.load() ||
+           expired(p, Clock::now());
+  };
+  expand::ExpandResult res;
+  try {
+    res = expand::expand_layout(*entry->pp, p->req.tmpl, p->req.target_w,
+                                p->req.target_h, p->req.seed, ecfg,
+                                /*batch_limit=*/cfg_.max_batch_samples, abort);
+  } catch (const std::exception& e) {
+    finish_response(
+        p, GenResponse::fail(p->req.id, ErrorCode::kInternal, e.what()));
+    return;
+  }
+  if (res.aborted) {
+    ErrorCode code =
+        p->cancelled.load() ? ErrorCode::kCancelled : ErrorCode::kTimeout;
+    if (stop_hard_.load() && !p->cancelled.load() && !expired(p, Clock::now()))
+      code = ErrorCode::kDraining;
+    finish_response(p, GenResponse::fail(p->req.id, code,
+                                         "expansion abandoned mid-flight"));
+    return;
+  }
+  batched_samples_.fetch_add(
+      static_cast<std::uint64_t>(res.stats.windows_generated));
+  m.samples.add(static_cast<std::uint64_t>(res.stats.windows_generated));
+
+  GenResponse resp;
+  resp.id = p->req.id;
+  resp.wait_ms = p->wait_ms_snapshot;
+  resp.batch_samples =
+      std::min(cfg_.max_batch_samples, res.stats.windows_total);
+  resp.is_expand = true;
+  resp.target_w = p->req.target_w;
+  resp.target_h = p->req.target_h;
+  resp.expand_windows = res.stats.windows_total;
+  resp.expand_waves = res.stats.waves;
+  resp.expand_seam_violations = res.stats.seam_violations;
+  resp.expand_drc_pass_rate = res.stats.drc_pass_rate();
+  resp.patterns.push_back(std::move(res.canvas));
+  resp.legal.push_back(res.stats.drc_checked == res.stats.drc_clean);
+  p->expand_windows = res.stats.windows_total;
+  p->expand_waves = res.stats.waves;
+  finish_response(p, std::move(resp));
 }
 
 obs::Json GenerationServer::stats_json() const {

@@ -178,6 +178,8 @@ class GenerationServer {
     bool started = false;       ///< exec_start is valid
     int step_batches = 0;       ///< denoising step-batches participated in
     bool joined_running = false;  ///< joined a batch that was already going
+    int expand_windows = 0;     ///< expand only: windows committed
+    int expand_waves = 0;       ///< expand only: waves completed
   };
   using PendingPtr = std::shared_ptr<Pending>;
 
@@ -201,6 +203,9 @@ class GenerationServer {
   /// Step-level continuous-batching executor (see class comment).
   void worker_loop_continuous(Shard& sh);
   void execute_batch(Shard& sh, std::vector<PendingPtr>& batch);
+  /// Fixed-executor expansion path: one request, whole waves per model
+  /// call (never coalesced — its sample count varies wave to wave).
+  void execute_expand(Shard& sh, const PendingPtr& p);
   void finish_response(const PendingPtr& p, GenResponse resp);
   /// One wide-event line for an admission reject (accepted requests log
   /// from finish_response).

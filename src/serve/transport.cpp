@@ -194,7 +194,7 @@ DispatchResult dispatch_line(const std::string& line,
     }
     result.shutdown = true;
     result.shutdown_id = id;
-  } else if (op == "sample" || op == "inpaint") {
+  } else if (op == "sample" || op == "inpaint" || op == "expand") {
     GenRequest req;
     std::string err;
     if (!gen_request_from_json(j, &req, &err)) {

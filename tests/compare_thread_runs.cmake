@@ -1,5 +1,6 @@
-# Runs the determinism probe under PP_THREADS=1 and PP_THREADS=8 and fails
-# unless the outputs are byte-identical (thread-count-invariant sampling).
+# Runs the determinism probe under PP_THREADS=1, 3 and 8 and fails unless
+# the outputs are byte-identical (thread-count-invariant sampling). The odd
+# middle width catches pool-partitioning bugs a power-of-two pair can hide.
 # Invoked by ctest: cmake -DPROBE=<binary> [-DFORCE_ISA=<isa>]
 #                         -P compare_thread_runs.cmake
 # FORCE_ISA additionally pins PP_FORCE_ISA so the probe can be run once per
@@ -20,7 +21,7 @@ if(DEFINED FORCE_ISA)
   endif()
 endif()
 
-foreach(threads 1 8)
+foreach(threads 1 3 8)
   set(envs PP_THREADS=${threads})
   if(DEFINED FORCE_ISA)
     list(APPEND envs PP_FORCE_ISA=${FORCE_ISA})
@@ -34,9 +35,11 @@ foreach(threads 1 8)
   endif()
 endforeach()
 
-if(NOT out_1 STREQUAL out_8)
-  message(FATAL_ERROR "library differs between PP_THREADS=1 and PP_THREADS=8:\n"
-                      "--- PP_THREADS=1 ---\n${out_1}\n"
-                      "--- PP_THREADS=8 ---\n${out_8}")
-endif()
-message(STATUS "PP_THREADS=1 and PP_THREADS=8 produced identical libraries")
+foreach(threads 3 8)
+  if(NOT out_1 STREQUAL out_${threads})
+    message(FATAL_ERROR "library differs between PP_THREADS=1 and PP_THREADS=${threads}:\n"
+                        "--- PP_THREADS=1 ---\n${out_1}\n"
+                        "--- PP_THREADS=${threads} ---\n${out_${threads}}")
+  endif()
+endforeach()
+message(STATUS "PP_THREADS=1, 3 and 8 produced identical libraries")

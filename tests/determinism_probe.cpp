@@ -21,6 +21,7 @@
 
 #include "core/config.hpp"
 #include "core/patternpaint.hpp"
+#include "expand/expander.hpp"
 #include "nn/simd.hpp"
 #include "patterngen/track_generator.hpp"
 #include "serve/registry.hpp"
@@ -70,6 +71,22 @@ int main(int argc, char** argv) {
               pp.total_legal(), pp.library().size());
   for (const Raster& c : pp.library().clips())
     std::printf("%016" PRIx64 "\n", c.hash());
+
+  // Expansion round: grow a 32x32 seed to 64x48 twice — strictly
+  // sequential (batch_limit 1) and whole-wave (batch_limit 0) execution.
+  // The disjoint-commit invariant plus per-window RNG streams make the
+  // committed canvas a pure function of (seed raster, request seed): both
+  // hashes must match each other AND stay bitwise invariant across
+  // PP_THREADS, or wavefront scheduling leaked into the bits.
+  for (int batch_limit : {1, 0}) {
+    expand::ExpandResult res =
+        expand::expand_layout(pp, starters[0], 64, 48, /*request_seed=*/515,
+                              expand::ExpandConfig{}, batch_limit);
+    std::printf("expand limit %d windows %d waves %d canvas %016" PRIx64
+                "\n",
+                batch_limit, res.stats.windows_total, res.stats.waves,
+                res.canvas.hash());
+  }
 
   // Serve round: three requests coalesced into one micro-batch (submitted
   // before start() so they queue together).

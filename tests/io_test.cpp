@@ -11,6 +11,7 @@
 #include "io/gds_text.hpp"
 #include "io/image_io.hpp"
 #include "io/pattern_io.hpp"
+#include "io/stream_export.hpp"
 
 namespace pp {
 namespace {
@@ -211,6 +212,69 @@ TEST_F(GdsText, RejectsCorruptStreams) {
   EXPECT_THROW(read_gds_text(path("bad3.gds")), Error);
 
   EXPECT_THROW(read_gds_text(path("missing.gds")), Error);
+}
+
+using StreamExport = TempDir;
+
+TEST_F(StreamExport, PgmBandsAreByteIdenticalToWholeImageWrite) {
+  Rng rng(11);
+  Raster whole(20, 14, 0);
+  for (int y = 0; y < 14; ++y)
+    for (int x = 0; x < 20; ++x) whole(x, y) = rng.uniform() < 0.5 ? 1 : 0;
+  write_pgm(whole, path("whole.pgm"));
+
+  PgmStreamWriter w(path("bands.pgm"), 20, 14);
+  // Uneven band heights, as the expansion frontier releases them.
+  int y = 0;
+  for (int h : {3, 1, 6, 4}) {
+    w.write_band(whole.crop(Rect{0, y, 20, y + h}));
+    y += h;
+  }
+  w.close();
+
+  auto slurp = [](const std::string& f) {
+    std::ifstream in(f, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  EXPECT_EQ(slurp(path("bands.pgm")), slurp(path("whole.pgm")));
+}
+
+TEST_F(StreamExport, PgmStreamEnforcesShapeAndCompletion) {
+  PgmStreamWriter w(path("x.pgm"), 8, 8);
+  EXPECT_THROW(w.write_band(Raster(6, 2)), Error);   // width mismatch
+  w.write_band(Raster(8, 6));
+  EXPECT_THROW(w.write_band(Raster(8, 4)), Error);   // overflows height
+  EXPECT_THROW(w.close(), Error);                    // 2 rows missing
+}
+
+TEST_F(StreamExport, GdsBandsRoundTripThroughTheTextReader) {
+  Rng rng(12);
+  Raster whole(24, 18, 0);
+  for (int y = 0; y < 18; ++y)
+    for (int x = 0; x < 24; ++x) whole(x, y) = rng.uniform() < 0.3 ? 1 : 0;
+
+  GdsTextStreamWriter w(path("stream.gds"), 24, 18);
+  int y = 0;
+  for (int h : {5, 2, 8, 3}) {
+    w.write_band(y, whole.crop(Rect{0, y, 24, y + h}));
+    y += h;
+  }
+  w.close();
+
+  // Band-split rectangles rasterize back to the identical canvas, and the
+  // STRNAME carries the full canvas dims for the reader.
+  auto loaded = read_gds_text(path("stream.gds"));
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_TRUE(loaded[0] == whole);
+}
+
+TEST_F(StreamExport, GdsBandsMustArriveInRowOrder) {
+  GdsTextStreamWriter w(path("ooo.gds"), 8, 8);
+  w.write_band(0, Raster(8, 4));
+  EXPECT_THROW(w.write_band(6, Raster(8, 2)), Error);  // gap
+  w.write_band(4, Raster(8, 4));
+  w.close();
 }
 
 TEST(FillPolygon, RectangleAndDonutHalves) {
